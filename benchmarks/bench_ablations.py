@@ -1,0 +1,80 @@
+"""Design-choice ablations beyond the paper's Figure 15 (see DESIGN.md).
+
+Each sweep isolates one mechanism and asserts its expected direction.
+"""
+
+from conftest import run_once
+
+from repro.bench.ablations import (
+    run_ablation_impact_weighting,
+    run_ablation_predictor_budget,
+    run_ablation_selective_sync,
+    run_ablation_solver_batching,
+    run_ablation_sync_overhead,
+    run_prompt_heavy,
+)
+
+
+def test_sync_overhead_sensitivity(benchmark, record_rows):
+    rows = run_once(benchmark, run_ablation_sync_overhead)
+    record_rows("ablation_sync_overhead", rows, "Ablation — T_sync sweep")
+
+    # Costlier synchronization raises the communication threshold C_l ...
+    thresholds = [r["c_l_neurons"] for r in rows]
+    assert thresholds == sorted(thresholds)
+    # ... and can only slow serving down.
+    assert rows[0]["tokens_per_s"] >= rows[-1]["tokens_per_s"]
+
+
+def test_selective_sync_helps(benchmark, record_rows):
+    rows = run_once(benchmark, run_ablation_selective_sync)
+    record_rows("ablation_selective_sync", rows, "Ablation — selective synchronization")
+
+    on = next(r for r in rows if r["selective_sync"])
+    off = next(r for r in rows if not r["selective_sync"])
+    assert on["tokens_per_s"] >= off["tokens_per_s"]
+
+
+def test_predictor_budget_tradeoff(benchmark, record_rows):
+    rows = run_once(benchmark, run_ablation_predictor_budget)
+    record_rows("ablation_predictor_budget", rows, "Ablation — predictor accuracy target")
+
+    # Stricter accuracy targets need bigger predictors ...
+    sizes = [r["predictor_gib"] for r in rows]
+    assert sizes == sorted(sizes)
+    # ... which crowd hot neurons off the GPU.
+    shares = [r["gpu_load_share"] for r in rows]
+    assert shares == sorted(shares, reverse=True)
+
+
+def test_solver_batching_tradeoff(benchmark, record_rows):
+    rows = run_once(benchmark, run_ablation_solver_batching)
+    record_rows("ablation_solver_batching", rows, "Ablation — ILP neuron-batch size")
+
+    # Coarser batches barely hurt the objective (within 2%) ...
+    shares = [r["gpu_impact_share"] for r in rows]
+    assert max(shares) - min(shares) < 0.02
+    # ... while the finest granularity costs the most solve time.
+    assert rows[0]["solve_s"] >= rows[-1]["solve_s"]
+
+
+def test_impact_weighting_matters(benchmark, record_rows):
+    rows = run_once(benchmark, run_ablation_impact_weighting)
+    record_rows("ablation_impact_weighting", rows, "Ablation — objective weighting")
+
+    weighted = next(r for r in rows if r["byte_weighted"])
+    raw = next(r for r in rows if not r["byte_weighted"])
+    # The byte-weighted objective maximizes GPU-served COMPUTE (Figure 12's
+    # quantity); the literal Eq-1 objective maximizes raw activation count.
+    assert weighted["gpu_compute_share"] >= raw["gpu_compute_share"]
+    assert raw["raw_impact_share"] >= weighted["raw_impact_share"] - 0.01
+
+
+def test_prompt_heavy_limits_gains(benchmark, record_rows):
+    rows = run_once(benchmark, run_prompt_heavy)
+    record_rows("ablation_prompt_heavy", rows, "Section 8.2 — prompt-heavy workloads")
+
+    by_shape = {(r["input"], r["output"]): r["speedup"] for r in rows}
+    # Long-prompt/short-output shows the smallest advantage (Section 8.2).
+    assert by_shape[(512, 8)] < by_shape[(64, 128)]
+    assert by_shape[(512, 8)] < by_shape[(8, 512)]

@@ -1,0 +1,29 @@
+"""Figure 4 — motivation: existing offloading systems on OPT-30B / PC-High.
+
+Checks reproduced against the paper:
+* FlexGen and DejaVu-UM spend the overwhelming share of each iteration on
+  PCIe transfers (paper: >99.5% for FlexGen at batch 1).
+* llama.cpp avoids transfers but is CPU-bound (paper: ~98% of compute on
+  the CPU, ~600 ms per iteration at batch 1).
+"""
+
+from conftest import run_once
+
+from repro.bench.fig04 import run_fig04
+
+
+def test_fig04_motivation(benchmark, record_rows):
+    rows = run_once(benchmark, run_fig04)
+    record_rows("fig04_motivation", rows, "Figure 4 — offloading baselines, OPT-30B on PC-High")
+
+    llama_b1 = next(r for r in rows if r["engine"] == "llama.cpp" and r["batch"] == 1)
+    flex_b1 = next(r for r in rows if r["engine"] == "flexgen" and r["batch"] == 1)
+    dv_b1 = next(r for r in rows if r["engine"] == "dejavu-um" and r["batch"] == 1)
+
+    # Transfer dominates the GPU-centric systems.
+    assert flex_b1["transfer_share"] > 0.85
+    assert dv_b1["transfer_share"] > 0.85
+    # llama.cpp is CPU-bound with negligible transfer, latency ~hundreds of ms.
+    assert llama_b1["transfer_share"] < 0.01
+    assert llama_b1["cpu_share"] > 0.90
+    assert 300 < llama_b1["iteration_ms"] < 1200

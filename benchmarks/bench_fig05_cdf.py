@@ -1,0 +1,22 @@
+"""Figure 5 — CDF of neuron activation (power-law locality).
+
+Paper anchors: a single MLP layer needs 26% (OPT) / 43% (LLaMA-ReGLU) of
+its neurons for 80% of activations; whole-model, 17% / 26%.
+"""
+
+from conftest import run_once
+
+from repro.bench.fig05 import run_fig05
+
+
+def test_fig05_activation_cdf(benchmark, record_rows):
+    rows = run_once(benchmark, run_fig05)
+    record_rows("fig05_cdf", rows, "Figure 5 — neuron activation CDF anchors")
+
+    for row in rows:
+        # Single-layer anchor calibrated to the paper within 2 points.
+        assert abs(row["layer_frac_for_80pct"] - row["paper_layer_frac"]) < 0.02
+        # Whole-model concentration is stronger than single-layer and lands
+        # within 4 points of the paper's value.
+        assert row["model_frac_for_80pct"] < row["layer_frac_for_80pct"]
+        assert abs(row["model_frac_for_80pct"] - row["paper_model_frac"]) < 0.04

@@ -1,0 +1,21 @@
+"""Figure 6 — Insight-2: direct CPU execution vs load-then-execute.
+
+Paper: for batch sizes under 32, computing CPU-resident neurons in place
+beats transferring them to the GPU, for both the MLP (10% of neurons) and
+attention (60%) blocks of OPT-30B.
+"""
+
+from conftest import run_once
+
+from repro.bench.fig06 import run_fig06
+
+
+def test_fig06_direct_execute_wins_small_batch(benchmark, record_rows):
+    rows = run_once(benchmark, run_fig06)
+    record_rows("fig06_cpu_vs_transfer", rows, "Figure 6 — load-then-execute vs direct-execute")
+
+    for row in rows:
+        if row["batch"] < 32:
+            assert row["cpu_wins"], f"CPU should win at batch {row['batch']}"
+        if row["batch"] >= 64:
+            assert not row["cpu_wins"], "GPU should win at large batch"

@@ -1,0 +1,35 @@
+"""Figure 10 — end-to-end FP16 speedup over llama.cpp on PC-High.
+
+Paper: average 8.32 tokens/s (peak 16.06), average speedup 7.23x, up to
+11.69x (Falcon-40B); speedup grows with output length.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.bench.end_to_end import run_fig10
+
+
+def test_fig10_fp16_pc_high(benchmark, record_rows):
+    rows = run_once(benchmark, run_fig10)
+    record_rows("fig10_fp16_pchigh", rows, "Figure 10 — FP16 generation speed, PC-High")
+
+    valid = [r for r in rows if not r["note"]]
+    assert valid, "at least some models must fit PC-High in FP16"
+    speedups = np.array([r["speedup"] for r in valid])
+    tps = np.array([r["powerinfer_tps"] for r in valid])
+    # Paper-shaped outcomes: large mean speedup, peak near an order of
+    # magnitude, single-digit-to-teens absolute tokens/s.
+    assert speedups.mean() > 4.0
+    assert speedups.max() > 8.0
+    assert 4.0 < tps.mean() < 40.0
+
+    # Speedup grows with output length for each (model, input) pair.
+    for model in {r["model"] for r in valid}:
+        for inp in {r["input"] for r in valid if r["model"] == model}:
+            series = [
+                r["speedup"]
+                for r in valid
+                if r["model"] == model and r["input"] == inp
+            ]
+            assert series[0] <= series[-1] * 1.05, (model, inp, series)

@@ -1,0 +1,37 @@
+"""Figure 11 — end-to-end FP16 speedup over llama.cpp on PC-Low.
+
+Paper: average speedup 5.01x, peak 7.06x — smaller than PC-High because
+the 11 GB RTX 2080Ti hosts fewer hot neurons, shifting load to the CPU.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.bench.end_to_end import run_fig10, run_fig11
+
+
+def test_fig11_fp16_pc_low(benchmark, record_rows):
+    rows = run_once(benchmark, run_fig11)
+    record_rows("fig11_fp16_pclow", rows, "Figure 11 — FP16 generation speed, PC-Low")
+
+    valid = [r for r in rows if not r["note"]]
+    assert valid, "small OPT models must fit PC-Low in FP16"
+    speedups = np.array([r["speedup"] for r in valid])
+    assert speedups.mean() > 2.0
+    assert speedups.max() > 3.0
+
+    # PC-Low gains are smaller than PC-High gains on the models both run.
+    high = {
+        (r["model"], r["input"], r["output"]): r["speedup"]
+        for r in run_fig10()
+        if not r["note"]
+    }
+    shared = [
+        (r["speedup"], high[(r["model"], r["input"], r["output"])])
+        for r in valid
+        if (r["model"], r["input"], r["output"]) in high
+    ]
+    assert shared, "some models must run on both machines"
+    low_mean = np.mean([s for s, _ in shared])
+    high_mean = np.mean([h for _, h in shared])
+    assert low_mean < high_mean

@@ -1,0 +1,30 @@
+"""Figure 12 — neuron-load split between GPU and CPU.
+
+Paper: on PC-High PowerInfer raises the GPU's share of activated-neuron
+computation from llama.cpp's ~20% average to ~70%; on PC-Low the share
+drops (e.g. ~42% for a 60 GB model on the 11 GB GPU).
+"""
+
+from conftest import run_once
+
+from repro.bench.fig12 import run_fig12
+
+
+def test_fig12_neuron_load(benchmark, record_rows):
+    rows = run_once(benchmark, run_fig12)
+    record_rows("fig12_neuron_load", rows, "Figure 12 — GPU neuron-load share")
+
+    high = [r for r in rows if r["machine"] == "pc-high"]
+    low = [r for r in rows if r["machine"] == "pc-low"]
+    assert high and low
+
+    for row in rows:
+        assert row["powerinfer_gpu_load"] > row["llamacpp_gpu_load"], row
+
+    # PC-High: PowerInfer's GPU share lands near the paper's ~70%.
+    mean_high = sum(r["powerinfer_gpu_load"] for r in high) / len(high)
+    assert mean_high > 0.6
+
+    # Memory pressure lowers the share: PC-Low's mean is below PC-High's.
+    mean_low = sum(r["powerinfer_gpu_load"] for r in low) / len(low)
+    assert mean_low < mean_high

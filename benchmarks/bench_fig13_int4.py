@@ -1,0 +1,37 @@
+"""Figure 13 — INT4 quantized models on PC-High and PC-Low.
+
+Paper: PC-High averages 13.20 tokens/s (peak 29.08) with mean speedup
+2.89x (max 4.28x); quantization lets OPT-175B run on PC-High at ~2
+tokens/s (2.66x over llama.cpp).  INT4 speedups are smaller than FP16's
+because llama.cpp itself fits more of the compressed model on the GPU.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.bench.end_to_end import run_fig13
+
+
+def test_fig13_int4(benchmark, record_rows):
+    rows = run_once(benchmark, run_fig13)
+    record_rows("fig13_int4", rows, "Figure 13 — INT4 generation speed")
+
+    valid = [r for r in rows if not r["note"]]
+    high = [r for r in valid if r["machine"] == "pc-high"]
+    assert high
+
+    speedups = np.array([r["speedup"] for r in high])
+    tps = np.array([r["powerinfer_tps"] for r in high])
+    assert speedups.mean() > 1.5
+    assert tps.mean() > 5.0
+
+    # OPT-175B only runs quantized, and only on PC-High — around the
+    # paper's ~2 tokens/s.
+    opt175 = [r for r in high if r["model"] == "opt-175b"]
+    assert opt175, "OPT-175B INT4 must fit PC-High"
+    assert all(0.5 < r["powerinfer_tps"] < 8.0 for r in opt175)
+    assert all(r["speedup"] > 1.3 for r in opt175)
+    low175 = [
+        r for r in valid if r["machine"] == "pc-low" and r["model"] == "opt-175b"
+    ]
+    assert not low175, "OPT-175B must not fit PC-Low"

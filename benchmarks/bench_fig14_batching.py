@@ -1,0 +1,22 @@
+"""Figure 14 — batched inference, Falcon-40B on PC-High.
+
+Paper: ~6.08x average speedup below batch 32, decaying with batch size as
+joint activations densify, but still 4.38x at batch 32.
+"""
+
+from conftest import run_once
+
+from repro.bench.fig14 import run_fig14
+
+
+def test_fig14_batching(benchmark, record_rows):
+    rows = run_once(benchmark, run_fig14)
+    record_rows("fig14_batching", rows, "Figure 14 — batch-size sweep, Falcon-40B PC-High")
+
+    by_batch = {r["batch"]: r for r in rows}
+    # Speedup decays with batch size...
+    assert by_batch[1]["speedup"] > by_batch[32]["speedup"]
+    # ...but batching still helps absolute throughput...
+    assert by_batch[32]["powerinfer_tps"] > by_batch[1]["powerinfer_tps"]
+    # ...and a solid advantage survives at batch 32 (paper: 4.38x).
+    assert by_batch[32]["speedup"] > 2.0

@@ -1,0 +1,51 @@
+"""Figure 16 — neuron-aware operators vs generic sparse kernels.
+
+Paper: PowerInfer's CPU operator beats dense GEMV even below 10% sparsity,
+while generic sparse kernels (PyTorch sparse / cuSPARSE-style CSR with
+dynamic conversion) need ~87%+ sparsity; on GPU the neuron-aware operator
+matches PIT.
+"""
+
+from conftest import run_once
+
+from repro.bench.fig16 import run_fig16_measured, run_fig16_modeled
+
+
+def test_fig16_modeled(benchmark, record_rows):
+    rows = run_once(benchmark, run_fig16_modeled)
+    record_rows("fig16_modeled", rows, "Figure 16 — modeled operator times (PC-Low)")
+
+    dense_cpu = rows[0]["cpu_dense_ms"]
+    for row in rows:
+        if row["sparsity"] >= 0.1:
+            # Neuron-aware wins on CPU even at low sparsity...
+            assert row["cpu_neuron_aware_ms"] < dense_cpu, row
+        if 0.05 < row["sparsity"] < 0.80:
+            # ...where even pre-converted CSR still loses to dense...
+            assert row["cpu_csr_ms"] > dense_cpu, row
+            # ...and dynamically-converted CSR loses at ANY sparsity.
+            assert row["cpu_csr_dynamic_ms"] > dense_cpu, row
+        # GPU: neuron-aware ~matches PIT (within 20%).
+        ratio = row["gpu_neuron_aware_ms"] / row["gpu_pit_ms"]
+        assert 0.8 < ratio < 1.2, row
+    # Static CSR beats dense only at extreme sparsity (paper: ~87%+).
+    assert rows[-1]["cpu_csr_ms"] < dense_cpu
+    crossover = next(r["sparsity"] for r in rows if r["cpu_csr_ms"] < dense_cpu)
+    assert crossover >= 0.80, f"CSR crossover too early: {crossover}"
+
+    # Near-linear scaling with sparsity for the neuron-aware operator.
+    t10 = next(r for r in rows if r["sparsity"] == 0.1)["cpu_neuron_aware_ms"]
+    t95 = next(r for r in rows if r["sparsity"] == 0.95)["cpu_neuron_aware_ms"]
+    assert t95 < t10 * 0.15
+
+
+def test_fig16_measured(benchmark, record_rows):
+    rows = run_once(benchmark, run_fig16_measured)
+    record_rows("fig16_measured", rows, "Figure 16 — measured numpy kernel times")
+
+    for row in rows:
+        if row["sparsity"] >= 0.9:
+            assert row["neuron_aware_us"] < row["dense_us"], row
+        # Dynamic conversion makes CSR slower than dense at any sparsity
+        # on this hardware.
+        assert row["csr_dynamic_us"] > row["neuron_aware_us"], row

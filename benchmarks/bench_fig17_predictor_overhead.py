@@ -1,0 +1,20 @@
+"""Figure 17 — online predictor overhead on PC-Low.
+
+Paper: predictor execution accounts for less than 10% of total inference
+time on average, thanks to adaptive sizing and GPU placement.
+"""
+
+from conftest import run_once
+
+from repro.bench.fig17 import run_fig17
+
+
+def test_fig17_predictor_overhead(benchmark, record_rows):
+    rows = run_once(benchmark, run_fig17)
+    record_rows("fig17_predictor_overhead", rows, "Figure 17 — predictor overhead share")
+
+    assert rows, "some models must fit PC-Low in INT4"
+    mean_share = sum(r["predictor_share"] for r in rows) / len(rows)
+    assert mean_share < 0.10, f"mean predictor share {mean_share:.3f} >= 10%"
+    for row in rows:
+        assert row["predictor_share"] < 0.20, row

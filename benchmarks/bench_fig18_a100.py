@@ -1,0 +1,36 @@
+"""Figure 18 — RTX 4090 + PowerInfer vs A100 + vLLM / llama.cpp.
+
+Paper: llama.cpp on the 4090 lags vLLM on the A100 by 92-93%;
+PowerInfer narrows the gap to 18-23% (input 1) and 28-29% (input 64).
+"""
+
+from conftest import run_once
+
+from repro.bench.fig18 import run_fig18
+
+
+def test_fig18_a100_gap(benchmark, record_rows):
+    rows = run_once(benchmark, run_fig18)
+    record_rows("fig18_a100", rows, "Figure 18 — consumer GPU vs A100")
+
+    for model in {r["model"] for r in rows}:
+        for inp in (1, 64):
+            pi = next(
+                r
+                for r in rows
+                if r["model"] == model
+                and r["input"] == inp
+                and r["system"] == "powerinfer@4090"
+            )
+            lc = next(
+                r
+                for r in rows
+                if r["model"] == model
+                and r["input"] == inp
+                and r["system"] == "llama.cpp@4090"
+            )
+            # llama.cpp's gap to the A100 is catastrophic (paper: ~92-93%).
+            assert lc["slowdown_vs_a100"] > 0.85, lc
+            # PowerInfer shrinks it dramatically (paper: 18-29%).
+            assert pi["slowdown_vs_a100"] < 0.55, pi
+            assert pi["slowdown_vs_a100"] < lc["slowdown_vs_a100"] - 0.3

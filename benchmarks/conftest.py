@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark suite.
+
+Every bench runs its experiment exactly once through pytest-benchmark
+(``pedantic(rounds=1)`` — the experiments are deterministic simulations,
+not microbenchmarks) and records the resulting table under
+``benchmarks/results/`` so EXPERIMENTS.md can cite the exact output.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench.report import format_table
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def record_rows():
+    """Fixture: ``record_rows(name, rows, title)`` writes and prints a table."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, rows: list[dict], title: str = "") -> None:
+        text = format_table(rows, title or name)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}")
+
+    return _record
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment once under pytest-benchmark's timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

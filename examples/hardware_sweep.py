@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Hardware what-if sweep: how much GPU memory does PowerInfer need?
+
+The paper's central claim is that a small GPU plus the power-law activation
+distribution goes a long way: hot neurons capture most activation mass, so
+tokens/s degrades gracefully as GPU memory shrinks (unlike layer-offloading,
+which degrades linearly).  This example sweeps the GPU memory capacity of a
+PC-High-class machine from 8 to 48 GiB for OPT-30B FP16 and prints both
+systems' generation speed.
+
+Usage::
+
+    python examples/hardware_sweep.py
+"""
+
+import dataclasses
+
+from repro import FP16, OPT_30B, PC_HIGH
+from repro.core.pipeline import build_plan
+from repro.engine import LlamaCppEngine, PowerInferEngine
+
+GIB = 2**30
+
+
+def machine_with_gpu_memory(gib: float):
+    """PC-High with a resized GPU memory."""
+    gpu = dataclasses.replace(PC_HIGH.gpu, memory_capacity=gib * GIB)
+    return dataclasses.replace(PC_HIGH, gpu=gpu, name=f"pc-high-{gib:g}g")
+
+
+def main() -> None:
+    model = OPT_30B
+    print(f"Sweeping GPU memory for {model.name} "
+          f"({model.weight_bytes(FP16) / GIB:.1f} GiB FP16)\n")
+    print(f"{'gpu_mem':>8} | {'powerinfer':>10} | {'llama.cpp':>9} | "
+          f"{'speedup':>7} | {'gpu neuron load':>15}")
+    print("-" * 62)
+    for gib in (8, 12, 16, 24, 32, 48):
+        machine = machine_with_gpu_memory(gib)
+        plan = build_plan(model, machine, FP16, policy="ilp")
+        base = build_plan(model, machine, FP16, policy="none")
+        pi = PowerInferEngine(plan).simulate_request(64, 128)
+        lc = LlamaCppEngine(base).simulate_request(64, 128)
+        print(f"{gib:>5} GiB | {pi.tokens_per_second:>8.2f}/s | "
+              f"{lc.tokens_per_second:>7.2f}/s | "
+              f"{pi.tokens_per_second / lc.tokens_per_second:>6.2f}x | "
+              f"{pi.gpu_load_share:>14.0%}")
+
+    print("\nReading: PowerInfer keeps most of its speed down to small GPUs")
+    print("because hot neurons (a small byte fraction) carry most activations;")
+    print("llama.cpp's dense layer split scales only with raw capacity.")
+
+
+if __name__ == "__main__":
+    main()

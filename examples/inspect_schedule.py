@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Inspect one inference iteration: breakdown, utilization, Chrome trace.
+
+Deploys OPT-30B on PC-High, simulates a single decode iteration, prints
+where the time goes (per device and per operator class), compares against
+the closed-form roofline ceilings, and exports the schedule as a
+chrome://tracing / Perfetto JSON for visual inspection.
+
+Usage::
+
+    python examples/inspect_schedule.py [trace.json]
+"""
+
+import sys
+
+from repro import FP16, OPT_30B, PC_HIGH
+from repro.analysis import throughput_bounds
+from repro.bench.runner import cached_plan
+from repro.engine import PowerInferEngine
+
+
+def main() -> None:
+    plan = cached_plan(OPT_30B.name, PC_HIGH.name, "fp16", "ilp")
+    engine = PowerInferEngine(plan)
+    result = engine.simulate_iteration(ctx_len=128, n_tokens=1)
+
+    print(f"One decode iteration of {OPT_30B.name} on {PC_HIGH.name}:")
+    print(f"  makespan: {result.makespan * 1e3:.2f} ms "
+          f"({1.0 / result.makespan:.1f} tokens/s steady-state)")
+    print("\n  device utilization:")
+    for resource in ("gpu", "cpu", "pcie"):
+        print(f"    {resource:>4}: {result.resource_utilization(resource):6.1%} "
+              f"busy ({result.busy_time[resource] * 1e3:6.2f} ms)")
+
+    print("\n  time by operator class:")
+    total = sum(result.time_by_tag().values())
+    for tag, seconds in sorted(result.time_by_tag().items(), key=lambda kv: -kv[1]):
+        print(f"    {tag:>10}: {seconds * 1e3:7.2f} ms ({seconds / total:5.1%})")
+
+    bounds = throughput_bounds(OPT_30B, PC_HIGH, FP16,
+                               hot_capture=plan.gpu_neuron_load_share())
+    print("\n  roofline context (tokens/s):")
+    for row in bounds.as_rows():
+        print(f"    {row['bound']:>18}: {row['tokens_per_s']:8.2f}")
+    print(f"    {'this schedule':>18}: {1.0 / result.makespan:8.2f}")
+
+    out = sys.argv[1] if len(sys.argv) > 1 else "powerinfer_iteration.json"
+    result.save_chrome_trace(out)
+    print(f"\n  schedule written to {out} — open in chrome://tracing or "
+          f"https://ui.perfetto.dev")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""repro — a Python reproduction of PowerInfer (SOSP 2024).
+
+PowerInfer: Fast Large Language Model Serving with a Consumer-grade GPU
+(Song, Mi, Xie, Chen — SJTU IPADS).
+
+Quickstart::
+
+    from repro import PowerInfer, OPT_30B, PC_HIGH
+
+    system = PowerInfer.deploy(OPT_30B, PC_HIGH)
+    result = system.generate(input_len=64, output_len=128)
+    print(result.tokens_per_second)
+
+See DESIGN.md for the architecture, the substitution table (simulated GPU
+hardware, synthesized activation traces), and the per-experiment index.
+"""
+
+from repro.core.api import PowerInfer
+from repro.core.pipeline import build_plan
+from repro.engine.numerical import NumericalHybridEngine
+from repro.engine.powerinfer import PowerInferEngine
+from repro.engine.results import RequestResult
+from repro.hardware.spec import A100_SERVER, MACHINE_PRESETS, PC_HIGH, PC_LOW, MachineSpec
+from repro.models.config import (
+    FALCON_40B,
+    LLAMA_70B,
+    MODEL_PRESETS,
+    OPT_6_7B,
+    OPT_13B,
+    OPT_30B,
+    OPT_66B,
+    OPT_175B,
+    ModelConfig,
+    tiny_config,
+)
+from repro.quant.formats import FP16, FP32, INT4, DType
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "A100_SERVER",
+    "DType",
+    "FALCON_40B",
+    "FP16",
+    "FP32",
+    "INT4",
+    "LLAMA_70B",
+    "MACHINE_PRESETS",
+    "MODEL_PRESETS",
+    "MachineSpec",
+    "ModelConfig",
+    "NumericalHybridEngine",
+    "OPT_13B",
+    "OPT_175B",
+    "OPT_30B",
+    "OPT_66B",
+    "OPT_6_7B",
+    "PC_HIGH",
+    "PC_LOW",
+    "PowerInfer",
+    "PowerInferEngine",
+    "RequestResult",
+    "build_plan",
+    "tiny_config",
+    "__version__",
+]

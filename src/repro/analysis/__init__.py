@@ -1,0 +1,5 @@
+"""Analytic sizing helpers complementary to the discrete-event engines."""
+
+from repro.analysis.roofline import ThroughputBounds, throughput_bounds
+
+__all__ = ["ThroughputBounds", "throughput_bounds"]

@@ -1,0 +1,117 @@
+"""Back-of-envelope throughput bounds from the roofline model alone.
+
+The discrete-event engines answer "what does this schedule cost"; this
+module answers the coarser sizing question a user asks first: *given this
+model, this machine, and this dtype, what token rates are even possible?*
+
+Four analytic bounds per configuration (generation phase, batch 1,
+bandwidth-bound — the regime of paper Equation 5):
+
+* ``dense_gpu_only`` — the whole model streams from GPU memory every token
+  (the vLLM-on-A100 bound; hypothetical if the model does not fit);
+* ``dense_hybrid`` — llama.cpp's layer split: GPU-resident bytes at GPU
+  bandwidth, the spill at CPU bandwidth, fully serialized;
+* ``sparse_hybrid`` — only activated neurons are touched, split
+  hot-on-GPU / cold-on-CPU with CPU and GPU overlapped (PowerInfer's
+  structure): time = max(device times);
+* ``oracle_gpu_sparse`` — activated neurons only, all magically on the GPU
+  (the ceiling no placement policy can beat).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.spec import MachineSpec
+from repro.models.config import ModelConfig
+from repro.quant.formats import FP16, DType
+
+__all__ = ["ThroughputBounds", "throughput_bounds"]
+
+
+@dataclass(frozen=True)
+class ThroughputBounds:
+    """Analytic tokens/s bounds for one (model, machine, dtype) setup."""
+
+    dense_gpu_only: float
+    dense_hybrid: float
+    sparse_hybrid: float
+    oracle_gpu_sparse: float
+    gpu_weight_fraction: float  # fraction of weights GPU-resident
+    active_fraction: float  # fraction of weight bytes touched per token
+
+    def as_rows(self) -> list[dict]:
+        """Table-friendly representation."""
+        return [
+            {"bound": "dense_gpu_only", "tokens_per_s": self.dense_gpu_only},
+            {"bound": "dense_hybrid", "tokens_per_s": self.dense_hybrid},
+            {"bound": "sparse_hybrid", "tokens_per_s": self.sparse_hybrid},
+            {"bound": "oracle_gpu_sparse", "tokens_per_s": self.oracle_gpu_sparse},
+        ]
+
+
+def throughput_bounds(
+    model: ModelConfig,
+    machine: MachineSpec,
+    dtype: DType = FP16,
+    mlp_active_rate: float = 0.10,
+    attn_active_rate: float = 0.55,
+    hot_capture: float = 0.80,
+    gpu_weight_fraction: float | None = None,
+) -> ThroughputBounds:
+    """Compute the four bandwidth-bound throughput ceilings.
+
+    Args:
+        model / machine / dtype: The configuration to size.
+        mlp_active_rate: Per-token MLP neuron activation rate.
+        attn_active_rate: Per-token attention-head activation rate.
+        hot_capture: Fraction of *activated* computation the GPU-resident
+            hot set serves (paper Figure 12: ~0.7-0.9 on PC-High).
+        gpu_weight_fraction: GPU-resident fraction of weight bytes; derived
+            from GPU capacity when omitted.
+
+    Returns:
+        :class:`ThroughputBounds`; all rates in tokens/s.
+    """
+    if not 0.0 < mlp_active_rate <= 1.0 or not 0.0 < attn_active_rate <= 1.0:
+        raise ValueError("activation rates must be in (0, 1]")
+    if not 0.0 <= hot_capture <= 1.0:
+        raise ValueError("hot_capture must be in [0, 1]")
+
+    total_bytes = dtype.nbytes(model.n_layers * model.params_per_layer)
+    gpu_bw = machine.gpu.effective_bandwidth
+    cpu_bw = machine.cpu.effective_bandwidth
+
+    if gpu_weight_fraction is None:
+        usable = 0.9 * machine.gpu.memory_capacity
+        gpu_weight_fraction = min(usable / total_bytes, 1.0)
+    if not 0.0 <= gpu_weight_fraction <= 1.0:
+        raise ValueError("gpu_weight_fraction must be in [0, 1]")
+
+    mlp_bytes = dtype.nbytes(model.n_layers * model.mlp_params_per_layer)
+    attn_bytes = dtype.nbytes(model.n_layers * model.attn_params_per_layer)
+    active_bytes = mlp_active_rate * mlp_bytes + attn_active_rate * attn_bytes
+    active_fraction = active_bytes / total_bytes
+
+    dense_gpu_only = gpu_bw / total_bytes
+
+    gpu_part = gpu_weight_fraction * total_bytes
+    cpu_part = total_bytes - gpu_part
+    dense_hybrid = 1.0 / (gpu_part / gpu_bw + cpu_part / cpu_bw)
+
+    hot = min(hot_capture, gpu_weight_fraction / max(active_fraction, 1e-12), 1.0)
+    gpu_active = hot * active_bytes
+    cpu_active = active_bytes - gpu_active
+    # CPU and GPU overlap in PowerInfer; the slower side binds.
+    sparse_hybrid = 1.0 / max(gpu_active / gpu_bw, cpu_active / cpu_bw, 1e-300)
+
+    oracle = gpu_bw / active_bytes
+
+    return ThroughputBounds(
+        dense_gpu_only=dense_gpu_only,
+        dense_hybrid=dense_hybrid,
+        sparse_hybrid=sparse_hybrid,
+        oracle_gpu_sparse=oracle,
+        gpu_weight_fraction=gpu_weight_fraction,
+        active_fraction=active_fraction,
+    )

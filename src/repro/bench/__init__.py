@@ -1,0 +1,60 @@
+"""Experiment drivers: one module per paper table/figure (see DESIGN.md)."""
+
+from repro.bench.ablations import (
+    run_ablation_impact_weighting,
+    run_ablation_predictor_budget,
+    run_ablation_selective_sync,
+    run_ablation_solver_batching,
+    run_ablation_sync_overhead,
+    run_prompt_heavy,
+)
+from repro.bench.end_to_end import run_end_to_end, run_fig10, run_fig11, run_fig13
+from repro.bench.fig04 import run_fig04
+from repro.bench.fig05 import cdf_series, run_fig05
+from repro.bench.fig06 import run_fig06
+from repro.bench.fig09 import run_fig09_modeled, run_fig09_trained
+from repro.bench.fig12 import run_fig12
+from repro.bench.fig14 import run_fig14
+from repro.bench.fig15 import run_fig15
+from repro.bench.fig16 import run_fig16_measured, run_fig16_modeled
+from repro.bench.fig17 import run_fig17
+from repro.bench.fig18 import run_fig18
+from repro.bench.paper_reference import PAPER_ANCHORS, anchor
+from repro.bench.report import format_table, print_table
+from repro.bench.runner import ENGINE_CLASSES, cached_plan, make_engine
+from repro.bench.table2 import build_sparse_system, run_table2
+
+__all__ = [
+    "ENGINE_CLASSES",
+    "PAPER_ANCHORS",
+    "anchor",
+    "run_ablation_impact_weighting",
+    "run_ablation_predictor_budget",
+    "run_ablation_selective_sync",
+    "run_ablation_solver_batching",
+    "run_ablation_sync_overhead",
+    "run_prompt_heavy",
+    "build_sparse_system",
+    "cached_plan",
+    "cdf_series",
+    "format_table",
+    "make_engine",
+    "print_table",
+    "run_end_to_end",
+    "run_fig04",
+    "run_fig05",
+    "run_fig06",
+    "run_fig09_modeled",
+    "run_fig09_trained",
+    "run_fig10",
+    "run_fig11",
+    "run_fig12",
+    "run_fig13",
+    "run_fig14",
+    "run_fig15",
+    "run_fig16_measured",
+    "run_fig16_modeled",
+    "run_fig17",
+    "run_fig18",
+    "run_table2",
+]

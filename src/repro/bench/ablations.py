@@ -1,0 +1,218 @@
+"""Ablation sweeps over PowerInfer's design choices.
+
+Beyond the paper's Figure 15 component ablation, these experiments probe
+the individual design decisions DESIGN.md calls out:
+
+* synchronization-overhead sensitivity (why Inequality 4 exists),
+* selective synchronization (Section 5.3),
+* the predictor accuracy/memory trade-off (Section 5.1's balance),
+* the ILP's neuron-batch size (Section 6.3.3's tractability knob),
+* byte-weighted vs literal Equation-1 impact in the objective.
+
+All sweeps use OPT-13B on PC-Low — small enough to re-solve the ILP per
+configuration, large enough for realistic time constants.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+import numpy as np
+
+from repro.core.pipeline import build_plan
+from repro.core.profiles import synthesize_model_probs
+from repro.engine.powerinfer import PowerInferEngine
+from repro.hardware.spec import MACHINE_PRESETS
+from repro.models.config import MODEL_PRESETS
+from repro.quant.formats import FP16
+from repro.solver.ilp import SolverOptions, communication_threshold, solve_ilp
+from repro.solver.placement import NeuronGroup
+
+__all__ = [
+    "run_ablation_sync_overhead",
+    "run_ablation_selective_sync",
+    "run_ablation_predictor_budget",
+    "run_ablation_solver_batching",
+    "run_ablation_impact_weighting",
+    "run_prompt_heavy",
+]
+
+_MODEL = "opt-13b"
+_MACHINE = "pc-low"
+
+
+def run_ablation_sync_overhead(
+    sync_values_us: tuple[float, ...] = (5.0, 35.0, 150.0, 600.0),
+) -> list[dict]:
+    """Sweep T_sync: tokens/s and the communication threshold C_l."""
+    model = MODEL_PRESETS[_MODEL]
+    base = MACHINE_PRESETS[_MACHINE]
+    rows = []
+    for sync_us in sync_values_us:
+        machine = dataclasses.replace(base, sync_overhead=sync_us * 1e-6)
+        plan = build_plan(model, machine, FP16, policy="ilp")
+        result = PowerInferEngine(plan).simulate_request(64, 128)
+        group = NeuronGroup(
+            name="probe",
+            impacts=np.ones(model.d_ffn),
+            neuron_bytes=model.mlp_neuron_bytes(FP16),
+        )
+        rows.append(
+            {
+                "sync_us": sync_us,
+                "tokens_per_s": result.tokens_per_second,
+                "c_l_neurons": communication_threshold(group, machine),
+            }
+        )
+    return rows
+
+
+def run_ablation_selective_sync() -> list[dict]:
+    """Selective synchronization on vs off (Section 5.3).
+
+    Uses an INT4 deployment where the model (mostly) fits the GPU: many
+    layers then have NO activated CPU neurons, which is exactly when the
+    selective strategy skips the transfer + synchronization.  (In a
+    heavily split FP16 deployment the CPU almost always holds activated
+    neurons, so both variants behave identically — the constraint only
+    pays off when layers go fully hot-resident.)
+    """
+    from repro.quant.formats import INT4
+
+    model = MODEL_PRESETS[_MODEL]
+    machine = MACHINE_PRESETS[_MACHINE]
+    plan = build_plan(model, machine, INT4, policy="ilp")
+    rows = []
+    for selective in (True, False):
+        engine = PowerInferEngine(plan, selective_sync=selective)
+        result = engine.simulate_request(64, 128)
+        rows.append(
+            {
+                "selective_sync": selective,
+                "tokens_per_s": result.tokens_per_second,
+                "decode_ms": result.decode_latency * 1e3,
+            }
+        )
+    return rows
+
+
+def run_ablation_predictor_budget(
+    accuracy_targets: tuple[float, ...] = (0.90, 0.95, 0.99),
+) -> list[dict]:
+    """Predictor size vs serving speed: bigger predictors are more accurate
+    but steal GPU memory from hot neurons (Section 5.1's tension)."""
+    model = MODEL_PRESETS[_MODEL]
+    machine = MACHINE_PRESETS[_MACHINE]
+    rows = []
+    for target in accuracy_targets:
+        plan = build_plan(model, machine, FP16, policy="ilp", accuracy_target=target)
+        result = PowerInferEngine(plan).simulate_request(64, 128)
+        rows.append(
+            {
+                "accuracy_target": target,
+                "predictor_gib": plan.total_predictor_bytes / 2**30,
+                "gpu_load_share": plan.gpu_neuron_load_share(),
+                "tokens_per_s": result.tokens_per_second,
+            }
+        )
+    return rows
+
+
+def _solver_inputs(model, seed=0):
+    rng = np.random.default_rng(seed)
+    mlp_probs, attn_probs = synthesize_model_probs(model, rng)
+    groups = []
+    for li in range(model.n_layers):
+        groups.append(
+            NeuronGroup(
+                name=f"l{li}.attn",
+                impacts=attn_probs[li],
+                neuron_bytes=model.attn_neuron_bytes(FP16),
+            )
+        )
+        groups.append(
+            NeuronGroup(
+                name=f"l{li}.mlp",
+                impacts=mlp_probs[li],
+                neuron_bytes=model.mlp_neuron_bytes(FP16),
+            )
+        )
+    return groups
+
+
+def run_ablation_solver_batching(
+    batch_sizes: tuple[int, ...] = (64, 256, 1024, 4096),
+) -> list[dict]:
+    """ILP neuron-batch size: solve time vs objective quality (Sec. 6.3.3)."""
+    model = MODEL_PRESETS[_MODEL]
+    machine = MACHINE_PRESETS[_MACHINE]
+    groups = _solver_inputs(model)
+    budget = 0.3 * sum(g.total_bytes for g in groups)
+    rows = []
+    for batch_size in batch_sizes:
+        start = time.perf_counter()
+        policy = solve_ilp(
+            groups, machine, budget,
+            options=SolverOptions(batch_size=batch_size, time_limit=60.0),
+        )
+        rows.append(
+            {
+                "batch_size": batch_size,
+                "solve_s": time.perf_counter() - start,
+                "gpu_impact_share": policy.gpu_impact_share(),
+            }
+        )
+    return rows
+
+
+def run_ablation_impact_weighting() -> list[dict]:
+    """Byte-weighted objective vs literal Equation 1 (see solver docs)."""
+    model = MODEL_PRESETS[_MODEL]
+    machine = MACHINE_PRESETS[_MACHINE]
+    groups = _solver_inputs(model)
+    budget = 0.3 * sum(g.total_bytes for g in groups)
+    rows = []
+    for weighted in (True, False):
+        policy = solve_ilp(
+            groups, machine, budget,
+            options=SolverOptions(batch_size=512, weight_impact_by_bytes=weighted),
+        )
+        gpu_bytes_active = 0.0
+        total_bytes_active = 0.0
+        for group, mask in zip(policy.groups, policy.gpu_masks):
+            gpu_bytes_active += float(group.impacts[mask].sum()) * group.neuron_bytes
+            total_bytes_active += float(group.impacts.sum()) * group.neuron_bytes
+        rows.append(
+            {
+                "byte_weighted": weighted,
+                "gpu_compute_share": gpu_bytes_active / total_bytes_active,
+                "raw_impact_share": policy.gpu_impact_share(),
+            }
+        )
+    return rows
+
+
+def run_prompt_heavy(
+    configs: tuple[tuple[int, int], ...] = ((512, 8), (64, 128), (8, 512)),
+) -> list[dict]:
+    """Section 8.2's caveat: long prompts with short outputs blunt the
+    advantage (prompt-phase union activation kills sparsity)."""
+    from repro.bench.runner import make_engine
+
+    rows = []
+    pi = make_engine("powerinfer", _MODEL, _MACHINE)
+    lc = make_engine("llama.cpp", _MODEL, _MACHINE)
+    for input_len, output_len in configs:
+        a = pi.simulate_request(input_len, output_len)
+        b = lc.simulate_request(input_len, output_len)
+        rows.append(
+            {
+                "input": input_len,
+                "output": output_len,
+                "powerinfer_tps": a.tokens_per_second,
+                "llamacpp_tps": b.tokens_per_second,
+                "speedup": a.tokens_per_second / b.tokens_per_second,
+            }
+        )
+    return rows

@@ -1,0 +1,96 @@
+"""Figures 10, 11, 13 — end-to-end generation speed vs llama.cpp.
+
+The paper's headline experiment: for each model, input length (~64 and
+~128), and output length (8, 128, 512), measure tokens/s for PowerInfer
+and llama.cpp and report the speedup.  Figure 10 is PC-High FP16,
+Figure 11 PC-Low FP16, Figure 13 INT4 on both machines.
+
+Models that cannot fit a machine's combined memory in the requested dtype
+are skipped with a note (e.g. OPT-175B FP16 needs 350 GB; Falcon-40B FP16
+exceeds PC-Low's 64 GB host) — mirroring what physically runs in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.bench.runner import make_engine
+from repro.hardware.memory import OutOfMemoryError
+from repro.workloads.prompts import PAPER_OUTPUT_LENGTHS
+
+__all__ = [
+    "run_end_to_end",
+    "run_fig10",
+    "run_fig11",
+    "run_fig13",
+    "INPUT_LENGTHS",
+    "FP16_MODELS",
+    "INT4_MODELS",
+]
+
+INPUT_LENGTHS = (64, 128)
+FP16_MODELS = ("opt-30b", "opt-66b", "falcon-40b", "llama-70b")
+INT4_MODELS = ("opt-30b", "opt-66b", "falcon-40b", "llama-70b", "opt-175b")
+
+
+def run_end_to_end(
+    machine_name: str,
+    dtype_name: str,
+    model_names: tuple[str, ...],
+    input_lengths: tuple[int, ...] = INPUT_LENGTHS,
+    output_lengths: tuple[int, ...] = PAPER_OUTPUT_LENGTHS,
+) -> list[dict]:
+    """One row per (model, input, output): tokens/s of both systems."""
+    rows = []
+    for model_name in model_names:
+        try:
+            powerinfer = make_engine("powerinfer", model_name, machine_name, dtype_name)
+            llama = make_engine("llama.cpp", model_name, machine_name, dtype_name)
+        except OutOfMemoryError as exc:
+            rows.append(
+                {
+                    "model": model_name,
+                    "input": "-",
+                    "output": "-",
+                    "powerinfer_tps": 0.0,
+                    "llamacpp_tps": 0.0,
+                    "speedup": 0.0,
+                    "note": f"skipped: {exc}",
+                }
+            )
+            continue
+        for input_len in input_lengths:
+            for output_len in output_lengths:
+                pi = powerinfer.simulate_request(input_len, output_len)
+                lc = llama.simulate_request(input_len, output_len)
+                rows.append(
+                    {
+                        "model": model_name,
+                        "input": input_len,
+                        "output": output_len,
+                        "powerinfer_tps": pi.tokens_per_second,
+                        "llamacpp_tps": lc.tokens_per_second,
+                        "speedup": pi.tokens_per_second / lc.tokens_per_second
+                        if lc.tokens_per_second
+                        else 0.0,
+                        "note": "",
+                    }
+                )
+    return rows
+
+
+def run_fig10(**kwargs) -> list[dict]:
+    """PC-High, FP16 (paper Figure 10)."""
+    return run_end_to_end("pc-high", "fp16", FP16_MODELS, **kwargs)
+
+
+def run_fig11(**kwargs) -> list[dict]:
+    """PC-Low, FP16 (paper Figure 11)."""
+    return run_end_to_end("pc-low", "fp16", FP16_MODELS, **kwargs)
+
+
+def run_fig13(**kwargs) -> list[dict]:
+    """INT4 on both machines (paper Figure 13)."""
+    rows = []
+    for machine in ("pc-high", "pc-low"):
+        for row in run_end_to_end(machine, "int4", INT4_MODELS, **kwargs):
+            rows.append({"machine": machine, **row})
+    return rows

@@ -1,0 +1,51 @@
+"""Figure 4 — motivation: offloading baselines on OPT-30B / PC-High.
+
+(a) per-iteration execution time of FlexGen, DejaVu-UM, and llama.cpp at
+batch sizes 1..32; (b) the share of time each spends on weight transfer vs
+GPU/CPU compute.  The paper's findings to reproduce: FlexGen and DejaVu-UM
+spend >99% / most of their time on PCIe transfers; llama.cpp avoids
+transfers but shifts ~98% of compute to the CPU, landing around 600 ms per
+token.
+"""
+
+from __future__ import annotations
+
+from repro.bench.runner import make_engine
+
+__all__ = ["run_fig04", "BATCH_SIZES"]
+
+BATCH_SIZES = (1, 8, 16, 32)
+_ENGINES = ("flexgen", "dejavu-um", "llama.cpp")
+
+
+def run_fig04(
+    model_name: str = "opt-30b",
+    machine_name: str = "pc-high",
+    batch_sizes: tuple[int, ...] = BATCH_SIZES,
+) -> list[dict]:
+    """One row per (engine, batch): iteration latency + time breakdown."""
+    rows = []
+    for engine_name in _ENGINES:
+        engine = make_engine(engine_name, model_name, machine_name)
+        for batch in batch_sizes:
+            result = engine.simulate_iteration(ctx_len=64, n_tokens=1, batch=batch)
+            shares = {}
+            total = sum(result.time_by_tag().values())
+            if total:
+                shares = {t: v / total for t, v in result.time_by_tag().items()}
+            rows.append(
+                {
+                    "engine": engine_name,
+                    "batch": batch,
+                    "iteration_ms": result.makespan * 1e3,
+                    "transfer_share": shares.get("transfer", 0.0),
+                    "cpu_share": shares.get("cpu-dense", 0.0)
+                    + shares.get("cpu-neuron", 0.0)
+                    + shares.get("kv", 0.0),
+                    "gpu_share": shares.get("gpu-dense", 0.0)
+                    + shares.get("gpu-neuron", 0.0)
+                    + shares.get("lmhead", 0.0)
+                    + shares.get("predictor", 0.0),
+                }
+            )
+    return rows

@@ -1,0 +1,66 @@
+"""Figure 6 — Insight-2: compute on CPU vs load-then-execute on GPU.
+
+For CPU-resident neurons (10% of an OPT-30B MLP layer, 60% of an attention
+layer), compare (a) transferring their weights to the GPU and computing
+there vs (b) computing directly on the CPU with AVX2, across batch sizes.
+The paper finds direct CPU execution wins below batch ~32.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.costmodel import CostModel, OpWork
+from repro.hardware.spec import MACHINE_PRESETS
+from repro.models.config import MODEL_PRESETS
+from repro.quant.formats import FP16
+
+__all__ = ["run_fig06", "BATCH_SIZES"]
+
+BATCH_SIZES = (1, 2, 4, 8, 16, 32, 64)
+
+
+def _block_work(nbytes: float, params: float, batch: int) -> OpWork:
+    return OpWork(
+        flops=2.0 * params * batch,
+        bytes_read=nbytes + batch * 4096 * 4.0,
+        bytes_written=batch * 4096 * 4.0,
+    )
+
+
+def run_fig06(
+    model_name: str = "opt-30b",
+    machine_name: str = "pc-high",
+    mlp_fraction: float = 0.10,
+    attn_fraction: float = 0.60,
+    batch_sizes: tuple[int, ...] = BATCH_SIZES,
+) -> list[dict]:
+    """Rows: per-batch times for both strategies on MLP and attention."""
+    model = MODEL_PRESETS[model_name]
+    machine = MACHINE_PRESETS[machine_name]
+    blocks = {
+        "mlp": (
+            mlp_fraction * model.mlp_neurons_per_layer * model.mlp_neuron_bytes(FP16),
+            mlp_fraction * model.mlp_params_per_layer,
+        ),
+        "attention": (
+            attn_fraction * model.attn_neurons_per_layer * model.attn_neuron_bytes(FP16),
+            attn_fraction * model.attn_params_per_layer,
+        ),
+    }
+    rows = []
+    for block, (nbytes, params) in blocks.items():
+        for batch in batch_sizes:
+            work = _block_work(nbytes, params, batch)
+            load_then_execute = CostModel.transfer_time(
+                nbytes, machine.link
+            ) + CostModel.op_time(work, machine.gpu)
+            direct_execute = CostModel.op_time(work, machine.cpu)
+            rows.append(
+                {
+                    "block": block,
+                    "batch": batch,
+                    "load_then_execute_ms": load_then_execute * 1e3,
+                    "direct_execute_ms": direct_execute * 1e3,
+                    "cpu_wins": direct_execute < load_then_execute,
+                }
+            )
+    return rows

@@ -1,0 +1,88 @@
+"""Figure 9 — predictor parameter size vs layer sparsity at >=95% accuracy.
+
+Two reproductions of the correlation:
+
+* :func:`run_fig09_trained` runs the *real* adaptive sizing loop
+  (train / evaluate / shrink-or-grow) on synthetic ReLU layers at laptop
+  scale, sweeping layer sparsity — higher sparsity should yield smaller
+  predictors meeting the target.
+* :func:`run_fig09_modeled` evaluates the closed-form sizing used for
+  paper-scale models on OPT-175B's dimensions, reporting parameter size per
+  sparsity bucket with skewness spread (the figure's error bars).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.config import OPT_175B
+from repro.predictor.adaptive import adaptive_train, modeled_predictor_params
+from repro.predictor.training import synthesize_training_data
+from repro.sparsity.stats import skewness
+
+__all__ = ["run_fig09_trained", "run_fig09_modeled", "SPARSITY_LEVELS"]
+
+SPARSITY_LEVELS = (0.80, 0.90, 0.95, 0.99)
+
+
+def run_fig09_trained(
+    sparsity_levels: tuple[float, ...] = SPARSITY_LEVELS,
+    d_in: int = 64,
+    n_neurons: int = 512,
+    n_samples: int = 1536,
+    accuracy_target: float = 0.95,
+    seed: int = 0,
+) -> list[dict]:
+    """Adaptive-sizing outcomes per sparsity level (small real layers)."""
+    rows = []
+    for sp in sparsity_levels:
+        rng = np.random.default_rng(seed)
+        x, y = synthesize_training_data(
+            d_in, n_neurons, n_samples, rng, target_sparsity=sp
+        )
+        split = int(0.8 * n_samples)
+        layer_skew = skewness(y.mean(axis=0))
+        result = adaptive_train(
+            x[:split],
+            y[:split],
+            x[split:],
+            y[split:],
+            layer_sparsity=sp,
+            layer_skewness=layer_skew,
+            rng=rng,
+            accuracy_target=accuracy_target,
+        )
+        rows.append(
+            {
+                "sparsity": sp,
+                "skewness": layer_skew,
+                "hidden": result.hidden,
+                "params": result.predictor.param_count,
+                "accuracy": result.metrics.accuracy,
+                "recall": result.metrics.recall,
+                "rounds": len(result.history),
+            }
+        )
+    return rows
+
+
+def run_fig09_modeled(
+    sparsity_levels: tuple[float, ...] = SPARSITY_LEVELS,
+    skew_levels: tuple[float, ...] = (0.5, 0.7, 0.9),
+) -> list[dict]:
+    """Closed-form predictor sizes on OPT-175B dimensions (paper's model)."""
+    rows = []
+    for sp in sparsity_levels:
+        sizes = [
+            modeled_predictor_params(OPT_175B, sp, skew) * 2.0 / 2**20  # MB fp16
+            for skew in skew_levels
+        ]
+        rows.append(
+            {
+                "sparsity": sp,
+                "mean_size_mb": float(np.mean(sizes)),
+                "min_size_mb": float(np.min(sizes)),
+                "max_size_mb": float(np.max(sizes)),
+            }
+        )
+    return rows

@@ -1,0 +1,42 @@
+"""Figure 12 — neuron-load distribution between CPU and GPU.
+
+Neuron load = proportion of activated-neuron computation each processing
+unit serves.  Paper findings: on PC-High PowerInfer lifts the GPU's share
+from llama.cpp's ~20% average to ~70%; on PC-Low, large models (e.g. a
+60 GB model on the 11 GB RTX 2080Ti) drop the GPU share to ~42% because
+not all hot neurons fit.
+"""
+
+from __future__ import annotations
+
+from repro.bench.runner import make_engine
+from repro.hardware.memory import OutOfMemoryError
+
+__all__ = ["run_fig12"]
+
+_MODELS = ("opt-30b", "opt-66b", "falcon-40b", "llama-70b")
+
+
+def run_fig12(
+    machine_names: tuple[str, ...] = ("pc-high", "pc-low"),
+    model_names: tuple[str, ...] = _MODELS,
+    dtype_name: str = "fp16",
+) -> list[dict]:
+    """GPU neuron-load share for PowerInfer vs llama.cpp per model."""
+    rows = []
+    for machine_name in machine_names:
+        for model_name in model_names:
+            try:
+                pi = make_engine("powerinfer", model_name, machine_name, dtype_name)
+                lc = make_engine("llama.cpp", model_name, machine_name, dtype_name)
+            except OutOfMemoryError:
+                continue
+            rows.append(
+                {
+                    "machine": machine_name,
+                    "model": model_name,
+                    "powerinfer_gpu_load": pi.gpu_load_share(),
+                    "llamacpp_gpu_load": lc.gpu_load_share(),
+                }
+            )
+    return rows

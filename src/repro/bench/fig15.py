@@ -1,0 +1,56 @@
+"""Figure 15 — ablation: performance breakdown of PowerInfer's components.
+
+Step-by-step integration into llama.cpp on PC-High:
+
+* ``llama.cpp`` — the dense layer-offloading baseline;
+* ``+PO`` — add predictors and neuron-aware operators (still layer-wise);
+* ``+Engine`` — add the hybrid intra-layer engine with the naive
+  frequency-greedy placement;
+* ``+Policy`` — replace the naive policy with the offline ILP solution.
+
+Paper (OPT-30B / OPT-66B): 1x -> ~2x -> 9.97x/3.43x -> 10.47x/3.67x.
+"""
+
+from __future__ import annotations
+
+from repro.bench.runner import make_engine
+
+__all__ = ["run_fig15", "STAGES"]
+
+STAGES = ("llama.cpp", "+PO", "+Engine", "+Policy")
+
+
+def run_fig15(
+    model_names: tuple[str, ...] = ("opt-30b", "opt-66b"),
+    machine_name: str = "pc-high",
+    dtype_name: str = "fp16",
+    input_len: int = 64,
+    output_len: int = 128,
+) -> list[dict]:
+    """Per-model tokens/s and speedup at each integration stage."""
+    rows = []
+    for model_name in model_names:
+        engines = {
+            "llama.cpp": make_engine("llama.cpp", model_name, machine_name, dtype_name),
+            "+PO": make_engine("+PO", model_name, machine_name, dtype_name),
+            "+Engine": make_engine(
+                "powerinfer", model_name, machine_name, dtype_name, policy="greedy"
+            ),
+            "+Policy": make_engine(
+                "powerinfer", model_name, machine_name, dtype_name, policy="ilp"
+            ),
+        }
+        base_tps = None
+        for stage in STAGES:
+            result = engines[stage].simulate_request(input_len, output_len)
+            if base_tps is None:
+                base_tps = result.tokens_per_second
+            rows.append(
+                {
+                    "model": model_name,
+                    "stage": stage,
+                    "tokens_per_s": result.tokens_per_second,
+                    "speedup": result.tokens_per_second / base_tps,
+                }
+            )
+    return rows

@@ -1,0 +1,42 @@
+"""Figure 17 — online predictor overhead.
+
+The share of end-to-end inference time spent executing activation
+predictors on PC-Low.  Paper: under 10% on average, thanks to adaptive
+sizing and GPU placement of the predictors.
+"""
+
+from __future__ import annotations
+
+from repro.bench.runner import make_engine
+from repro.hardware.memory import OutOfMemoryError
+
+__all__ = ["run_fig17"]
+
+_MODELS = ("opt-6.7b", "opt-13b", "opt-30b", "falcon-40b", "llama-70b")
+
+
+def run_fig17(
+    machine_name: str = "pc-low",
+    dtype_name: str = "int4",
+    model_names: tuple[str, ...] = _MODELS,
+    input_len: int = 64,
+    output_len: int = 128,
+) -> list[dict]:
+    """Predictor share of total busy time per model."""
+    rows = []
+    for model_name in model_names:
+        try:
+            engine = make_engine("powerinfer", model_name, machine_name, dtype_name)
+        except OutOfMemoryError:
+            continue
+        result = engine.simulate_request(input_len, output_len)
+        shares = result.breakdown_shares()
+        rows.append(
+            {
+                "model": model_name,
+                "predictor_share": shares.get("predictor", 0.0),
+                "inference_share": 1.0 - shares.get("predictor", 0.0),
+                "tokens_per_s": result.tokens_per_second,
+            }
+        )
+    return rows

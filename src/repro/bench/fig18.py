@@ -1,0 +1,45 @@
+"""Figure 18 — consumer RTX 4090 + PowerInfer vs server A100.
+
+Generation speed of PowerInfer on PC-High compared with llama.cpp and vLLM
+on a single 80 GB A100, for OPT-30B and Falcon-40B (both fit the A100
+exactly), with input lengths 1 (pure generation) and 64 (conversation).
+Paper: llama.cpp lags vLLM by 92-93%; PowerInfer narrows the gap to 18-29%.
+"""
+
+from __future__ import annotations
+
+from repro.bench.runner import make_engine
+
+__all__ = ["run_fig18", "INPUT_LENGTHS"]
+
+INPUT_LENGTHS = (1, 64)
+_MODELS = ("opt-30b", "falcon-40b")
+
+
+def run_fig18(
+    model_names: tuple[str, ...] = _MODELS,
+    input_lengths: tuple[int, ...] = INPUT_LENGTHS,
+    output_len: int = 128,
+    dtype_name: str = "fp16",
+) -> list[dict]:
+    """Tokens/s for each system and the slowdown relative to vLLM@A100."""
+    rows = []
+    for model_name in model_names:
+        vllm = make_engine("vllm", model_name, "a100-server", dtype_name)
+        powerinfer = make_engine("powerinfer", model_name, "pc-high", dtype_name)
+        llama = make_engine("llama.cpp", model_name, "pc-high", dtype_name)
+        for input_len in input_lengths:
+            ref = vllm.simulate_request(input_len, output_len).tokens_per_second
+            for name, engine in (("powerinfer", powerinfer), ("llama.cpp", llama)):
+                tps = engine.simulate_request(input_len, output_len).tokens_per_second
+                rows.append(
+                    {
+                        "model": model_name,
+                        "input": input_len,
+                        "system": f"{name}@4090",
+                        "tokens_per_s": tps,
+                        "vllm_a100_tps": ref,
+                        "slowdown_vs_a100": 1.0 - tps / ref,
+                    }
+                )
+    return rows

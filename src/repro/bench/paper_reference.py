@@ -1,0 +1,115 @@
+"""The paper's reported numbers, as structured data.
+
+A single source of truth for paper-vs-measured comparisons: benches and
+EXPERIMENTS.md draw the expected values from here instead of re-typing
+them.  Each anchor records where in the paper the number appears.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PaperAnchor", "PAPER_ANCHORS", "anchor"]
+
+
+@dataclass(frozen=True)
+class PaperAnchor:
+    """One quantitative claim from the paper.
+
+    Attributes:
+        key: Stable identifier used by benches.
+        value: The reported number.
+        unit: Unit string (``"tokens/s"``, ``"x"``, ``"fraction"``...).
+        source: Where the paper states it.
+        description: What the number means.
+    """
+
+    key: str
+    value: float
+    unit: str
+    source: str
+    description: str
+
+
+_ANCHORS = [
+    PaperAnchor("fp16.mean_tps.pc_high", 8.32, "tokens/s", "Abstract / §8.2",
+                "Average FP16 generation speed on PC-High"),
+    PaperAnchor("fp16.peak_tps.pc_high", 16.06, "tokens/s", "§8.2",
+                "Peak FP16 generation speed on PC-High"),
+    PaperAnchor("fp16.mean_speedup.pc_high", 7.23, "x", "§8.2",
+                "Average FP16 speedup over llama.cpp on PC-High"),
+    PaperAnchor("fp16.max_speedup.pc_high", 11.69, "x", "Abstract / §8.2",
+                "Max FP16 speedup (Falcon-40B) on PC-High"),
+    PaperAnchor("fp16.mean_speedup.pc_low", 5.01, "x", "§8.2",
+                "Average FP16 speedup on PC-Low"),
+    PaperAnchor("fp16.max_speedup.pc_low", 7.06, "x", "§8.2",
+                "Peak FP16 speedup on PC-Low"),
+    PaperAnchor("int4.mean_tps.pc_high", 13.20, "tokens/s", "Abstract / §8.2",
+                "Average INT4 generation speed on PC-High"),
+    PaperAnchor("int4.peak_tps.pc_high", 29.08, "tokens/s", "§8.2",
+                "Peak INT4 generation speed on PC-High"),
+    PaperAnchor("int4.mean_speedup.pc_high", 2.89, "x", "§8.2",
+                "Average INT4 speedup on PC-High"),
+    PaperAnchor("int4.opt175b_speedup.pc_high", 2.66, "x", "§8.2",
+                "OPT-175B INT4 speedup over llama.cpp on PC-High"),
+    PaperAnchor("batching.speedup.b32", 4.38, "x", "§8.2",
+                "Falcon-40B speedup at batch 32 on PC-High"),
+    PaperAnchor("batching.mean_speedup.lt32", 6.08, "x", "§8.2",
+                "Mean speedup below batch 32"),
+    PaperAnchor("cdf.layer_hot_fraction.opt", 0.26, "fraction", "Fig. 5a",
+                "OPT-30B MLP-layer neurons carrying 80% of activations"),
+    PaperAnchor("cdf.layer_hot_fraction.llama", 0.43, "fraction", "Fig. 5a",
+                "LLaMA(ReGLU)-70B layer neurons carrying 80% of activations"),
+    PaperAnchor("cdf.model_hot_fraction.opt", 0.17, "fraction", "Fig. 5b",
+                "OPT-30B whole-model neurons carrying 80% of activations"),
+    PaperAnchor("cdf.model_hot_fraction.llama", 0.26, "fraction", "Fig. 5b",
+                "LLaMA-70B whole-model neurons carrying 80%"),
+    PaperAnchor("load.gpu_share.powerinfer.pc_high", 0.70, "fraction", "§8.2 / Fig. 12",
+                "GPU share of activated-neuron computation (PowerInfer)"),
+    PaperAnchor("load.gpu_share.llamacpp.pc_high", 0.20, "fraction", "§8.2 / Fig. 12",
+                "GPU share of neuron computation (llama.cpp average)"),
+    PaperAnchor("load.gpu_share.memory_pressured", 0.42, "fraction", "§8.2 / Fig. 12",
+                "GPU share for a 60 GB model on the 11 GB 2080Ti"),
+    PaperAnchor("ablation.po_speedup.opt30b", 1.98, "x", "§8.3.1",
+                "+PO stage speedup, OPT-30B"),
+    PaperAnchor("ablation.engine_speedup.opt30b", 9.97, "x", "§8.3.1",
+                "+Engine stage speedup, OPT-30B"),
+    PaperAnchor("ablation.policy_speedup.opt30b", 10.47, "x", "§8.3.1",
+                "+Policy stage speedup, OPT-30B"),
+    PaperAnchor("operators.csr_crossover", 0.87, "fraction", "§8.3.2",
+                "Sparsity where generic CSR starts beating dense on CPU"),
+    PaperAnchor("predictor.max_share", 0.10, "fraction", "§8.3.3",
+                "Predictor share of inference time (upper bound, mean)"),
+    PaperAnchor("predictor.param_budget", 0.10, "fraction", "§5.1",
+                "Predictor parameters as a fraction of LLM parameters"),
+    PaperAnchor("a100.gap.llamacpp", 0.93, "fraction", "§8.3.4",
+                "llama.cpp@4090 slowdown vs vLLM@A100, OPT-30B input 1"),
+    PaperAnchor("a100.gap.powerinfer.input1", 0.18, "fraction", "§8.3.4",
+                "PowerInfer@4090 slowdown vs vLLM@A100, OPT-30B input 1"),
+    PaperAnchor("a100.gap.powerinfer.input64", 0.28, "fraction", "§8.3.4",
+                "PowerInfer@4090 slowdown, input 64"),
+    PaperAnchor("accuracy.predictor_floor", 0.95, "fraction", "§8.4",
+                "Per-layer predictor accuracy floor"),
+    PaperAnchor("motivation.flexgen_transfer_share", 0.995, "fraction", "§2.2",
+                "FlexGen share of time on weight transfer, batch 1"),
+    PaperAnchor("motivation.llamacpp_cpu_share", 0.98, "fraction", "§2.2",
+                "llama.cpp share of computation on the CPU, OPT-30B"),
+    PaperAnchor("insight2.crossover_batch", 32.0, "batch", "§3.2 / Fig. 6",
+                "Batch size where load-then-execute overtakes the CPU"),
+]
+
+PAPER_ANCHORS: dict[str, PaperAnchor] = {a.key: a for a in _ANCHORS}
+
+
+def anchor(key: str) -> float:
+    """The paper-reported value for ``key``.
+
+    Raises:
+        KeyError: For unknown anchors (with the available keys listed).
+    """
+    try:
+        return PAPER_ANCHORS[key].value
+    except KeyError:
+        raise KeyError(
+            f"unknown paper anchor {key!r}; known: {sorted(PAPER_ANCHORS)}"
+        ) from None

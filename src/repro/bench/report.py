@@ -1,0 +1,42 @@
+"""Plain-text table rendering for experiment outputs."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["format_table", "print_table"]
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(rows: Sequence[dict[str, Any]], title: str = "") -> str:
+    """Render dict rows as an aligned ASCII table (keys become headers)."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    headers = list(rows[0].keys())
+    table = [[_fmt(row.get(h, "")) for h in headers] for row in rows]
+    widths = [
+        max(len(h), *(len(line[i]) for line in table)) for i, h in enumerate(headers)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+    out.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    out.append(sep)
+    for line in table:
+        out.append(" | ".join(cell.rjust(w) for cell, w in zip(line, widths)))
+    return "\n".join(out)
+
+
+def print_table(rows: Sequence[dict[str, Any]], title: str = "") -> None:
+    """Print :func:`format_table` output."""
+    print(format_table(rows, title))

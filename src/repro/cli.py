@@ -1,0 +1,295 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro models                         list model presets
+    repro machines                       list machine presets
+    repro simulate  --model opt-30b --machine pc-high [--engine powerinfer]
+                                         simulate one request end to end
+    repro compare   --model opt-30b --machine pc-high
+                                         tokens/s of every engine that fits
+    repro plan      --model opt-30b --machine pc-high --out plan.npz
+                                         run the offline phase, save the plan
+    repro figure    fig05 [...]          regenerate one paper figure/table
+
+Also runnable as ``python -m repro.cli ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from repro.bench import (
+    run_ablation_impact_weighting,
+    run_ablation_predictor_budget,
+    run_ablation_selective_sync,
+    run_ablation_solver_batching,
+    run_ablation_sync_overhead,
+    run_fig04,
+    run_fig05,
+    run_fig06,
+    run_fig09_modeled,
+    run_fig09_trained,
+    run_fig10,
+    run_fig11,
+    run_fig12,
+    run_fig13,
+    run_fig14,
+    run_fig15,
+    run_fig16_measured,
+    run_fig16_modeled,
+    run_fig17,
+    run_fig18,
+    run_prompt_heavy,
+    run_table2,
+)
+from repro.bench.report import format_table
+from repro.bench.runner import ENGINE_CLASSES, make_engine
+from repro.core.pipeline import POLICIES, build_plan
+from repro.engine.plan_io import save_plan
+from repro.hardware.memory import OutOfMemoryError
+from repro.hardware.spec import MACHINE_PRESETS
+from repro.models.config import MODEL_PRESETS
+from repro.quant.formats import DTYPE_PRESETS
+
+__all__ = ["main", "FIGURES"]
+
+FIGURES: dict[str, Callable[[], list[dict]]] = {
+    "fig04": run_fig04,
+    "fig05": run_fig05,
+    "fig06": run_fig06,
+    "fig09-trained": run_fig09_trained,
+    "fig09-modeled": run_fig09_modeled,
+    "fig10": run_fig10,
+    "fig11": run_fig11,
+    "fig12": run_fig12,
+    "fig13": run_fig13,
+    "fig14": run_fig14,
+    "fig15": run_fig15,
+    "fig16-modeled": run_fig16_modeled,
+    "fig16-measured": run_fig16_measured,
+    "fig17": run_fig17,
+    "fig18": run_fig18,
+    "table2": run_table2,
+    "ablation-sync": run_ablation_sync_overhead,
+    "ablation-selective-sync": run_ablation_selective_sync,
+    "ablation-predictor-budget": run_ablation_predictor_budget,
+    "ablation-solver-batching": run_ablation_solver_batching,
+    "ablation-impact-weighting": run_ablation_impact_weighting,
+    "ablation-prompt-heavy": run_prompt_heavy,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="PowerInfer (SOSP 2024) reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list model presets")
+    sub.add_parser("machines", help="list machine presets")
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--model", required=True, choices=sorted(MODEL_PRESETS))
+        p.add_argument("--machine", required=True, choices=sorted(MACHINE_PRESETS))
+        p.add_argument("--dtype", default="fp16", choices=sorted(DTYPE_PRESETS))
+        p.add_argument("--seed", type=int, default=0)
+
+    sim = sub.add_parser("simulate", help="simulate one request")
+    add_common(sim)
+    sim.add_argument("--engine", default="powerinfer", choices=sorted(ENGINE_CLASSES))
+    sim.add_argument("--input", type=int, default=64, dest="input_len")
+    sim.add_argument("--output", type=int, default=128, dest="output_len")
+    sim.add_argument("--batch", type=int, default=1)
+
+    cmp_ = sub.add_parser("compare", help="compare all engines on one request")
+    add_common(cmp_)
+    cmp_.add_argument("--input", type=int, default=64, dest="input_len")
+    cmp_.add_argument("--output", type=int, default=128, dest="output_len")
+
+    plan = sub.add_parser("plan", help="run the offline phase and save the plan")
+    add_common(plan)
+    plan.add_argument("--policy", default="ilp", choices=POLICIES)
+    plan.add_argument("--out", required=True, help="output .npz path")
+
+    fig = sub.add_parser("figure", help="regenerate one paper figure/table")
+    fig.add_argument("name", choices=sorted(FIGURES))
+
+    serve = sub.add_parser("serve", help="simulate a Poisson request stream")
+    add_common(serve)
+    serve.add_argument("--engine", default="powerinfer", choices=sorted(ENGINE_CLASSES))
+    serve.add_argument("--rate", type=float, default=0.1, help="requests/second")
+    serve.add_argument("--requests", type=int, default=30)
+
+    bounds = sub.add_parser("bounds", help="analytic roofline throughput bounds")
+    add_common(bounds)
+    return parser
+
+
+def _cmd_models() -> int:
+    rows = [
+        {
+            "name": m.name,
+            "params_b": m.total_params / 1e9,
+            "layers": m.n_layers,
+            "d_model": m.d_model,
+            "activation": m.activation,
+            "fp16_gib": m.weight_bytes(DTYPE_PRESETS["fp16"]) / 2**30,
+        }
+        for m in MODEL_PRESETS.values()
+    ]
+    print(format_table(rows, "Model presets"))
+    return 0
+
+
+def _cmd_machines() -> int:
+    rows = [
+        {
+            "name": m.name,
+            "gpu": m.gpu.name,
+            "gpu_gib": m.gpu.memory_capacity / 2**30,
+            "gpu_bw_gbs": m.gpu.memory_bandwidth / 1e9,
+            "cpu_gib": m.cpu.memory_capacity / 2**30,
+            "link": m.link.name,
+        }
+        for m in MACHINE_PRESETS.values()
+    ]
+    print(format_table(rows, "Machine presets"))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    engine = make_engine(args.engine, args.model, args.machine, args.dtype, seed=args.seed)
+    result = engine.simulate_request(args.input_len, args.output_len, args.batch)
+    print(
+        f"{args.engine} / {args.model} / {args.machine} ({args.dtype}): "
+        f"{result.tokens_per_second:.2f} tokens/s "
+        f"(prompt {result.prompt_time * 1e3:.1f} ms, "
+        f"decode {result.decode_latency * 1e3:.1f} ms/token, "
+        f"GPU load share {result.gpu_load_share:.0%})"
+    )
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    rows = []
+    for name in ENGINE_CLASSES:
+        try:
+            engine = make_engine(name, args.model, args.machine, args.dtype, seed=args.seed)
+            result = engine.simulate_request(args.input_len, args.output_len)
+            rows.append(
+                {
+                    "engine": name,
+                    "tokens_per_s": result.tokens_per_second,
+                    "decode_ms": result.decode_latency * 1e3,
+                    "gpu_load": result.gpu_load_share,
+                }
+            )
+        except OutOfMemoryError as exc:
+            rows.append(
+                {"engine": name, "tokens_per_s": 0.0, "decode_ms": 0.0, "gpu_load": 0.0,
+                 "note": str(exc)[:60]}
+            )
+    rows.sort(key=lambda r: -r["tokens_per_s"])
+    print(format_table(rows, f"{args.model} on {args.machine} ({args.dtype})"))
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    plan = build_plan(
+        MODEL_PRESETS[args.model],
+        MACHINE_PRESETS[args.machine],
+        dtype=DTYPE_PRESETS[args.dtype],
+        policy=args.policy,
+        seed=args.seed,
+    )
+    save_plan(plan, args.out)
+    report = plan.memory_report()
+    print(
+        f"saved {args.out}: GPU {report.gpu_used / 2**30:.1f}/"
+        f"{report.gpu_capacity / 2**30:.1f} GiB, "
+        f"GPU neuron-load share {plan.gpu_neuron_load_share():.0%}"
+    )
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    rows = FIGURES[args.name]()
+    print(format_table(rows, args.name))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.serving import poisson_arrivals, simulate_serving
+    from repro.workloads import CHATGPT_PROMPTS
+
+    engine = make_engine(args.engine, args.model, args.machine, args.dtype, seed=args.seed)
+    requests = poisson_arrivals(
+        CHATGPT_PROMPTS,
+        rate=args.rate,
+        n_requests=args.requests,
+        rng=np.random.default_rng(args.seed),
+    )
+    report = simulate_serving(engine, requests)
+    print(
+        f"{args.engine} / {args.model} / {args.machine}: served "
+        f"{report.n_requests} requests at {args.rate:.3g}/s — "
+        f"utilization {report.utilization:.0%}, "
+        f"p50 latency {report.latency_percentile(50):.1f} s, "
+        f"p95 {report.latency_percentile(95):.1f} s, "
+        f"{report.tokens_per_second:.1f} tokens/s aggregate"
+    )
+    return 0
+
+
+def _cmd_bounds(args: argparse.Namespace) -> int:
+    from repro.analysis import throughput_bounds
+
+    bounds = throughput_bounds(
+        MODEL_PRESETS[args.model],
+        MACHINE_PRESETS[args.machine],
+        dtype=DTYPE_PRESETS[args.dtype],
+    )
+    print(
+        format_table(
+            bounds.as_rows(),
+            f"Roofline bounds — {args.model} on {args.machine} ({args.dtype}); "
+            f"GPU holds {bounds.gpu_weight_fraction:.0%} of weights, "
+            f"{bounds.active_fraction:.0%} of bytes touched per token",
+        )
+    )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "models":
+            return _cmd_models()
+        if args.command == "machines":
+            return _cmd_machines()
+        if args.command == "simulate":
+            return _cmd_simulate(args)
+        if args.command == "compare":
+            return _cmd_compare(args)
+        if args.command == "plan":
+            return _cmd_plan(args)
+        if args.command == "figure":
+            return _cmd_figure(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "bounds":
+            return _cmd_bounds(args)
+    except OutOfMemoryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,14 @@
+"""Core API: the PowerInfer facade and the offline pipeline."""
+
+from repro.core.api import PowerInfer
+from repro.core.pipeline import POLICIES, build_plan
+from repro.core.profiles import SparsityProfile, profile_for_model, synthesize_model_probs
+
+__all__ = [
+    "POLICIES",
+    "PowerInfer",
+    "SparsityProfile",
+    "build_plan",
+    "profile_for_model",
+    "synthesize_model_probs",
+]

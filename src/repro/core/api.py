@@ -1,0 +1,79 @@
+"""High-level PowerInfer facade.
+
+``PowerInfer.deploy(...)`` runs the offline phase (profile synthesis,
+predictor sizing, placement solving) and wires up the online engine;
+``.generate(...)`` simulates serving a request and reports the paper's
+end-to-end generation-speed metric.
+
+    >>> from repro import PowerInfer, OPT_30B, PC_HIGH
+    >>> system = PowerInfer.deploy(OPT_30B, PC_HIGH)
+    >>> result = system.generate(input_len=64, output_len=128)
+    >>> result.tokens_per_second  # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.pipeline import build_plan
+from repro.engine.base import PerfEngine
+from repro.engine.plan import DeploymentPlan, MemoryReport
+from repro.engine.powerinfer import PowerInferEngine
+from repro.engine.results import RequestResult
+from repro.hardware.spec import MachineSpec
+from repro.models.config import ModelConfig
+from repro.quant.formats import FP16, DType
+
+__all__ = ["PowerInfer"]
+
+
+class PowerInfer:
+    """A deployed PowerInfer system: offline plan + online engine."""
+
+    def __init__(self, plan: DeploymentPlan, engine: PerfEngine | None = None) -> None:
+        self.plan = plan
+        self.engine = engine or PowerInferEngine(plan)
+
+    @classmethod
+    def deploy(
+        cls,
+        model: ModelConfig,
+        machine: MachineSpec,
+        dtype: DType = FP16,
+        policy: str = "ilp",
+        seed: int = 0,
+        expected_context: int = 256,
+    ) -> "PowerInfer":
+        """Run the offline phase and return a ready-to-serve system.
+
+        Raises:
+            OutOfMemoryError: If the model cannot fit the machine's
+                combined GPU + CPU memory in the requested dtype.
+        """
+        plan = build_plan(
+            model,
+            machine,
+            dtype=dtype,
+            policy=policy,
+            seed=seed,
+            expected_context=expected_context,
+        )
+        return cls(plan)
+
+    def generate(
+        self,
+        input_len: int,
+        output_len: int,
+        batch: int = 1,
+        rng: np.random.Generator | None = None,
+    ) -> RequestResult:
+        """Simulate one request; returns timing and the tokens/s metric."""
+        return self.engine.simulate_request(input_len, output_len, batch, rng=rng)
+
+    def memory_report(self) -> MemoryReport:
+        """Device memory committed by the deployment."""
+        return self.plan.memory_report()
+
+    def gpu_load_share(self, batch: int = 1) -> float:
+        """Fraction of neuron computation the GPU serves (Figure 12)."""
+        return self.engine.gpu_load_share(batch)

@@ -1,0 +1,160 @@
+"""The offline phase: profile -> size predictors -> solve placement -> plan.
+
+This is PowerInfer's offline component (paper Figure 7, steps 1-2) for
+paper-scale models: activation statistics come from the synthesized
+profiles (calibrated to the paper's published distributions), predictor
+sizes from the adaptive sizing model, and neuron placement from the ILP (or
+greedy) solver.  The result is a :class:`~repro.engine.plan.DeploymentPlan`
+that the online engines consume.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.profiles import synthesize_model_probs
+from repro.engine.plan import DeploymentPlan
+from repro.hardware.memory import OutOfMemoryError
+from repro.hardware.spec import MachineSpec
+from repro.models.config import ModelConfig
+from repro.predictor.adaptive import modeled_predictor_params
+from repro.quant.formats import FP16, DType
+from repro.solver.greedy import greedy_placement
+from repro.solver.ilp import SolverOptions, solve_ilp
+from repro.solver.placement import NeuronGroup
+from repro.sparsity.stats import skewness
+
+__all__ = ["POLICIES", "build_plan"]
+
+POLICIES = ("ilp", "greedy", "none")
+
+_GPU_RESERVE = 0.08
+_CPU_RESERVE = 0.05
+
+
+def _solver_batch_size(model: ModelConfig, target_batches: int = 5000) -> int:
+    """Pick the neuron-batch size keeping the MILP around ``target_batches``
+    variables (paper Section 6.3.3 uses 64; huge models need coarser)."""
+    total_neurons = model.n_layers * (model.d_ffn + model.n_heads)
+    size = max(64, math.ceil(total_neurons / target_batches))
+    return int(64 * math.ceil(size / 64))
+
+
+def build_plan(
+    model: ModelConfig,
+    machine: MachineSpec,
+    dtype: DType = FP16,
+    policy: str = "ilp",
+    seed: int = 0,
+    mlp_probs: list[np.ndarray] | None = None,
+    attn_probs: list[np.ndarray] | None = None,
+    expected_context: int = 256,
+    accuracy_target: float = 0.95,
+) -> DeploymentPlan:
+    """Run the offline phase and return a deployment plan.
+
+    Args:
+        model: Architecture to deploy.
+        machine: Target hardware.
+        dtype: Weight storage format (FP16 or INT4 in the paper).
+        policy: ``"ilp"`` (full PowerInfer), ``"greedy"`` (the naive
+            "+Engine" ablation policy), or ``"none"`` (no neurons on GPU —
+            used by baselines that ignore placement).
+        seed: Seed for profile synthesis.
+        mlp_probs / attn_probs: Pre-profiled activation probabilities;
+            synthesized from the model family's published distribution
+            when omitted.
+        expected_context: Context length for KV-cache memory accounting.
+        accuracy_target: Predictor accuracy target (drives predictor size).
+
+    Raises:
+        OutOfMemoryError: If the model + predictors cannot fit in combined
+            GPU + CPU memory.
+        ValueError: On an unknown policy.
+    """
+    if policy not in POLICIES:
+        raise ValueError(f"policy must be one of {POLICIES}, got {policy!r}")
+    rng = np.random.default_rng(seed)
+    if mlp_probs is None or attn_probs is None:
+        synth_mlp, synth_attn = synthesize_model_probs(model, rng)
+        mlp_probs = mlp_probs or synth_mlp
+        attn_probs = attn_probs or synth_attn
+
+    # -- adaptive predictor sizing (Section 5.1) ---------------------------
+    predictor_bytes = []
+    for li in range(model.n_layers):
+        layer_sparsity = 1.0 - float(mlp_probs[li].mean())
+        layer_skew = skewness(mlp_probs[li])
+        params = modeled_predictor_params(
+            model, layer_sparsity, layer_skew, accuracy_target
+        )
+        predictor_bytes.append(dtype.nbytes(params))
+
+    # -- memory budgets ------------------------------------------------------
+    embedding_bytes = dtype.nbytes(model.embedding_params)
+    gpu_usable = machine.gpu.memory_capacity * (1.0 - _GPU_RESERVE)
+    gpu_budget = gpu_usable - embedding_bytes - sum(predictor_bytes)
+    gpu_budget = max(gpu_budget, 0.0)
+    kv_bytes = model.kv_cache_bytes_per_token(dtype) * expected_context
+    cpu_usable = machine.cpu.memory_capacity * (1.0 - _CPU_RESERVE)
+    cpu_budget = cpu_usable - kv_bytes
+
+    # Feasibility: weights + embeddings must fit combined memory.  The
+    # predictor footprint only shrinks the ILP's GPU budget (predictors can
+    # spill to host memory in the worst case), so it is excluded here.
+    layer_weight_bytes = dtype.nbytes(model.n_layers * model.params_per_layer)
+    combined = (gpu_usable - embedding_bytes) + cpu_budget
+    if layer_weight_bytes > combined:
+        raise OutOfMemoryError(
+            f"{model.name} ({layer_weight_bytes / 2**30:.1f} GiB {dtype.name}) "
+            f"exceeds combined budget of {machine.name} "
+            f"({combined / 2**30:.1f} GiB after embeddings and KV cache)"
+        )
+
+    # -- placement -------------------------------------------------------------
+    groups: list[NeuronGroup] = []
+    for li in range(model.n_layers):
+        groups.append(
+            NeuronGroup(
+                name=f"layer{li}.attn",
+                impacts=attn_probs[li],
+                neuron_bytes=model.attn_neuron_bytes(dtype),
+            )
+        )
+        groups.append(
+            NeuronGroup(
+                name=f"layer{li}.mlp",
+                impacts=mlp_probs[li],
+                neuron_bytes=model.mlp_neuron_bytes(dtype),
+            )
+        )
+
+    if policy == "ilp":
+        options = SolverOptions(batch_size=_solver_batch_size(model))
+        solved = solve_ilp(
+            groups, machine, gpu_budget, cpu_budget_bytes=cpu_budget, options=options
+        )
+        masks = solved.gpu_masks
+    elif policy == "greedy":
+        solved = greedy_placement(groups, gpu_budget, _solver_batch_size(model))
+        masks = solved.gpu_masks
+    else:  # "none"
+        masks = [np.zeros(g.n_neurons, dtype=bool) for g in groups]
+
+    attn_masks = [masks[2 * li] for li in range(model.n_layers)]
+    mlp_masks = [masks[2 * li + 1] for li in range(model.n_layers)]
+
+    return DeploymentPlan(
+        model=model,
+        machine=machine,
+        dtype=dtype,
+        mlp_probs=list(mlp_probs),
+        attn_probs=list(attn_probs),
+        mlp_gpu_masks=mlp_masks,
+        attn_gpu_masks=attn_masks,
+        predictor_bytes=predictor_bytes,
+        gpu_memory_reserve=_GPU_RESERVE,
+        expected_context=expected_context,
+    )

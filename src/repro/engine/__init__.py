@@ -1,0 +1,36 @@
+"""Online inference engines: PowerInfer and the baseline policies."""
+
+from repro.engine.base import RESOURCES, PerfEngine
+from repro.engine.baselines import (
+    DejaVuUmEngine,
+    FlexGenEngine,
+    LayerwiseSparseEngine,
+    LlamaCppEngine,
+    VllmEngine,
+)
+from repro.engine.numerical import ExecutionStats, NumericalHybridEngine
+from repro.engine.plan import DeploymentPlan, MemoryReport
+from repro.engine.plan_io import load_plan, save_plan
+from repro.engine.powerinfer import PowerInferEngine
+from repro.engine.results import RequestResult
+from repro.engine.speculative import SpeculativeEngine, expected_accepted_tokens
+
+__all__ = [
+    "DejaVuUmEngine",
+    "DeploymentPlan",
+    "ExecutionStats",
+    "FlexGenEngine",
+    "LayerwiseSparseEngine",
+    "LlamaCppEngine",
+    "MemoryReport",
+    "NumericalHybridEngine",
+    "PerfEngine",
+    "PowerInferEngine",
+    "RESOURCES",
+    "RequestResult",
+    "SpeculativeEngine",
+    "VllmEngine",
+    "expected_accepted_tokens",
+    "load_plan",
+    "save_plan",
+]

@@ -1,0 +1,144 @@
+"""Abstract base for performance-simulated inference engines.
+
+Every engine — PowerInfer and the baselines — implements one method:
+:meth:`PerfEngine.iteration_tasks`, producing the operator DAG for a single
+inference iteration (one token block) at a given context length.  The base
+class schedules that DAG on the machine's GPU/CPU/PCIe resources via the
+discrete-event simulator and assembles end-to-end request results
+(prompt phase + generation phase, paper Section 2.1).
+
+Generation-phase cost varies (slowly, via the KV cache) with context
+length, so :meth:`simulate_request` samples the per-token DAG at a few
+context points across the decode window and integrates, rather than
+simulating all ``output_len`` DAGs.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.engine.plan import DeploymentPlan
+from repro.engine.results import RequestResult
+from repro.hardware.events import EventSimulator, ScheduleResult, SimTask
+
+__all__ = ["PerfEngine", "RESOURCES"]
+
+RESOURCES = ("gpu", "cpu", "pcie")
+
+
+class PerfEngine(ABC):
+    """An inference engine whose execution is costed on the simulator."""
+
+    name = "base"
+
+    def __init__(self, plan: DeploymentPlan) -> None:
+        self.plan = plan
+        self.machine = plan.machine
+        self.model = plan.model
+        self.dtype = plan.dtype
+
+    # ---- to implement --------------------------------------------------------
+
+    @abstractmethod
+    def iteration_tasks(
+        self,
+        ctx_len: int,
+        n_tokens: int,
+        batch: int,
+        rng: np.random.Generator | None = None,
+    ) -> list[SimTask]:
+        """Operator DAG for one inference iteration.
+
+        Args:
+            ctx_len: Tokens already in the KV cache.
+            n_tokens: Tokens processed in this iteration (prompt phase:
+                the prompt length; generation phase: 1).
+            batch: Number of concurrent requests.
+            rng: When given, activation counts are sampled; otherwise
+                expected values are used (deterministic).
+        """
+
+    def gpu_load_share(self, batch: int = 1) -> float:
+        """Fraction of neuron computation served by the GPU (Figure 12)."""
+        return self.plan.gpu_neuron_load_share(batch)
+
+    # ---- simulation -----------------------------------------------------------
+
+    def simulate_iteration(
+        self,
+        ctx_len: int,
+        n_tokens: int,
+        batch: int = 1,
+        rng: np.random.Generator | None = None,
+    ) -> ScheduleResult:
+        """Schedule one iteration's DAG; returns the timing result."""
+        sim = EventSimulator(list(RESOURCES))
+        return sim.run(self.iteration_tasks(ctx_len, n_tokens, batch, rng))
+
+    def simulate_request(
+        self,
+        input_len: int,
+        output_len: int,
+        batch: int = 1,
+        decode_samples: int = 4,
+        rng: np.random.Generator | None = None,
+    ) -> RequestResult:
+        """Simulate a full request: prompt phase + ``output_len`` decode steps.
+
+        Decode cost is evaluated at ``decode_samples`` context lengths
+        spread over the generation window and averaged (KV growth is linear
+        in context, so the mean over evenly spaced samples integrates it).
+        """
+        if input_len <= 0 or output_len <= 0 or batch <= 0:
+            raise ValueError("input_len, output_len, batch must be positive")
+        prompt = self.simulate_iteration(0, input_len, batch, rng)
+
+        samples = min(decode_samples, output_len)
+        ctx_points = np.linspace(input_len, input_len + output_len - 1, samples)
+        decode_time = 0.0
+        decode_tags: dict[str, float] = {}
+        for ctx in ctx_points:
+            result = self.simulate_iteration(int(ctx), 1, batch, rng)
+            decode_time += result.makespan
+            for tag, t in result.time_by_tag().items():
+                decode_tags[tag] = decode_tags.get(tag, 0.0) + t
+        scale = output_len / samples
+        decode_time *= scale
+
+        breakdown = dict(prompt.time_by_tag())
+        for tag, t in decode_tags.items():
+            breakdown[tag] = breakdown.get(tag, 0.0) + t * scale
+
+        return RequestResult(
+            engine=self.name,
+            model=self.model.name,
+            input_len=input_len,
+            output_len=output_len,
+            batch=batch,
+            prompt_time=prompt.makespan,
+            decode_time=decode_time,
+            breakdown=breakdown,
+            gpu_load_share=self.gpu_load_share(batch),
+        )
+
+    # ---- shared cost helpers ---------------------------------------------------
+
+    def _activation_bytes(self, rows: int) -> float:
+        """Bytes of one hidden-state tensor (FP32 activations)."""
+        return rows * self.model.d_model * 4.0
+
+    def _kv_read_bytes(self, ctx_len: int, n_tokens: int, batch: int) -> float:
+        """KV-cache bytes read by one layer's attention in this iteration.
+
+        Each of the ``n_tokens`` new positions reads all prior K and V; for
+        a prompt block the average prior length is ``ctx + n/2``.
+        """
+        avg_context = ctx_len + n_tokens / 2.0
+        kv_bytes_per_pos = 2.0 * self.model.kv_dim * self.dtype.bytes_per_param
+        return batch * n_tokens * avg_context * kv_bytes_per_pos
+
+    def _kv_flops(self, ctx_len: int, n_tokens: int, batch: int) -> float:
+        avg_context = ctx_len + n_tokens / 2.0
+        return batch * n_tokens * avg_context * 4.0 * self.model.kv_dim

@@ -1,0 +1,153 @@
+"""Per-device compact neuron stores (paper Section 5.2).
+
+PowerInfer's model loader splits each layer's weight matrices by neuron and
+stores each device's neurons *contiguously* in that device's memory; neuron
+tables map compact positions back to original matrix rows/columns so
+segmented neurons multiply against the right tensor entries.
+
+:class:`PartitionedMlp` is that structure for one MLP block: two
+:class:`DeviceSlice` objects (GPU/CPU) each holding compact FC1 rows, FC1
+biases, FC2 columns (and ReGLU gate rows), plus the index mapping.  Its
+:meth:`forward` reproduces dense MLP output exactly for oracle masks — the
+numerical proof that the split-storage bookkeeping is correct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.models.config import Activation
+from repro.models.weights import LayerWeights
+
+__all__ = ["DeviceSlice", "PartitionedMlp"]
+
+
+@dataclass
+class DeviceSlice:
+    """One device's compact share of an MLP block's neurons.
+
+    Attributes:
+        name: Device label (``"gpu"`` / ``"cpu"``).
+        indices: Original neuron positions, shape ``(k,)`` — the neuron
+            table of Section 5.2.
+        fc1: Compact FC1 rows, shape ``(k, d_model)``.
+        fc1_bias: Compact biases, shape ``(k,)``.
+        fc2: Compact FC2 columns, shape ``(d_model, k)``.
+        gate: Compact ReGLU gate rows or ``None``.
+    """
+
+    name: str
+    indices: np.ndarray
+    fc1: np.ndarray
+    fc1_bias: np.ndarray
+    fc2: np.ndarray
+    gate: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        k = self.indices.size
+        if self.fc1.shape[0] != k or self.fc1_bias.shape != (k,):
+            raise ValueError(f"slice {self.name}: fc1/bias shape mismatch")
+        if self.fc2.shape[1] != k:
+            raise ValueError(f"slice {self.name}: fc2 must have {k} columns")
+        if self.gate is not None and self.gate.shape[0] != k:
+            raise ValueError(f"slice {self.name}: gate shape mismatch")
+        # Inverse map: original neuron index -> compact position.
+        inverse = np.full(0, -1, dtype=np.int64)
+        if k:
+            inverse = np.full(int(self.indices.max()) + 1, -1, dtype=np.int64)
+            inverse[self.indices] = np.arange(k)
+        object.__setattr__(self, "_inverse", inverse)
+
+    @property
+    def n_neurons(self) -> int:
+        return int(self.indices.size)
+
+    def nbytes(self) -> int:
+        total = self.fc1.nbytes + self.fc1_bias.nbytes + self.fc2.nbytes
+        total += self.indices.nbytes
+        if self.gate is not None:
+            total += self.gate.nbytes
+        return total
+
+    def local_positions(self, original: np.ndarray) -> np.ndarray:
+        """Compact positions of the given original neuron indices.
+
+        Indices not resident in this slice are dropped (they belong to the
+        other device).
+        """
+        if self.n_neurons == 0 or original.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        in_range = original < self._inverse.size
+        candidates = original[in_range]
+        local = self._inverse[candidates]
+        return local[local >= 0]
+
+
+class PartitionedMlp:
+    """An MLP block split into GPU/CPU neuron stores."""
+
+    def __init__(
+        self, layer: LayerWeights, gpu_mask: np.ndarray, activation: str = Activation.RELU
+    ) -> None:
+        n = layer.fc1.shape[0]
+        if gpu_mask.shape != (n,) or gpu_mask.dtype != bool:
+            raise ValueError("gpu_mask must be a boolean array over the neurons")
+        if activation not in Activation.ALL:
+            raise ValueError(f"unknown activation: {activation!r}")
+        if activation == Activation.REGLU and layer.gate is None:
+            raise ValueError("ReGLU layer requires gate weights")
+        self.activation = activation
+        self.d_model = layer.fc1.shape[1]
+        self.slices = {
+            name: self._make_slice(layer, np.nonzero(mask)[0], name)
+            for name, mask in (("gpu", gpu_mask), ("cpu", ~gpu_mask))
+        }
+
+    @staticmethod
+    def _make_slice(layer: LayerWeights, idx: np.ndarray, name: str) -> DeviceSlice:
+        return DeviceSlice(
+            name=name,
+            indices=idx.astype(np.int64),
+            fc1=layer.fc1[idx].copy(),
+            fc1_bias=layer.fc1_bias[idx].copy(),
+            fc2=layer.fc2[:, idx].copy(),
+            gate=layer.gate[idx].copy() if layer.gate is not None else None,
+        )
+
+    def device_bytes(self) -> dict[str, int]:
+        """Compact storage per device (weights + neuron table)."""
+        return {name: s.nbytes() for name, s in self.slices.items()}
+
+    def forward(self, x: np.ndarray, pred_mask: np.ndarray) -> np.ndarray:
+        """Sparse MLP output from the compact stores.
+
+        Args:
+            x: Input of shape ``(t, d_model)`` (or ``(d_model,)``).
+            pred_mask: Predicted-active mask, ``(t, n_neurons)`` or
+                ``(n_neurons,)`` — rows are masked individually.
+
+        Returns:
+            Output matching the dense MLP restricted to predicted-active
+            neurons, shape like ``x``.
+        """
+        x2 = np.atleast_2d(x)
+        mask2 = np.atleast_2d(pred_mask)
+        if mask2.shape[0] == 1 and x2.shape[0] > 1:
+            mask2 = np.broadcast_to(mask2, (x2.shape[0], mask2.shape[1]))
+        union = np.any(mask2, axis=0)
+        union_idx = np.nonzero(union)[0]
+        out = np.zeros_like(x2)
+        for device_slice in self.slices.values():
+            local = device_slice.local_positions(union_idx)
+            if local.size == 0:
+                continue
+            pre = x2 @ device_slice.fc1[local].T + device_slice.fc1_bias[local]
+            hidden = np.maximum(pre, 0.0)
+            originals = device_slice.indices[local]
+            hidden = hidden * mask2[:, originals]
+            if self.activation == Activation.REGLU:
+                hidden = hidden * (x2 @ device_slice.gate[local].T)
+            out += hidden @ device_slice.fc2[:, local].T
+        return out.reshape(np.shape(x))

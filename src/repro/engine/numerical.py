@@ -1,0 +1,222 @@
+"""Numerical hybrid execution over the numpy reference transformer.
+
+This is the correctness-bearing half of the reproduction: a real (small)
+transformer whose MLP blocks are executed the PowerInfer way —
+
+1. the layer's trained MLP predictor forecasts the activation mask;
+2. predicted-active neurons are partitioned into GPU-resident and
+   CPU-resident sets per the placement policy's neuron table;
+3. the "GPU executor" computes its neurons with the gather operator, the
+   "CPU executor" computes its share with the per-core batched operator
+   (both numerically exact — the devices are simulated, the math is not);
+4. partial results are merged (scatter-add) exactly as Section 5.3's
+   result integration does.
+
+Because inactive ReLU neurons contribute exactly zero, running only truly
+active neurons is bit-exact with dense execution; prediction *misses* are
+the only source of output deviation — precisely the paper's accuracy story
+(Section 8.4, Table 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine.neuron_store import PartitionedMlp
+from repro.models.config import Activation, ModelConfig
+from repro.models.transformer import Transformer
+from repro.operators.neuron_aware import CpuNeuronGemv, gather_cols_gemv, gather_rows_gemv
+from repro.predictor.mlp import MlpPredictor
+from repro.solver.placement import PlacementPolicy
+
+__all__ = ["ExecutionStats", "NumericalHybridEngine"]
+
+
+@dataclass
+class ExecutionStats:
+    """Counters accumulated while serving tokens."""
+
+    tokens: int = 0
+    neurons_gpu: int = 0  # predicted-active neurons computed on the "GPU"
+    neurons_cpu: int = 0
+    neurons_skipped: int = 0  # predicted-inactive (not computed)
+    missed_active: int = 0  # truly active but predicted inactive
+    false_active: int = 0  # predicted active but truly inactive
+    per_layer_active: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def gpu_load_share(self) -> float:
+        total = self.neurons_gpu + self.neurons_cpu
+        return self.neurons_gpu / total if total else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of truly active neurons the predictors missed."""
+        truly_active = self.neurons_gpu + self.neurons_cpu - self.false_active + self.missed_active
+        return self.missed_active / truly_active if truly_active else 0.0
+
+
+class NumericalHybridEngine:
+    """Sparse-predicted hybrid MLP execution on a numpy transformer.
+
+    Args:
+        model: The dense reference transformer (weights are shared, not
+            copied — the hybrid engine gathers rows/columns on the fly,
+            standing in for the device-resident compact stores).
+        predictors: One trained predictor per layer, or ``None`` entries to
+            use *oracle* prediction (the true mask) for that layer.
+        policy: Placement policy whose groups are named ``layer{i}.mlp``;
+            when omitted, all neurons are treated as CPU-resident.
+        n_cpu_cores: Core count for the CPU-flavoured operator.
+        use_partitioned_store: Store each device's neurons in compact
+            per-device arrays (paper Section 5.2's loader layout) instead
+            of gathering from the full matrices.  Numerically identical;
+            exercises the neuron-table bookkeeping.
+        attn_predictors: Optional per-layer attention-head predictors
+            (``n_neurons == n_heads``).  Entries of ``None`` leave that
+            layer's attention dense.  Predicted-inactive heads are skipped,
+            which — unlike ReLU MLP sparsity — is a (small) approximation.
+    """
+
+    def __init__(
+        self,
+        model: Transformer,
+        predictors: list[MlpPredictor | None],
+        policy: PlacementPolicy | None = None,
+        n_cpu_cores: int = 8,
+        use_partitioned_store: bool = False,
+        attn_predictors: list[MlpPredictor | None] | None = None,
+    ) -> None:
+        cfg: ModelConfig = model.config
+        if len(predictors) != cfg.n_layers:
+            raise ValueError("need one predictor entry per layer")
+        for li, pred in enumerate(predictors):
+            if pred is not None and pred.n_neurons != cfg.d_ffn:
+                raise ValueError(f"predictor {li} output must match d_ffn")
+        self.model = model
+        self.config = cfg
+        self.predictors = predictors
+        self.stats = ExecutionStats()
+        if attn_predictors is not None:
+            if len(attn_predictors) != cfg.n_layers:
+                raise ValueError("need one attn predictor entry per layer")
+            for pred in attn_predictors:
+                if pred is not None and pred.n_neurons != cfg.n_heads:
+                    raise ValueError("attn predictor output must match n_heads")
+        self.attn_predictors = attn_predictors
+        self._cpu_op = CpuNeuronGemv(n_cpu_cores)
+        self._gpu_masks: list[np.ndarray] = []
+        for li in range(cfg.n_layers):
+            if policy is None:
+                self._gpu_masks.append(np.zeros(cfg.d_ffn, dtype=bool))
+            else:
+                self._gpu_masks.append(policy.mask(f"layer{li}.mlp"))
+        self._stores: list[PartitionedMlp] | None = None
+        if use_partitioned_store:
+            self._stores = [
+                PartitionedMlp(
+                    model.weights.layers[li],
+                    self._gpu_masks[li],
+                    activation=cfg.activation,
+                )
+                for li in range(cfg.n_layers)
+            ]
+
+    # ---- the hybrid MLP override ------------------------------------------
+
+    def _mlp(self, layer_index: int, x: np.ndarray) -> np.ndarray:
+        cfg = self.config
+        layer = self.model.weights.layers[layer_index]
+        predictor = self.predictors[layer_index]
+
+        true_mask = (x @ layer.fc1.T + layer.fc1_bias) > 0  # (t, f)
+        if predictor is None:
+            pred_mask = true_mask
+        else:
+            pred_mask = predictor.predict(x)
+
+        self._account(layer_index, pred_mask, true_mask)
+
+        if self._stores is not None:
+            return self._stores[layer_index].forward(x, pred_mask)
+
+        # Union of predicted-active neurons across the token rows: weights
+        # for these are gathered once; per-row masking restores exact
+        # per-token sparsity.
+        union = np.any(np.atleast_2d(pred_mask), axis=0)
+        gpu_resident = self._gpu_masks[layer_index]
+        gpu_idx = np.nonzero(union & gpu_resident)[0]
+        cpu_sel = union & ~gpu_resident
+
+        out = np.zeros_like(x)
+        pieces: list[tuple[np.ndarray, np.ndarray]] = []
+        if gpu_idx.size:
+            pre = gather_rows_gemv(layer.fc1, x, gpu_idx, layer.fc1_bias)
+            pieces.append((gpu_idx, pre))
+        if cpu_sel.any():
+            pre_cpu, cpu_idx, _ = self._cpu_op.run(
+                layer.fc1, x, cpu_sel, layer.fc1_bias
+            )
+            pieces.append((cpu_idx, pre_cpu))
+        for idx, pre in pieces:
+            hidden = np.maximum(pre, 0.0)
+            # Zero out neurons not predicted for each individual row.
+            hidden = hidden * np.atleast_2d(pred_mask)[..., idx]
+            if cfg.activation == Activation.REGLU:
+                hidden = hidden * gather_rows_gemv(layer.gate, x, idx)
+            out = out + gather_cols_gemv(layer.fc2, hidden, idx)
+        return out
+
+    def _account(
+        self, layer_index: int, pred_mask: np.ndarray, true_mask: np.ndarray
+    ) -> None:
+        pred2 = np.atleast_2d(pred_mask)
+        true2 = np.atleast_2d(true_mask)
+        gpu_resident = self._gpu_masks[layer_index]
+        on_gpu = int(np.logical_and(pred2, gpu_resident).sum())
+        predicted = int(pred2.sum())
+        self.stats.neurons_gpu += on_gpu
+        self.stats.neurons_cpu += predicted - on_gpu
+        self.stats.neurons_skipped += int((~pred2).sum())
+        self.stats.missed_active += int(np.logical_and(true2, ~pred2).sum())
+        self.stats.false_active += int(np.logical_and(pred2, ~true2).sum())
+        self.stats.per_layer_active[layer_index] = self.stats.per_layer_active.get(
+            layer_index, 0
+        ) + int(true2.sum())
+
+    # ---- serving -------------------------------------------------------------
+
+    def _head_mask(self, layer_index: int, x: np.ndarray) -> np.ndarray:
+        predictor = (
+            self.attn_predictors[layer_index]
+            if self.attn_predictors is not None
+            else None
+        )
+        if predictor is None:
+            return np.ones(
+                np.atleast_2d(x).shape[:-1] + (self.config.n_heads,), dtype=bool
+            )
+        return predictor.predict(x)
+
+    def forward_logits(self, token_ids: np.ndarray) -> np.ndarray:
+        """Hybrid-execution logits for a full sequence (fresh KV cache)."""
+        from repro.models.kvcache import KVCache
+
+        cache = KVCache(self.config)
+        head_override = self._head_mask if self.attn_predictors is not None else None
+        logits = self.model.forward(
+            np.asarray(token_ids),
+            cache,
+            mlp_override=self._mlp,
+            head_mask_override=head_override,
+        )
+        self.stats.tokens += int(np.asarray(token_ids).size)
+        return logits
+
+    def generate(self, prompt_ids: list[int], max_new_tokens: int) -> list[int]:
+        """Greedy decoding with sparse-predicted MLP execution."""
+        out = self.model.generate(prompt_ids, max_new_tokens, mlp_override=self._mlp)
+        self.stats.tokens += len(prompt_ids) + len(out)
+        return out

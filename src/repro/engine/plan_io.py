@@ -1,0 +1,99 @@
+"""Persistence for deployment plans.
+
+The offline phase (profiling + predictor sizing + ILP placement) takes
+seconds to minutes; in the real PowerInfer it is a one-time step whose
+output ships with the model.  This module serializes a
+:class:`~repro.engine.plan.DeploymentPlan` to a single ``.npz`` file —
+arrays for the per-layer probabilities and masks, a JSON header for the
+model/machine/dtype — and restores it exactly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.engine.plan import DeploymentPlan
+from repro.hardware.spec import DeviceSpec, LinkSpec, MachineSpec
+from repro.models.config import ModelConfig
+from repro.quant.formats import DTYPE_PRESETS, DType
+
+__all__ = ["save_plan", "load_plan"]
+
+_FORMAT_VERSION = 1
+
+
+def _machine_to_dict(machine: MachineSpec) -> dict:
+    return {
+        "name": machine.name,
+        "gpu": dataclasses.asdict(machine.gpu),
+        "cpu": dataclasses.asdict(machine.cpu),
+        "link": dataclasses.asdict(machine.link),
+        "sync_overhead": machine.sync_overhead,
+    }
+
+
+def _machine_from_dict(data: dict) -> MachineSpec:
+    return MachineSpec(
+        name=data["name"],
+        gpu=DeviceSpec(**data["gpu"]),
+        cpu=DeviceSpec(**data["cpu"]),
+        link=LinkSpec(**data["link"]),
+        sync_overhead=data["sync_overhead"],
+    )
+
+
+def save_plan(plan: DeploymentPlan, path: str | Path) -> None:
+    """Write ``plan`` to ``path`` as an ``.npz`` archive."""
+    header = {
+        "version": _FORMAT_VERSION,
+        "model": dataclasses.asdict(plan.model),
+        "machine": _machine_to_dict(plan.machine),
+        "dtype": dataclasses.asdict(plan.dtype),
+        "gpu_memory_reserve": plan.gpu_memory_reserve,
+        "expected_context": plan.expected_context,
+    }
+    arrays: dict[str, np.ndarray] = {
+        "header": np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8),
+        "predictor_bytes": np.asarray(plan.predictor_bytes, dtype=np.float64),
+    }
+    for li in range(plan.model.n_layers):
+        arrays[f"mlp_probs_{li}"] = plan.mlp_probs[li]
+        arrays[f"attn_probs_{li}"] = plan.attn_probs[li]
+        arrays[f"mlp_mask_{li}"] = plan.mlp_gpu_masks[li]
+        arrays[f"attn_mask_{li}"] = plan.attn_gpu_masks[li]
+    np.savez_compressed(path, **arrays)
+
+
+def load_plan(path: str | Path) -> DeploymentPlan:
+    """Restore a plan written by :func:`save_plan`.
+
+    Raises:
+        ValueError: On an unsupported format version or corrupt header.
+    """
+    with np.load(path) as data:
+        header = json.loads(bytes(data["header"]).decode("utf-8"))
+        if header.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported plan format version: {header.get('version')!r}"
+            )
+        model = ModelConfig(**header["model"])
+        machine = _machine_from_dict(header["machine"])
+        dtype_dict = header["dtype"]
+        dtype = DTYPE_PRESETS.get(dtype_dict["name"]) or DType(**dtype_dict)
+        n = model.n_layers
+        return DeploymentPlan(
+            model=model,
+            machine=machine,
+            dtype=dtype,
+            mlp_probs=[data[f"mlp_probs_{li}"] for li in range(n)],
+            attn_probs=[data[f"attn_probs_{li}"] for li in range(n)],
+            mlp_gpu_masks=[data[f"mlp_mask_{li}"] for li in range(n)],
+            attn_gpu_masks=[data[f"attn_mask_{li}"] for li in range(n)],
+            predictor_bytes=list(data["predictor_bytes"]),
+            gpu_memory_reserve=header["gpu_memory_reserve"],
+            expected_context=header["expected_context"],
+        )

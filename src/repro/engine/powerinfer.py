@@ -1,0 +1,275 @@
+"""The PowerInfer online engine over the performance simulator.
+
+Builds, for each inference iteration, the operator DAG of paper Sections
+5.2-5.3: per layer, an attention block and an MLP block, each preceded by a
+GPU-resident activation predictor; activated neurons split between GPU and
+CPU executors per the placement policy; CPU partial results are shipped
+across PCIe and merged on the GPU (merging lives on the GPU because GPU
+neurons activate more often).  Selective synchronization: when the CPU side
+has no activated neurons, the transfer + sync steps are elided and the GPU
+proceeds directly.
+
+The same class implements the "+Engine" ablation (pass a plan whose masks
+came from the greedy policy) and, with ``hybrid=False``-style subclasses in
+:mod:`repro.engine.baselines`, the "+PO" layer-wise variant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.base import PerfEngine
+from repro.hardware.costmodel import CostModel, OpWork
+from repro.hardware.events import SimTask
+
+__all__ = ["PowerInferEngine"]
+
+
+class PowerInferEngine(PerfEngine):
+    """Neuron-granularity GPU-CPU hybrid execution.
+
+    Args:
+        plan: Offline-phase output (placement, predictors, profiles).
+        selective_sync: Elide the CPU->GPU transfer and synchronization
+            when the CPU side has no activated neurons (Section 5.3's
+            selective synchronization).  Disabled only for ablations.
+    """
+
+    name = "powerinfer"
+
+    def __init__(self, plan, selective_sync: bool = True) -> None:
+        super().__init__(plan)
+        self.selective_sync = selective_sync
+
+    def iteration_tasks(
+        self,
+        ctx_len: int,
+        n_tokens: int,
+        batch: int,
+        rng: np.random.Generator | None = None,
+    ) -> list[SimTask]:
+        model, machine, dtype = self.model, self.machine, self.dtype
+        gpu, cpu, link = machine.gpu, machine.cpu, machine.link
+        rows = n_tokens * batch  # token rows flowing through the layer
+        act = self._activation_bytes(rows)
+        mlp_nb = model.mlp_neuron_bytes(dtype)
+        attn_nb = model.attn_neuron_bytes(dtype)
+        mlp_np_ = model.mlp_neuron_params
+        attn_np_ = model.attn_neuron_params
+
+        tasks: list[SimTask] = []
+        prev_out = ""  # name of the task producing the previous layer output
+
+        for li in range(model.n_layers):
+            # Weight BYTES are governed by the union of activations across
+            # all token rows (weights read once per iteration); FLOPs scale
+            # with per-row activations times the row count.
+            if rng is None:
+                ag, ac = self.plan.attn_active_split(li, rows)
+                mg, mc = self.plan.mlp_active_split(li, rows)
+            else:
+                ag, ac = self.plan.sampled_attn_split(li, rng, rows)
+                mg, mc = self.plan.sampled_mlp_split(li, rng, rows)
+            ag1, ac1 = self.plan.attn_active_split(li, 1)
+            mg1, mc1 = self.plan.mlp_active_split(li, 1)
+            deps_in = (prev_out,) if prev_out else ()
+
+            # -- activation predictors (GPU-resident, Section 5.1) --------
+            pred_bytes = self.plan.predictor_bytes[li]
+            pred_work = OpWork(
+                flops=pred_bytes * rows,  # ~2 flops per fp16 parameter-row
+                bytes_read=pred_bytes + act,
+                bytes_written=(model.d_ffn + model.n_heads) * batch * 1.0,
+            )
+            pred_attn = f"L{li}.pred_attn"
+            tasks.append(
+                SimTask(
+                    pred_attn,
+                    "gpu",
+                    CostModel.op_time(pred_work.scaled(0.5), gpu),
+                    deps=deps_in,
+                    tag="predictor",
+                )
+            )
+
+            # -- attention block ------------------------------------------
+            attn_gpu = f"L{li}.attn_gpu"
+            tasks.append(
+                SimTask(
+                    attn_gpu,
+                    "gpu",
+                    CostModel.op_time(
+                        OpWork(
+                            flops=2.0 * ag1 * attn_np_ * rows,
+                            bytes_read=ag * attn_nb + act,
+                            bytes_written=act,
+                        ),
+                        gpu,
+                    ),
+                    deps=(pred_attn,),
+                    tag="gpu-neuron",
+                )
+            )
+            attn_deps = [attn_gpu]
+            if ac > 0:
+                attn_cpu = f"L{li}.attn_cpu"
+                tasks.append(
+                    SimTask(
+                        attn_cpu,
+                        "cpu",
+                        CostModel.op_time(
+                            OpWork(
+                                flops=2.0 * ac1 * attn_np_ * rows,
+                                bytes_read=ac * attn_nb + act,
+                                bytes_written=act,
+                            ),
+                            cpu,
+                        ),
+                        deps=(pred_attn,),
+                        tag="cpu-neuron",
+                    )
+                )
+                attn_deps.append(attn_cpu)
+            # QKV of GPU-computed heads ship to the CPU, where the KV cache
+            # lives (Section 7) and attention-over-context runs.
+            qkv_xfer = f"L{li}.qkv_xfer"
+            tasks.append(
+                SimTask(
+                    qkv_xfer,
+                    "pcie",
+                    CostModel.transfer_time(act, link),
+                    deps=(attn_gpu,),
+                    tag="transfer",
+                )
+            )
+            active_head_frac = min((ag + ac) / model.n_heads, 1.0)
+            attn_ctx = f"L{li}.attn_ctx"
+            tasks.append(
+                SimTask(
+                    attn_ctx,
+                    "cpu",
+                    CostModel.op_time(
+                        OpWork(
+                            flops=self._kv_flops(ctx_len, n_tokens, batch)
+                            * active_head_frac,
+                            bytes_read=self._kv_read_bytes(ctx_len, n_tokens, batch)
+                            * active_head_frac,
+                            bytes_written=act,
+                        ),
+                        cpu,
+                    ),
+                    deps=tuple(attn_deps[1:]) + (qkv_xfer,),
+                    tag="kv",
+                )
+            )
+            ctx_xfer = f"L{li}.ctx_xfer"
+            tasks.append(
+                SimTask(
+                    ctx_xfer,
+                    "pcie",
+                    CostModel.transfer_time(act, link),
+                    deps=(attn_ctx,),
+                    tag="transfer",
+                )
+            )
+            attn_merge = f"L{li}.attn_merge"
+            merge_work = OpWork(bytes_read=2 * act, bytes_written=act)
+            tasks.append(
+                SimTask(
+                    attn_merge,
+                    "gpu",
+                    machine.sync_overhead + CostModel.op_time(merge_work, gpu),
+                    deps=(attn_gpu, ctx_xfer),
+                    tag="merge",
+                )
+            )
+
+            # -- MLP block ---------------------------------------------------
+            pred_mlp = f"L{li}.pred_mlp"
+            tasks.append(
+                SimTask(
+                    pred_mlp,
+                    "gpu",
+                    CostModel.op_time(pred_work.scaled(0.5), gpu),
+                    deps=(attn_merge,),
+                    tag="predictor",
+                )
+            )
+            mlp_gpu = f"L{li}.mlp_gpu"
+            tasks.append(
+                SimTask(
+                    mlp_gpu,
+                    "gpu",
+                    CostModel.op_time(
+                        OpWork(
+                            flops=2.0 * mg1 * mlp_np_ * rows,
+                            bytes_read=mg * mlp_nb + act,
+                            bytes_written=act,
+                        ),
+                        gpu,
+                    ),
+                    deps=(pred_mlp,),
+                    tag="gpu-neuron",
+                )
+            )
+            merge_deps = [mlp_gpu]
+            sync_cost = 0.0 if self.selective_sync else machine.sync_overhead
+            if mc > 0 or not self.selective_sync:
+                mlp_cpu = f"L{li}.mlp_cpu"
+                tasks.append(
+                    SimTask(
+                        mlp_cpu,
+                        "cpu",
+                        CostModel.op_time(
+                            OpWork(
+                                flops=2.0 * mc1 * mlp_np_ * rows,
+                                bytes_read=mc * mlp_nb + act,
+                                bytes_written=act,
+                            ),
+                            cpu,
+                        ),
+                        deps=(pred_mlp, attn_merge),
+                        tag="cpu-neuron",
+                    )
+                )
+                mlp_xfer = f"L{li}.mlp_xfer"
+                tasks.append(
+                    SimTask(
+                        mlp_xfer,
+                        "pcie",
+                        CostModel.transfer_time(act, link),
+                        deps=(mlp_cpu,),
+                        tag="transfer",
+                    )
+                )
+                merge_deps.append(mlp_xfer)
+                sync_cost = machine.sync_overhead  # selective sync: only
+                # paid when the CPU actually produced partial results.
+            mlp_merge = f"L{li}.mlp_merge"
+            tasks.append(
+                SimTask(
+                    mlp_merge,
+                    "gpu",
+                    sync_cost + CostModel.op_time(merge_work, gpu),
+                    deps=tuple(merge_deps),
+                    tag="merge",
+                )
+            )
+            prev_out = mlp_merge
+
+        # -- LM head (embeddings are GPU-resident) -------------------------
+        lm_work = OpWork(
+            flops=2.0 * model.embedding_params * batch,
+            bytes_read=dtype.nbytes(model.embedding_params) + self._activation_bytes(batch),
+            bytes_written=batch * model.vocab_size * 4.0,
+        )
+        tasks.append(
+            SimTask(
+                "lm_head",
+                "gpu",
+                CostModel.op_time(lm_work, gpu),
+                deps=(prev_out,) if prev_out else (),
+                tag="lmhead",
+            )
+        )
+        return tasks

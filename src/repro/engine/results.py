@@ -1,0 +1,64 @@
+"""Result containers for simulated inference requests."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["RequestResult"]
+
+
+@dataclass
+class RequestResult:
+    """Outcome of simulating one end-to-end request.
+
+    The paper's key metric is *end-to-end generation speed*: generated
+    tokens divided by the full response time (prompt + generation phases),
+    Section 8.1.
+
+    Attributes:
+        engine: Name of the engine that produced the result.
+        model: Model name.
+        input_len: Prompt length in tokens.
+        output_len: Generated tokens.
+        batch: Request batch size.
+        prompt_time: Seconds spent in the prompt phase.
+        decode_time: Seconds spent generating tokens.
+        breakdown: Busy seconds per task tag (compute/transfer/...).
+        gpu_load_share: Fraction of activated-neuron computation served by
+            the GPU (Figure 12's metric).
+    """
+
+    engine: str
+    model: str
+    input_len: int
+    output_len: int
+    batch: int
+    prompt_time: float
+    decode_time: float
+    breakdown: dict[str, float] = field(default_factory=dict)
+    gpu_load_share: float = 0.0
+
+    @property
+    def total_time(self) -> float:
+        return self.prompt_time + self.decode_time
+
+    @property
+    def tokens_per_second(self) -> float:
+        """End-to-end generation speed (tokens/s), batch-aggregated."""
+        if self.total_time == 0:
+            return 0.0
+        return self.output_len * self.batch / self.total_time
+
+    @property
+    def decode_latency(self) -> float:
+        """Average per-token latency during the generation phase."""
+        if self.output_len == 0:
+            return 0.0
+        return self.decode_time / self.output_len
+
+    def breakdown_shares(self) -> dict[str, float]:
+        """Each tag's share of total busy time (Figure 4b-style)."""
+        total = sum(self.breakdown.values())
+        if total == 0:
+            return {}
+        return {tag: t / total for tag, t in self.breakdown.items()}

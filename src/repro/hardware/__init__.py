@@ -1,0 +1,52 @@
+"""Hardware substrate: device specs, memory accounting, event simulation.
+
+This package replaces the physical machines of the paper's evaluation
+(PC-High, PC-Low, and the A100 server) with a deterministic roofline /
+discrete-event model.  See DESIGN.md section 1 for the substitution
+rationale.
+"""
+
+from repro.hardware.costmodel import CostModel, OpWork
+from repro.hardware.events import (
+    EventSimulator,
+    Resource,
+    ScheduleResult,
+    SimTask,
+    TaskResult,
+)
+from repro.hardware.memory import Allocation, MemoryPool, OutOfMemoryError
+from repro.hardware.spec import (
+    A100_SERVER,
+    GB,
+    GIB,
+    MACHINE_PRESETS,
+    PC_HIGH,
+    PC_LOW,
+    DeviceKind,
+    DeviceSpec,
+    LinkSpec,
+    MachineSpec,
+)
+
+__all__ = [
+    "A100_SERVER",
+    "Allocation",
+    "CostModel",
+    "DeviceKind",
+    "DeviceSpec",
+    "EventSimulator",
+    "GB",
+    "GIB",
+    "LinkSpec",
+    "MACHINE_PRESETS",
+    "MachineSpec",
+    "MemoryPool",
+    "OpWork",
+    "OutOfMemoryError",
+    "PC_HIGH",
+    "PC_LOW",
+    "Resource",
+    "ScheduleResult",
+    "SimTask",
+    "TaskResult",
+]

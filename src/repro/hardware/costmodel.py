@@ -1,0 +1,95 @@
+"""Roofline cost model mapping operator workloads to device latencies.
+
+LLM token generation at small batch sizes is memory-bandwidth bound (paper
+Section 6.3.1, Equation 5: the time to compute a neuron approximately equals
+the time to read its weights once).  The cost model therefore charges each
+operator
+
+    ``launch_overhead + max(bytes_moved / effective_bandwidth,
+                            flops / compute_throughput)``
+
+which reduces to the paper's Equation 5 in the bandwidth-bound regime and
+transitions to compute-bound behaviour at large batch sizes — exactly the
+crossover the paper exploits in Figures 6 and 14.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.spec import DeviceSpec, LinkSpec
+
+__all__ = ["OpWork", "CostModel"]
+
+
+@dataclass(frozen=True)
+class OpWork:
+    """Resource footprint of one operator invocation.
+
+    Attributes:
+        flops: Floating-point operations performed.
+        bytes_read: Bytes read from device memory (weights + inputs).
+        bytes_written: Bytes written to device memory (outputs).
+    """
+
+    flops: float = 0.0
+    bytes_read: float = 0.0
+    bytes_written: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.flops < 0 or self.bytes_read < 0 or self.bytes_written < 0:
+            raise ValueError("OpWork fields must be non-negative")
+
+    @property
+    def bytes_total(self) -> float:
+        return self.bytes_read + self.bytes_written
+
+    def __add__(self, other: "OpWork") -> "OpWork":
+        return OpWork(
+            flops=self.flops + other.flops,
+            bytes_read=self.bytes_read + other.bytes_read,
+            bytes_written=self.bytes_written + other.bytes_written,
+        )
+
+    def scaled(self, factor: float) -> "OpWork":
+        """Scale all dimensions (e.g. by an activation fraction)."""
+        if factor < 0:
+            raise ValueError("factor must be non-negative")
+        return OpWork(
+            flops=self.flops * factor,
+            bytes_read=self.bytes_read * factor,
+            bytes_written=self.bytes_written * factor,
+        )
+
+
+class CostModel:
+    """Latency estimates for operators and transfers on a given machine."""
+
+    @staticmethod
+    def op_time(work: OpWork, device: DeviceSpec, include_launch: bool = True) -> float:
+        """Execution time of ``work`` on ``device`` in seconds."""
+        if work.flops == 0 and work.bytes_total == 0:
+            return device.launch_overhead if include_launch else 0.0
+        mem_time = work.bytes_total / device.effective_bandwidth
+        compute_time = work.flops / device.compute_flops
+        base = max(mem_time, compute_time)
+        return base + (device.launch_overhead if include_launch else 0.0)
+
+    @staticmethod
+    def transfer_time(nbytes: float, link: LinkSpec) -> float:
+        """Time to move ``nbytes`` across ``link`` in seconds."""
+        return link.transfer_time(nbytes)
+
+    @staticmethod
+    def bandwidth_bound(work: OpWork, device: DeviceSpec) -> bool:
+        """Whether the operator is limited by memory bandwidth."""
+        mem_time = work.bytes_total / device.effective_bandwidth
+        compute_time = work.flops / device.compute_flops
+        return mem_time >= compute_time
+
+    @staticmethod
+    def neuron_time(neuron_bytes: float, device: DeviceSpec) -> float:
+        """Paper Equation 5: per-neuron compute time ~= weight-read time."""
+        if neuron_bytes < 0:
+            raise ValueError("neuron_bytes must be non-negative")
+        return neuron_bytes / device.effective_bandwidth

@@ -1,0 +1,104 @@
+"""Memory pools with capacity accounting.
+
+The placement solver and engine need to know, for each device, how much
+memory is committed to model weights, predictors, KV cache, and scratch
+buffers.  :class:`MemoryPool` is a simple named-allocation accountant: it
+does not simulate addresses, only capacity, which is the constraint that
+matters for neuron placement (paper Inequality 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["OutOfMemoryError", "Allocation", "MemoryPool"]
+
+
+class OutOfMemoryError(RuntimeError):
+    """Raised when an allocation does not fit in the pool."""
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """A named reservation inside a :class:`MemoryPool`."""
+
+    name: str
+    nbytes: float
+
+
+@dataclass
+class MemoryPool:
+    """Tracks named allocations against a fixed capacity.
+
+    Attributes:
+        name: Pool identifier (usually the device name).
+        capacity: Total bytes available.
+        reserve_fraction: Fraction of capacity held back for runtime
+            scratch (activation buffers, fragmentation headroom).
+    """
+
+    name: str
+    capacity: float
+    reserve_fraction: float = 0.0
+    _allocations: dict[str, Allocation] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0.0 <= self.reserve_fraction < 1.0:
+            raise ValueError("reserve_fraction must be in [0, 1)")
+
+    @property
+    def usable_capacity(self) -> float:
+        """Capacity minus the scratch reserve."""
+        return self.capacity * (1.0 - self.reserve_fraction)
+
+    @property
+    def used(self) -> float:
+        """Bytes currently allocated."""
+        return sum(a.nbytes for a in self._allocations.values())
+
+    @property
+    def free(self) -> float:
+        """Bytes still available for allocation."""
+        return self.usable_capacity - self.used
+
+    def allocate(self, name: str, nbytes: float) -> Allocation:
+        """Reserve ``nbytes`` under ``name``.
+
+        Raises:
+            OutOfMemoryError: If the allocation exceeds remaining capacity.
+            ValueError: If ``name`` is already allocated or size is negative.
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if name in self._allocations:
+            raise ValueError(f"allocation {name!r} already exists in {self.name}")
+        if nbytes > self.free:
+            raise OutOfMemoryError(
+                f"pool {self.name}: cannot allocate {nbytes / 2**30:.2f} GiB "
+                f"({self.free / 2**30:.2f} GiB free of "
+                f"{self.usable_capacity / 2**30:.2f} GiB usable)"
+            )
+        alloc = Allocation(name=name, nbytes=nbytes)
+        self._allocations[name] = alloc
+        return alloc
+
+    def release(self, name: str) -> None:
+        """Free the allocation named ``name``."""
+        try:
+            del self._allocations[name]
+        except KeyError:
+            raise KeyError(f"no allocation named {name!r} in pool {self.name}") from None
+
+    def fits(self, nbytes: float) -> bool:
+        """Whether an allocation of ``nbytes`` would currently succeed."""
+        return 0 <= nbytes <= self.free
+
+    def allocations(self) -> dict[str, float]:
+        """Snapshot of current allocations as ``{name: nbytes}``."""
+        return {name: a.nbytes for name, a in self._allocations.items()}
+
+    def reset(self) -> None:
+        """Drop all allocations."""
+        self._allocations.clear()

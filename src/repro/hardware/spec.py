@@ -1,0 +1,261 @@
+"""Hardware specifications for the performance substrate.
+
+The paper evaluates PowerInfer on two PCs (PC-High with an RTX 4090, PC-Low
+with an RTX 2080Ti) and compares against a server-grade A100.  This module
+captures those machines as declarative specs: memory capacities and
+bandwidths, compute throughput, interconnect bandwidth/latency, and per-op
+dispatch overheads.  The roofline cost model (:mod:`repro.hardware.costmodel`)
+turns these numbers into operator latencies.
+
+All bandwidths are bytes/second, capacities bytes, times seconds, compute
+throughput FLOP/s.  Presets use the figures published in the paper (Section
+8.1) supplemented with public datasheet numbers where the paper is silent
+(e.g. GPU FLOP rates).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+GIB = 1024**3
+GB = 10**9
+
+__all__ = [
+    "DeviceKind",
+    "DeviceSpec",
+    "LinkSpec",
+    "MachineSpec",
+    "PC_HIGH",
+    "PC_LOW",
+    "A100_SERVER",
+    "MACHINE_PRESETS",
+]
+
+
+class DeviceKind:
+    """Symbolic names for the two processing-unit classes in the paper."""
+
+    GPU = "gpu"
+    CPU = "cpu"
+
+    ALL = (GPU, CPU)
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """One processing unit (a GPU or a CPU socket).
+
+    Attributes:
+        name: Human-readable identifier (e.g. ``"rtx4090"``).
+        kind: ``DeviceKind.GPU`` or ``DeviceKind.CPU``.
+        memory_capacity: Usable memory in bytes.
+        memory_bandwidth: Peak DRAM/HBM bandwidth in bytes/s.
+        compute_flops: Peak dense FP16/FP32 throughput in FLOP/s.
+        launch_overhead: Fixed cost of dispatching one operator (kernel
+            launch on GPU, thread-pool wakeup on CPU), seconds.
+        memory_efficiency: Achievable fraction of peak bandwidth for
+            streaming GEMV-style access (0 < x <= 1).
+    """
+
+    name: str
+    kind: str
+    memory_capacity: float
+    memory_bandwidth: float
+    compute_flops: float
+    launch_overhead: float = 0.0
+    memory_efficiency: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in DeviceKind.ALL:
+            raise ValueError(f"unknown device kind: {self.kind!r}")
+        if self.memory_capacity <= 0:
+            raise ValueError("memory_capacity must be positive")
+        if self.memory_bandwidth <= 0:
+            raise ValueError("memory_bandwidth must be positive")
+        if self.compute_flops <= 0:
+            raise ValueError("compute_flops must be positive")
+        if not 0.0 < self.memory_efficiency <= 1.0:
+            raise ValueError("memory_efficiency must be in (0, 1]")
+        if self.launch_overhead < 0:
+            raise ValueError("launch_overhead must be non-negative")
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Sustained streaming bandwidth in bytes/s."""
+        return self.memory_bandwidth * self.memory_efficiency
+
+    def with_memory_capacity(self, capacity: float) -> "DeviceSpec":
+        """Return a copy with a different memory capacity."""
+        return dataclasses.replace(self, memory_capacity=capacity)
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """An interconnect between two devices (PCIe in the paper).
+
+    Attributes:
+        name: Identifier, e.g. ``"pcie4"``.
+        bandwidth: Unidirectional peak bandwidth in bytes/s.
+        latency: Per-message latency in seconds (DMA setup + propagation).
+        efficiency: Achievable fraction of peak for bulk DMA streaming.
+        um_efficiency: Achievable fraction of peak under CUDA Unified
+            Memory page-fault-driven access (far lower than DMA — the
+            penalty behind the DejaVu-UM baseline of paper Figure 4).
+    """
+
+    name: str
+    bandwidth: float
+    latency: float
+    efficiency: float = 0.8
+    um_efficiency: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.latency < 0:
+            raise ValueError("latency must be non-negative")
+        if not 0.0 < self.efficiency <= 1.0:
+            raise ValueError("efficiency must be in (0, 1]")
+        if not 0.0 < self.um_efficiency <= 1.0:
+            raise ValueError("um_efficiency must be in (0, 1]")
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Sustained DMA bandwidth in bytes/s."""
+        return self.bandwidth * self.efficiency
+
+    def transfer_time(self, nbytes: float, unified_memory: bool = False) -> float:
+        """Time to move ``nbytes`` across the link, seconds."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if nbytes == 0:
+            return 0.0
+        eff = self.um_efficiency if unified_memory else self.efficiency
+        return self.latency + nbytes / (self.bandwidth * eff)
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A complete machine: one GPU, one CPU, and the link between them.
+
+    ``sync_overhead`` is the paper's :math:`T_{sync}` — the fixed cost of one
+    intra-layer synchronization between CPU and GPU executors (Section 6.3.1).
+    """
+
+    name: str
+    gpu: DeviceSpec
+    cpu: DeviceSpec
+    link: LinkSpec
+    sync_overhead: float = 20e-6
+
+    def __post_init__(self) -> None:
+        if self.gpu.kind != DeviceKind.GPU:
+            raise ValueError("gpu field must have kind DeviceKind.GPU")
+        if self.cpu.kind != DeviceKind.CPU:
+            raise ValueError("cpu field must have kind DeviceKind.CPU")
+        if self.sync_overhead < 0:
+            raise ValueError("sync_overhead must be non-negative")
+
+    def device(self, kind: str) -> DeviceSpec:
+        """Look up the device of the given :class:`DeviceKind`."""
+        if kind == DeviceKind.GPU:
+            return self.gpu
+        if kind == DeviceKind.CPU:
+            return self.cpu
+        raise KeyError(f"unknown device kind: {kind!r}")
+
+    @property
+    def total_memory(self) -> float:
+        """Combined GPU + CPU memory capacity in bytes."""
+        return self.gpu.memory_capacity + self.cpu.memory_capacity
+
+
+def _cpu_avx2_flops(cores: int, ghz: float) -> float:
+    """Peak FP32 AVX2 throughput: 2 FMA ports x 8 lanes x 2 flops/FMA."""
+    return cores * ghz * 1e9 * 2 * 8 * 2
+
+
+# PC-High (paper Section 8.1): i9-13900K (8 P-cores @ 5.4 GHz, 67.2 GB/s
+# DRAM, 192 GB) + RTX 4090 (24 GB, 1 TB/s, PCIe 4.0 x16 = 64 GB/s).
+PC_HIGH = MachineSpec(
+    name="pc-high",
+    gpu=DeviceSpec(
+        name="rtx4090",
+        kind=DeviceKind.GPU,
+        memory_capacity=24 * GIB,
+        memory_bandwidth=1008 * GB,
+        compute_flops=82.6e12,
+        launch_overhead=8e-6,
+        memory_efficiency=0.8,
+    ),
+    cpu=DeviceSpec(
+        name="i9-13900k",
+        kind=DeviceKind.CPU,
+        memory_capacity=192 * GIB,
+        memory_bandwidth=67.2 * GB,
+        compute_flops=_cpu_avx2_flops(cores=8, ghz=5.4),
+        launch_overhead=2e-6,
+        memory_efficiency=0.85,
+    ),
+    link=LinkSpec(name="pcie4-x16", bandwidth=64 * GB, latency=10e-6),
+    sync_overhead=25e-6,
+)
+
+# PC-Low (paper Section 8.1): i7-12700K (8 P-cores @ 4.9 GHz, 38.4 GB/s
+# DRAM, 64 GB) + RTX 2080Ti (11 GB, 616 GB/s, PCIe 3.0 x16 = 32 GB/s).
+PC_LOW = MachineSpec(
+    name="pc-low",
+    gpu=DeviceSpec(
+        name="rtx2080ti",
+        kind=DeviceKind.GPU,
+        memory_capacity=11 * GIB,
+        memory_bandwidth=616 * GB,
+        compute_flops=26.9e12,
+        launch_overhead=8e-6,
+        memory_efficiency=0.8,
+    ),
+    cpu=DeviceSpec(
+        name="i7-12700k",
+        kind=DeviceKind.CPU,
+        memory_capacity=64 * GIB,
+        memory_bandwidth=38.4 * GB,
+        compute_flops=_cpu_avx2_flops(cores=8, ghz=4.9),
+        launch_overhead=2e-6,
+        memory_efficiency=0.85,
+    ),
+    link=LinkSpec(name="pcie3-x16", bandwidth=32 * GB, latency=12e-6),
+    sync_overhead=35e-6,
+)
+
+# Server with a single 80 GB A100 (Section 8.3.4).  The host CPU barely
+# matters for vLLM-style full-GPU inference but is modelled for completeness.
+A100_SERVER = MachineSpec(
+    name="a100-server",
+    gpu=DeviceSpec(
+        name="a100-80gb",
+        kind=DeviceKind.GPU,
+        memory_capacity=80 * GIB,
+        memory_bandwidth=2039 * GB,
+        compute_flops=312e12,
+        launch_overhead=8e-6,
+        memory_efficiency=0.8,
+    ),
+    cpu=DeviceSpec(
+        name="epyc-7742",
+        kind=DeviceKind.CPU,
+        memory_capacity=512 * GIB,
+        memory_bandwidth=190 * GB,
+        compute_flops=_cpu_avx2_flops(cores=32, ghz=2.25),
+        launch_overhead=2e-6,
+        memory_efficiency=0.85,
+    ),
+    link=LinkSpec(name="pcie4-x16", bandwidth=64 * GB, latency=10e-6),
+    sync_overhead=25e-6,
+)
+
+MACHINE_PRESETS = {
+    PC_HIGH.name: PC_HIGH,
+    PC_LOW.name: PC_LOW,
+    A100_SERVER.name: A100_SERVER,
+}

@@ -1,0 +1,73 @@
+"""Model checkpoint IO for the numerical substrate.
+
+Saves/loads :class:`~repro.models.weights.ModelWeights` as a single ``.npz``
+archive with a JSON header carrying the architecture — the reproduction's
+analogue of a GGUF/safetensors checkpoint, so profiled models, trained
+predictors' base weights, and examples can persist across runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.models.config import ModelConfig
+from repro.models.weights import LayerWeights, ModelWeights
+
+__all__ = ["save_weights", "load_weights"]
+
+_FORMAT_VERSION = 1
+_LAYER_FIELDS = ("wq", "wk", "wv", "wo", "fc1", "fc1_bias", "fc2", "attn_norm", "mlp_norm")
+
+
+def save_weights(weights: ModelWeights, path: str | Path) -> None:
+    """Write a model checkpoint to ``path``."""
+    header = {
+        "version": _FORMAT_VERSION,
+        "config": dataclasses.asdict(weights.config),
+    }
+    arrays: dict[str, np.ndarray] = {
+        "header": np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8),
+        "embedding": weights.embedding,
+        "final_norm": weights.final_norm,
+    }
+    for li, layer in enumerate(weights.layers):
+        for field in _LAYER_FIELDS:
+            arrays[f"layer{li}.{field}"] = getattr(layer, field)
+        if layer.gate is not None:
+            arrays[f"layer{li}.gate"] = layer.gate
+    np.savez_compressed(path, **arrays)
+
+
+def load_weights(path: str | Path) -> ModelWeights:
+    """Restore a checkpoint written by :func:`save_weights`.
+
+    Raises:
+        ValueError: On an unsupported format version.
+    """
+    with np.load(path) as data:
+        header = json.loads(bytes(data["header"]).decode("utf-8"))
+        if header.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported checkpoint version: {header.get('version')!r}"
+            )
+        config = ModelConfig(**header["config"])
+        layers = []
+        for li in range(config.n_layers):
+            fields = {f: data[f"layer{li}.{f}"] for f in _LAYER_FIELDS}
+            gate_key = f"layer{li}.gate"
+            layers.append(
+                LayerWeights(
+                    gate=data[gate_key] if gate_key in data.files else None,
+                    **fields,
+                )
+            )
+        return ModelWeights(
+            config=config,
+            embedding=data["embedding"],
+            layers=layers,
+            final_norm=data["final_norm"],
+        )

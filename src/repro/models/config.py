@@ -1,0 +1,252 @@
+"""LLM architecture configurations and the neuron abstraction.
+
+The paper (footnote 1) defines a *neuron* as a specific row/column of a
+weight matrix.  Concretely:
+
+* In an MLP block with activation ``relu``, neuron *i* owns row *i* of FC1
+  and column *i* of FC2 — the ReLU gate after FC1 decides jointly whether
+  both participate (paper Figure 2).
+* In a ``reglu`` MLP (LLaMA-style gated unit with ReLU), neuron *i* owns row
+  *i* of the gate and up projections and column *i* of the down projection.
+* In a self-attention block the unit of sparsity is a head (Section 2.1:
+  "nearly half of the attention heads (neurons) make minimal contributions").
+
+:class:`ModelConfig` captures enough architecture to derive parameter
+counts, per-neuron weight sizes, and layer shapes for both the performance
+simulator (paper-scale presets below) and the numpy numerical substrate
+(tiny presets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.quant.formats import FP16, DType
+
+__all__ = [
+    "Activation",
+    "ModelConfig",
+    "OPT_6_7B",
+    "OPT_13B",
+    "OPT_30B",
+    "OPT_66B",
+    "OPT_175B",
+    "FALCON_40B",
+    "LLAMA_70B",
+    "MODEL_PRESETS",
+    "tiny_config",
+]
+
+
+class Activation:
+    """MLP activation families distinguished by the paper."""
+
+    RELU = "relu"  # OPT / Falcon(ReLU): FC1 -> ReLU -> FC2
+    REGLU = "reglu"  # LLaMA(ReGLU): (gate * relu(up)) -> down
+
+    ALL = (RELU, REGLU)
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Decoder-only transformer architecture.
+
+    Attributes:
+        name: Model identifier (e.g. ``"opt-30b"``).
+        n_layers: Number of transformer layers.
+        d_model: Hidden (embedding) dimension.
+        d_ffn: MLP intermediate dimension; equals the MLP neuron count.
+        n_heads: Attention heads; equals the attention neuron count.
+        n_kv_heads: Key/value heads (GQA/MQA); defaults to ``n_heads``.
+        vocab_size: Vocabulary size (used for embeddings/LM head).
+        activation: ``Activation.RELU`` or ``Activation.REGLU``.
+        max_seq_len: Maximum context length (bounds the KV cache).
+    """
+
+    name: str
+    n_layers: int
+    d_model: int
+    d_ffn: int
+    n_heads: int
+    n_kv_heads: int = 0
+    vocab_size: int = 50272
+    activation: str = Activation.RELU
+    max_seq_len: int = 2048
+
+    def __post_init__(self) -> None:
+        if self.n_layers <= 0 or self.d_model <= 0 or self.d_ffn <= 0:
+            raise ValueError("layers and dimensions must be positive")
+        if self.n_heads <= 0:
+            raise ValueError("n_heads must be positive")
+        if self.d_model % self.n_heads != 0:
+            raise ValueError("d_model must be divisible by n_heads")
+        if self.n_kv_heads == 0:
+            object.__setattr__(self, "n_kv_heads", self.n_heads)
+        if self.n_heads % self.n_kv_heads != 0:
+            raise ValueError("n_heads must be divisible by n_kv_heads")
+        if self.activation not in Activation.ALL:
+            raise ValueError(f"unknown activation: {self.activation!r}")
+        if self.vocab_size <= 0 or self.max_seq_len <= 0:
+            raise ValueError("vocab_size and max_seq_len must be positive")
+
+    # ---- dimensions -----------------------------------------------------
+
+    @property
+    def head_dim(self) -> int:
+        return self.d_model // self.n_heads
+
+    @property
+    def kv_dim(self) -> int:
+        """Total key/value projection width (GQA-aware)."""
+        return self.n_kv_heads * self.head_dim
+
+    @property
+    def mlp_matrices(self) -> int:
+        """Weight matrices per MLP neuron (2 for ReLU, 3 for ReGLU)."""
+        return 3 if self.activation == Activation.REGLU else 2
+
+    # ---- parameter counts ----------------------------------------------
+
+    @property
+    def attn_params_per_layer(self) -> int:
+        """Q, K, V, O projection parameters in one layer."""
+        qo = 2 * self.d_model * self.d_model
+        kv = 2 * self.d_model * self.kv_dim
+        return qo + kv
+
+    @property
+    def mlp_params_per_layer(self) -> int:
+        return self.mlp_matrices * self.d_model * self.d_ffn
+
+    @property
+    def params_per_layer(self) -> int:
+        return self.attn_params_per_layer + self.mlp_params_per_layer
+
+    @property
+    def embedding_params(self) -> int:
+        """Token embedding + tied LM head (counted once)."""
+        return self.vocab_size * self.d_model
+
+    @property
+    def total_params(self) -> int:
+        return self.n_layers * self.params_per_layer + self.embedding_params
+
+    # ---- neuron granularity ---------------------------------------------
+
+    @property
+    def mlp_neurons_per_layer(self) -> int:
+        return self.d_ffn
+
+    @property
+    def attn_neurons_per_layer(self) -> int:
+        return self.n_heads
+
+    @property
+    def mlp_neuron_params(self) -> int:
+        """Parameters owned by one MLP neuron."""
+        return self.mlp_matrices * self.d_model
+
+    @property
+    def attn_neuron_params(self) -> int:
+        """Parameters owned by one attention head (its Q/K/V/O slices).
+
+        With grouped-query attention the K/V slices are shared across the
+        group, so they are amortized over ``n_heads / n_kv_heads`` heads.
+        """
+        q_and_o = 2 * self.head_dim * self.d_model
+        group = self.n_heads // self.n_kv_heads
+        kv = 2 * self.head_dim * self.d_model / group
+        return int(q_and_o + kv)
+
+    # ---- memory accounting ----------------------------------------------
+
+    def weight_bytes(self, dtype: DType = FP16) -> float:
+        """Total parameter storage in bytes under ``dtype``."""
+        return dtype.nbytes(self.total_params)
+
+    def layer_bytes(self, dtype: DType = FP16) -> float:
+        return dtype.nbytes(self.params_per_layer)
+
+    def mlp_neuron_bytes(self, dtype: DType = FP16) -> float:
+        return dtype.nbytes(self.mlp_neuron_params)
+
+    def attn_neuron_bytes(self, dtype: DType = FP16) -> float:
+        return dtype.nbytes(self.attn_neuron_params)
+
+    def kv_cache_bytes_per_token(self, dtype: DType = FP16) -> float:
+        """KV cache growth per generated token across all layers."""
+        return dtype.nbytes(2 * self.kv_dim * self.n_layers)
+
+    def with_name(self, name: str) -> "ModelConfig":
+        return replace(self, name=name)
+
+
+# ---- paper-scale presets (Section 8.1) -----------------------------------
+# Dimensions follow the published OPT/Falcon/LLaMA architectures; the ReLU
+# variants of Falcon-40B and LLaMA-70B are the SparseLLM checkpoints the
+# paper uses.
+
+OPT_6_7B = ModelConfig(
+    name="opt-6.7b", n_layers=32, d_model=4096, d_ffn=16384, n_heads=32
+)
+OPT_13B = ModelConfig(
+    name="opt-13b", n_layers=40, d_model=5120, d_ffn=20480, n_heads=40
+)
+OPT_30B = ModelConfig(
+    name="opt-30b", n_layers=48, d_model=7168, d_ffn=28672, n_heads=56
+)
+OPT_66B = ModelConfig(
+    name="opt-66b", n_layers=64, d_model=9216, d_ffn=36864, n_heads=72
+)
+OPT_175B = ModelConfig(
+    name="opt-175b", n_layers=96, d_model=12288, d_ffn=49152, n_heads=96
+)
+FALCON_40B = ModelConfig(
+    name="falcon-40b",
+    n_layers=60,
+    d_model=8192,
+    d_ffn=32768,
+    n_heads=128,
+    n_kv_heads=8,
+    vocab_size=65024,
+    activation=Activation.RELU,
+)
+LLAMA_70B = ModelConfig(
+    name="llama-70b",
+    n_layers=80,
+    d_model=8192,
+    d_ffn=28672,
+    n_heads=64,
+    n_kv_heads=8,
+    vocab_size=32000,
+    activation=Activation.REGLU,
+    max_seq_len=4096,
+)
+
+MODEL_PRESETS = {
+    m.name: m
+    for m in (OPT_6_7B, OPT_13B, OPT_30B, OPT_66B, OPT_175B, FALCON_40B, LLAMA_70B)
+}
+
+
+def tiny_config(
+    name: str = "tiny-relu",
+    n_layers: int = 2,
+    d_model: int = 64,
+    d_ffn: int = 256,
+    n_heads: int = 4,
+    vocab_size: int = 256,
+    activation: str = Activation.RELU,
+    max_seq_len: int = 128,
+) -> ModelConfig:
+    """A laptop-scale config for the numpy numerical substrate."""
+    return ModelConfig(
+        name=name,
+        n_layers=n_layers,
+        d_model=d_model,
+        d_ffn=d_ffn,
+        n_heads=n_heads,
+        vocab_size=vocab_size,
+        activation=activation,
+        max_seq_len=max_seq_len,
+    )

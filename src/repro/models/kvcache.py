@@ -1,0 +1,81 @@
+"""Per-layer key/value cache for autoregressive decoding.
+
+PowerInfer keeps the KV cache in CPU memory (paper Section 7) because its
+per-token access volume is small at batch size one; the numerical substrate
+uses this class for correctness, and the performance simulator accounts its
+bytes through :meth:`repro.models.config.ModelConfig.kv_cache_bytes_per_token`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.config import ModelConfig
+
+__all__ = ["KVCache"]
+
+
+class KVCache:
+    """Fixed-capacity key/value cache for one sequence.
+
+    Keys and values are stored per layer as ``(max_seq_len, kv_dim)`` arrays
+    with a shared length cursor.
+    """
+
+    def __init__(self, config: ModelConfig, dtype: np.dtype = np.float32) -> None:
+        self._config = config
+        self._keys = [
+            np.zeros((config.max_seq_len, config.kv_dim), dtype=dtype)
+            for _ in range(config.n_layers)
+        ]
+        self._values = [
+            np.zeros((config.max_seq_len, config.kv_dim), dtype=dtype)
+            for _ in range(config.n_layers)
+        ]
+        self._length = 0
+
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def capacity(self) -> int:
+        return self._config.max_seq_len
+
+    def append(self, layer: int, keys: np.ndarray, values: np.ndarray) -> None:
+        """Append ``keys``/``values`` of shape ``(t, kv_dim)`` to ``layer``.
+
+        The length cursor only advances when the last layer is written, so
+        callers append to layers 0..n-1 in order for each token block.
+
+        Raises:
+            ValueError: On overflow or shape mismatch.
+        """
+        t = keys.shape[0]
+        if keys.shape != values.shape or keys.shape[1] != self._config.kv_dim:
+            raise ValueError("keys/values must both be (t, kv_dim)")
+        if self._length + t > self.capacity:
+            raise ValueError(
+                f"KV cache overflow: {self._length} + {t} > {self.capacity}"
+            )
+        self._keys[layer][self._length : self._length + t] = keys
+        self._values[layer][self._length : self._length + t] = values
+        if layer == self._config.n_layers - 1:
+            self._length += t
+
+    def keys(self, layer: int, extra: int = 0) -> np.ndarray:
+        """View of layer's cached keys, optionally including ``extra``
+        rows just written for the in-flight token block."""
+        return self._keys[layer][: self._length + extra]
+
+    def values(self, layer: int, extra: int = 0) -> np.ndarray:
+        return self._values[layer][: self._length + extra]
+
+    def reset(self) -> None:
+        """Clear the cache (keeps buffers allocated)."""
+        self._length = 0
+
+    def nbytes(self) -> int:
+        """Currently used cache bytes across all layers."""
+        per_layer = self._length * self._config.kv_dim
+        itemsize = self._keys[0].itemsize if self._keys else 4
+        return 2 * per_layer * self._config.n_layers * itemsize

@@ -1,0 +1,54 @@
+"""A deterministic toy tokenizer for examples and workload generation.
+
+The reproduction has no trained vocabulary; examples and the numerical
+substrate only need a stable text <-> token-id mapping.  ``ToyTokenizer``
+hashes whitespace-separated words into a fixed-size id space (reserving ids
+for BOS/EOS/PAD) and keeps a reverse table for round-tripping text it has
+seen.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ToyTokenizer"]
+
+
+class ToyTokenizer:
+    """Hash-based word tokenizer over a fixed vocabulary size."""
+
+    PAD_ID = 0
+    BOS_ID = 1
+    EOS_ID = 2
+    _RESERVED = 3
+
+    def __init__(self, vocab_size: int = 256) -> None:
+        if vocab_size <= self._RESERVED:
+            raise ValueError(f"vocab_size must exceed {self._RESERVED}")
+        self.vocab_size = vocab_size
+        self._id_to_word: dict[int, str] = {}
+
+    def _word_id(self, word: str) -> int:
+        span = self.vocab_size - self._RESERVED
+        # FNV-1a for stable cross-run hashing (builtin hash() is salted).
+        h = 2166136261
+        for byte in word.encode("utf-8"):
+            h = ((h ^ byte) * 16777619) & 0xFFFFFFFF
+        token = self._RESERVED + h % span
+        self._id_to_word.setdefault(token, word)
+        return token
+
+    def encode(self, text: str, add_bos: bool = True) -> list[int]:
+        """Tokenize ``text`` into ids (words split on whitespace)."""
+        ids = [self.BOS_ID] if add_bos else []
+        ids.extend(self._word_id(w) for w in text.split())
+        return ids
+
+    def decode(self, ids: list[int]) -> str:
+        """Best-effort inverse of :meth:`encode` for seen tokens."""
+        words = []
+        for token in ids:
+            if token in (self.PAD_ID, self.BOS_ID):
+                continue
+            if token == self.EOS_ID:
+                break
+            words.append(self._id_to_word.get(token, f"<{token}>"))
+        return " ".join(words)

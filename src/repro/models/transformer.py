@@ -1,0 +1,231 @@
+"""Numpy reference transformer — the numerical substrate.
+
+A small but complete decoder-only transformer (pre-norm, multi-head
+attention with GQA support, ReLU or ReGLU MLPs, KV cache, tied LM head)
+implementing the architecture of paper Figure 2.  It is the ground truth the
+sparse/hybrid engines are validated against, and the source of *real*
+activation traces for the profiler and predictor training.
+
+Two extension points support the reproduction:
+
+* ``mlp_override`` lets the hybrid numerical engine replace the dense MLP
+  with sparse-predicted neuron-aware execution (paper Sections 5.2-5.4).
+* ``activation_hook`` observes the boolean MLP activation mask of every
+  layer, which is how the offline profiler (Section 6.1) counts activations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+import numpy as np
+
+from repro.models.config import Activation, ModelConfig
+from repro.models.kvcache import KVCache
+from repro.models.weights import LayerWeights, ModelWeights
+
+__all__ = [
+    "MlpOverride",
+    "Transformer",
+    "head_mask_from_norms",
+    "mlp_activation_mask",
+    "softmax",
+]
+
+ActivationHook = Callable[[int, np.ndarray], None]
+HeadHook = Callable[[int, np.ndarray], None]
+HeadMaskOverride = Callable[[int, np.ndarray], np.ndarray]
+
+
+class MlpOverride(Protocol):
+    """Replacement MLP executor: ``(layer_index, x_normed) -> output``.
+
+    ``x_normed`` has shape ``(t, d_model)``; the return value must match.
+    """
+
+    def __call__(self, layer_index: int, x: np.ndarray) -> np.ndarray: ...
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    shifted = x - x.max(axis=axis, keepdims=True)
+    ex = np.exp(shifted)
+    return ex / ex.sum(axis=axis, keepdims=True)
+
+
+def _rms_norm(x: np.ndarray, weight: np.ndarray, eps: float = 1e-5) -> np.ndarray:
+    scale = np.sqrt(np.mean(x * x, axis=-1, keepdims=True) + eps)
+    return x / scale * weight
+
+
+def head_mask_from_norms(norms: np.ndarray, coverage: float = 0.95) -> np.ndarray:
+    """Ground-truth attention-head activity from per-head output norms.
+
+    The paper observes that "nearly half of the attention heads (neurons)
+    make minimal contributions" (Section 2.1).  A head counts as *active*
+    for a token if it belongs to the smallest head set covering
+    ``coverage`` of that token's total squared head-output norm.
+
+    Args:
+        norms: Per-token per-head output L2 norms, shape ``(t, n_heads)``.
+        coverage: Fraction of squared-norm mass the active set must carry.
+
+    Returns:
+        Boolean mask of shape ``(t, n_heads)``.
+    """
+    if not 0.0 < coverage <= 1.0:
+        raise ValueError("coverage must be in (0, 1]")
+    energy = np.atleast_2d(norms).astype(np.float64) ** 2
+    order = np.argsort(energy, axis=1)[:, ::-1]
+    sorted_energy = np.take_along_axis(energy, order, axis=1)
+    totals = sorted_energy.sum(axis=1, keepdims=True)
+    totals[totals == 0] = 1.0
+    cum = np.cumsum(sorted_energy, axis=1) / totals
+    # Head k (in sorted order) is active if the mass BEFORE it is < coverage.
+    before = np.concatenate([np.zeros((cum.shape[0], 1)), cum[:, :-1]], axis=1)
+    active_sorted = before < coverage
+    mask = np.zeros_like(active_sorted)
+    np.put_along_axis(mask, order, active_sorted, axis=1)
+    return mask
+
+
+def mlp_activation_mask(layer: LayerWeights, x: np.ndarray) -> np.ndarray:
+    """Boolean mask of MLP neurons the ReLU gate opens for input ``x``.
+
+    Shape ``(t, d_ffn)``.  For ReGLU models the gate is ``relu(up) > 0``,
+    matching the SparseLLM ReGLU formulation the paper evaluates.
+    """
+    pre = x @ layer.fc1.T + layer.fc1_bias
+    return pre > 0
+
+
+class Transformer:
+    """Dense numpy decoder with pluggable MLP execution."""
+
+    def __init__(self, weights: ModelWeights) -> None:
+        self.weights = weights
+        self.config: ModelConfig = weights.config
+
+    # ---- blocks ----------------------------------------------------------
+
+    def _attention(
+        self,
+        layer: LayerWeights,
+        x: np.ndarray,
+        cache: KVCache,
+        layer_index: int,
+        head_mask_override: "HeadMaskOverride | None" = None,
+        head_hook: "HeadHook | None" = None,
+    ) -> np.ndarray:
+        cfg = self.config
+        t = x.shape[0]
+        past = len(cache)
+
+        q = x @ layer.wq.T  # (t, d)
+        k = x @ layer.wk.T  # (t, kv_dim)
+        v = x @ layer.wv.T
+        cache.append(layer_index, k, v)
+        # keys() sees the rows just appended only once the cursor advances;
+        # request the in-flight rows explicitly for non-final layers.
+        extra = t if layer_index < cfg.n_layers - 1 else 0
+        keys = cache.keys(layer_index, extra=extra)  # (past + t, kv_dim)
+        values = cache.values(layer_index, extra=extra)
+
+        hd = cfg.head_dim
+        group = cfg.n_heads // cfg.n_kv_heads
+        qh = q.reshape(t, cfg.n_heads, hd)
+        kh = keys.reshape(past + t, cfg.n_kv_heads, hd)
+        vh = values.reshape(past + t, cfg.n_kv_heads, hd)
+
+        out = np.empty((t, cfg.n_heads, hd), dtype=x.dtype)
+        scale = 1.0 / np.sqrt(hd)
+        # Causal positions: query i attends to cache rows 0 .. past+i.
+        for h in range(cfg.n_heads):
+            kv_h = h // group
+            scores = (qh[:, h, :] @ kh[:, kv_h, :].T) * scale  # (t, past+t)
+            if t > 1:
+                q_pos = past + np.arange(t)[:, None]
+                k_pos = np.arange(past + t)[None, :]
+                scores = np.where(k_pos <= q_pos, scores, -np.inf)
+            out[:, h, :] = softmax(scores, axis=-1) @ vh[:, kv_h, :]
+        if head_hook is not None or head_mask_override is not None:
+            norms = np.linalg.norm(out, axis=-1)  # (t, n_heads)
+            if head_hook is not None:
+                head_hook(layer_index, norms)
+            if head_mask_override is not None:
+                mask = head_mask_override(layer_index, x)
+                mask = np.broadcast_to(
+                    np.atleast_2d(mask), (t, cfg.n_heads)
+                )
+                out = np.where(mask[:, :, None], out, 0.0)
+        return out.reshape(t, cfg.d_model) @ layer.wo.T
+
+    def _mlp(self, layer: LayerWeights, x: np.ndarray) -> np.ndarray:
+        pre = x @ layer.fc1.T + layer.fc1_bias
+        if self.config.activation == Activation.REGLU:
+            hidden = np.maximum(pre, 0.0) * (x @ layer.gate.T)
+        else:
+            hidden = np.maximum(pre, 0.0)
+        return hidden @ layer.fc2.T
+
+    # ---- forward ----------------------------------------------------------
+
+    def forward(
+        self,
+        token_ids: np.ndarray,
+        cache: KVCache,
+        mlp_override: MlpOverride | None = None,
+        activation_hook: ActivationHook | None = None,
+        head_mask_override: "HeadMaskOverride | None" = None,
+        head_hook: "HeadHook | None" = None,
+    ) -> np.ndarray:
+        """Run ``token_ids`` (shape ``(t,)``) through the model.
+
+        Returns logits of shape ``(t, vocab_size)``.  The KV cache is
+        advanced by ``t`` positions.
+        """
+        token_ids = np.asarray(token_ids)
+        if token_ids.ndim != 1:
+            raise ValueError("token_ids must be 1-D (a single sequence)")
+        w = self.weights
+        x = w.embedding[token_ids]  # (t, d)
+        for li, layer in enumerate(w.layers):
+            attn_in = _rms_norm(x, layer.attn_norm)
+            x = x + self._attention(
+                layer, attn_in, cache, li, head_mask_override, head_hook
+            )
+            mlp_in = _rms_norm(x, layer.mlp_norm)
+            if activation_hook is not None:
+                activation_hook(li, mlp_activation_mask(layer, mlp_in))
+            if mlp_override is not None:
+                x = x + mlp_override(li, mlp_in)
+            else:
+                x = x + self._mlp(layer, mlp_in)
+        x = _rms_norm(x, w.final_norm)
+        return x @ w.lm_head.T
+
+    def generate(
+        self,
+        prompt_ids: list[int],
+        max_new_tokens: int,
+        mlp_override: MlpOverride | None = None,
+        activation_hook: ActivationHook | None = None,
+    ) -> list[int]:
+        """Greedy decoding: prompt phase then token-by-token generation."""
+        if not prompt_ids:
+            raise ValueError("prompt_ids must be non-empty")
+        cache = KVCache(self.config)
+        logits = self.forward(
+            np.asarray(prompt_ids), cache, mlp_override, activation_hook
+        )
+        out: list[int] = []
+        token = int(np.argmax(logits[-1]))
+        for _ in range(max_new_tokens):
+            out.append(token)
+            if len(cache) >= self.config.max_seq_len:
+                break
+            logits = self.forward(
+                np.asarray([token]), cache, mlp_override, activation_hook
+            )
+            token = int(np.argmax(logits[-1]))
+        return out

@@ -1,0 +1,45 @@
+"""Dense matrix-vector/matrix kernels — the non-sparse baseline.
+
+These are the operators llama.cpp effectively runs: every neuron (row) of
+every matrix participates regardless of activation.  Each kernel returns the
+numerical result; the matching ``*_work`` function reports the roofline
+footprint (:class:`repro.hardware.costmodel.OpWork`) the performance
+simulator charges for it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hardware.costmodel import OpWork
+
+__all__ = ["dense_gemv", "dense_gemv_work"]
+
+
+def dense_gemv(weight: np.ndarray, x: np.ndarray, bias: np.ndarray | None = None) -> np.ndarray:
+    """Compute ``x @ weight.T (+ bias)`` for ``weight`` of shape ``(m, n)``.
+
+    ``x`` may be a vector ``(n,)`` or a batch ``(t, n)``.
+    """
+    out = x @ weight.T
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def dense_gemv_work(
+    m: int, n: int, batch: int = 1, dtype_bytes: float = 2.0
+) -> OpWork:
+    """Roofline footprint of a dense ``(m, n)`` GEMV with ``batch`` inputs.
+
+    Weights are read once regardless of batch (they stay in cache across the
+    batch for the sizes of interest); activations are read/written per batch
+    element in FP32 as the paper's setups do.
+    """
+    if m <= 0 or n <= 0 or batch <= 0:
+        raise ValueError("m, n, batch must be positive")
+    return OpWork(
+        flops=2.0 * m * n * batch,
+        bytes_read=m * n * dtype_bytes + batch * n * 4.0,
+        bytes_written=batch * m * 4.0,
+    )

@@ -1,0 +1,165 @@
+"""Neuron-aware sparse operators (paper Section 5.4).
+
+PowerInfer's key operator insight: with neuron-granularity sparsity there is
+no need for sparse matrix *formats* at all.  An activated neuron is a whole
+row (FC1) or column (FC2) of a dense matrix, so the kernel can simply gather
+those rows/columns and run a small dense GEMV — no CSR conversion, no
+per-element index tracking.
+
+Two flavours mirror the paper:
+
+* GPU-flavoured (:func:`gather_rows_gemv` / :func:`gather_cols_gemv`): all
+  "thread blocks" check activation and compute their vector if active; in
+  numpy this is one fancy-indexing gather plus a GEMV.
+* CPU-flavoured (:class:`CpuNeuronGemv`): neurons are divided into
+  per-core batches; each core checks activation within its batch and
+  computes only its active neurons with AVX2-style vector ops.  The numpy
+  implementation partitions identically (numerically equal to the GPU
+  flavour) so the partitioning logic itself is under test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hardware.costmodel import OpWork
+
+__all__ = [
+    "gather_rows_gemv",
+    "gather_cols_gemv",
+    "scatter_to_dense",
+    "neuron_gemv_work",
+    "CpuNeuronGemv",
+]
+
+
+def gather_rows_gemv(
+    weight: np.ndarray,
+    x: np.ndarray,
+    active_rows: np.ndarray,
+    bias: np.ndarray | None = None,
+) -> np.ndarray:
+    """Compute only the active output neurons of ``x @ weight.T``.
+
+    Args:
+        weight: Row-major neuron matrix of shape ``(m, n)`` (FC1-style:
+            row i is neuron i's input weights).
+        x: Input of shape ``(n,)`` or ``(t, n)``.
+        active_rows: Integer indices of activated neurons.
+        bias: Optional per-neuron bias of shape ``(m,)``.
+
+    Returns:
+        Array of shape ``(..., len(active_rows))`` — compact outputs for the
+        active neurons only.
+    """
+    sub = weight[active_rows]
+    out = x @ sub.T
+    if bias is not None:
+        out = out + bias[active_rows]
+    return out
+
+
+def gather_cols_gemv(
+    weight: np.ndarray, hidden_active: np.ndarray, active_cols: np.ndarray
+) -> np.ndarray:
+    """FC2-style: combine active neurons' output columns.
+
+    Args:
+        weight: Column-major neuron matrix of shape ``(d, m)`` (column i is
+            neuron i's output weights).
+        hidden_active: Compact activations ``(..., k)`` for active neurons.
+        active_cols: Integer indices (length k) of the activated neurons.
+
+    Returns:
+        Dense output of shape ``(..., d)``.
+    """
+    sub = weight[:, active_cols]
+    return hidden_active @ sub.T
+
+
+def scatter_to_dense(
+    compact: np.ndarray, indices: np.ndarray, size: int
+) -> np.ndarray:
+    """Expand compact per-neuron values back to a dense vector of ``size``.
+
+    Used when merging CPU and GPU partial results (paper Section 5.3).
+    """
+    if compact.shape[-1] != indices.shape[0]:
+        raise ValueError("compact values and indices must align")
+    out = np.zeros(compact.shape[:-1] + (size,), dtype=compact.dtype)
+    out[..., indices] = compact
+    return out
+
+
+def neuron_gemv_work(
+    n_active: int, neuron_dim: int, batch: int = 1, dtype_bytes: float = 2.0
+) -> OpWork:
+    """Roofline footprint of a neuron-aware GEMV over ``n_active`` neurons.
+
+    Only active neurons' weights are read — this is the whole point of the
+    operator (Figure 16's near-linear scaling with sparsity).
+    """
+    if n_active < 0 or neuron_dim <= 0 or batch <= 0:
+        raise ValueError("invalid dimensions")
+    return OpWork(
+        flops=2.0 * n_active * neuron_dim * batch,
+        bytes_read=n_active * neuron_dim * dtype_bytes + batch * neuron_dim * 4.0,
+        bytes_written=batch * n_active * 4.0,
+    )
+
+
+class CpuNeuronGemv:
+    """CPU-flavoured neuron-aware operator with per-core neuron batching.
+
+    The CPU executor divides a layer's neurons into ``n_cores`` contiguous
+    batches; each core scans its batch for activated neurons and computes
+    them (paper Section 5.4, "Neuron-aware Operators for CPU").  Results are
+    identical to :func:`gather_rows_gemv`; the class additionally reports
+    the per-core active counts used to model load balance.
+    """
+
+    def __init__(self, n_cores: int = 8) -> None:
+        if n_cores <= 0:
+            raise ValueError("n_cores must be positive")
+        self.n_cores = n_cores
+
+    def partition(self, n_neurons: int) -> list[slice]:
+        """Contiguous neuron ranges assigned to each core."""
+        bounds = np.linspace(0, n_neurons, self.n_cores + 1).astype(int)
+        return [slice(int(a), int(b)) for a, b in zip(bounds[:-1], bounds[1:])]
+
+    def run(
+        self,
+        weight: np.ndarray,
+        x: np.ndarray,
+        active_mask: np.ndarray,
+        bias: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, list[int]]:
+        """Compute active rows of ``x @ weight.T`` core-batch by core-batch.
+
+        Returns:
+            ``(compact_output, active_indices, per_core_active)`` where
+            ``compact_output`` has one entry per active neuron in index
+            order and ``per_core_active`` counts active neurons per core.
+        """
+        m = weight.shape[0]
+        if active_mask.shape != (m,):
+            raise ValueError("active_mask must have one flag per neuron")
+        pieces: list[np.ndarray] = []
+        index_pieces: list[np.ndarray] = []
+        per_core: list[int] = []
+        for core_slice in self.partition(m):
+            local_mask = active_mask[core_slice]
+            local_idx = np.nonzero(local_mask)[0] + core_slice.start
+            per_core.append(int(local_idx.size))
+            if local_idx.size:
+                pieces.append(gather_rows_gemv(weight, x, local_idx, bias))
+                index_pieces.append(local_idx)
+        if pieces:
+            compact = np.concatenate(pieces, axis=-1)
+            indices = np.concatenate(index_pieces)
+        else:
+            batch_shape = x.shape[:-1]
+            compact = np.zeros(batch_shape + (0,), dtype=x.dtype)
+            indices = np.zeros(0, dtype=np.int64)
+        return compact, indices, per_core

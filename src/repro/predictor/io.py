@@ -1,0 +1,80 @@
+"""Persistence for trained activation predictors.
+
+Predictor training is the slowest part of the offline phase ("often taking
+several hours" for real models, paper Section 7, though one-time); the
+trained predictors are an artifact that ships with the deployment.  This
+module saves/loads a whole per-layer predictor set as one ``.npz`` archive.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.predictor.mlp import MlpPredictor
+
+__all__ = ["save_predictors", "load_predictors"]
+
+_FORMAT_VERSION = 1
+
+
+def save_predictors(
+    predictors: list[MlpPredictor | None], path: str | Path
+) -> None:
+    """Write a per-layer predictor set to ``path``.
+
+    ``None`` entries (oracle layers) are preserved as gaps.
+    """
+    header = {
+        "version": _FORMAT_VERSION,
+        "n_layers": len(predictors),
+        "present": [p is not None for p in predictors],
+        "thresholds": [p.threshold if p is not None else 0.5 for p in predictors],
+    }
+    arrays: dict[str, np.ndarray] = {
+        "header": np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8)
+    }
+    for li, pred in enumerate(predictors):
+        if pred is None:
+            continue
+        arrays[f"l{li}.w1"] = pred.w1
+        arrays[f"l{li}.b1"] = pred.b1
+        arrays[f"l{li}.w2"] = pred.w2
+        arrays[f"l{li}.b2"] = pred.b2
+    np.savez_compressed(path, **arrays)
+
+
+def load_predictors(path: str | Path) -> list[MlpPredictor | None]:
+    """Restore a predictor set written by :func:`save_predictors`.
+
+    Raises:
+        ValueError: On an unsupported format version.
+    """
+    with np.load(path) as data:
+        header = json.loads(bytes(data["header"]).decode("utf-8"))
+        if header.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported predictor-set version: {header.get('version')!r}"
+            )
+        predictors: list[MlpPredictor | None] = []
+        for li in range(header["n_layers"]):
+            if not header["present"][li]:
+                predictors.append(None)
+                continue
+            w1 = data[f"l{li}.w1"]
+            w2 = data[f"l{li}.w2"]
+            pred = MlpPredictor(
+                d_in=w1.shape[1],
+                hidden=w1.shape[0],
+                n_neurons=w2.shape[0],
+                rng=np.random.default_rng(0),
+                threshold=header["thresholds"][li],
+            )
+            pred.w1 = w1
+            pred.b1 = data[f"l{li}.b1"]
+            pred.w2 = w2
+            pred.b2 = data[f"l{li}.b2"]
+            predictors.append(pred)
+        return predictors

@@ -1,0 +1,179 @@
+"""Numpy MLP activation predictors (paper Section 5.1, after DejaVu).
+
+An activation predictor takes a layer's (normalized) input vector and
+predicts which MLP neurons the ReLU gate will open.  Architecture follows
+the paper: input layer (d_model) -> one hidden layer (adjustable — this is
+the dimension the adaptive method tunes) -> output layer (d_ffn) with
+sigmoid activations, trained with binary cross-entropy.
+
+Implemented from scratch on numpy (no autograd): forward, manual backward,
+SGD with momentum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PredictorMetrics", "MlpPredictor"]
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+@dataclass(frozen=True)
+class PredictorMetrics:
+    """Quality of activation prediction on an evaluation set.
+
+    Attributes:
+        accuracy: Fraction of (token, neuron) activation flags predicted
+            correctly — the paper's headline >=95% metric.
+        recall: Fraction of truly active neurons that were predicted active
+            (misses here are what degrade LLM accuracy, Section 8.4).
+        precision: Fraction of predicted-active neurons that were active
+            (misses here waste compute but preserve accuracy).
+    """
+
+    accuracy: float
+    recall: float
+    precision: float
+
+
+class MlpPredictor:
+    """One layer's activation predictor: d_in -> hidden -> n_neurons."""
+
+    def __init__(
+        self,
+        d_in: int,
+        hidden: int,
+        n_neurons: int,
+        rng: np.random.Generator,
+        threshold: float = 0.5,
+    ) -> None:
+        if d_in <= 0 or hidden <= 0 or n_neurons <= 0:
+            raise ValueError("dimensions must be positive")
+        if not 0.0 < threshold < 1.0:
+            raise ValueError("threshold must be in (0, 1)")
+        self.d_in = d_in
+        self.hidden = hidden
+        self.n_neurons = n_neurons
+        self.threshold = threshold
+        self.w1 = (rng.standard_normal((hidden, d_in)) / np.sqrt(d_in)).astype(np.float32)
+        self.b1 = np.zeros(hidden, dtype=np.float32)
+        self.w2 = (rng.standard_normal((n_neurons, hidden)) / np.sqrt(hidden)).astype(np.float32)
+        self.b2 = np.zeros(n_neurons, dtype=np.float32)
+        self._vel = [np.zeros_like(p) for p in (self.w1, self.b1, self.w2, self.b2)]
+
+    # ---- size accounting --------------------------------------------------
+
+    @property
+    def param_count(self) -> int:
+        return self.w1.size + self.b1.size + self.w2.size + self.b2.size
+
+    def nbytes(self, bytes_per_param: float = 2.0) -> float:
+        """Storage footprint (predictors are kept in FP16 on the GPU)."""
+        return self.param_count * bytes_per_param
+
+    # ---- inference ---------------------------------------------------------
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Activation probabilities, shape ``(..., n_neurons)``."""
+        h = np.maximum(x @ self.w1.T + self.b1, 0.0)
+        return _sigmoid(h @ self.w2.T + self.b2)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Boolean predicted-active mask, shape ``(..., n_neurons)``."""
+        return self.forward(x) >= self.threshold
+
+    # ---- training -----------------------------------------------------------
+
+    def train_batch(
+        self, x: np.ndarray, targets: np.ndarray, lr: float, momentum: float = 0.9
+    ) -> float:
+        """One SGD step on a batch; returns the batch BCE loss.
+
+        Args:
+            x: Inputs ``(b, d_in)``.
+            targets: Boolean activation masks ``(b, n_neurons)``.
+            lr: Learning rate.
+            momentum: Classical momentum coefficient.
+        """
+        x = np.atleast_2d(x).astype(np.float32)
+        y = np.atleast_2d(targets).astype(np.float32)
+        b = x.shape[0]
+
+        pre1 = x @ self.w1.T + self.b1
+        h = np.maximum(pre1, 0.0)
+        logits = h @ self.w2.T + self.b2
+        probs = _sigmoid(logits)
+
+        eps = 1e-7
+        loss = float(
+            -np.mean(y * np.log(probs + eps) + (1 - y) * np.log(1 - probs + eps))
+        )
+
+        # Backward: dL/dlogits for sigmoid+BCE is (probs - y) / (b * n).
+        dlogits = (probs - y) / (b * self.n_neurons)
+        dw2 = dlogits.T @ h
+        db2 = dlogits.sum(axis=0)
+        dh = dlogits @ self.w2
+        dpre1 = dh * (pre1 > 0)
+        dw1 = dpre1.T @ x
+        db1 = dpre1.sum(axis=0)
+
+        params = (self.w1, self.b1, self.w2, self.b2)
+        grads = (dw1, db1, dw2, db2)
+        for p, g, v in zip(params, grads, self._vel):
+            v *= momentum
+            v -= lr * g
+            p += v
+        return loss
+
+    def fit(
+        self,
+        x: np.ndarray,
+        targets: np.ndarray,
+        rng: np.random.Generator,
+        epochs: int = 20,
+        batch_size: int = 64,
+        lr: float = 0.5,
+    ) -> list[float]:
+        """Mini-batch training; returns per-epoch mean losses."""
+        n = x.shape[0]
+        if targets.shape[0] != n:
+            raise ValueError("x and targets must have matching first dim")
+        losses = []
+        for _ in range(epochs):
+            order = rng.permutation(n)
+            epoch_loss = 0.0
+            batches = 0
+            for start in range(0, n, batch_size):
+                idx = order[start : start + batch_size]
+                epoch_loss += self.train_batch(x[idx], targets[idx], lr=lr)
+                batches += 1
+            losses.append(epoch_loss / max(batches, 1))
+        return losses
+
+    # ---- evaluation ----------------------------------------------------------
+
+    def evaluate(self, x: np.ndarray, targets: np.ndarray) -> PredictorMetrics:
+        """Accuracy / recall / precision of predicted activation flags."""
+        pred = self.predict(x)
+        truth = np.atleast_2d(targets).astype(bool)
+        pred = np.atleast_2d(pred)
+        correct = pred == truth
+        tp = float(np.logical_and(pred, truth).sum())
+        actives = float(truth.sum())
+        predicted = float(pred.sum())
+        return PredictorMetrics(
+            accuracy=float(correct.mean()),
+            recall=tp / actives if actives else 1.0,
+            precision=tp / predicted if predicted else 1.0,
+        )

@@ -1,0 +1,97 @@
+"""Predictor training data collection and synthesis.
+
+Two sources, matching the two substrates:
+
+* :func:`collect_training_data` runs token sequences through the numpy
+  transformer and records (normalized MLP input, activation mask) pairs for
+  a chosen layer — the data the paper's DejaVu-style predictor training
+  consumes.
+* :func:`synthesize_training_data` fabricates a random ReLU layer with a
+  controlled sparsity/skewness profile and samples (input, mask) pairs
+  from it.  This is how the Figure 9 experiment (predictor size vs. layer
+  sparsity) sweeps sparsity without training many full models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.kvcache import KVCache
+from repro.models.transformer import Transformer, mlp_activation_mask
+from repro.models.weights import _neuron_bias_for_probability
+from repro.sparsity.powerlaw import synthesize_activation_probs
+
+__all__ = ["collect_training_data", "synthesize_training_data"]
+
+
+def collect_training_data(
+    model: Transformer,
+    layer: int,
+    requests: list[np.ndarray],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Gather (MLP input, activation mask) pairs for ``layer`` of ``model``.
+
+    Returns:
+        ``(inputs, masks)`` with shapes ``(n_tokens, d_model)`` and
+        ``(n_tokens, d_ffn)``.
+    """
+    cfg = model.config
+    if not 0 <= layer < cfg.n_layers:
+        raise ValueError(f"layer must be in [0, {cfg.n_layers})")
+    inputs: list[np.ndarray] = []
+    masks: list[np.ndarray] = []
+
+    layer_weights = model.weights.layers[layer]
+
+    def override(li: int, x: np.ndarray) -> np.ndarray:
+        if li == layer:
+            inputs.append(x.copy())
+            masks.append(mlp_activation_mask(layer_weights, x))
+        # Dense MLP behaviour (the override observes, not alters).
+        return model._mlp(model.weights.layers[li], x)
+
+    for request in requests:
+        request = np.asarray(request)[: cfg.max_seq_len]
+        if request.size == 0:
+            continue
+        cache = KVCache(cfg)
+        model.forward(request, cache, mlp_override=override)
+    if not inputs:
+        raise ValueError("no tokens collected — empty requests?")
+    return np.concatenate(inputs, axis=0), np.concatenate(masks, axis=0)
+
+
+def synthesize_training_data(
+    d_in: int,
+    n_neurons: int,
+    n_samples: int,
+    rng: np.random.Generator,
+    target_sparsity: float = 0.90,
+    hot_fraction: float = 0.26,
+    hot_mass: float = 0.80,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sample (input, activation-mask) pairs from a synthetic ReLU layer.
+
+    A random FC1 matrix is drawn and per-neuron biases are set so each
+    neuron's activation probability follows a power law with the requested
+    mean rate ``1 - target_sparsity`` — so both the sparsity *and* the
+    skewness knobs of Figure 9 are exercised.
+
+    Returns:
+        ``(inputs, masks)`` of shapes ``(n_samples, d_in)`` and
+        ``(n_samples, n_neurons)``.
+    """
+    if not 0.0 < target_sparsity < 1.0:
+        raise ValueError("target_sparsity must be in (0, 1)")
+    probs = synthesize_activation_probs(
+        n_neurons,
+        rng,
+        hot_fraction=hot_fraction,
+        hot_mass=hot_mass,
+        mean_activation_rate=1.0 - target_sparsity,
+    )
+    w = (rng.standard_normal((n_neurons, d_in)) / np.sqrt(d_in)).astype(np.float32)
+    bias = _neuron_bias_for_probability(probs, input_scale=1.0).astype(np.float32)
+    x = rng.standard_normal((n_samples, d_in)).astype(np.float32)
+    masks = (x @ w.T + bias) > 0
+    return x, masks

@@ -1,0 +1,21 @@
+"""Offline profiler: activation counting, traces, profiling corpora."""
+
+from repro.profiler.datasets import ProfilingCorpus, c4_corpus, wikipedia_corpus
+from repro.profiler.profiler import (
+    LayerStats,
+    layer_statistics,
+    profile_numerical,
+    profile_statistical,
+)
+from repro.profiler.trace import ActivationTrace
+
+__all__ = [
+    "ActivationTrace",
+    "LayerStats",
+    "ProfilingCorpus",
+    "c4_corpus",
+    "layer_statistics",
+    "profile_numerical",
+    "profile_statistical",
+    "wikipedia_corpus",
+]

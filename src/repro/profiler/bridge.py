@@ -1,0 +1,46 @@
+"""Bridge measured activation traces into the performance substrate.
+
+The offline profiler produces :class:`~repro.profiler.trace.ActivationTrace`
+objects (counts per neuron).  The performance engines consume
+:class:`~repro.sparsity.activation.ActivationModel` probability profiles.
+This module converts one into the other, so a *measured* numerical profile
+can drive the performance simulator in place of a synthesized one —
+closing the loop between the two substrates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.profiler.trace import ActivationTrace
+from repro.sparsity.activation import ActivationModel, LayerActivationProfile
+
+__all__ = ["profiles_from_trace", "activation_model_from_trace"]
+
+
+def profiles_from_trace(trace: ActivationTrace) -> list[LayerActivationProfile]:
+    """Per-layer MLP activation profiles from measured counts."""
+    return [
+        LayerActivationProfile(probs=np.clip(trace.mlp_rates(li), 0.0, 1.0))
+        for li in range(trace.n_layers)
+    ]
+
+
+def activation_model_from_trace(
+    trace: ActivationTrace, rng: np.random.Generator
+) -> ActivationModel:
+    """An :class:`ActivationModel` sampling from measured activation rates.
+
+    Attention profiles are included when the trace recorded them.
+    """
+    attn_profiles = None
+    if trace.attn_counts:
+        attn_profiles = [
+            LayerActivationProfile(probs=np.clip(trace.attn_rates(li), 0.0, 1.0))
+            for li in range(trace.n_layers)
+        ]
+    return ActivationModel(
+        mlp_profiles=profiles_from_trace(trace),
+        rng=rng,
+        attn_profiles=attn_profiles,
+    )

@@ -1,0 +1,58 @@
+"""Synthetic profiling corpora standing in for C4 and Wikipedia.
+
+The paper profiles activation behaviour by running requests "derived from
+general datasets (e.g., C4)" (Section 4.1/6.1).  The profiler here only
+needs token sequences with realistic length variation, so each corpus is a
+seeded generator of random token-id sequences with a distinct length
+distribution (C4 web text skews short; Wikipedia articles run longer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["ProfilingCorpus", "c4_corpus", "wikipedia_corpus"]
+
+
+@dataclass(frozen=True)
+class ProfilingCorpus:
+    """A corpus of profiling requests (token-id sequences).
+
+    Attributes:
+        name: Corpus identifier.
+        mean_length: Mean request length in tokens (log-normal).
+        sigma: Log-normal shape parameter.
+        min_length / max_length: Clamp bounds.
+    """
+
+    name: str
+    mean_length: float
+    sigma: float = 0.6
+    min_length: int = 4
+    max_length: int = 512
+
+    def requests(
+        self, n_requests: int, vocab_size: int, rng: np.random.Generator
+    ) -> Iterator[np.ndarray]:
+        """Yield ``n_requests`` random token sequences."""
+        if n_requests <= 0:
+            raise ValueError("n_requests must be positive")
+        if vocab_size <= 0:
+            raise ValueError("vocab_size must be positive")
+        mu = np.log(self.mean_length) - 0.5 * self.sigma**2
+        for _ in range(n_requests):
+            length = int(np.clip(rng.lognormal(mu, self.sigma), self.min_length, self.max_length))
+            yield rng.integers(0, vocab_size, size=length)
+
+
+def c4_corpus() -> ProfilingCorpus:
+    """Web-crawl style corpus: shorter, highly variable documents."""
+    return ProfilingCorpus(name="c4", mean_length=48, sigma=0.8)
+
+
+def wikipedia_corpus() -> ProfilingCorpus:
+    """Encyclopedia-style corpus: longer, more uniform documents."""
+    return ProfilingCorpus(name="wikipedia", mean_length=128, sigma=0.5)

@@ -1,0 +1,143 @@
+"""The offline LLM profiler (paper Section 6.1).
+
+Collects per-neuron activation counts two ways, matching the two substrates:
+
+* :func:`profile_numerical` runs real token sequences through the numpy
+  transformer with an activation hook — the faithful analogue of the
+  paper's monitoring kernel inserted after each block.
+* :func:`profile_statistical` samples activation masks from a synthesized
+  :class:`~repro.sparsity.activation.ActivationModel` — used for
+  paper-scale models whose weights do not exist here.
+
+Both produce an :class:`~repro.profiler.trace.ActivationTrace`, from which
+:func:`layer_statistics` derives the sparsity/skewness summary the adaptive
+predictor sizing and the placement solver consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.models.kvcache import KVCache
+from repro.models.transformer import Transformer
+from repro.profiler.trace import ActivationTrace
+from repro.sparsity.activation import ActivationModel
+from repro.sparsity.stats import skewness, sparsity
+
+__all__ = ["LayerStats", "profile_numerical", "profile_statistical", "layer_statistics"]
+
+
+@dataclass(frozen=True)
+class LayerStats:
+    """Summary statistics for one layer's MLP neuron population."""
+
+    layer: int
+    sparsity: float
+    skewness: float
+    mean_rate: float
+
+
+def profile_numerical(
+    model: Transformer,
+    requests: Iterable[np.ndarray],
+    record_attention: bool = False,
+    head_coverage: float = 0.95,
+) -> ActivationTrace:
+    """Profile real MLP activations of ``model`` over token sequences.
+
+    Each request is run through a fresh KV cache (requests are independent
+    documents); the activation hook counts which ReLU gates open per token.
+
+    Args:
+        model: The numpy transformer to profile.
+        requests: Token-id sequences.
+        record_attention: Also count attention-head activity, defining a
+            head as active when it belongs to the smallest set covering
+            ``head_coverage`` of the token's head-output energy (paper
+            Section 2.1's attention sparsity).
+        head_coverage: Energy coverage for the head-activity definition.
+    """
+    from repro.models.transformer import head_mask_from_norms
+
+    cfg = model.config
+    trace = ActivationTrace.empty(
+        cfg.n_layers, cfg.d_ffn, cfg.n_heads if record_attention else 0
+    )
+
+    def head_hook(layer: int, norms: np.ndarray) -> None:
+        trace.record_attn(layer, head_mask_from_norms(norms, head_coverage))
+
+    saw_requests = False
+    for request in requests:
+        saw_requests = True
+        request = np.asarray(request)
+        if request.size == 0:
+            continue
+        if request.size > cfg.max_seq_len:
+            request = request[: cfg.max_seq_len]
+        cache = KVCache(cfg)
+        model.forward(
+            request,
+            cache,
+            activation_hook=trace.record_mlp,
+            head_hook=head_hook if record_attention else None,
+        )
+        trace.advance_tokens(int(request.size))
+    if not saw_requests:
+        raise ValueError("requests iterable was empty")
+    return trace
+
+
+def profile_statistical(
+    activation_model: ActivationModel, n_tokens: int, batch_tokens: int = 256
+) -> ActivationTrace:
+    """Profile a synthesized activation model over ``n_tokens`` samples.
+
+    Samples per-token Bernoulli masks layer by layer; ``batch_tokens``
+    bounds the peak memory of mask sampling.
+    """
+    if n_tokens <= 0:
+        raise ValueError("n_tokens must be positive")
+    n_layers = activation_model.n_layers
+    mlp_neurons = activation_model.mlp_profiles[0].n_neurons
+    attn_neurons = (
+        activation_model.attn_profiles[0].n_neurons
+        if activation_model.attn_profiles
+        else 0
+    )
+    trace = ActivationTrace.empty(n_layers, mlp_neurons, attn_neurons)
+    remaining = n_tokens
+    while remaining > 0:
+        chunk = min(batch_tokens, remaining)
+        for layer in range(n_layers):
+            masks = np.stack(
+                [activation_model.sample_mlp_mask(layer) for _ in range(chunk)]
+            )
+            trace.record_mlp(layer, masks)
+            if attn_neurons:
+                attn_masks = np.stack(
+                    [activation_model.sample_attn_mask(layer) for _ in range(chunk)]
+                )
+                trace.record_attn(layer, attn_masks)
+        trace.advance_tokens(chunk)
+        remaining -= chunk
+    return trace
+
+
+def layer_statistics(trace: ActivationTrace) -> list[LayerStats]:
+    """Per-layer sparsity/skewness summary from a trace."""
+    stats: list[LayerStats] = []
+    for layer in range(trace.n_layers):
+        rates = trace.mlp_rates(layer)
+        stats.append(
+            LayerStats(
+                layer=layer,
+                sparsity=sparsity(rates),
+                skewness=skewness(rates),
+                mean_rate=float(rates.mean()),
+            )
+        )
+    return stats

@@ -1,0 +1,123 @@
+"""Activation traces: per-neuron activation counts gathered by the profiler.
+
+The paper's profiler builds a neuron information table on the GPU that a
+monitoring kernel increments whenever a neuron activates (Section 6.1).
+:class:`ActivationTrace` is that table: per layer, one count per MLP neuron
+(and optionally per attention head), plus the number of tokens observed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["ActivationTrace"]
+
+
+@dataclass
+class ActivationTrace:
+    """Per-layer neuron activation counts over a profiling run.
+
+    Attributes:
+        mlp_counts: One array of shape ``(d_ffn,)`` per layer.
+        attn_counts: One array of shape ``(n_heads,)`` per layer (optional).
+        n_tokens: Number of tokens the counts were accumulated over.
+    """
+
+    mlp_counts: list[np.ndarray]
+    attn_counts: list[np.ndarray] = field(default_factory=list)
+    n_tokens: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.mlp_counts:
+            raise ValueError("mlp_counts must be non-empty")
+        if self.n_tokens < 0:
+            raise ValueError("n_tokens must be non-negative")
+        if self.attn_counts and len(self.attn_counts) != len(self.mlp_counts):
+            raise ValueError("attn_counts must match mlp_counts length")
+
+    @property
+    def n_layers(self) -> int:
+        return len(self.mlp_counts)
+
+    @classmethod
+    def empty(
+        cls, n_layers: int, mlp_neurons: int, attn_neurons: int = 0
+    ) -> "ActivationTrace":
+        """A zeroed trace ready for accumulation."""
+        return cls(
+            mlp_counts=[np.zeros(mlp_neurons, dtype=np.int64) for _ in range(n_layers)],
+            attn_counts=(
+                [np.zeros(attn_neurons, dtype=np.int64) for _ in range(n_layers)]
+                if attn_neurons
+                else []
+            ),
+            n_tokens=0,
+        )
+
+    def record_mlp(self, layer: int, mask: np.ndarray) -> None:
+        """Accumulate a boolean activation mask of shape ``(t, n)`` or ``(n,)``."""
+        mask = np.atleast_2d(mask)
+        self.mlp_counts[layer] += mask.sum(axis=0).astype(np.int64)
+
+    def record_attn(self, layer: int, mask: np.ndarray) -> None:
+        mask = np.atleast_2d(mask)
+        self.attn_counts[layer] += mask.sum(axis=0).astype(np.int64)
+
+    def advance_tokens(self, t: int) -> None:
+        """Count ``t`` more observed tokens."""
+        if t < 0:
+            raise ValueError("t must be non-negative")
+        self.n_tokens += t
+
+    def mlp_rates(self, layer: int) -> np.ndarray:
+        """Per-neuron activation probability estimates for ``layer``."""
+        if self.n_tokens == 0:
+            raise ValueError("no tokens profiled yet")
+        return self.mlp_counts[layer] / self.n_tokens
+
+    def attn_rates(self, layer: int) -> np.ndarray:
+        if self.n_tokens == 0:
+            raise ValueError("no tokens profiled yet")
+        return self.attn_counts[layer] / self.n_tokens
+
+    def all_mlp_rates(self) -> list[np.ndarray]:
+        return [self.mlp_rates(li) for li in range(self.n_layers)]
+
+    def merge(self, other: "ActivationTrace") -> "ActivationTrace":
+        """Combine two traces over disjoint token sets."""
+        if other.n_layers != self.n_layers:
+            raise ValueError("layer count mismatch")
+        if bool(self.attn_counts) != bool(other.attn_counts):
+            raise ValueError("attention-count presence mismatch")
+        return ActivationTrace(
+            mlp_counts=[a + b for a, b in zip(self.mlp_counts, other.mlp_counts)],
+            attn_counts=[a + b for a, b in zip(self.attn_counts, other.attn_counts)],
+            n_tokens=self.n_tokens + other.n_tokens,
+        )
+
+    # ---- persistence ------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Write the trace to an ``.npz`` file."""
+        arrays = {f"mlp_{i}": c for i, c in enumerate(self.mlp_counts)}
+        arrays.update({f"attn_{i}": c for i, c in enumerate(self.attn_counts)})
+        arrays["n_tokens"] = np.asarray(self.n_tokens)
+        np.savez(path, **arrays)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ActivationTrace":
+        """Read a trace written by :meth:`save`."""
+        with np.load(path) as data:
+            mlp = [data[k] for k in sorted(
+                (k for k in data.files if k.startswith("mlp_")),
+                key=lambda k: int(k.split("_")[1]),
+            )]
+            attn = [data[k] for k in sorted(
+                (k for k in data.files if k.startswith("attn_")),
+                key=lambda k: int(k.split("_")[1]),
+            )]
+            n_tokens = int(data["n_tokens"])
+        return cls(mlp_counts=mlp, attn_counts=attn, n_tokens=n_tokens)

@@ -1,0 +1,22 @@
+"""Quantization formats (FP16/INT4) and a numpy INT4 group quantizer."""
+
+from repro.quant.formats import DTYPE_PRESETS, FP16, FP32, INT4, INT8, DType
+from repro.quant.int4 import (
+    QuantizedTensor,
+    dequantize_int4,
+    quantization_error,
+    quantize_int4,
+)
+
+__all__ = [
+    "DTYPE_PRESETS",
+    "DType",
+    "FP16",
+    "FP32",
+    "INT4",
+    "INT8",
+    "QuantizedTensor",
+    "dequantize_int4",
+    "quantization_error",
+    "quantize_int4",
+]

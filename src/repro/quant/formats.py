@@ -1,0 +1,62 @@
+"""Parameter storage formats and their memory footprints.
+
+The paper evaluates FP16 models (Figures 10-12) and INT4-quantized models
+(Figure 13).  For memory accounting — the quantity the placement solver and
+offload baselines actually consume — a format is fully described by its
+bytes-per-parameter, including any group-quantization metadata (scales and
+zero points), matching the GGML-style Q4 layouts used by llama.cpp.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DType", "FP32", "FP16", "INT8", "INT4", "DTYPE_PRESETS"]
+
+
+@dataclass(frozen=True)
+class DType:
+    """A parameter storage format.
+
+    Attributes:
+        name: Format identifier (``"fp16"``, ``"int4"``, ...).
+        bits: Bits per parameter payload.
+        group_size: Parameters sharing one scale/zero block (0 = no groups).
+        group_overhead_bytes: Metadata bytes per group (scale + zero point).
+    """
+
+    name: str
+    bits: int
+    group_size: int = 0
+    group_overhead_bytes: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bits <= 0:
+            raise ValueError("bits must be positive")
+        if self.group_size < 0:
+            raise ValueError("group_size must be non-negative")
+        if self.group_overhead_bytes < 0:
+            raise ValueError("group_overhead_bytes must be non-negative")
+
+    @property
+    def bytes_per_param(self) -> float:
+        """Average storage bytes per parameter, metadata included."""
+        base = self.bits / 8.0
+        if self.group_size:
+            base += self.group_overhead_bytes / self.group_size
+        return base
+
+    def nbytes(self, num_params: float) -> float:
+        """Storage footprint of ``num_params`` parameters in bytes."""
+        if num_params < 0:
+            raise ValueError("num_params must be non-negative")
+        return num_params * self.bytes_per_param
+
+
+FP32 = DType(name="fp32", bits=32)
+FP16 = DType(name="fp16", bits=16)
+INT8 = DType(name="int8", bits=8, group_size=32, group_overhead_bytes=2.0)
+# llama.cpp Q4-style: 32-param groups with one fp16 scale + one fp16 zero.
+INT4 = DType(name="int4", bits=4, group_size=32, group_overhead_bytes=4.0)
+
+DTYPE_PRESETS = {d.name: d for d in (FP32, FP16, INT8, INT4)}

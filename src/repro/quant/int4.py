@@ -1,0 +1,101 @@
+"""Group-wise INT4 quantization in numpy.
+
+This is the numerical counterpart of :data:`repro.quant.formats.INT4`: a
+symmetric-range, asymmetric-zero-point group quantizer matching the Q4_1
+layout llama.cpp uses.  Weights are split along the last axis into groups of
+``group_size`` values; each group stores 4-bit codes plus an FP scale and
+minimum.
+
+The numerical engine uses this to demonstrate the paper's Figure 13 path
+(quantized inference) with bounded reconstruction error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["QuantizedTensor", "quantize_int4", "dequantize_int4", "quantization_error"]
+
+_LEVELS = 15  # 4-bit codes span 0..15
+
+
+@dataclass(frozen=True)
+class QuantizedTensor:
+    """An INT4-quantized tensor with per-group scale/min metadata.
+
+    Attributes:
+        codes: uint8 array of 4-bit codes, same shape as the original.
+        scales: Per-group scale, shape ``(..., n_groups)``.
+        mins: Per-group minimum, shape ``(..., n_groups)``.
+        group_size: Values per quantization group.
+        original_shape: Shape of the source tensor.
+    """
+
+    codes: np.ndarray
+    scales: np.ndarray
+    mins: np.ndarray
+    group_size: int
+    original_shape: tuple[int, ...]
+
+    @property
+    def nbytes_effective(self) -> float:
+        """Modelled storage: 4 bits/code + fp16 scale & min per group."""
+        n_codes = self.codes.size
+        n_groups = self.scales.size
+        return n_codes * 0.5 + n_groups * 4.0
+
+
+def quantize_int4(weights: np.ndarray, group_size: int = 32) -> QuantizedTensor:
+    """Quantize ``weights`` to 4 bits with per-group scale and minimum.
+
+    The last axis must be divisible by ``group_size``.
+
+    Raises:
+        ValueError: If the shape is incompatible with ``group_size``.
+    """
+    if group_size <= 0:
+        raise ValueError("group_size must be positive")
+    if weights.ndim == 0:
+        raise ValueError("cannot quantize a scalar")
+    last = weights.shape[-1]
+    if last % group_size != 0:
+        raise ValueError(
+            f"last axis ({last}) must be divisible by group_size ({group_size})"
+        )
+    grouped = weights.reshape(*weights.shape[:-1], last // group_size, group_size)
+    mins = grouped.min(axis=-1)
+    maxs = grouped.max(axis=-1)
+    spans = maxs - mins
+    # Flat groups (span == 0) quantize to code 0 with scale 0.
+    scales = np.where(spans > 0, spans / _LEVELS, 0.0)
+    safe_scales = np.where(scales > 0, scales, 1.0)
+    codes = np.rint((grouped - mins[..., None]) / safe_scales[..., None])
+    codes = np.clip(codes, 0, _LEVELS).astype(np.uint8)
+    return QuantizedTensor(
+        codes=codes.reshape(weights.shape),
+        scales=scales.astype(weights.dtype, copy=False),
+        mins=mins.astype(weights.dtype, copy=False),
+        group_size=group_size,
+        original_shape=tuple(weights.shape),
+    )
+
+
+def dequantize_int4(qt: QuantizedTensor) -> np.ndarray:
+    """Reconstruct an FP tensor from its INT4 representation."""
+    last = qt.original_shape[-1]
+    grouped_codes = qt.codes.reshape(
+        *qt.original_shape[:-1], last // qt.group_size, qt.group_size
+    )
+    grouped = grouped_codes * qt.scales[..., None] + qt.mins[..., None]
+    return grouped.reshape(qt.original_shape)
+
+
+def quantization_error(weights: np.ndarray, group_size: int = 32) -> float:
+    """Max absolute round-trip error of INT4 quantization of ``weights``.
+
+    Bounded by half a quantization step: ``max_group_span / (2 * 15)``.
+    """
+    qt = quantize_int4(weights, group_size=group_size)
+    return float(np.max(np.abs(dequantize_int4(qt) - weights))) if weights.size else 0.0

@@ -1,0 +1,14 @@
+"""Serving-loop simulation: request arrivals, FCFS queueing, latency stats."""
+
+from repro.serving.arrival import Request, poisson_arrivals
+from repro.serving.batched import simulate_batched_serving
+from repro.serving.simulator import CompletedRequest, ServingReport, simulate_serving
+
+__all__ = [
+    "CompletedRequest",
+    "Request",
+    "ServingReport",
+    "poisson_arrivals",
+    "simulate_batched_serving",
+    "simulate_serving",
+]

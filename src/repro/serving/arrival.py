@@ -1,0 +1,73 @@
+"""Request arrival processes for serving simulations.
+
+The paper's target setting is a local deployment serving one user's
+requests with low latency (Section 1).  To study that regime — and how far
+a machine can be pushed before queueing delay dominates — we model request
+streams as a Poisson process whose prompt/output lengths come from the
+:mod:`repro.workloads.prompts` distributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workloads.prompts import PromptWorkload
+
+__all__ = ["Request", "poisson_arrivals"]
+
+
+@dataclass(frozen=True)
+class Request:
+    """One serving request."""
+
+    request_id: int
+    arrival_time: float
+    input_len: int
+    output_len: int
+
+
+def poisson_arrivals(
+    workload: PromptWorkload,
+    rate: float,
+    n_requests: int,
+    rng: np.random.Generator,
+    output_lengths: tuple[int, ...] = (8, 128, 512),
+    output_weights: tuple[float, ...] = (0.2, 0.6, 0.2),
+) -> list[Request]:
+    """Sample a Poisson request stream.
+
+    Args:
+        workload: Prompt-length distribution.
+        rate: Mean arrivals per second.
+        n_requests: Stream length.
+        rng: Seeded generator.
+        output_lengths: Possible response lengths (paper's 8/128/512).
+        output_weights: Mixture weights over ``output_lengths``.
+
+    Returns:
+        Requests ordered by arrival time.
+    """
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    if n_requests <= 0:
+        raise ValueError("n_requests must be positive")
+    if len(output_lengths) != len(output_weights):
+        raise ValueError("output_lengths and output_weights must align")
+    weights = np.asarray(output_weights, dtype=np.float64)
+    weights = weights / weights.sum()
+
+    gaps = rng.exponential(1.0 / rate, size=n_requests)
+    arrivals = np.cumsum(gaps)
+    inputs = workload.sample_input_lengths(n_requests, rng)
+    outputs = rng.choice(output_lengths, size=n_requests, p=weights)
+    return [
+        Request(
+            request_id=i,
+            arrival_time=float(arrivals[i]),
+            input_len=int(inputs[i]),
+            output_len=int(outputs[i]),
+        )
+        for i in range(n_requests)
+    ]

@@ -1,0 +1,117 @@
+"""FCFS serving-loop simulation over a performance engine.
+
+Local LLM deployments serve requests one at a time (batch size one,
+Section 8.2); under a request stream the user-visible latency is queueing
+delay plus service time.  :func:`simulate_serving` plays a request stream
+through an engine, reusing the engine's deterministic per-shape service
+times, and reports throughput/latency statistics — the metrics a downstream
+user sizes their machine with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine.base import PerfEngine
+from repro.serving.arrival import Request
+
+__all__ = ["CompletedRequest", "ServingReport", "simulate_serving"]
+
+
+@dataclass(frozen=True)
+class CompletedRequest:
+    """Timing of one served request."""
+
+    request: Request
+    start_time: float
+    finish_time: float
+
+    @property
+    def queue_delay(self) -> float:
+        return self.start_time - self.request.arrival_time
+
+    @property
+    def latency(self) -> float:
+        """Arrival-to-completion time (what the user experiences)."""
+        return self.finish_time - self.request.arrival_time
+
+    @property
+    def service_time(self) -> float:
+        return self.finish_time - self.start_time
+
+
+@dataclass
+class ServingReport:
+    """Aggregate statistics of a serving simulation."""
+
+    completed: list[CompletedRequest] = field(default_factory=list)
+
+    @property
+    def n_requests(self) -> int:
+        return len(self.completed)
+
+    @property
+    def makespan(self) -> float:
+        if not self.completed:
+            return 0.0
+        return max(c.finish_time for c in self.completed)
+
+    @property
+    def throughput_rps(self) -> float:
+        """Requests completed per second of simulated time."""
+        span = self.makespan
+        return self.n_requests / span if span else 0.0
+
+    @property
+    def tokens_per_second(self) -> float:
+        span = self.makespan
+        total = sum(c.request.output_len for c in self.completed)
+        return total / span if span else 0.0
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of simulated time the server was busy."""
+        span = self.makespan
+        busy = sum(c.service_time for c in self.completed)
+        return busy / span if span else 0.0
+
+    def latency_percentile(self, q: float) -> float:
+        """User-visible latency percentile, ``q`` in [0, 100]."""
+        if not self.completed:
+            raise ValueError("no completed requests")
+        return float(np.percentile([c.latency for c in self.completed], q))
+
+    @property
+    def mean_queue_delay(self) -> float:
+        if not self.completed:
+            return 0.0
+        return float(np.mean([c.queue_delay for c in self.completed]))
+
+
+def simulate_serving(
+    engine: PerfEngine, requests: list[Request], cache_service_times: bool = True
+) -> ServingReport:
+    """Serve ``requests`` FCFS on ``engine``; returns the timing report.
+
+    Service time for each (input_len, output_len) shape is obtained from
+    the engine's deterministic request simulation and memoized, so streams
+    with repeated shapes simulate quickly.
+    """
+    report = ServingReport()
+    service_cache: dict[tuple[int, int], float] = {}
+    server_free_at = 0.0
+    for request in sorted(requests, key=lambda r: r.arrival_time):
+        shape = (request.input_len, request.output_len)
+        if not cache_service_times or shape not in service_cache:
+            result = engine.simulate_request(request.input_len, request.output_len)
+            service_cache[shape] = result.total_time
+        service_time = service_cache[shape]
+        start = max(request.arrival_time, server_free_at)
+        finish = start + service_time
+        server_free_at = finish
+        report.completed.append(
+            CompletedRequest(request=request, start_time=start, finish_time=finish)
+        )
+    return report

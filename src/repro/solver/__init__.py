@@ -1,0 +1,21 @@
+"""Offline neuron placement: impact metric, batching, ILP and greedy solvers."""
+
+from repro.solver.batching import NeuronBatch, batch_neurons
+from repro.solver.greedy import greedy_placement, greedy_with_repair
+from repro.solver.ilp import SolverOptions, communication_threshold, solve_ilp
+from repro.solver.impact import neuron_impact
+from repro.solver.placement import NeuronGroup, NeuronTable, PlacementPolicy
+
+__all__ = [
+    "NeuronBatch",
+    "NeuronGroup",
+    "NeuronTable",
+    "PlacementPolicy",
+    "SolverOptions",
+    "batch_neurons",
+    "communication_threshold",
+    "greedy_placement",
+    "greedy_with_repair",
+    "neuron_impact",
+    "solve_ilp",
+]

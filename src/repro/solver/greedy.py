@@ -1,0 +1,124 @@
+"""Greedy placement policies.
+
+Two roles:
+
+* :func:`greedy_placement` is the *naive* policy of the paper's ablation
+  ("+Engine" in Figure 15): rank neuron batches purely by activation
+  frequency and fill the GPU until its budget runs out, ignoring intra-layer
+  communication overhead.  The paper shows this leaves performance on the
+  table because thinly-split layers pay more in synchronization than the
+  GPU's bandwidth advantage returns.
+* :func:`greedy_with_repair` adds a repair pass enforcing the
+  communication constraint (drop a group's GPU residue when it falls below
+  ``C_l``, then refill) — a fast fallback should the MILP be unavailable
+  and a sanity bound for ILP tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hardware.spec import MachineSpec
+from repro.solver.batching import batch_neurons
+from repro.solver.ilp import communication_threshold
+from repro.solver.placement import NeuronGroup, PlacementPolicy
+
+__all__ = ["greedy_placement", "greedy_with_repair"]
+
+
+def _fill_by_impact(
+    groups: list[NeuronGroup],
+    gpu_budget_bytes: float,
+    batch_size: int,
+    frozen_out: set[int] | None = None,
+) -> list[np.ndarray]:
+    """Greedy fill: take batches in descending impact density until full.
+
+    ``frozen_out`` lists group indices barred from the GPU entirely.
+    """
+    frozen_out = frozen_out or set()
+    candidates: list[tuple[float, int, object]] = []
+    for gi, group in enumerate(groups):
+        if gi in frozen_out:
+            continue
+        group_batch = min(batch_size, max(1, group.n_neurons // 8))
+        for batch in batch_neurons(group.impacts, group.neuron_bytes, group_batch):
+            # The naive policy ranks by activation frequency (the paper's
+            # "+Engine" heuristic assigns frequently activated neurons to
+            # the GPU): mean per-neuron frequency of the batch.
+            density = batch.impact / batch.size
+            candidates.append((density, gi, batch))
+    candidates.sort(key=lambda item: item[0], reverse=True)
+
+    masks = [np.zeros(g.n_neurons, dtype=bool) for g in groups]
+    remaining = gpu_budget_bytes
+    for _, gi, batch in candidates:
+        if batch.nbytes <= remaining:
+            masks[gi][batch.neuron_indices] = True
+            remaining -= batch.nbytes
+    return masks
+
+
+def _objective(groups: list[NeuronGroup], masks: list[np.ndarray]) -> float:
+    return sum(float(g.impacts[m].sum()) for g, m in zip(groups, masks))
+
+
+def greedy_placement(
+    groups: list[NeuronGroup],
+    gpu_budget_bytes: float,
+    batch_size: int = 64,
+) -> PlacementPolicy:
+    """Naive frequency-greedy placement (ablation "+Engine" policy)."""
+    if gpu_budget_bytes < 0:
+        raise ValueError("gpu_budget_bytes must be non-negative")
+    masks = _fill_by_impact(groups, gpu_budget_bytes, batch_size)
+    return PlacementPolicy(
+        groups=list(groups),
+        gpu_masks=masks,
+        objective=_objective(groups, masks),
+        solver_name="greedy",
+    )
+
+
+def greedy_with_repair(
+    groups: list[NeuronGroup],
+    machine: MachineSpec,
+    gpu_budget_bytes: float,
+    batch_size: int = 64,
+    max_rounds: int = 8,
+) -> PlacementPolicy:
+    """Greedy placement that respects the communication constraint.
+
+    Iteratively: fill greedily, then find groups whose GPU-resident neuron
+    count is positive but below ``C_l`` (Inequality 4); bar the worst
+    offender from the GPU and refill with the freed budget.  Converges in
+    at most ``len(groups)`` rounds (each round freezes one more group).
+    """
+    thresholds = [communication_threshold(g, machine) for g in groups]
+    frozen: set[int] = set()
+    masks = _fill_by_impact(groups, gpu_budget_bytes, batch_size, frozen)
+    for _ in range(max_rounds):
+        violations = [
+            gi
+            for gi, (mask, c_l) in enumerate(zip(masks, thresholds))
+            if 0 < int(mask.sum()) < c_l
+        ]
+        if not violations:
+            break
+        # Freeze the violating group with the least impact on the GPU.
+        worst = min(
+            violations, key=lambda gi: float(groups[gi].impacts[masks[gi]].sum())
+        )
+        frozen.add(worst)
+        masks = _fill_by_impact(groups, gpu_budget_bytes, batch_size, frozen)
+    else:
+        # Out of rounds: hard-drop any remaining violators.
+        for gi, (mask, c_l) in enumerate(zip(masks, thresholds)):
+            if 0 < int(mask.sum()) < c_l:
+                masks[gi] = np.zeros_like(mask)
+    return PlacementPolicy(
+        groups=list(groups),
+        gpu_masks=masks,
+        objective=_objective(groups, masks),
+        solver_name="greedy-repair",
+    )

@@ -1,0 +1,31 @@
+"""Neuron impact metric (paper Section 6.2, Equation 1).
+
+The impact of a neuron measures its contribution to inference outcomes.
+With enough profiling data, activation frequency mirrors runtime behaviour,
+so the paper defines impact simply as the profiled activation frequency:
+``v_i = f_i``.  Kept as an explicit, documented transformation so alternate
+metrics can be swapped in for ablations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["neuron_impact"]
+
+
+def neuron_impact(frequencies: np.ndarray) -> np.ndarray:
+    """Impact metric per neuron: the profiled activation frequency (Eq. 1).
+
+    Args:
+        frequencies: Activation counts or rates, shape ``(n_neurons,)``.
+
+    Returns:
+        Float array of impacts (same shape).
+    """
+    freq = np.asarray(frequencies, dtype=np.float64)
+    if freq.ndim != 1 or freq.size == 0:
+        raise ValueError("frequencies must be a non-empty 1-D array")
+    if (freq < 0).any():
+        raise ValueError("frequencies must be non-negative")
+    return freq.copy()

@@ -1,0 +1,155 @@
+"""Placement policies and neuron tables.
+
+The solver's output is a per-group boolean mask of GPU-resident neurons.
+A *group* is one sparsifiable block — an MLP block or an attention block of
+one layer — since intra-layer synchronization (and hence the communication
+constraint C_l) applies per block.
+
+:class:`NeuronTable` is the runtime index mapping of paper Section 5.2: it
+correlates each GPU/CPU-resident neuron with its original row/column in the
+weight matrix so segmented neurons are multiplied against the right tensor
+entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["NeuronGroup", "NeuronTable", "PlacementPolicy"]
+
+
+@dataclass(frozen=True)
+class NeuronGroup:
+    """Solver input for one sparsifiable block.
+
+    Attributes:
+        name: Unique identifier, e.g. ``"layer3.mlp"``.
+        impacts: Per-neuron impact metric (activation frequency).
+        neuron_bytes: Weight bytes per neuron in this group.
+    """
+
+    name: str
+    impacts: np.ndarray
+    neuron_bytes: float
+
+    def __post_init__(self) -> None:
+        impacts = np.asarray(self.impacts, dtype=np.float64)
+        if impacts.ndim != 1 or impacts.size == 0:
+            raise ValueError(f"group {self.name!r}: impacts must be non-empty 1-D")
+        if (impacts < 0).any():
+            raise ValueError(f"group {self.name!r}: impacts must be non-negative")
+        if self.neuron_bytes <= 0:
+            raise ValueError(f"group {self.name!r}: neuron_bytes must be positive")
+        object.__setattr__(self, "impacts", impacts)
+
+    @property
+    def n_neurons(self) -> int:
+        return int(self.impacts.size)
+
+    @property
+    def total_bytes(self) -> float:
+        return self.n_neurons * self.neuron_bytes
+
+
+@dataclass(frozen=True)
+class NeuronTable:
+    """Index mapping between a device's compact neuron store and the
+    original matrix positions (paper Section 5.2)."""
+
+    gpu_indices: np.ndarray  # original positions of GPU-resident neurons
+    cpu_indices: np.ndarray  # original positions of CPU-resident neurons
+
+    @property
+    def n_neurons(self) -> int:
+        return int(self.gpu_indices.size + self.cpu_indices.size)
+
+    def nbytes(self) -> float:
+        """Table storage cost (4-byte index per neuron).
+
+        The paper reports ~9 MB for OPT-175B's 350 GB of weights.
+        """
+        return 4.0 * self.n_neurons
+
+    def device_of(self, neuron: int) -> str:
+        """``"gpu"`` or ``"cpu"`` for the given original neuron index."""
+        if neuron in set(self.gpu_indices.tolist()):
+            return "gpu"
+        if neuron in set(self.cpu_indices.tolist()):
+            return "cpu"
+        raise KeyError(f"neuron {neuron} not in table")
+
+
+@dataclass
+class PlacementPolicy:
+    """Solver output: per-group GPU masks plus bookkeeping.
+
+    Attributes:
+        groups: The solver inputs, in order.
+        gpu_masks: One boolean array per group (True = GPU-resident).
+        objective: Total impact captured on the GPU (Equation 2's value).
+        solver_name: ``"ilp"``, ``"greedy"``, ...
+    """
+
+    groups: list[NeuronGroup]
+    gpu_masks: list[np.ndarray]
+    objective: float = 0.0
+    solver_name: str = ""
+
+    def __post_init__(self) -> None:
+        if len(self.groups) != len(self.gpu_masks):
+            raise ValueError("one mask per group required")
+        for group, mask in zip(self.groups, self.gpu_masks):
+            if mask.dtype != bool or mask.shape != (group.n_neurons,):
+                raise ValueError(
+                    f"group {group.name!r}: mask must be bool of shape "
+                    f"({group.n_neurons},)"
+                )
+
+    def mask(self, group_name: str) -> np.ndarray:
+        for group, mask in zip(self.groups, self.gpu_masks):
+            if group.name == group_name:
+                return mask
+        raise KeyError(f"no group named {group_name!r}")
+
+    def neuron_table(self, group_name: str) -> NeuronTable:
+        mask = self.mask(group_name)
+        idx = np.arange(mask.size)
+        return NeuronTable(gpu_indices=idx[mask], cpu_indices=idx[~mask])
+
+    # ---- summaries ---------------------------------------------------------
+
+    @property
+    def gpu_bytes(self) -> float:
+        """Weight bytes resident on the GPU under this policy."""
+        return sum(
+            float(mask.sum()) * group.neuron_bytes
+            for group, mask in zip(self.groups, self.gpu_masks)
+        )
+
+    @property
+    def cpu_bytes(self) -> float:
+        return sum(
+            float((~mask).sum()) * group.neuron_bytes
+            for group, mask in zip(self.groups, self.gpu_masks)
+        )
+
+    def gpu_impact_share(self) -> float:
+        """Fraction of total impact (activation mass) on the GPU.
+
+        With impact == activation frequency this is the expected fraction
+        of activated-neuron computations the GPU serves — the quantity in
+        the paper's Figure 12.
+        """
+        total = 0.0
+        on_gpu = 0.0
+        for group, mask in zip(self.groups, self.gpu_masks):
+            total += float(group.impacts.sum())
+            on_gpu += float(group.impacts[mask].sum())
+        return on_gpu / total if total else 0.0
+
+    def group_gpu_fraction(self, group_name: str) -> float:
+        """Fraction of a group's neurons resident on GPU."""
+        mask = self.mask(group_name)
+        return float(mask.mean())

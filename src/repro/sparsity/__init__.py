@@ -1,0 +1,34 @@
+"""Activation sparsity: power-law synthesis, sampling, statistics."""
+
+from repro.sparsity.activation import ActivationModel, LayerActivationProfile
+from repro.sparsity.powerlaw import (
+    activation_cdf,
+    fit_zipf_alpha,
+    neuron_fraction_for_mass,
+    synthesize_activation_probs,
+    top_share,
+    zipf_weights,
+)
+from repro.sparsity.stats import (
+    classify_hot_cold,
+    gini,
+    hot_neuron_mask,
+    skewness,
+    sparsity,
+)
+
+__all__ = [
+    "ActivationModel",
+    "LayerActivationProfile",
+    "activation_cdf",
+    "classify_hot_cold",
+    "fit_zipf_alpha",
+    "gini",
+    "hot_neuron_mask",
+    "neuron_fraction_for_mass",
+    "skewness",
+    "sparsity",
+    "synthesize_activation_probs",
+    "top_share",
+    "zipf_weights",
+]

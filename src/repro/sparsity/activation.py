@@ -1,0 +1,112 @@
+"""Input-dependent activation sampling over synthesized probabilities.
+
+Bridges the offline statistics (per-neuron activation probabilities) and the
+online engine: given a layer's probabilities, :class:`ActivationModel`
+samples per-token activation masks, computes expected active fractions, and
+models the *union* sparsity of batched inference (paper Figure 14: joint
+activations across a batch reduce effective sparsity, shrinking
+PowerInfer's advantage as batch size grows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ActivationModel", "LayerActivationProfile"]
+
+
+@dataclass(frozen=True)
+class LayerActivationProfile:
+    """Static activation statistics for one layer's neuron population."""
+
+    probs: np.ndarray  # shape (n_neurons,), per-token activation probability
+
+    def __post_init__(self) -> None:
+        probs = np.asarray(self.probs, dtype=np.float64)
+        if probs.ndim != 1 or probs.size == 0:
+            raise ValueError("probs must be a non-empty 1-D array")
+        if (probs < 0).any() or (probs > 1).any():
+            raise ValueError("probabilities must lie in [0, 1]")
+        object.__setattr__(self, "probs", probs)
+
+    @property
+    def n_neurons(self) -> int:
+        return int(self.probs.size)
+
+    @property
+    def mean_rate(self) -> float:
+        """Expected fraction of neurons active for one token."""
+        return float(self.probs.mean())
+
+    def union_probs(self, batch_size: int) -> np.ndarray:
+        """Probability each neuron activates for *any* token in a batch.
+
+        Tokens are modelled as independent draws: ``1 - (1-p)^B``.
+        """
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        return 1.0 - (1.0 - self.probs) ** batch_size
+
+    def union_rate(self, batch_size: int) -> float:
+        """Expected active fraction under the union of a batch."""
+        return float(self.union_probs(batch_size).mean())
+
+
+class ActivationModel:
+    """Samples activation masks for every layer of a model.
+
+    Args:
+        mlp_profiles: One :class:`LayerActivationProfile` per layer for MLP
+            neurons.
+        attn_profiles: Optional per-layer profiles for attention heads
+            (paper: ~half the heads contribute per token).
+        rng: Seeded generator used by all sampling methods.
+    """
+
+    def __init__(
+        self,
+        mlp_profiles: list[LayerActivationProfile],
+        rng: np.random.Generator,
+        attn_profiles: list[LayerActivationProfile] | None = None,
+    ) -> None:
+        if not mlp_profiles:
+            raise ValueError("mlp_profiles must be non-empty")
+        if attn_profiles is not None and len(attn_profiles) != len(mlp_profiles):
+            raise ValueError("attn_profiles must match mlp_profiles length")
+        self.mlp_profiles = mlp_profiles
+        self.attn_profiles = attn_profiles
+        self._rng = rng
+
+    @property
+    def n_layers(self) -> int:
+        return len(self.mlp_profiles)
+
+    def sample_mlp_mask(self, layer: int, batch_size: int = 1) -> np.ndarray:
+        """Boolean union-activation mask for the MLP neurons of ``layer``."""
+        probs = self.mlp_profiles[layer].union_probs(batch_size)
+        return self._rng.random(probs.size) < probs
+
+    def sample_attn_mask(self, layer: int, batch_size: int = 1) -> np.ndarray:
+        """Boolean union-activation mask for attention heads of ``layer``."""
+        if self.attn_profiles is None:
+            raise ValueError("no attention profiles configured")
+        probs = self.attn_profiles[layer].union_probs(batch_size)
+        return self._rng.random(probs.size) < probs
+
+    def expected_active_split(
+        self, layer: int, gpu_mask: np.ndarray, batch_size: int = 1
+    ) -> tuple[float, float]:
+        """Expected (GPU, CPU) counts of *active* MLP neurons in ``layer``.
+
+        ``gpu_mask`` is a boolean array marking GPU-resident neurons.  This
+        is the quantity behind the paper's Figure 12 neuron-load split.
+        """
+        profile = self.mlp_profiles[layer]
+        if gpu_mask.shape != profile.probs.shape:
+            raise ValueError("gpu_mask shape must match the layer's neurons")
+        probs = profile.union_probs(batch_size)
+        on_gpu = float(probs[gpu_mask].sum())
+        on_cpu = float(probs[~gpu_mask].sum())
+        return on_gpu, on_cpu

@@ -1,0 +1,214 @@
+"""Power-law activation frequency synthesis (paper Insight-1, Figure 5).
+
+The paper reports that neuron activation follows a skewed power law: in a
+single MLP layer, 26% (OPT-30B) / 43% (LLaMA-ReGLU-70B) of neurons account
+for 80% of all activations, and roughly 10% of MLP neurons fire per token.
+This module synthesizes per-neuron activation probabilities matching any
+such (hot_fraction -> hot_mass) target:
+
+1. Draw a bounded-Zipf frequency profile ``f_i ~ i^-alpha`` and solve for
+   ``alpha`` so the top ``hot_fraction`` of neurons carries ``hot_mass`` of
+   the total frequency (bisection on the monotone top-share function).
+2. Scale frequencies so the mean activation probability equals the target
+   per-token activation rate, clipping at 1.
+
+The synthesized probabilities drive the activation sampler, the profiler's
+synthetic traces, and — through :func:`repro.models.weights.init_weights` —
+the biases of the numpy models, so the numerical substrate exhibits the same
+distribution *mechanically* through its ReLUs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "zipf_weights",
+    "fit_zipf_alpha",
+    "top_share",
+    "synthesize_activation_probs",
+    "activation_cdf",
+    "neuron_fraction_for_mass",
+]
+
+
+def zipf_weights(n: int, alpha: float) -> np.ndarray:
+    """Unnormalized Zipf weights ``(i+1)^-alpha`` for ``n`` ranks."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if alpha < 0:
+        raise ValueError("alpha must be non-negative")
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    return ranks**-alpha
+
+
+def top_share(weights: np.ndarray, fraction: float) -> float:
+    """Share of total mass held by the largest ``fraction`` of entries."""
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in (0, 1]")
+    if weights.size == 0:
+        raise ValueError("weights must be non-empty")
+    k = max(1, int(round(fraction * weights.size)))
+    ordered = np.sort(weights)[::-1]
+    total = ordered.sum()
+    if total <= 0:
+        raise ValueError("weights must have positive mass")
+    return float(ordered[:k].sum() / total)
+
+
+def fit_zipf_alpha(
+    n: int,
+    hot_fraction: float,
+    hot_mass: float,
+    tol: float = 1e-4,
+    max_iter: int = 100,
+) -> float:
+    """Solve for the Zipf exponent giving ``top_share(hot_fraction) = hot_mass``.
+
+    The top share is monotonically increasing in ``alpha`` (alpha=0 is
+    uniform, giving share == fraction), so bisection converges.
+
+    Raises:
+        ValueError: If ``hot_mass < hot_fraction`` (impossible: the top k
+            items always hold at least a proportional share).
+    """
+    if not 0.0 < hot_fraction < 1.0:
+        raise ValueError("hot_fraction must be in (0, 1)")
+    if not 0.0 < hot_mass < 1.0:
+        raise ValueError("hot_mass must be in (0, 1)")
+    if hot_mass < hot_fraction:
+        raise ValueError(
+            "hot_mass must be >= hot_fraction (top items hold at least a "
+            "proportional share of a sorted distribution)"
+        )
+    lo, hi = 0.0, 8.0
+    for _ in range(max_iter):
+        mid = 0.5 * (lo + hi)
+        share = top_share(zipf_weights(n, mid), hot_fraction)
+        if abs(share - hot_mass) < tol:
+            return mid
+        if share < hot_mass:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
+
+
+def _scale_to_mean(weights: np.ndarray, rate: float) -> np.ndarray:
+    """Find s so that ``mean(clip(s * weights, 0, 1)) == rate`` and apply it.
+
+    The clipped mean is monotone increasing in ``s`` and saturates at 1, so
+    bisection converges whenever ``rate < 1``.
+    """
+    lo, hi = 0.0, rate / max(float(weights.mean()), 1e-300)
+    while float(np.minimum(hi * weights, 1.0).mean()) < rate:
+        hi *= 2.0
+        if hi > 1e30:
+            raise ValueError("cannot reach the requested activation rate")
+    for _ in range(80):
+        mid = 0.5 * (lo + hi)
+        if float(np.minimum(mid * weights, 1.0).mean()) < rate:
+            lo = mid
+        else:
+            hi = mid
+    return np.minimum(hi * weights, 1.0)
+
+
+def synthesize_activation_probs(
+    n_neurons: int,
+    rng: np.random.Generator,
+    hot_fraction: float = 0.26,
+    hot_mass: float = 0.80,
+    mean_activation_rate: float = 0.10,
+    shuffle: bool = True,
+    jitter: float = 0.05,
+) -> np.ndarray:
+    """Per-neuron activation probabilities matching a paper-style power law.
+
+    Calibration happens on the final distribution: the Zipf exponent is
+    chosen by bisection so that *after* scaling to the target mean rate and
+    clipping at probability 1, the hottest ``hot_fraction`` of neurons still
+    carries ``hot_mass`` of the total activation mass.
+
+    Args:
+        n_neurons: Neuron count (e.g. ``d_ffn`` for an MLP layer).
+        rng: Seeded generator for shuffling and jitter.
+        hot_fraction: Fraction of neurons that should carry ``hot_mass``.
+        hot_mass: Activation mass the hot set carries (paper: 0.80).
+        mean_activation_rate: Average per-token activation probability
+            (paper: ~0.10 for OPT MLP layers).
+        shuffle: Randomly permute neuron ranks (real layers are not sorted).
+        jitter: Multiplicative log-normal noise on each probability.
+
+    Returns:
+        Array of shape ``(n_neurons,)`` with values in (0, 1].
+    """
+    if not 0.0 < mean_activation_rate < 1.0:
+        raise ValueError("mean_activation_rate must be in (0, 1)")
+    if hot_mass < hot_fraction:
+        raise ValueError("hot_mass must be >= hot_fraction")
+    # Feasibility: the hot set must be able to carry hot_mass of the total
+    # mass (n * rate) without any probability exceeding 1.
+    if mean_activation_rate * hot_mass > hot_fraction:
+        raise ValueError(
+            f"infeasible target: mean rate {mean_activation_rate} with "
+            f"{hot_fraction:.0%} of neurons carrying {hot_mass:.0%} of mass "
+            f"requires per-neuron probabilities above 1 "
+            f"(rate must be <= hot_fraction / hot_mass = "
+            f"{hot_fraction / hot_mass:.3f})"
+        )
+    noise = (
+        np.exp(rng.normal(0.0, jitter, size=n_neurons)) if jitter > 0 else 1.0
+    )
+
+    def share_for_alpha(alpha: float) -> tuple[float, np.ndarray]:
+        probs = _scale_to_mean(zipf_weights(n_neurons, alpha) * noise, mean_activation_rate)
+        return top_share(probs, hot_fraction), probs
+
+    lo, hi = 0.0, 12.0
+    probs = None
+    for _ in range(60):
+        mid = 0.5 * (lo + hi)
+        share, probs = share_for_alpha(mid)
+        if abs(share - hot_mass) < 1e-4:
+            break
+        if share < hot_mass:
+            lo = mid
+        else:
+            hi = mid
+    assert probs is not None
+    probs = np.clip(probs, 1e-6, 1.0)
+    if shuffle:
+        rng.shuffle(probs)
+    return probs
+
+
+def activation_cdf(frequencies: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """CDF of activation mass vs. neuron proportion (paper Figure 5 axes).
+
+    Returns ``(neuron_proportion, cumulative_activation_share)`` with
+    neurons sorted by descending frequency.
+    """
+    if frequencies.size == 0:
+        raise ValueError("frequencies must be non-empty")
+    ordered = np.sort(np.asarray(frequencies, dtype=np.float64))[::-1]
+    total = ordered.sum()
+    if total <= 0:
+        raise ValueError("frequencies must have positive mass")
+    cum = np.cumsum(ordered) / total
+    proportion = np.arange(1, ordered.size + 1) / ordered.size
+    return proportion, cum
+
+
+def neuron_fraction_for_mass(frequencies: np.ndarray, mass: float) -> float:
+    """Smallest neuron fraction whose activations cover ``mass`` of the total.
+
+    This is the statistic of Figure 5 ("26% of neurons account for 80% of
+    activations" -> returns 0.26 for mass=0.80).
+    """
+    if not 0.0 < mass <= 1.0:
+        raise ValueError("mass must be in (0, 1]")
+    proportion, cum = activation_cdf(frequencies)
+    idx = int(np.searchsorted(cum, mass))
+    idx = min(idx, proportion.size - 1)
+    return float(proportion[idx])

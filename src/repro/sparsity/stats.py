@@ -1,0 +1,90 @@
+"""Sparsity and skewness statistics over activation frequencies.
+
+These metrics drive two parts of the system: the adaptive predictor sizing
+(paper Section 5.1 keys predictor capacity off layer *sparsity* and
+*skewness*) and the hot/cold classification the solver starts from
+(Insight-1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "sparsity",
+    "gini",
+    "skewness",
+    "hot_neuron_mask",
+    "classify_hot_cold",
+]
+
+
+def sparsity(frequencies: np.ndarray, total_tokens: int | None = None) -> float:
+    """Average inactive fraction per token.
+
+    If ``frequencies`` are counts, ``total_tokens`` converts them to rates;
+    if they are already probabilities, omit it.
+    """
+    freq = np.asarray(frequencies, dtype=np.float64)
+    if freq.size == 0:
+        raise ValueError("frequencies must be non-empty")
+    rates = freq / total_tokens if total_tokens else freq
+    if (rates < 0).any() or (rates > 1).any():
+        raise ValueError("activation rates must lie in [0, 1]")
+    return float(1.0 - rates.mean())
+
+
+def gini(values: np.ndarray) -> float:
+    """Gini coefficient of a non-negative distribution (0=uniform, ->1=point).
+
+    Used as the layer skewness measure for adaptive predictor sizing.
+    """
+    v = np.sort(np.asarray(values, dtype=np.float64))
+    if v.size == 0:
+        raise ValueError("values must be non-empty")
+    if (v < 0).any():
+        raise ValueError("values must be non-negative")
+    total = v.sum()
+    if total == 0:
+        return 0.0
+    n = v.size
+    ranks = np.arange(1, n + 1)
+    g = (2.0 * (ranks * v).sum()) / (n * total) - (n + 1.0) / n
+    # Uniform inputs can land at -epsilon through float cancellation.
+    return float(max(g, 0.0))
+
+
+def skewness(frequencies: np.ndarray) -> float:
+    """Layer activation skewness in [0, 1) — alias for the Gini coefficient."""
+    return gini(frequencies)
+
+
+def hot_neuron_mask(frequencies: np.ndarray, mass: float = 0.80) -> np.ndarray:
+    """Boolean mask of the smallest neuron set covering ``mass`` activations.
+
+    This is the paper's hot/cold boundary: hot-activated neurons are the
+    consistently activated minority carrying >=80% of activation mass.
+    """
+    if not 0.0 < mass <= 1.0:
+        raise ValueError("mass must be in (0, 1]")
+    freq = np.asarray(frequencies, dtype=np.float64)
+    if freq.size == 0:
+        raise ValueError("frequencies must be non-empty")
+    total = freq.sum()
+    if total <= 0:
+        raise ValueError("frequencies must have positive mass")
+    order = np.argsort(freq)[::-1]
+    cum = np.cumsum(freq[order]) / total
+    k = int(np.searchsorted(cum, mass)) + 1
+    mask = np.zeros(freq.size, dtype=bool)
+    mask[order[:k]] = True
+    return mask
+
+
+def classify_hot_cold(
+    frequencies: np.ndarray, mass: float = 0.80
+) -> tuple[np.ndarray, np.ndarray]:
+    """Split neuron indices into (hot, cold) arrays by activation mass."""
+    mask = hot_neuron_mask(frequencies, mass)
+    idx = np.arange(mask.size)
+    return idx[mask], idx[~mask]

@@ -1,0 +1,35 @@
+"""Serving workloads and synthetic accuracy tasks."""
+
+from repro.workloads.prompts import (
+    ALPACA,
+    CHATGPT_PROMPTS,
+    PAPER_OUTPUT_LENGTHS,
+    PromptWorkload,
+    sample_requests,
+)
+from repro.workloads.sessions import SessionTurn, sample_session, simulate_session
+from repro.workloads.tasks import (
+    TASK_FAMILIES,
+    TaskInstance,
+    TaskSpec,
+    evaluate_agreement,
+    make_task,
+    score_choices,
+)
+
+__all__ = [
+    "ALPACA",
+    "CHATGPT_PROMPTS",
+    "PAPER_OUTPUT_LENGTHS",
+    "PromptWorkload",
+    "SessionTurn",
+    "TASK_FAMILIES",
+    "TaskInstance",
+    "TaskSpec",
+    "evaluate_agreement",
+    "make_task",
+    "sample_requests",
+    "sample_session",
+    "simulate_session",
+    "score_choices",
+]

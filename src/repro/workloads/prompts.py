@@ -1,0 +1,65 @@
+"""Synthetic serving workloads matching the paper's evaluation setup.
+
+Section 8.1: workloads come from ChatGPT-prompts and Alpaca — real dialog
+inputs with prompts sampled between 8 and 128 characters and responses of
+8, 128, or 512 tokens.  The experiments only consume (input length, output
+length, batch) tuples, so each dataset is modelled as a length
+distribution with the matching range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PromptWorkload", "CHATGPT_PROMPTS", "ALPACA", "PAPER_OUTPUT_LENGTHS", "sample_requests"]
+
+PAPER_OUTPUT_LENGTHS = (8, 128, 512)
+
+
+@dataclass(frozen=True)
+class PromptWorkload:
+    """A named distribution of prompt lengths (in tokens).
+
+    Attributes:
+        name: Workload identifier.
+        mean_input: Mean prompt length.
+        sigma: Log-normal shape parameter.
+        min_input / max_input: Clamp bounds (paper: 8..128).
+    """
+
+    name: str
+    mean_input: float
+    sigma: float = 0.5
+    min_input: int = 8
+    max_input: int = 128
+
+    def sample_input_lengths(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``n`` prompt lengths."""
+        if n <= 0:
+            raise ValueError("n must be positive")
+        mu = np.log(self.mean_input) - 0.5 * self.sigma**2
+        lengths = rng.lognormal(mu, self.sigma, size=n)
+        return np.clip(lengths, self.min_input, self.max_input).astype(int)
+
+
+# Conversational user prompts: short, chatty.
+CHATGPT_PROMPTS = PromptWorkload(name="chatgpt-prompts", mean_input=40, sigma=0.6)
+# Self-instruct instructions: somewhat longer and more uniform.
+ALPACA = PromptWorkload(name="alpaca", mean_input=64, sigma=0.4)
+
+
+def sample_requests(
+    workload: PromptWorkload,
+    n_requests: int,
+    output_len: int,
+    rng: np.random.Generator,
+) -> list[tuple[int, int]]:
+    """Sample ``(input_len, output_len)`` request tuples."""
+    if output_len <= 0:
+        raise ValueError("output_len must be positive")
+    return [
+        (int(length), output_len)
+        for length in workload.sample_input_lengths(n_requests, rng)
+    ]

@@ -1,0 +1,86 @@
+"""Multi-turn conversation sessions.
+
+The ChatGPT-prompts workload the paper serves is conversational: each turn's
+prompt rides on top of the accumulated dialogue context, so effective input
+lengths grow across a session while output lengths stay response-sized.
+:func:`sample_session` generates such a session; :func:`simulate_session`
+plays one through a performance engine and reports per-turn results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.base import PerfEngine
+from repro.engine.results import RequestResult
+from repro.workloads.prompts import PromptWorkload
+
+__all__ = ["SessionTurn", "sample_session", "simulate_session"]
+
+
+@dataclass(frozen=True)
+class SessionTurn:
+    """One turn of a conversation.
+
+    Attributes:
+        turn: 0-based turn index.
+        prompt_len: New user-prompt tokens this turn.
+        context_len: Accumulated dialogue tokens before this turn.
+        output_len: Response tokens to generate.
+    """
+
+    turn: int
+    prompt_len: int
+    context_len: int
+    output_len: int
+
+    @property
+    def input_len(self) -> int:
+        """Tokens the engine must process this turn (context + prompt)."""
+        return self.context_len + self.prompt_len
+
+
+def sample_session(
+    workload: PromptWorkload,
+    n_turns: int,
+    rng: np.random.Generator,
+    mean_output: int = 96,
+    max_context: int = 2048,
+) -> list[SessionTurn]:
+    """Sample a multi-turn session with accumulating context.
+
+    Output lengths are geometric-ish around ``mean_output``; the context is
+    truncated at ``max_context`` (sliding window), as serving systems do.
+    """
+    if n_turns <= 0:
+        raise ValueError("n_turns must be positive")
+    if mean_output <= 0:
+        raise ValueError("mean_output must be positive")
+    prompts = workload.sample_input_lengths(n_turns, rng)
+    turns: list[SessionTurn] = []
+    context = 0
+    for i in range(n_turns):
+        output = int(np.clip(rng.geometric(1.0 / mean_output), 4, 4 * mean_output))
+        turns.append(
+            SessionTurn(
+                turn=i,
+                prompt_len=int(prompts[i]),
+                context_len=context,
+                output_len=output,
+            )
+        )
+        context = min(context + int(prompts[i]) + output, max_context)
+    return turns
+
+
+def simulate_session(
+    engine: PerfEngine, turns: list[SessionTurn]
+) -> list[RequestResult]:
+    """Serve each turn of a session; returns per-turn timing results."""
+    if not turns:
+        raise ValueError("turns must be non-empty")
+    return [
+        engine.simulate_request(turn.input_len, turn.output_len) for turn in turns
+    ]

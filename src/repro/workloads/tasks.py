@@ -1,0 +1,99 @@
+"""Synthetic downstream tasks for the Table 2 accuracy experiment.
+
+The paper's Table 2 evaluates COPA / PIQA / Winogrande / RTE accuracy of
+original vs. sparse-predicted ("-sparse") models and finds negligible
+differences.  Without trained checkpoints, absolute task accuracy is not
+measurable; the *testable* core of the claim is that selectively omitting
+predicted-inactive neurons barely changes model outputs.  We therefore
+build four synthetic multiple-choice task families mirroring the originals'
+shapes (choice counts and prompt lengths) and score them the standard way —
+the model picks the candidate completion with the highest logit — comparing
+the dense model against its sparse-predicted counterpart:
+
+* **agreement**: fraction of instances where sparse and dense pick the
+  same answer (dense is the reference, so its own "accuracy" is 1.0);
+* **accuracy vs. dense labels**: identical to agreement but reported per
+  task family like Table 2's rows.
+
+See DESIGN.md's substitution table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.numerical import NumericalHybridEngine
+from repro.models.kvcache import KVCache
+from repro.models.transformer import Transformer
+
+__all__ = ["TaskSpec", "TaskInstance", "TASK_FAMILIES", "make_task", "score_choices", "evaluate_agreement"]
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """Shape of a multiple-choice task family."""
+
+    name: str
+    n_choices: int
+    prompt_len: int
+
+
+# Choice counts / prompt lengths loosely mirror the originals: COPA has two
+# alternatives with short premises; PIQA two longer solutions; Winogrande
+# binary with mid-length sentences; RTE binary entailment on pairs.
+TASK_FAMILIES = (
+    TaskSpec(name="copa-like", n_choices=2, prompt_len=10),
+    TaskSpec(name="piqa-like", n_choices=2, prompt_len=24),
+    TaskSpec(name="winogrande-like", n_choices=2, prompt_len=16),
+    TaskSpec(name="rte-like", n_choices=2, prompt_len=32),
+)
+
+
+@dataclass(frozen=True)
+class TaskInstance:
+    """One multiple-choice instance: a prompt plus candidate next tokens."""
+
+    prompt: np.ndarray  # token ids, shape (prompt_len,)
+    choices: np.ndarray  # candidate token ids, shape (n_choices,)
+
+
+def make_task(
+    spec: TaskSpec, n_instances: int, vocab_size: int, rng: np.random.Generator
+) -> list[TaskInstance]:
+    """Generate instances of a task family."""
+    if n_instances <= 0:
+        raise ValueError("n_instances must be positive")
+    instances = []
+    for _ in range(n_instances):
+        prompt = rng.integers(0, vocab_size, size=spec.prompt_len)
+        choices = rng.choice(vocab_size, size=spec.n_choices, replace=False)
+        instances.append(TaskInstance(prompt=prompt, choices=choices))
+    return instances
+
+
+def score_choices(logits: np.ndarray, choices: np.ndarray) -> int:
+    """Pick the highest-logit candidate; ``logits`` is the last position's
+    vocabulary distribution."""
+    return int(np.argmax(logits[choices]))
+
+
+def evaluate_agreement(
+    dense: Transformer,
+    sparse: NumericalHybridEngine,
+    instances: list[TaskInstance],
+) -> float:
+    """Fraction of instances where sparse execution picks the same answer
+    as dense execution (Table 2's sparse-vs-original comparison)."""
+    if not instances:
+        raise ValueError("instances must be non-empty")
+    agree = 0
+    for inst in instances:
+        dense_logits = dense.forward(inst.prompt, KVCache(dense.config))[-1]
+        sparse_logits = sparse.forward_logits(inst.prompt)[-1]
+        if score_choices(dense_logits, inst.choices) == score_choices(
+            sparse_logits, inst.choices
+        ):
+            agree += 1
+    return agree / len(instances)

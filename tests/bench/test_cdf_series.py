@@ -1,0 +1,35 @@
+"""Tests for the Figure 5 CDF curve extraction."""
+
+import numpy as np
+
+from repro.bench.fig05 import cdf_series
+
+
+class TestCdfSeries:
+    def test_curve_shapes(self):
+        series = cdf_series("opt-30b", points=15)
+        for label in ("single_layer", "whole_model"):
+            x = series[f"{label}_x"]
+            y = series[f"{label}_y"]
+            assert x.shape == y.shape == (15,)
+            # Monotone CDF reaching ~1 at neuron proportion 1.
+            assert (np.diff(y) >= -1e-12).all()
+            assert x[-1] == 1.0
+            assert y[-1] > 0.999
+
+    def test_whole_model_curve_dominates_layer_curve_past_head(self):
+        # Stronger concentration in the body of the distribution: beyond
+        # the extreme head (x >= 0.1, where per-neuron probabilities cap
+        # at 1 and curves may cross) the whole-model CDF has captured at
+        # least as much activation mass as a single layer's.
+        series = cdf_series("opt-30b", points=30)
+        layer = np.interp(
+            series["whole_model_x"], series["single_layer_x"], series["single_layer_y"]
+        )
+        body = series["whole_model_x"] >= 0.1
+        assert (series["whole_model_y"][body] >= layer[body] - 0.02).all()
+
+    def test_deterministic(self):
+        a = cdf_series("llama-70b", seed=4)
+        b = cdf_series("llama-70b", seed=4)
+        assert np.array_equal(a["single_layer_y"], b["single_layer_y"])

@@ -1,0 +1,55 @@
+"""Smoke tests for the cheap experiment drivers (shapes + schemas).
+
+The heavy drivers run once in ``benchmarks/``; these cover the inexpensive
+ones at unit-test speed plus the row schemas consumers (report formatting,
+EXPERIMENTS.md) rely on.
+"""
+
+from repro.bench.fig06 import run_fig06
+from repro.bench.fig09 import run_fig09_modeled
+from repro.bench.fig16 import run_fig16_measured, run_fig16_modeled
+
+
+class TestFig06Driver:
+    def test_row_schema(self):
+        rows = run_fig06(batch_sizes=(1, 64))
+        assert len(rows) == 4  # 2 blocks x 2 batches
+        for row in rows:
+            assert set(row) == {
+                "block",
+                "batch",
+                "load_then_execute_ms",
+                "direct_execute_ms",
+                "cpu_wins",
+            }
+
+    def test_custom_fractions(self):
+        rows = run_fig06(mlp_fraction=0.5, batch_sizes=(1,))
+        heavier = next(r for r in rows if r["block"] == "mlp")
+        light = run_fig06(mlp_fraction=0.05, batch_sizes=(1,))
+        lighter = next(r for r in light if r["block"] == "mlp")
+        assert heavier["direct_execute_ms"] > lighter["direct_execute_ms"]
+
+
+class TestFig09ModeledDriver:
+    def test_row_schema_and_monotonicity(self):
+        rows = run_fig09_modeled(sparsity_levels=(0.85, 0.95))
+        assert [r["sparsity"] for r in rows] == [0.85, 0.95]
+        assert rows[0]["mean_size_mb"] > rows[1]["mean_size_mb"]
+        for row in rows:
+            assert row["min_size_mb"] <= row["mean_size_mb"] <= row["max_size_mb"]
+
+
+class TestFig16Drivers:
+    def test_modeled_columns(self):
+        rows = run_fig16_modeled(sparsity_levels=(0.5,))
+        (row,) = rows
+        assert "cpu_csr_dynamic_ms" in row
+        assert row["cpu_csr_dynamic_ms"] > row["cpu_csr_ms"]
+
+    def test_measured_small_n_is_quick_and_sane(self):
+        rows = run_fig16_measured(n=128, sparsity_levels=(0.0, 0.95))
+        assert len(rows) == 2
+        for row in rows:
+            assert row["dense_us"] > 0
+            assert row["csr_dynamic_us"] > 0

@@ -1,0 +1,43 @@
+"""Tests for the paper-anchor reference data."""
+
+import pytest
+
+from repro.bench.paper_reference import PAPER_ANCHORS, anchor
+
+
+class TestAnchors:
+    def test_headline_values(self):
+        assert anchor("fp16.max_speedup.pc_high") == 11.69
+        assert anchor("int4.mean_tps.pc_high") == 13.20
+        assert anchor("a100.gap.powerinfer.input1") == 0.18
+
+    def test_unknown_key_lists_options(self):
+        with pytest.raises(KeyError, match="known"):
+            anchor("nonsense.key")
+
+    def test_every_anchor_is_documented(self):
+        for a in PAPER_ANCHORS.values():
+            assert a.source, a.key
+            assert a.description, a.key
+            assert a.unit, a.key
+
+    def test_fractions_are_valid(self):
+        for a in PAPER_ANCHORS.values():
+            if a.unit == "fraction":
+                assert 0.0 <= a.value <= 1.0, a.key
+
+    def test_keys_match_registry(self):
+        for key, a in PAPER_ANCHORS.items():
+            assert a.key == key
+
+    def test_consistency_pairs(self):
+        # Peak >= mean for speed anchors.
+        assert anchor("fp16.peak_tps.pc_high") >= anchor("fp16.mean_tps.pc_high")
+        assert anchor("int4.peak_tps.pc_high") >= anchor("int4.mean_tps.pc_high")
+        assert anchor("fp16.max_speedup.pc_high") >= anchor("fp16.mean_speedup.pc_high")
+        # Stage ablation is monotone.
+        assert (
+            anchor("ablation.po_speedup.opt30b")
+            < anchor("ablation.engine_speedup.opt30b")
+            < anchor("ablation.policy_speedup.opt30b")
+        )

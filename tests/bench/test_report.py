@@ -1,0 +1,59 @@
+"""Tests for the table formatter and bench runner plumbing."""
+
+import pytest
+
+from repro.bench.report import format_table
+from repro.bench.runner import ENGINE_CLASSES, cached_plan, make_engine
+
+
+class TestFormatTable:
+    def test_headers_and_rows_aligned(self):
+        rows = [
+            {"name": "a", "value": 1.25},
+            {"name": "bbbb", "value": 100.0},
+        ]
+        text = format_table(rows, "Title")
+        lines = text.splitlines()
+        assert lines[0] == "Title"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+        # All rows same width.
+        assert len({len(line) for line in lines[1:]}) == 1
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([])
+
+    def test_float_formatting(self):
+        text = format_table([{"x": 0.00123, "y": 123456.0, "z": 1.5}])
+        assert "0.00123" in text
+        assert "1.23e+05" in text or "123456" in text.replace(",", "")
+        assert "1.50" in text
+
+    def test_missing_keys_render_blank(self):
+        text = format_table([{"a": 1, "b": 2}, {"a": 3}])
+        assert text  # no KeyError
+
+
+class TestRunner:
+    def test_engine_registry_complete(self):
+        assert set(ENGINE_CLASSES) == {
+            "powerinfer",
+            "llama.cpp",
+            "flexgen",
+            "dejavu-um",
+            "vllm",
+            "+PO",
+        }
+
+    def test_cached_plan_is_cached(self):
+        a = cached_plan("opt-6.7b", "pc-high", "fp16", "none", 0)
+        b = cached_plan("opt-6.7b", "pc-high", "fp16", "none", 0)
+        assert a is b
+
+    def test_make_engine_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_engine("ghost-engine", "opt-6.7b", "pc-high")
+
+    def test_make_engine_builds(self):
+        engine = make_engine("llama.cpp", "opt-6.7b", "pc-high")
+        assert engine.name == "llama.cpp"

@@ -1,0 +1,89 @@
+"""Shared fixtures for the test suite.
+
+Heavy artifacts (numpy models, deployment plans) are session-scoped; tests
+must not mutate them.  ``mini_*`` fixtures are scaled-down paper-style
+configurations sized so the full offline pipeline (profile -> predictors ->
+ILP -> plan) runs in well under a second.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import build_plan
+from repro.hardware.spec import GIB, PC_HIGH, MachineSpec
+from repro.models.config import ModelConfig, tiny_config
+from repro.models.transformer import Transformer
+from repro.models.weights import init_weights
+from repro.quant.formats import FP16
+from repro.sparsity.powerlaw import synthesize_activation_probs
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)
+
+
+# ---- numerical substrate -----------------------------------------------------
+
+
+@pytest.fixture(scope="session")
+def tiny_cfg() -> ModelConfig:
+    return tiny_config(n_layers=2, d_model=64, d_ffn=256, vocab_size=256)
+
+
+@pytest.fixture(scope="session")
+def tiny_model(tiny_cfg) -> Transformer:
+    """A small ReLU transformer with power-law activation biases."""
+    gen = np.random.default_rng(1234)
+    probs = [
+        synthesize_activation_probs(tiny_cfg.d_ffn, gen, mean_activation_rate=0.15)
+        for _ in range(tiny_cfg.n_layers)
+    ]
+    return Transformer(init_weights(tiny_cfg, gen, activation_probs=probs))
+
+
+# ---- performance substrate ---------------------------------------------------
+
+
+@pytest.fixture(scope="session")
+def mini_model() -> ModelConfig:
+    """A paper-style (but small) dense model for fast plan building.
+
+    Sized so that per-layer sparse compute time (~100 us on the mini
+    machine's CPU) exceeds the synchronization overhead — the regime the
+    paper's machines operate in, where intra-layer hybrid execution pays
+    off.  A much smaller model would (correctly) make layer-level
+    offloading the better design.
+    """
+    return ModelConfig(
+        name="mini-opt",
+        n_layers=8,
+        d_model=2048,
+        d_ffn=8192,
+        n_heads=16,
+        vocab_size=4096,
+    )
+
+
+@pytest.fixture(scope="session")
+def mini_machine() -> MachineSpec:
+    """PC-High scaled down so mini_model (~800 MB) spans GPU + CPU."""
+    gpu = dataclasses.replace(PC_HIGH.gpu, memory_capacity=0.25 * GIB)
+    cpu = dataclasses.replace(PC_HIGH.cpu, memory_capacity=2.0 * GIB)
+    return dataclasses.replace(PC_HIGH, gpu=gpu, cpu=cpu, name="mini-pc")
+
+
+@pytest.fixture(scope="session")
+def mini_plan(mini_model, mini_machine):
+    """A solved ILP deployment plan for the mini model."""
+    return build_plan(mini_model, mini_machine, FP16, policy="ilp", seed=0)
+
+
+@pytest.fixture(scope="session")
+def mini_plan_none(mini_model, mini_machine):
+    """A no-placement plan (baselines)."""
+    return build_plan(mini_model, mini_machine, FP16, policy="none", seed=0)

@@ -1,0 +1,81 @@
+"""Tests for the roofline analysis module."""
+
+import pytest
+
+from repro.analysis.roofline import throughput_bounds
+from repro.hardware.spec import A100_SERVER, PC_HIGH, PC_LOW
+from repro.models.config import OPT_30B, OPT_66B
+from repro.quant.formats import FP16, INT4
+
+
+class TestBoundsStructure:
+    def test_ordering_of_bounds(self):
+        b = throughput_bounds(OPT_30B, PC_HIGH)
+        # Dense hybrid is the worst; oracle sparse is the ceiling.
+        assert b.dense_hybrid < b.dense_gpu_only
+        assert b.sparse_hybrid <= b.oracle_gpu_sparse
+        assert b.sparse_hybrid > b.dense_hybrid
+
+    def test_matches_des_llamacpp(self):
+        # The dense-hybrid bound should land near the simulated llama.cpp
+        # decode rate (1/678 ms ~ 1.5 tokens/s for OPT-30B on PC-High).
+        b = throughput_bounds(OPT_30B, PC_HIGH)
+        assert b.dense_hybrid == pytest.approx(1.5, rel=0.3)
+
+    def test_matches_des_powerinfer(self):
+        # Sparse-hybrid should land near the simulated ~20 tokens/s.
+        b = throughput_bounds(OPT_30B, PC_HIGH, hot_capture=0.88)
+        assert 10 < b.sparse_hybrid < 40
+
+    def test_bigger_model_is_slower(self):
+        small = throughput_bounds(OPT_30B, PC_HIGH)
+        big = throughput_bounds(OPT_66B, PC_HIGH)
+        for field in ("dense_gpu_only", "dense_hybrid", "sparse_hybrid"):
+            assert getattr(big, field) < getattr(small, field)
+
+    def test_better_machine_is_faster(self):
+        low = throughput_bounds(OPT_30B, PC_LOW)
+        high = throughput_bounds(OPT_30B, PC_HIGH)
+        assert high.sparse_hybrid > low.sparse_hybrid
+        a100 = throughput_bounds(OPT_30B, A100_SERVER, gpu_weight_fraction=1.0)
+        assert a100.dense_gpu_only > high.dense_gpu_only
+
+    def test_int4_faster_than_fp16(self):
+        fp16 = throughput_bounds(OPT_30B, PC_HIGH, dtype=FP16)
+        int4 = throughput_bounds(OPT_30B, PC_HIGH, dtype=INT4)
+        assert int4.sparse_hybrid > fp16.sparse_hybrid
+
+
+class TestKnobs:
+    def test_hot_capture_limited_by_gpu_fraction(self):
+        # A GPU too small to hold the active set caps the capture.
+        b = throughput_bounds(
+            OPT_30B, PC_HIGH, hot_capture=1.0, gpu_weight_fraction=0.01
+        )
+        assert b.sparse_hybrid < throughput_bounds(
+            OPT_30B, PC_HIGH, hot_capture=1.0, gpu_weight_fraction=0.5
+        ).sparse_hybrid
+
+    def test_denser_activation_is_slower(self):
+        sparse = throughput_bounds(OPT_30B, PC_HIGH, mlp_active_rate=0.05)
+        dense = throughput_bounds(OPT_30B, PC_HIGH, mlp_active_rate=0.5)
+        assert dense.sparse_hybrid < sparse.sparse_hybrid
+        assert dense.active_fraction > sparse.active_fraction
+
+    def test_as_rows(self):
+        rows = throughput_bounds(OPT_30B, PC_HIGH).as_rows()
+        assert len(rows) == 4
+        assert {r["bound"] for r in rows} == {
+            "dense_gpu_only",
+            "dense_hybrid",
+            "sparse_hybrid",
+            "oracle_gpu_sparse",
+        }
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            throughput_bounds(OPT_30B, PC_HIGH, mlp_active_rate=0.0)
+        with pytest.raises(ValueError):
+            throughput_bounds(OPT_30B, PC_HIGH, hot_capture=1.5)
+        with pytest.raises(ValueError):
+            throughput_bounds(OPT_30B, PC_HIGH, gpu_weight_fraction=2.0)

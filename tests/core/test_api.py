@@ -1,0 +1,58 @@
+"""Tests for the PowerInfer facade."""
+
+import pytest
+
+from repro.core.api import PowerInfer
+from repro.quant.formats import FP16
+
+
+@pytest.fixture(scope="module")
+def system(mini_plan):
+    return PowerInfer(mini_plan)
+
+
+class TestDeploy:
+    def test_deploy_builds_plan_and_engine(self, mini_model, mini_machine):
+        system = PowerInfer.deploy(mini_model, mini_machine, dtype=FP16)
+        assert system.plan.model is mini_model
+        assert system.engine.name == "powerinfer"
+
+    def test_generate_returns_result(self, system):
+        result = system.generate(input_len=8, output_len=16)
+        assert result.tokens_per_second > 0
+        assert result.model == "mini-opt"
+
+    def test_memory_report(self, system):
+        report = system.memory_report()
+        assert report.gpu_used > 0
+        assert report.cpu_used > 0
+
+    def test_gpu_load_share_in_unit_interval(self, system):
+        assert 0.0 < system.gpu_load_share() <= 1.0
+
+    def test_batch_load_share_grows(self, system):
+        # Batching unions activations: GPU-resident hot neurons saturate
+        # while the cold tail grows, so the GPU share falls.
+        assert system.gpu_load_share(batch=32) < system.gpu_load_share(batch=1)
+
+    def test_custom_engine_injection(self, mini_plan_none):
+        from repro.engine.baselines import LlamaCppEngine
+
+        system = PowerInfer(mini_plan_none, engine=LlamaCppEngine(mini_plan_none))
+        assert system.generate(4, 4).engine == "llama.cpp"
+
+
+class TestPublicApi:
+    def test_top_level_imports(self):
+        import repro
+
+        assert repro.PowerInfer is PowerInfer
+        assert repro.OPT_30B.name == "opt-30b"
+        assert repro.PC_HIGH.name == "pc-high"
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None

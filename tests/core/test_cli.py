@@ -1,0 +1,93 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import FIGURES, main
+
+
+class TestListing:
+    def test_models_lists_presets(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "opt-30b" in out and "llama-70b" in out
+
+    def test_machines_lists_presets(self, capsys):
+        assert main(["machines"]) == 0
+        out = capsys.readouterr().out
+        assert "pc-high" in out and "rtx4090" in out
+
+
+class TestSimulate:
+    def test_simulate_prints_tokens_per_second(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--model", "opt-6.7b",
+                "--machine", "pc-low",
+                "--dtype", "int4",
+                "--input", "16",
+                "--output", "32",
+            ]
+        )
+        assert code == 0
+        assert "tokens/s" in capsys.readouterr().out
+
+    def test_simulate_named_engine(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--model", "opt-6.7b",
+                "--machine", "pc-low",
+                "--dtype", "int4",
+                "--engine", "llama.cpp",
+            ]
+        )
+        assert code == 0
+        assert "llama.cpp" in capsys.readouterr().out
+
+    def test_oom_is_a_clean_error(self, capsys):
+        code = main(
+            ["simulate", "--model", "opt-175b", "--machine", "pc-low",
+             "--dtype", "fp16"]
+        )
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_engine_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--model", "opt-6.7b", "--machine", "pc-low",
+                  "--engine", "ghost"])
+
+
+class TestPlan:
+    def test_plan_saved_and_loadable(self, tmp_path, capsys):
+        out = tmp_path / "plan.npz"
+        code = main(
+            [
+                "plan",
+                "--model", "opt-6.7b",
+                "--machine", "pc-low",
+                "--dtype", "int4",
+                "--policy", "greedy",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        assert out.exists()
+        from repro.engine.plan_io import load_plan
+
+        assert load_plan(out).model.name == "opt-6.7b"
+
+
+class TestFigure:
+    def test_registry_covers_every_experiment(self):
+        assert len(FIGURES) == 22  # 16 paper experiments + 6 ablations
+
+    def test_figure_runs_and_prints_table(self, capsys):
+        assert main(["figure", "fig06"]) == 0
+        out = capsys.readouterr().out
+        assert "direct_execute_ms" in out
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "fig99"])

@@ -1,0 +1,76 @@
+"""Tests for the serve/bounds CLI subcommands and example hygiene."""
+
+import pathlib
+import py_compile
+
+import pytest
+
+from repro.cli import main
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parents[2] / "examples").glob("*.py")
+)
+
+
+class TestServeCommand:
+    def test_serve_reports_latency(self, capsys):
+        code = main(
+            [
+                "serve",
+                "--model", "opt-6.7b",
+                "--machine", "pc-low",
+                "--dtype", "int4",
+                "--rate", "0.2",
+                "--requests", "8",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "p50 latency" in out
+        assert "utilization" in out
+
+    def test_serve_with_baseline_engine(self, capsys):
+        code = main(
+            [
+                "serve",
+                "--model", "opt-6.7b",
+                "--machine", "pc-low",
+                "--dtype", "int4",
+                "--engine", "llama.cpp",
+                "--requests", "5",
+            ]
+        )
+        assert code == 0
+        assert "llama.cpp" in capsys.readouterr().out
+
+
+class TestBoundsCommand:
+    def test_bounds_prints_four_rows(self, capsys):
+        code = main(["bounds", "--model", "opt-30b", "--machine", "pc-high"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for bound in ("dense_gpu_only", "dense_hybrid", "sparse_hybrid", "oracle"):
+            assert bound in out
+
+    def test_bounds_int4(self, capsys):
+        code = main(
+            ["bounds", "--model", "opt-175b", "--machine", "pc-high", "--dtype", "int4"]
+        )
+        assert code == 0
+
+
+class TestExamples:
+    def test_examples_exist(self):
+        names = {p.name for p in EXAMPLES}
+        assert "quickstart.py" in names
+        assert len(EXAMPLES) >= 3, "the paper repro ships >= 3 examples"
+
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+    def test_examples_compile(self, path):
+        py_compile.compile(str(path), doraise=True)
+
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+    def test_examples_have_main_guard_and_docstring(self, path):
+        source = path.read_text()
+        assert '__name__ == "__main__"' in source
+        assert source.lstrip().startswith(("#!", '"""'))

@@ -1,0 +1,87 @@
+"""Tests for the offline pipeline (build_plan)."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import build_plan
+from repro.hardware.memory import OutOfMemoryError
+from repro.quant.formats import FP16, INT4
+
+
+class TestBuildPlan:
+    def test_ilp_plan_fills_gpu(self, mini_model, mini_machine):
+        plan = build_plan(mini_model, mini_machine, FP16, policy="ilp")
+        report = plan.memory_report()
+        # GPU should be substantially used (hot neurons + predictors).
+        assert report.gpu_fraction > 0.5
+        assert plan.gpu_neuron_load_share() > 0.3
+
+    def test_none_policy_places_nothing(self, mini_plan_none):
+        assert mini_plan_none.gpu_weight_bytes == 0.0
+        assert mini_plan_none.gpu_neuron_load_share() == 0.0
+
+    def test_greedy_close_to_ilp(self, mini_model, mini_machine, mini_plan):
+        greedy = build_plan(mini_model, mini_machine, FP16, policy="greedy")
+        assert greedy.gpu_neuron_load_share() == pytest.approx(
+            mini_plan.gpu_neuron_load_share(), abs=0.15
+        )
+
+    def test_unknown_policy_rejected(self, mini_model, mini_machine):
+        with pytest.raises(ValueError, match="policy"):
+            build_plan(mini_model, mini_machine, FP16, policy="magic")
+
+    def test_oversized_model_rejected(self, mini_model, mini_machine):
+        cramped = dataclasses.replace(
+            mini_machine,
+            cpu=mini_machine.cpu.with_memory_capacity(0.1 * 2**30),
+        )
+        with pytest.raises(OutOfMemoryError):
+            build_plan(mini_model, cramped, FP16, policy="none")
+
+    def test_int4_frees_capacity(self, mini_model, mini_machine):
+        fp16 = build_plan(mini_model, mini_machine, FP16, policy="ilp")
+        int4 = build_plan(mini_model, mini_machine, INT4, policy="ilp")
+        # In INT4, more neurons fit the same GPU: load share can only grow.
+        assert int4.gpu_neuron_load_share() >= fp16.gpu_neuron_load_share() - 0.01
+
+    def test_predictor_bytes_sized_per_layer(self, mini_plan):
+        assert len(mini_plan.predictor_bytes) == mini_plan.model.n_layers
+        assert all(b > 0 for b in mini_plan.predictor_bytes)
+        # Denser early layers need bigger predictors (depth ramp).
+        assert mini_plan.predictor_bytes[0] > mini_plan.predictor_bytes[-1]
+
+    def test_custom_probs_respected(self, mini_model, mini_machine, rng):
+        mlp = [np.full(mini_model.d_ffn, 0.05) for _ in range(mini_model.n_layers)]
+        attn = [np.full(mini_model.n_heads, 0.5) for _ in range(mini_model.n_layers)]
+        plan = build_plan(
+            mini_model, mini_machine, FP16, policy="none", mlp_probs=mlp, attn_probs=attn
+        )
+        assert plan.mlp_probs[0][0] == 0.05
+
+    def test_deterministic_given_seed(self, mini_model, mini_machine):
+        a = build_plan(mini_model, mini_machine, FP16, policy="ilp", seed=3)
+        b = build_plan(mini_model, mini_machine, FP16, policy="ilp", seed=3)
+        assert all(
+            np.array_equal(x, y) for x, y in zip(a.mlp_gpu_masks, b.mlp_gpu_masks)
+        )
+
+
+class TestPaperScaleFit:
+    """Memory-feasibility outcomes the paper reports (slow-ish: real ILP)."""
+
+    def test_opt175b_fp16_does_not_fit_pc_high(self):
+        from repro.hardware.spec import PC_HIGH
+        from repro.models.config import OPT_175B
+
+        with pytest.raises(OutOfMemoryError):
+            build_plan(OPT_175B, PC_HIGH, FP16, policy="none")
+
+    def test_opt175b_int4_fits_pc_high_but_not_pc_low(self):
+        from repro.hardware.spec import PC_HIGH, PC_LOW
+        from repro.models.config import OPT_175B
+
+        build_plan(OPT_175B, PC_HIGH, INT4, policy="none")  # must not raise
+        with pytest.raises(OutOfMemoryError):
+            build_plan(OPT_175B, PC_LOW, INT4, policy="none")

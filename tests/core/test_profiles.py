@@ -1,0 +1,60 @@
+"""Tests for per-model sparsity profiles."""
+
+import numpy as np
+import pytest
+
+from repro.core.profiles import profile_for_model, synthesize_model_probs
+from repro.models.config import LLAMA_70B, OPT_30B, tiny_config
+from repro.sparsity.powerlaw import neuron_fraction_for_mass
+
+
+class TestProfileSelection:
+    def test_relu_models_share_profile(self):
+        from repro.models.config import FALCON_40B
+
+        assert profile_for_model(OPT_30B) is profile_for_model(FALCON_40B)
+
+    def test_reglu_gets_denser_profile(self):
+        relu = profile_for_model(OPT_30B)
+        reglu = profile_for_model(LLAMA_70B)
+        assert reglu.mlp_rate > relu.mlp_rate
+        assert reglu.mlp_hot_fraction > relu.mlp_hot_fraction
+
+
+class TestSynthesis:
+    @pytest.fixture(scope="class")
+    def small(self):
+        return tiny_config(n_layers=6, d_ffn=2048, n_heads=8, d_model=512)
+
+    def test_shapes(self, small, rng):
+        mlp, attn = synthesize_model_probs(small, rng)
+        assert len(mlp) == len(attn) == small.n_layers
+        assert all(p.shape == (small.d_ffn,) for p in mlp)
+        assert all(p.shape == (small.n_heads,) for p in attn)
+
+    def test_depth_ramp_makes_late_layers_sparser(self, small, rng):
+        mlp, _ = synthesize_model_probs(small, rng)
+        assert mlp[0].mean() > mlp[-1].mean() * 2
+
+    def test_layer_hot_fraction_calibrated(self, small, rng):
+        mlp, _ = synthesize_model_probs(small, rng)
+        prof = profile_for_model(small)
+        for probs in mlp:
+            frac = neuron_fraction_for_mass(probs, prof.mlp_hot_mass)
+            assert frac == pytest.approx(prof.mlp_hot_fraction, abs=0.03)
+
+    def test_whole_model_more_concentrated_than_layer(self, small, rng):
+        mlp, _ = synthesize_model_probs(small, rng)
+        layer_frac = neuron_fraction_for_mass(mlp[small.n_layers // 2], 0.8)
+        whole_frac = neuron_fraction_for_mass(np.concatenate(mlp), 0.8)
+        assert whole_frac < layer_frac
+
+    def test_all_probabilities_valid(self, small, rng):
+        mlp, attn = synthesize_model_probs(small, rng)
+        for probs in mlp + attn:
+            assert (probs > 0).all() and (probs <= 1).all()
+
+    def test_deterministic(self, small):
+        a_mlp, _ = synthesize_model_probs(small, np.random.default_rng(2))
+        b_mlp, _ = synthesize_model_probs(small, np.random.default_rng(2))
+        assert all(np.array_equal(a, b) for a, b in zip(a_mlp, b_mlp))

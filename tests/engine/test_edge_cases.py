@@ -1,0 +1,128 @@
+"""Failure-injection and boundary-condition tests across the engine stack."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.engine.plan import DeploymentPlan
+from repro.engine.powerinfer import PowerInferEngine
+from repro.hardware.spec import PC_HIGH
+from repro.models.config import ModelConfig
+from repro.quant.formats import FP16
+
+
+def plan_with(model, mlp_probs_value, gpu_frac, machine=PC_HIGH, attn_probs_value=0.5):
+    n = model.n_layers
+    mlp_probs = [np.full(model.d_ffn, mlp_probs_value) for _ in range(n)]
+    attn_probs = [np.full(model.n_heads, attn_probs_value) for _ in range(n)]
+    mlp_masks = []
+    attn_masks = []
+    for _ in range(n):
+        m = np.zeros(model.d_ffn, dtype=bool)
+        m[: int(gpu_frac * model.d_ffn)] = True
+        mlp_masks.append(m)
+        a = np.zeros(model.n_heads, dtype=bool)
+        a[: int(gpu_frac * model.n_heads)] = True
+        attn_masks.append(a)
+    return DeploymentPlan(
+        model=model,
+        machine=machine,
+        dtype=FP16,
+        mlp_probs=mlp_probs,
+        attn_probs=attn_probs,
+        mlp_gpu_masks=mlp_masks,
+        attn_gpu_masks=attn_masks,
+        predictor_bytes=[1000.0] * n,
+    )
+
+
+@pytest.fixture(scope="module")
+def small_model():
+    return ModelConfig(
+        name="edge", n_layers=2, d_model=128, d_ffn=512, n_heads=4, vocab_size=256
+    )
+
+
+class TestDegenerateActivations:
+    def test_zero_activation_probability(self, small_model):
+        # A (hypothetical) fully inactive model still produces a schedule:
+        # predictors, merges, and the LM head run; neuron ops are empty.
+        plan = plan_with(small_model, 0.0, gpu_frac=0.5, attn_probs_value=0.0)
+        result = PowerInferEngine(plan).simulate_request(4, 4)
+        assert result.tokens_per_second > 0
+
+    def test_fully_dense_activation(self, small_model):
+        plan = plan_with(small_model, 1.0, gpu_frac=0.5)
+        sparse_plan = plan_with(small_model, 0.05, gpu_frac=0.5)
+        dense_t = PowerInferEngine(plan).simulate_request(4, 8)
+        sparse_t = PowerInferEngine(sparse_plan).simulate_request(4, 8)
+        assert sparse_t.tokens_per_second > dense_t.tokens_per_second
+
+    def test_single_layer_model(self):
+        model = ModelConfig(
+            name="one", n_layers=1, d_model=128, d_ffn=512, n_heads=4, vocab_size=128
+        )
+        plan = plan_with(model, 0.1, gpu_frac=0.5)
+        result = PowerInferEngine(plan).simulate_request(4, 4)
+        assert result.total_time > 0
+
+    def test_sampled_mode_with_extreme_probs(self, small_model, rng):
+        plan = plan_with(small_model, 1.0, gpu_frac=0.0)
+        result = PowerInferEngine(plan).simulate_request(4, 4, rng=rng)
+        assert result.total_time > 0
+
+
+class TestExtremeShapes:
+    def test_batch_1024(self, small_model):
+        plan = plan_with(small_model, 0.1, gpu_frac=0.5)
+        engine = PowerInferEngine(plan)
+        r = engine.simulate_request(4, 4, batch=1024)
+        assert np.isfinite(r.tokens_per_second)
+
+    def test_very_long_context(self, small_model):
+        plan = plan_with(small_model, 0.1, gpu_frac=0.5)
+        engine = PowerInferEngine(plan)
+        short = engine.simulate_iteration(1, 1).makespan
+        long = engine.simulate_iteration(100_000, 1).makespan
+        assert long > short
+
+    def test_single_token_output(self, small_model):
+        plan = plan_with(small_model, 0.1, gpu_frac=0.5)
+        r = PowerInferEngine(plan).simulate_request(1, 1)
+        assert r.decode_time > 0
+
+    def test_decode_samples_capped_by_output(self, small_model):
+        plan = plan_with(small_model, 0.1, gpu_frac=0.5)
+        r = PowerInferEngine(plan).simulate_request(4, 2, decode_samples=10)
+        assert r.total_time > 0
+
+
+class TestDegenerateMachines:
+    def test_equal_cpu_gpu_bandwidth_disables_gpu_advantage(self, small_model):
+        from repro.solver.ilp import communication_threshold
+        from repro.solver.placement import NeuronGroup
+
+        slow_gpu = dataclasses.replace(
+            PC_HIGH,
+            gpu=dataclasses.replace(
+                PC_HIGH.gpu, memory_bandwidth=PC_HIGH.cpu.memory_bandwidth,
+                memory_efficiency=PC_HIGH.cpu.memory_efficiency,
+            ),
+        )
+        group = NeuronGroup(
+            name="g", impacts=np.ones(16), neuron_bytes=1e6
+        )
+        # No bandwidth advantage -> syncing is never worth it -> C_l == 0
+        # sentinel (placement on "GPU" pointless but harmless).
+        assert communication_threshold(group, slow_gpu) == 0
+
+    def test_zero_latency_link(self, small_model):
+        instant = dataclasses.replace(
+            PC_HIGH, link=dataclasses.replace(PC_HIGH.link, latency=0.0)
+        )
+        plan = plan_with(small_model, 0.1, gpu_frac=0.5, machine=instant)
+        base_plan = plan_with(small_model, 0.1, gpu_frac=0.5)
+        fast = PowerInferEngine(plan).simulate_request(4, 8)
+        slow = PowerInferEngine(base_plan).simulate_request(4, 8)
+        assert fast.total_time <= slow.total_time

@@ -1,0 +1,132 @@
+"""Tests for per-device compact neuron stores (Section 5.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.engine.neuron_store import DeviceSlice, PartitionedMlp
+from repro.models.config import Activation, tiny_config
+from repro.models.weights import init_weights
+
+
+@pytest.fixture
+def layer(rng):
+    cfg = tiny_config(d_model=32, d_ffn=128, n_layers=1)
+    return init_weights(cfg, rng).layers[0]
+
+
+def dense_mlp(layer, x, activation=Activation.RELU):
+    pre = x @ layer.fc1.T + layer.fc1_bias
+    hidden = np.maximum(pre, 0.0)
+    if activation == Activation.REGLU:
+        hidden = hidden * (x @ layer.gate.T)
+    return hidden @ layer.fc2.T
+
+
+class TestDeviceSlice:
+    def test_local_positions_map_back(self, layer, rng):
+        mask = rng.random(128) < 0.5
+        part = PartitionedMlp(layer, mask)
+        gpu = part.slices["gpu"]
+        originals = gpu.indices[:5]
+        local = gpu.local_positions(originals)
+        assert np.array_equal(gpu.indices[local], originals)
+
+    def test_foreign_indices_dropped(self, layer, rng):
+        mask = np.zeros(128, dtype=bool)
+        mask[:64] = True
+        part = PartitionedMlp(layer, mask)
+        cpu_indices = part.slices["cpu"].indices
+        assert part.slices["gpu"].local_positions(cpu_indices).size == 0
+
+    def test_nbytes_accounts_weights_and_table(self, layer):
+        mask = np.zeros(128, dtype=bool)
+        mask[:32] = True
+        part = PartitionedMlp(layer, mask)
+        sizes = part.device_bytes()
+        # GPU holds 32 of 128 neurons: ~1/4 of the weight bytes.
+        assert sizes["gpu"] < sizes["cpu"]
+        assert sizes["gpu"] > 0
+
+    def test_shape_validation(self, layer):
+        with pytest.raises(ValueError):
+            DeviceSlice(
+                name="bad",
+                indices=np.arange(3),
+                fc1=layer.fc1[:2],
+                fc1_bias=layer.fc1_bias[:3],
+                fc2=layer.fc2[:, :3],
+            )
+
+
+class TestPartitionedForward:
+    def test_oracle_mask_matches_dense(self, layer, rng):
+        mask = rng.random(128) < 0.4
+        part = PartitionedMlp(layer, mask)
+        x = rng.standard_normal((5, 32)).astype(np.float32)
+        true_mask = (x @ layer.fc1.T + layer.fc1_bias) > 0
+        out = part.forward(x, true_mask)
+        assert np.allclose(out, dense_mlp(layer, x), atol=1e-4)
+
+    def test_all_on_one_device(self, layer, rng):
+        x = rng.standard_normal((3, 32)).astype(np.float32)
+        true_mask = (x @ layer.fc1.T + layer.fc1_bias) > 0
+        for gpu_frac in (np.zeros(128, dtype=bool), np.ones(128, dtype=bool)):
+            part = PartitionedMlp(layer, gpu_frac)
+            assert np.allclose(
+                part.forward(x, true_mask), dense_mlp(layer, x), atol=1e-4
+            )
+
+    def test_1d_input(self, layer, rng):
+        mask = rng.random(128) < 0.5
+        part = PartitionedMlp(layer, mask)
+        x = rng.standard_normal(32).astype(np.float32)
+        true_mask = (x @ layer.fc1.T + layer.fc1_bias) > 0
+        out = part.forward(x, true_mask)
+        assert out.shape == (32,)
+        assert np.allclose(out, dense_mlp(layer, x), atol=1e-4)
+
+    def test_empty_prediction_gives_zero(self, layer, rng):
+        part = PartitionedMlp(layer, rng.random(128) < 0.5)
+        x = rng.standard_normal((2, 32)).astype(np.float32)
+        out = part.forward(x, np.zeros((2, 128), dtype=bool))
+        assert (out == 0).all()
+
+    def test_reglu(self, rng):
+        cfg = tiny_config(d_model=32, d_ffn=128, n_layers=1, activation=Activation.REGLU)
+        layer = init_weights(cfg, rng).layers[0]
+        part = PartitionedMlp(layer, rng.random(128) < 0.5, activation=Activation.REGLU)
+        x = rng.standard_normal((4, 32)).astype(np.float32)
+        true_mask = (x @ layer.fc1.T + layer.fc1_bias) > 0
+        assert np.allclose(
+            part.forward(x, true_mask),
+            dense_mlp(layer, x, Activation.REGLU),
+            atol=1e-4,
+        )
+
+    def test_reglu_requires_gate(self, layer):
+        with pytest.raises(ValueError, match="gate"):
+            PartitionedMlp(layer, np.zeros(128, dtype=bool), activation=Activation.REGLU)
+
+    def test_bad_mask_rejected(self, layer):
+        with pytest.raises(ValueError):
+            PartitionedMlp(layer, np.zeros(100, dtype=bool))
+
+    @given(split_seed=st.integers(0, 1000), frac=st.floats(0.0, 1.0))
+    @settings(
+        max_examples=25,
+        deadline=None,
+        # The layer fixture is read-only; reuse across examples is safe.
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_split_never_changes_result(self, layer, split_seed, frac):
+        # Property: the GPU/CPU split is an implementation detail — any
+        # partition yields the same output for the same prediction mask.
+        gen = np.random.default_rng(split_seed)
+        mask = gen.random(128) < frac
+        part = PartitionedMlp(layer, mask)
+        x = gen.standard_normal((2, 32)).astype(np.float32)
+        pred = gen.random((2, 128)) < 0.3
+        reference = PartitionedMlp(layer, np.zeros(128, dtype=bool)).forward(x, pred)
+        assert np.allclose(part.forward(x, pred), reference, atol=1e-4)

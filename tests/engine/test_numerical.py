@@ -1,0 +1,150 @@
+"""Tests for the numerical hybrid engine — the correctness core.
+
+Key invariant (paper Section 8.4): with *oracle* activation prediction,
+sparse hybrid execution is exact, because inactive ReLU neurons contribute
+exactly zero.  With trained predictors, only missed activations perturb
+the output.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine.numerical import NumericalHybridEngine
+from repro.models.config import Activation, tiny_config
+from repro.models.kvcache import KVCache
+from repro.models.transformer import Transformer
+from repro.models.weights import init_weights
+from repro.predictor.mlp import MlpPredictor
+from repro.solver.placement import NeuronGroup, PlacementPolicy
+from repro.sparsity.powerlaw import synthesize_activation_probs
+
+
+@pytest.fixture
+def oracle_engine(tiny_model, tiny_cfg):
+    return NumericalHybridEngine(tiny_model, [None] * tiny_cfg.n_layers)
+
+
+def make_policy(cfg, rng, gpu_frac=0.5):
+    groups = []
+    masks = []
+    for li in range(cfg.n_layers):
+        groups.append(
+            NeuronGroup(
+                name=f"layer{li}.mlp",
+                impacts=rng.random(cfg.d_ffn),
+                neuron_bytes=float(cfg.mlp_neuron_params * 2),
+            )
+        )
+        mask = np.zeros(cfg.d_ffn, dtype=bool)
+        mask[rng.choice(cfg.d_ffn, size=int(gpu_frac * cfg.d_ffn), replace=False)] = True
+        masks.append(mask)
+    return PlacementPolicy(groups=groups, gpu_masks=masks)
+
+
+class TestOracleExactness:
+    def test_matches_dense_bitwise_up_to_fp_noise(
+        self, tiny_model, tiny_cfg, oracle_engine, rng
+    ):
+        tokens = rng.integers(0, tiny_cfg.vocab_size, size=10)
+        dense = tiny_model.forward(tokens, KVCache(tiny_cfg))
+        sparse = oracle_engine.forward_logits(tokens)
+        assert np.allclose(dense, sparse, atol=1e-4)
+
+    def test_exact_with_gpu_cpu_split(self, tiny_model, tiny_cfg, rng):
+        # Splitting active neurons between the two executors must not
+        # change the result (merging is exact scatter-add).
+        policy = make_policy(tiny_cfg, rng, gpu_frac=0.5)
+        engine = NumericalHybridEngine(
+            tiny_model, [None] * tiny_cfg.n_layers, policy=policy
+        )
+        tokens = rng.integers(0, tiny_cfg.vocab_size, size=8)
+        dense = tiny_model.forward(tokens, KVCache(tiny_cfg))
+        assert np.allclose(dense, engine.forward_logits(tokens), atol=1e-4)
+        assert engine.stats.neurons_gpu > 0
+        assert engine.stats.neurons_cpu > 0
+
+    def test_exact_for_reglu(self, rng):
+        cfg = tiny_config(activation=Activation.REGLU)
+        probs = [
+            synthesize_activation_probs(cfg.d_ffn, rng, mean_activation_rate=0.2)
+            for _ in range(cfg.n_layers)
+        ]
+        model = Transformer(init_weights(cfg, rng, activation_probs=probs))
+        engine = NumericalHybridEngine(model, [None] * cfg.n_layers)
+        tokens = rng.integers(0, cfg.vocab_size, size=6)
+        dense = model.forward(tokens, KVCache(cfg))
+        assert np.allclose(dense, engine.forward_logits(tokens), atol=1e-4)
+
+    def test_generation_matches_dense(self, tiny_model, tiny_cfg, oracle_engine):
+        dense_out = tiny_model.generate([3, 7, 11], 8)
+        sparse_out = oracle_engine.generate([3, 7, 11], 8)
+        assert dense_out == sparse_out
+
+
+class TestStats:
+    def test_oracle_has_zero_misses(self, tiny_cfg, oracle_engine, rng):
+        oracle_engine.forward_logits(rng.integers(0, tiny_cfg.vocab_size, size=5))
+        assert oracle_engine.stats.missed_active == 0
+        assert oracle_engine.stats.false_active == 0
+        assert oracle_engine.stats.miss_rate == 0.0
+
+    def test_skipped_neurons_counted(self, tiny_cfg, oracle_engine, rng):
+        oracle_engine.forward_logits(rng.integers(0, tiny_cfg.vocab_size, size=5))
+        stats = oracle_engine.stats
+        total = stats.neurons_gpu + stats.neurons_cpu + stats.neurons_skipped
+        assert total == 5 * tiny_cfg.n_layers * tiny_cfg.d_ffn
+        # The tiny model is ~85% sparse.
+        assert stats.neurons_skipped / total > 0.6
+
+    def test_gpu_load_share_tracks_policy(self, tiny_model, tiny_cfg, rng):
+        policy = make_policy(tiny_cfg, rng, gpu_frac=1.0)
+        engine = NumericalHybridEngine(
+            tiny_model, [None] * tiny_cfg.n_layers, policy=policy
+        )
+        engine.forward_logits(rng.integers(0, tiny_cfg.vocab_size, size=4))
+        assert engine.stats.gpu_load_share == 1.0
+
+    def test_token_counter(self, tiny_cfg, oracle_engine, rng):
+        oracle_engine.forward_logits(rng.integers(0, tiny_cfg.vocab_size, size=7))
+        assert oracle_engine.stats.tokens == 7
+
+
+class TestTrainedPredictors:
+    def test_imperfect_predictor_counts_misses(self, tiny_model, tiny_cfg, rng):
+        # An untrained predictor misses activations; stats must show it.
+        preds = [
+            MlpPredictor(tiny_cfg.d_model, 8, tiny_cfg.d_ffn, rng=rng)
+            for _ in range(tiny_cfg.n_layers)
+        ]
+        engine = NumericalHybridEngine(tiny_model, preds)
+        engine.forward_logits(rng.integers(0, tiny_cfg.vocab_size, size=5))
+        assert engine.stats.missed_active > 0
+        assert 0.0 < engine.stats.miss_rate <= 1.0
+
+    def test_false_positives_do_not_change_output(self, tiny_model, tiny_cfg, rng):
+        # A predictor that marks EVERYTHING active is numerically exact:
+        # extra neurons pass through ReLU and contribute their true value
+        # (possibly zero).
+        class AllOn(MlpPredictor):
+            def predict(self, x):
+                return np.ones(x.shape[:-1] + (tiny_cfg.d_ffn,), dtype=bool)
+
+        preds = [
+            AllOn(tiny_cfg.d_model, 4, tiny_cfg.d_ffn, rng=rng)
+            for _ in range(tiny_cfg.n_layers)
+        ]
+        engine = NumericalHybridEngine(tiny_model, preds)
+        tokens = rng.integers(0, tiny_cfg.vocab_size, size=6)
+        dense = tiny_model.forward(tokens, KVCache(tiny_cfg))
+        assert np.allclose(dense, engine.forward_logits(tokens), atol=1e-4)
+
+
+class TestValidation:
+    def test_wrong_predictor_count_rejected(self, tiny_model):
+        with pytest.raises(ValueError):
+            NumericalHybridEngine(tiny_model, [None])
+
+    def test_wrong_predictor_width_rejected(self, tiny_model, tiny_cfg, rng):
+        bad = MlpPredictor(tiny_cfg.d_model, 4, tiny_cfg.d_ffn + 1, rng=rng)
+        with pytest.raises(ValueError):
+            NumericalHybridEngine(tiny_model, [bad] * tiny_cfg.n_layers)

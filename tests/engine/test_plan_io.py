@@ -1,0 +1,60 @@
+"""Tests for deployment-plan persistence."""
+
+import numpy as np
+import pytest
+
+from repro.engine.plan_io import load_plan, save_plan
+from repro.engine.powerinfer import PowerInferEngine
+
+
+class TestRoundTrip:
+    def test_arrays_and_header_preserved(self, mini_plan, tmp_path):
+        path = tmp_path / "plan.npz"
+        save_plan(mini_plan, path)
+        loaded = load_plan(path)
+        assert loaded.model == mini_plan.model
+        assert loaded.machine == mini_plan.machine
+        assert loaded.dtype == mini_plan.dtype
+        assert loaded.expected_context == mini_plan.expected_context
+        for a, b in zip(loaded.mlp_gpu_masks, mini_plan.mlp_gpu_masks):
+            assert np.array_equal(a, b)
+        for a, b in zip(loaded.mlp_probs, mini_plan.mlp_probs):
+            assert np.allclose(a, b)
+        assert loaded.predictor_bytes == pytest.approx(mini_plan.predictor_bytes)
+
+    def test_loaded_plan_simulates_identically(self, mini_plan, tmp_path):
+        path = tmp_path / "plan.npz"
+        save_plan(mini_plan, path)
+        loaded = load_plan(path)
+        original = PowerInferEngine(mini_plan).simulate_request(8, 16)
+        restored = PowerInferEngine(loaded).simulate_request(8, 16)
+        assert restored.tokens_per_second == pytest.approx(
+            original.tokens_per_second
+        )
+
+    def test_int4_plan_round_trips(self, mini_model, mini_machine, tmp_path):
+        from repro.core.pipeline import build_plan
+        from repro.quant.formats import INT4
+
+        plan = build_plan(mini_model, mini_machine, INT4, policy="none")
+        path = tmp_path / "plan_int4.npz"
+        save_plan(plan, path)
+        assert load_plan(path).dtype.name == "int4"
+
+
+class TestValidation:
+    def test_bad_version_rejected(self, mini_plan, tmp_path):
+        import json
+
+        path = tmp_path / "plan.npz"
+        save_plan(mini_plan, path)
+        with np.load(path) as data:
+            arrays = {k: data[k] for k in data.files}
+        header = json.loads(bytes(arrays["header"]).decode())
+        header["version"] = 999
+        arrays["header"] = np.frombuffer(
+            json.dumps(header).encode(), dtype=np.uint8
+        )
+        np.savez(path, **arrays)
+        with pytest.raises(ValueError, match="version"):
+            load_plan(path)

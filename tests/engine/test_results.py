@@ -1,0 +1,52 @@
+"""Tests for request-result containers."""
+
+import pytest
+
+from repro.engine.results import RequestResult
+
+
+@pytest.fixture
+def result():
+    return RequestResult(
+        engine="powerinfer",
+        model="opt-30b",
+        input_len=64,
+        output_len=128,
+        batch=2,
+        prompt_time=1.0,
+        decode_time=3.0,
+        breakdown={"gpu-neuron": 2.0, "transfer": 1.0, "cpu-neuron": 1.0},
+        gpu_load_share=0.7,
+    )
+
+
+class TestMetrics:
+    def test_total_time(self, result):
+        assert result.total_time == 4.0
+
+    def test_tokens_per_second_counts_batch(self, result):
+        # Paper metric: generated tokens / end-to-end time, aggregated
+        # over the batch.
+        assert result.tokens_per_second == pytest.approx(128 * 2 / 4.0)
+
+    def test_decode_latency(self, result):
+        assert result.decode_latency == pytest.approx(3.0 / 128)
+
+    def test_zero_time_guard(self):
+        r = RequestResult("e", "m", 1, 1, 1, prompt_time=0.0, decode_time=0.0)
+        assert r.tokens_per_second == 0.0
+
+    def test_zero_output_guard(self):
+        r = RequestResult("e", "m", 1, 0, 1, prompt_time=1.0, decode_time=0.0)
+        assert r.decode_latency == 0.0
+
+
+class TestBreakdown:
+    def test_shares_sum_to_one(self, result):
+        shares = result.breakdown_shares()
+        assert sum(shares.values()) == pytest.approx(1.0)
+        assert shares["gpu-neuron"] == pytest.approx(0.5)
+
+    def test_empty_breakdown(self):
+        r = RequestResult("e", "m", 1, 1, 1, prompt_time=1.0, decode_time=1.0)
+        assert r.breakdown_shares() == {}

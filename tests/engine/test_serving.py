@@ -1,0 +1,106 @@
+"""Tests for the serving-loop simulator."""
+
+import numpy as np
+import pytest
+
+from repro.engine.powerinfer import PowerInferEngine
+from repro.serving.arrival import Request, poisson_arrivals
+from repro.serving.simulator import simulate_serving
+from repro.workloads.prompts import CHATGPT_PROMPTS
+
+
+class TestArrivals:
+    def test_arrival_times_sorted_and_positive(self, rng):
+        reqs = poisson_arrivals(CHATGPT_PROMPTS, rate=2.0, n_requests=50, rng=rng)
+        times = [r.arrival_time for r in reqs]
+        assert times == sorted(times)
+        assert times[0] > 0
+
+    def test_rate_controls_density(self, rng):
+        slow = poisson_arrivals(
+            CHATGPT_PROMPTS, rate=0.5, n_requests=200, rng=np.random.default_rng(1)
+        )
+        fast = poisson_arrivals(
+            CHATGPT_PROMPTS, rate=5.0, n_requests=200, rng=np.random.default_rng(1)
+        )
+        assert fast[-1].arrival_time < slow[-1].arrival_time
+
+    def test_output_mixture(self, rng):
+        reqs = poisson_arrivals(
+            CHATGPT_PROMPTS,
+            rate=1.0,
+            n_requests=300,
+            rng=rng,
+            output_lengths=(8, 128),
+            output_weights=(0.5, 0.5),
+        )
+        outputs = {r.output_len for r in reqs}
+        assert outputs == {8, 128}
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            poisson_arrivals(CHATGPT_PROMPTS, rate=0.0, n_requests=5, rng=rng)
+        with pytest.raises(ValueError):
+            poisson_arrivals(CHATGPT_PROMPTS, rate=1.0, n_requests=0, rng=rng)
+        with pytest.raises(ValueError):
+            poisson_arrivals(
+                CHATGPT_PROMPTS, 1.0, 5, rng, output_lengths=(8,), output_weights=(0.5, 0.5)
+            )
+
+
+class TestServing:
+    @pytest.fixture(scope="class")
+    def engine(self, mini_plan):
+        return PowerInferEngine(mini_plan)
+
+    def test_fcfs_no_overlap(self, engine, rng):
+        reqs = poisson_arrivals(CHATGPT_PROMPTS, rate=50.0, n_requests=10, rng=rng)
+        report = simulate_serving(engine, reqs)
+        done = sorted(report.completed, key=lambda c: c.start_time)
+        for a, b in zip(done, done[1:]):
+            assert b.start_time >= a.finish_time - 1e-9
+
+    def test_latency_at_least_service_time(self, engine, rng):
+        reqs = poisson_arrivals(CHATGPT_PROMPTS, rate=5.0, n_requests=10, rng=rng)
+        report = simulate_serving(engine, reqs)
+        for c in report.completed:
+            assert c.latency >= c.service_time - 1e-12
+            assert c.queue_delay >= 0
+
+    def test_overload_builds_queue(self, engine):
+        # Back-to-back arrivals: queueing delay must grow with position.
+        reqs = [
+            Request(request_id=i, arrival_time=0.001 * i, input_len=16, output_len=32)
+            for i in range(6)
+        ]
+        report = simulate_serving(engine, reqs)
+        delays = [c.queue_delay for c in report.completed]
+        assert delays[-1] > delays[0]
+        assert report.utilization > 0.9
+
+    def test_light_load_has_no_queueing(self, engine):
+        reqs = [
+            Request(request_id=i, arrival_time=100.0 * i, input_len=16, output_len=32)
+            for i in range(3)
+        ]
+        report = simulate_serving(engine, reqs)
+        assert report.mean_queue_delay == pytest.approx(0.0)
+        assert report.utilization < 0.1
+
+    def test_report_statistics(self, engine, rng):
+        reqs = poisson_arrivals(CHATGPT_PROMPTS, rate=2.0, n_requests=12, rng=rng)
+        report = simulate_serving(engine, reqs)
+        assert report.n_requests == 12
+        assert report.throughput_rps > 0
+        assert report.tokens_per_second > 0
+        p50 = report.latency_percentile(50)
+        p95 = report.latency_percentile(95)
+        assert p95 >= p50
+
+    def test_empty_report_guards(self):
+        from repro.serving.simulator import ServingReport
+
+        report = ServingReport()
+        assert report.throughput_rps == 0.0
+        with pytest.raises(ValueError):
+            report.latency_percentile(50)

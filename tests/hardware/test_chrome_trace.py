@@ -1,0 +1,57 @@
+"""Tests for Chrome trace-event export of schedules."""
+
+import json
+
+from repro.hardware.events import EventSimulator, SimTask
+
+
+def run_sample():
+    sim = EventSimulator(["gpu", "cpu"])
+    return sim.run(
+        [
+            SimTask("a", "gpu", 1.0, tag="compute"),
+            SimTask("b", "cpu", 2.0, tag="kv"),
+            SimTask("c", "gpu", 0.5, deps=("a", "b"), tag="merge"),
+        ]
+    )
+
+
+class TestChromeTrace:
+    def test_one_event_per_task_plus_metadata(self):
+        events = run_sample().to_chrome_trace()
+        complete = [e for e in events if e.get("ph") == "X"]
+        meta = [e for e in events if e.get("ph") == "M"]
+        assert len(complete) == 3
+        assert len(meta) == 2  # one thread_name per resource
+
+    def test_timestamps_in_microseconds(self):
+        events = run_sample().to_chrome_trace()
+        c = next(e for e in events if e.get("name") == "c")
+        assert c["ts"] == 2.0 * 1e6
+        assert c["dur"] == 0.5 * 1e6
+
+    def test_resources_map_to_threads(self):
+        events = run_sample().to_chrome_trace()
+        by_name = {e["name"]: e for e in events if e.get("ph") == "X"}
+        assert by_name["a"]["tid"] != by_name["b"]["tid"]
+        assert by_name["a"]["tid"] == by_name["c"]["tid"]  # both on gpu
+
+    def test_tags_become_categories(self):
+        events = run_sample().to_chrome_trace()
+        a = next(e for e in events if e.get("name") == "a")
+        assert a["cat"] == "compute"
+
+    def test_save_writes_valid_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        run_sample().save_chrome_trace(path)
+        with open(path) as fh:
+            data = json.load(fh)
+        assert "traceEvents" in data
+        assert len(data["traceEvents"]) == 5
+
+    def test_engine_schedule_exports(self, mini_plan, tmp_path):
+        from repro.engine.powerinfer import PowerInferEngine
+
+        result = PowerInferEngine(mini_plan).simulate_iteration(8, 1)
+        events = result.to_chrome_trace()
+        assert len([e for e in events if e.get("ph") == "X"]) == len(result.tasks)

@@ -1,0 +1,108 @@
+"""Tests for the roofline cost model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.costmodel import CostModel, OpWork
+from repro.hardware.spec import GB, GIB, PC_HIGH, DeviceKind, DeviceSpec
+
+
+def _device(bandwidth=100.0, flops=1000.0, launch=0.0) -> DeviceSpec:
+    return DeviceSpec(
+        name="d",
+        kind=DeviceKind.GPU,
+        memory_capacity=GIB,
+        memory_bandwidth=bandwidth,
+        compute_flops=flops,
+        launch_overhead=launch,
+        memory_efficiency=1.0,
+    )
+
+
+class TestOpWork:
+    def test_rejects_negative_fields(self):
+        with pytest.raises(ValueError):
+            OpWork(flops=-1.0)
+
+    def test_add_combines_fields(self):
+        total = OpWork(1.0, 2.0, 3.0) + OpWork(10.0, 20.0, 30.0)
+        assert (total.flops, total.bytes_read, total.bytes_written) == (11.0, 22.0, 33.0)
+
+    def test_scaled(self):
+        half = OpWork(2.0, 4.0, 6.0).scaled(0.5)
+        assert (half.flops, half.bytes_read, half.bytes_written) == (1.0, 2.0, 3.0)
+
+    def test_scaled_rejects_negative(self):
+        with pytest.raises(ValueError):
+            OpWork(1.0).scaled(-1.0)
+
+
+class TestOpTime:
+    def test_bandwidth_bound_regime(self):
+        # 200 bytes at 100 B/s = 2 s; 100 flops at 1000 F/s = 0.1 s.
+        work = OpWork(flops=100.0, bytes_read=150.0, bytes_written=50.0)
+        assert CostModel.op_time(work, _device()) == pytest.approx(2.0)
+        assert CostModel.bandwidth_bound(work, _device())
+
+    def test_compute_bound_regime(self):
+        work = OpWork(flops=10_000.0, bytes_read=10.0)
+        assert CostModel.op_time(work, _device()) == pytest.approx(10.0)
+        assert not CostModel.bandwidth_bound(work, _device())
+
+    def test_launch_overhead_added(self):
+        work = OpWork(bytes_read=100.0)
+        dev = _device(launch=0.5)
+        assert CostModel.op_time(work, dev) == pytest.approx(1.5)
+        assert CostModel.op_time(work, dev, include_launch=False) == pytest.approx(1.0)
+
+    def test_empty_work_costs_only_launch(self):
+        dev = _device(launch=0.25)
+        assert CostModel.op_time(OpWork(), dev) == pytest.approx(0.25)
+
+    def test_efficiency_slows_memory(self):
+        eff = DeviceSpec(
+            name="d",
+            kind=DeviceKind.GPU,
+            memory_capacity=GIB,
+            memory_bandwidth=100.0,
+            compute_flops=1e12,
+            memory_efficiency=0.5,
+        )
+        assert CostModel.op_time(OpWork(bytes_read=100.0), eff) == pytest.approx(2.0)
+
+    @given(
+        flops=st.floats(0, 1e15),
+        br=st.floats(0, 1e12),
+        bw=st.floats(0, 1e12),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_in_work(self, flops, br, bw):
+        dev = PC_HIGH.gpu
+        base = CostModel.op_time(OpWork(flops, br, bw), dev)
+        more = CostModel.op_time(OpWork(flops * 2 + 1, br * 2 + 1, bw * 2 + 1), dev)
+        assert more >= base
+
+
+class TestNeuronTime:
+    def test_equation_5_is_weight_read_time(self):
+        # Paper Eq. 5: T = M / Bandwidth.
+        dev = _device(bandwidth=200.0)
+        assert CostModel.neuron_time(100.0, dev) == pytest.approx(0.5)
+
+    def test_rejects_negative_bytes(self):
+        with pytest.raises(ValueError):
+            CostModel.neuron_time(-1.0, _device())
+
+    def test_gpu_neuron_faster_than_cpu(self):
+        nbytes = 28672 * 2.0  # one OPT-30B MLP neuron in FP16
+        assert CostModel.neuron_time(nbytes, PC_HIGH.gpu) < CostModel.neuron_time(
+            nbytes, PC_HIGH.cpu
+        )
+
+
+class TestTransfer:
+    def test_transfer_matches_link(self):
+        assert CostModel.transfer_time(GB, PC_HIGH.link) == pytest.approx(
+            PC_HIGH.link.transfer_time(GB)
+        )

@@ -1,0 +1,92 @@
+"""Tests for the memory-pool capacity accountant."""
+
+import pytest
+
+from repro.hardware.memory import MemoryPool, OutOfMemoryError
+
+
+@pytest.fixture
+def pool() -> MemoryPool:
+    return MemoryPool(name="gpu", capacity=1000.0)
+
+
+class TestAllocation:
+    def test_allocate_and_free_accounting(self, pool):
+        pool.allocate("weights", 600.0)
+        assert pool.used == 600.0
+        assert pool.free == 400.0
+
+    def test_overflow_raises_with_context(self, pool):
+        pool.allocate("weights", 900.0)
+        with pytest.raises(OutOfMemoryError, match="gpu"):
+            pool.allocate("kv", 200.0)
+
+    def test_exact_fit_succeeds(self, pool):
+        pool.allocate("all", 1000.0)
+        assert pool.free == 0.0
+
+    def test_duplicate_name_rejected(self, pool):
+        pool.allocate("weights", 100.0)
+        with pytest.raises(ValueError, match="already exists"):
+            pool.allocate("weights", 100.0)
+
+    def test_negative_size_rejected(self, pool):
+        with pytest.raises(ValueError):
+            pool.allocate("neg", -1.0)
+
+    def test_zero_size_allowed(self, pool):
+        pool.allocate("empty", 0.0)
+        assert pool.used == 0.0
+
+    def test_release_returns_capacity(self, pool):
+        pool.allocate("a", 700.0)
+        pool.release("a")
+        pool.allocate("b", 900.0)  # would not fit before release
+        assert pool.used == 900.0
+
+    def test_release_unknown_raises(self, pool):
+        with pytest.raises(KeyError):
+            pool.release("ghost")
+
+    def test_failed_allocation_leaves_state_unchanged(self, pool):
+        pool.allocate("a", 800.0)
+        with pytest.raises(OutOfMemoryError):
+            pool.allocate("b", 300.0)
+        assert pool.used == 800.0
+        assert "b" not in pool.allocations()
+
+
+class TestReserve:
+    def test_reserve_fraction_shrinks_usable(self):
+        pool = MemoryPool(name="gpu", capacity=1000.0, reserve_fraction=0.2)
+        assert pool.usable_capacity == pytest.approx(800.0)
+        with pytest.raises(OutOfMemoryError):
+            pool.allocate("big", 900.0)
+
+    def test_invalid_reserve_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryPool(name="gpu", capacity=1000.0, reserve_fraction=1.0)
+
+    def test_nonpositive_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryPool(name="gpu", capacity=0.0)
+
+
+class TestQueries:
+    def test_fits(self, pool):
+        pool.allocate("a", 400.0)
+        assert pool.fits(600.0)
+        assert not pool.fits(601.0)
+        assert not pool.fits(-1.0)
+
+    def test_allocations_snapshot_is_copy(self, pool):
+        pool.allocate("a", 10.0)
+        snap = pool.allocations()
+        snap["b"] = 99.0
+        assert "b" not in pool.allocations()
+
+    def test_reset_clears_everything(self, pool):
+        pool.allocate("a", 10.0)
+        pool.reset()
+        assert pool.used == 0.0
+        assert pool.allocations() == {}

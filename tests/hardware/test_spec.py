@@ -1,0 +1,134 @@
+"""Tests for device/machine specifications."""
+
+import dataclasses
+
+import pytest
+
+from repro.hardware.spec import (
+    A100_SERVER,
+    GB,
+    GIB,
+    MACHINE_PRESETS,
+    PC_HIGH,
+    PC_LOW,
+    DeviceKind,
+    DeviceSpec,
+    LinkSpec,
+    MachineSpec,
+)
+
+
+def _gpu(**overrides) -> DeviceSpec:
+    base = dict(
+        name="g",
+        kind=DeviceKind.GPU,
+        memory_capacity=GIB,
+        memory_bandwidth=GB,
+        compute_flops=1e12,
+    )
+    base.update(overrides)
+    return DeviceSpec(**base)
+
+
+class TestDeviceSpec:
+    def test_effective_bandwidth_applies_efficiency(self):
+        dev = _gpu(memory_bandwidth=100.0, memory_efficiency=0.8)
+        assert dev.effective_bandwidth == pytest.approx(80.0)
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            _gpu(kind="tpu")
+
+    @pytest.mark.parametrize(
+        "field", ["memory_capacity", "memory_bandwidth", "compute_flops"]
+    )
+    def test_rejects_nonpositive(self, field):
+        with pytest.raises(ValueError):
+            _gpu(**{field: 0})
+
+    def test_rejects_bad_efficiency(self):
+        with pytest.raises(ValueError, match="efficiency"):
+            _gpu(memory_efficiency=1.5)
+
+    def test_rejects_negative_launch_overhead(self):
+        with pytest.raises(ValueError, match="launch"):
+            _gpu(launch_overhead=-1e-6)
+
+    def test_with_memory_capacity_copies(self):
+        dev = _gpu()
+        bigger = dev.with_memory_capacity(2 * GIB)
+        assert bigger.memory_capacity == 2 * GIB
+        assert dev.memory_capacity == GIB  # original untouched
+
+
+class TestLinkSpec:
+    def test_transfer_time_includes_latency(self):
+        link = LinkSpec(name="l", bandwidth=100.0, latency=1.0, efficiency=1.0)
+        assert link.transfer_time(50.0) == pytest.approx(1.5)
+
+    def test_zero_bytes_is_free(self):
+        link = LinkSpec(name="l", bandwidth=100.0, latency=1.0)
+        assert link.transfer_time(0.0) == 0.0
+
+    def test_unified_memory_is_slower_than_dma(self):
+        link = LinkSpec(name="l", bandwidth=100.0, latency=0.0)
+        assert link.transfer_time(100.0, unified_memory=True) > link.transfer_time(
+            100.0
+        )
+
+    def test_rejects_negative_bytes(self):
+        link = LinkSpec(name="l", bandwidth=100.0, latency=0.0)
+        with pytest.raises(ValueError):
+            link.transfer_time(-1.0)
+
+    def test_rejects_bad_efficiency(self):
+        with pytest.raises(ValueError):
+            LinkSpec(name="l", bandwidth=100.0, latency=0.0, efficiency=0.0)
+
+
+class TestMachineSpec:
+    def test_device_lookup(self):
+        assert PC_HIGH.device(DeviceKind.GPU) is PC_HIGH.gpu
+        assert PC_HIGH.device(DeviceKind.CPU) is PC_HIGH.cpu
+        with pytest.raises(KeyError):
+            PC_HIGH.device("tpu")
+
+    def test_total_memory(self):
+        assert PC_HIGH.total_memory == (
+            PC_HIGH.gpu.memory_capacity + PC_HIGH.cpu.memory_capacity
+        )
+
+    def test_gpu_cpu_kind_enforced(self):
+        with pytest.raises(ValueError):
+            MachineSpec(
+                name="bad", gpu=PC_HIGH.cpu, cpu=PC_HIGH.cpu, link=PC_HIGH.link
+            )
+
+    def test_swapped_cpu_field_rejected(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(PC_HIGH, cpu=PC_HIGH.gpu)
+
+
+class TestPresets:
+    def test_paper_section_8_1_capacities(self):
+        # Section 8.1: 4090 24 GB / 192 GB host; 2080Ti 11 GB / 64 GB host.
+        assert PC_HIGH.gpu.memory_capacity == 24 * GIB
+        assert PC_HIGH.cpu.memory_capacity == 192 * GIB
+        assert PC_LOW.gpu.memory_capacity == 11 * GIB
+        assert PC_LOW.cpu.memory_capacity == 64 * GIB
+        assert A100_SERVER.gpu.memory_capacity == 80 * GIB
+
+    def test_paper_bandwidth_hierarchy(self):
+        # GPU bandwidth >> CPU bandwidth on every preset machine.
+        for machine in MACHINE_PRESETS.values():
+            assert machine.gpu.memory_bandwidth > 5 * machine.cpu.memory_bandwidth
+
+    def test_pc_low_is_weaker_than_pc_high(self):
+        assert PC_LOW.gpu.memory_bandwidth < PC_HIGH.gpu.memory_bandwidth
+        assert PC_LOW.cpu.memory_bandwidth < PC_HIGH.cpu.memory_bandwidth
+        assert PC_LOW.link.bandwidth < PC_HIGH.link.bandwidth
+
+    def test_presets_registered_by_name(self):
+        assert MACHINE_PRESETS["pc-high"] is PC_HIGH
+        assert MACHINE_PRESETS["pc-low"] is PC_LOW
+        assert MACHINE_PRESETS["a100-server"] is A100_SERVER

@@ -1,0 +1,132 @@
+"""Cross-module integration tests: the full offline->online workflows."""
+
+import numpy as np
+import pytest
+
+from repro.engine.baselines import LayerwiseSparseEngine, LlamaCppEngine
+from repro.engine.numerical import NumericalHybridEngine
+from repro.engine.powerinfer import PowerInferEngine
+from repro.models.kvcache import KVCache
+from repro.predictor.adaptive import adaptive_train
+from repro.predictor.training import collect_training_data
+from repro.profiler.datasets import c4_corpus
+from repro.profiler.profiler import layer_statistics, profile_numerical
+from repro.quant.formats import FP16
+from repro.solver.greedy import greedy_placement
+from repro.solver.placement import NeuronGroup
+
+
+class TestNumericalPipeline:
+    """Profile -> train predictors -> place -> serve, all on real numerics."""
+
+    @pytest.fixture(scope="class")
+    def pipeline(self, tiny_model, tiny_cfg):
+        rng = np.random.default_rng(9)
+        requests = list(c4_corpus().requests(16, tiny_cfg.vocab_size, rng))
+        trace = profile_numerical(tiny_model, requests)
+        stats = layer_statistics(trace)
+
+        predictors = []
+        for li in range(tiny_cfg.n_layers):
+            x, y = collect_training_data(tiny_model, li, requests[:10])
+            split = int(0.8 * x.shape[0])
+            result = adaptive_train(
+                x[:split], y[:split], x[split:], y[split:],
+                layer_sparsity=stats[li].sparsity,
+                layer_skewness=stats[li].skewness,
+                rng=rng,
+                accuracy_target=0.93,
+                max_rounds=3,
+                epochs=12,
+            )
+            predictors.append(result.predictor)
+
+        groups = [
+            NeuronGroup(
+                name=f"layer{li}.mlp",
+                impacts=trace.mlp_rates(li),
+                neuron_bytes=float(tiny_cfg.mlp_neuron_bytes(FP16)),
+            )
+            for li in range(tiny_cfg.n_layers)
+        ]
+        budget = 0.4 * sum(g.total_bytes for g in groups)
+        policy = greedy_placement(groups, budget)
+        engine = NumericalHybridEngine(tiny_model, predictors, policy=policy)
+        return trace, predictors, policy, engine
+
+    def test_trace_covers_requested_tokens(self, pipeline):
+        trace, *_ = pipeline
+        assert trace.n_tokens > 100
+
+    def test_predictors_meet_reasonable_accuracy(self, pipeline, tiny_model, tiny_cfg):
+        _, predictors, _, _ = pipeline
+        rng = np.random.default_rng(10)
+        requests = [rng.integers(0, tiny_cfg.vocab_size, size=12) for _ in range(4)]
+        for li, pred in enumerate(predictors):
+            x, y = collect_training_data(tiny_model, li, requests)
+            assert pred.evaluate(x, y).accuracy > 0.85
+
+    def test_policy_targets_hot_neurons(self, pipeline):
+        trace, _, policy, _ = pipeline
+        # GPU-resident neurons are hotter on average than CPU-resident.
+        for li, (group, mask) in enumerate(zip(policy.groups, policy.gpu_masks)):
+            rates = trace.mlp_rates(li)
+            if 0 < mask.sum() < mask.size:
+                assert rates[mask].mean() > rates[~mask].mean()
+
+    def test_sparse_serving_tracks_dense(self, pipeline, tiny_model, tiny_cfg):
+        *_, engine = pipeline
+        rng = np.random.default_rng(11)
+        tokens = rng.integers(0, tiny_cfg.vocab_size, size=16)
+        dense = tiny_model.forward(tokens, KVCache(tiny_cfg))
+        sparse = engine.forward_logits(tokens)
+        agreement = (dense.argmax(-1) == sparse.argmax(-1)).mean()
+        assert agreement > 0.7
+        assert engine.stats.neurons_gpu > 0
+        assert engine.stats.neurons_cpu > 0
+        assert engine.stats.neurons_skipped > 0
+
+
+class TestPerformancePipeline:
+    """Paper-shaped orderings on the mini performance setup."""
+
+    def test_system_ordering_matches_paper(self, mini_plan, mini_plan_none):
+        request = dict(input_len=16, output_len=32)
+        powerinfer = PowerInferEngine(mini_plan).simulate_request(**request)
+        po = LayerwiseSparseEngine(mini_plan_none).simulate_request(**request)
+        llama = LlamaCppEngine(mini_plan_none).simulate_request(**request)
+        # Figure 15's ordering: llama.cpp < +PO < PowerInfer.
+        assert llama.tokens_per_second < po.tokens_per_second
+        assert po.tokens_per_second < powerinfer.tokens_per_second
+
+    def test_gpu_load_share_ordering(self, mini_plan, mini_plan_none):
+        pi_share = PowerInferEngine(mini_plan).gpu_load_share()
+        lc_share = LlamaCppEngine(mini_plan_none).gpu_load_share()
+        # Figure 12: PowerInfer shifts neuron load onto the GPU.
+        assert pi_share > lc_share
+
+    def test_speedup_decays_with_batch(self, mini_plan, mini_plan_none):
+        pi = PowerInferEngine(mini_plan)
+        lc = LlamaCppEngine(mini_plan_none)
+
+        def speedup(batch):
+            a = pi.simulate_request(16, 32, batch=batch).tokens_per_second
+            b = lc.simulate_request(16, 32, batch=batch).tokens_per_second
+            return a / b
+
+        # Figure 14: joint activations shrink the advantage.
+        assert speedup(1) > speedup(32)
+
+    def test_memory_report_consistent_with_masks(self, mini_plan):
+        report = mini_plan.memory_report()
+        assert report.gpu_used >= mini_plan.gpu_weight_bytes
+        assert report.cpu_used >= mini_plan.cpu_weight_bytes
+
+    def test_sampled_and_expected_modes_agree_on_average(self, mini_plan):
+        engine = PowerInferEngine(mini_plan)
+        expected = engine.simulate_iteration(8, 1).makespan
+        rng = np.random.default_rng(0)
+        sampled = np.mean(
+            [engine.simulate_iteration(8, 1, rng=rng).makespan for _ in range(30)]
+        )
+        assert sampled == pytest.approx(expected, rel=0.15)

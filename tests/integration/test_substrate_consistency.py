@@ -1,0 +1,105 @@
+"""Consistency checks between the two substrates and the analytic model.
+
+DESIGN.md's central argument is that the performance substrate (roofline
+DES) and the numerical substrate (numpy models) describe the same system.
+These tests pin the places where they must agree.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.roofline import throughput_bounds
+from repro.engine.baselines import LlamaCppEngine
+from repro.engine.numerical import NumericalHybridEngine
+from repro.engine.powerinfer import PowerInferEngine
+from repro.profiler.bridge import profiles_from_trace
+from repro.profiler.profiler import layer_statistics, profile_numerical
+from repro.quant.formats import FP16
+
+
+class TestNumericalStatsMatchPlanExpectations:
+    def test_gpu_load_share_agrees_between_substrates(
+        self, tiny_model, tiny_cfg, rng
+    ):
+        # Build identical placement masks for both substrates; the GPU
+        # share of predicted-active neurons measured numerically must match
+        # the expectation the plan computes from the same probabilities.
+        requests = [rng.integers(0, tiny_cfg.vocab_size, size=24) for _ in range(4)]
+        trace = profile_numerical(tiny_model, requests)
+        profiles = profiles_from_trace(trace)
+
+        from repro.solver.placement import NeuronGroup, PlacementPolicy
+
+        groups, masks = [], []
+        for li in range(tiny_cfg.n_layers):
+            groups.append(
+                NeuronGroup(
+                    name=f"layer{li}.mlp",
+                    impacts=profiles[li].probs,
+                    neuron_bytes=1.0,
+                )
+            )
+            mask = np.zeros(tiny_cfg.d_ffn, dtype=bool)
+            order = np.argsort(profiles[li].probs)[::-1]
+            mask[order[: tiny_cfg.d_ffn // 3]] = True  # hottest third on GPU
+            masks.append(mask)
+        policy = PlacementPolicy(groups=groups, gpu_masks=masks)
+
+        engine = NumericalHybridEngine(
+            tiny_model, [None] * tiny_cfg.n_layers, policy=policy
+        )
+        eval_tokens = rng.integers(0, tiny_cfg.vocab_size, size=64)
+        engine.forward_logits(eval_tokens)
+        measured_share = engine.stats.gpu_load_share
+
+        expected_on = sum(float(p.probs[m].sum()) for p, m in zip(profiles, masks))
+        expected_total = sum(float(p.probs.sum()) for p in profiles)
+        expected_share = expected_on / expected_total
+        assert measured_share == pytest.approx(expected_share, abs=0.06)
+
+    def test_measured_sparsity_matches_construction(self, tiny_model, tiny_cfg, rng):
+        # The tiny fixture was built with ~15% mean activation; the
+        # profiler must recover it.
+        requests = [rng.integers(0, tiny_cfg.vocab_size, size=32) for _ in range(4)]
+        stats = layer_statistics(profile_numerical(tiny_model, requests))
+        for s in stats:
+            assert s.mean_rate == pytest.approx(0.15, abs=0.07)
+
+
+class TestAnalyticVsSimulated:
+    def test_dense_hybrid_bound_matches_llamacpp_des(self, mini_model, mini_machine, mini_plan_none):
+        engine = LlamaCppEngine(mini_plan_none)
+        des_rate = 1.0 / engine.simulate_iteration(8, 1).makespan
+        gpu_frac = (
+            engine.gpu_layer_count()
+            * mini_model.layer_bytes(FP16)
+            / FP16.nbytes(mini_model.n_layers * mini_model.params_per_layer)
+        )
+        bound = throughput_bounds(
+            mini_model, mini_machine, FP16, gpu_weight_fraction=gpu_frac
+        )
+        # The closed form ignores KV/LM-head/launch overheads -> it is an
+        # upper bound, but within 2x at this scale.
+        assert bound.dense_hybrid >= des_rate * 0.9
+        assert bound.dense_hybrid < des_rate * 2.5
+
+    def test_sparse_hybrid_bound_brackets_powerinfer_des(
+        self, mini_model, mini_machine, mini_plan
+    ):
+        engine = PowerInferEngine(mini_plan)
+        des_rate = 1.0 / engine.simulate_iteration(8, 1).makespan
+        mlp_rate = float(np.mean([p.mean() for p in mini_plan.mlp_probs]))
+        attn_rate = float(np.mean([p.mean() for p in mini_plan.attn_probs]))
+        bound = throughput_bounds(
+            mini_model,
+            mini_machine,
+            FP16,
+            mlp_active_rate=mlp_rate,
+            attn_active_rate=attn_rate,
+            hot_capture=mini_plan.gpu_neuron_load_share(),
+        )
+        # The closed form omits every fixed overhead (sync, launches,
+        # predictors, transfers, LM head), which dominate at this small
+        # scale: it must upper-bound the DES, but within a small factor.
+        assert bound.sparse_hybrid >= des_rate * 0.9
+        assert bound.sparse_hybrid < des_rate * 4.0

@@ -1,0 +1,63 @@
+"""Tests for model checkpoint IO."""
+
+import numpy as np
+import pytest
+
+from repro.models.checkpoint import load_weights, save_weights
+from repro.models.config import Activation, tiny_config
+from repro.models.kvcache import KVCache
+from repro.models.transformer import Transformer
+from repro.models.weights import init_weights
+
+
+class TestRoundTrip:
+    def test_weights_identical(self, rng, tmp_path):
+        cfg = tiny_config()
+        weights = init_weights(cfg, rng)
+        path = tmp_path / "model.npz"
+        save_weights(weights, path)
+        loaded = load_weights(path)
+        assert loaded.config == cfg
+        assert np.array_equal(loaded.embedding, weights.embedding)
+        assert np.array_equal(loaded.layers[0].fc1, weights.layers[0].fc1)
+        assert np.array_equal(loaded.layers[1].wq, weights.layers[1].wq)
+
+    def test_loaded_model_computes_identically(self, rng, tmp_path):
+        cfg = tiny_config()
+        weights = init_weights(cfg, rng)
+        path = tmp_path / "model.npz"
+        save_weights(weights, path)
+        tokens = rng.integers(0, cfg.vocab_size, size=6)
+        a = Transformer(weights).forward(tokens, KVCache(cfg))
+        b = Transformer(load_weights(path)).forward(tokens, KVCache(cfg))
+        assert np.array_equal(a, b)
+
+    def test_reglu_gate_round_trips(self, rng, tmp_path):
+        cfg = tiny_config(activation=Activation.REGLU)
+        weights = init_weights(cfg, rng)
+        path = tmp_path / "reglu.npz"
+        save_weights(weights, path)
+        loaded = load_weights(path)
+        assert loaded.layers[0].gate is not None
+        assert np.array_equal(loaded.layers[0].gate, weights.layers[0].gate)
+
+    def test_relu_has_no_gate_after_load(self, rng, tmp_path):
+        cfg = tiny_config()
+        path = tmp_path / "relu.npz"
+        save_weights(init_weights(cfg, rng), path)
+        assert load_weights(path).layers[0].gate is None
+
+    def test_bad_version_rejected(self, rng, tmp_path):
+        import json
+
+        cfg = tiny_config(n_layers=1)
+        path = tmp_path / "model.npz"
+        save_weights(init_weights(cfg, rng), path)
+        with np.load(path) as data:
+            arrays = {k: data[k] for k in data.files}
+        header = json.loads(bytes(arrays["header"]).decode())
+        header["version"] = 0
+        arrays["header"] = np.frombuffer(json.dumps(header).encode(), dtype=np.uint8)
+        np.savez(path, **arrays)
+        with pytest.raises(ValueError, match="version"):
+            load_weights(path)

@@ -1,0 +1,129 @@
+"""Tests for model architecture configs and the neuron abstraction."""
+
+import pytest
+
+from repro.models.config import (
+    FALCON_40B,
+    LLAMA_70B,
+    MODEL_PRESETS,
+    OPT_30B,
+    OPT_66B,
+    OPT_175B,
+    Activation,
+    ModelConfig,
+    tiny_config,
+)
+from repro.quant.formats import FP16, INT4
+
+
+class TestParameterCounts:
+    @pytest.mark.parametrize(
+        "preset,expected_b,tol",
+        [
+            (OPT_30B, 30.0, 0.05),
+            (OPT_66B, 66.0, 0.06),
+            (OPT_175B, 175.0, 0.03),
+            (FALCON_40B, 40.0, 0.08),
+            (LLAMA_70B, 70.0, 0.05),
+        ],
+    )
+    def test_presets_match_nominal_sizes(self, preset, expected_b, tol):
+        actual_b = preset.total_params / 1e9
+        assert actual_b == pytest.approx(expected_b, rel=tol)
+
+    def test_opt_175b_fp16_is_about_350gb(self):
+        # Section 5.2: OPT-175B "needs 350GB of storage".
+        assert OPT_175B.weight_bytes(FP16) == pytest.approx(350e9, rel=0.02)
+
+    def test_int4_shrinks_by_factor(self):
+        ratio = OPT_30B.weight_bytes(INT4) / OPT_30B.weight_bytes(FP16)
+        assert ratio == pytest.approx(0.625 / 2.0)
+
+    def test_layer_params_decompose(self):
+        cfg = OPT_30B
+        assert cfg.params_per_layer == (
+            cfg.attn_params_per_layer + cfg.mlp_params_per_layer
+        )
+        assert cfg.total_params == (
+            cfg.n_layers * cfg.params_per_layer + cfg.embedding_params
+        )
+
+
+class TestNeuronAbstraction:
+    def test_mlp_neurons_cover_mlp_params(self):
+        cfg = OPT_30B
+        assert (
+            cfg.mlp_neurons_per_layer * cfg.mlp_neuron_params
+            == cfg.mlp_params_per_layer
+        )
+
+    def test_attn_neurons_cover_attn_params(self):
+        for cfg in (OPT_30B, FALCON_40B, LLAMA_70B):
+            total = cfg.attn_neurons_per_layer * cfg.attn_neuron_params
+            assert total == pytest.approx(cfg.attn_params_per_layer, rel=1e-6)
+
+    def test_reglu_has_three_matrices(self):
+        assert LLAMA_70B.mlp_matrices == 3
+        assert OPT_30B.mlp_matrices == 2
+
+    def test_gqa_shrinks_kv(self):
+        assert LLAMA_70B.kv_dim == LLAMA_70B.n_kv_heads * LLAMA_70B.head_dim
+        assert LLAMA_70B.kv_dim < LLAMA_70B.d_model
+
+    def test_kv_cache_bytes_per_token(self):
+        cfg = tiny_config()
+        expected = FP16.nbytes(2 * cfg.kv_dim * cfg.n_layers)
+        assert cfg.kv_cache_bytes_per_token(FP16) == expected
+
+
+class TestValidation:
+    def test_heads_must_divide_d_model(self):
+        with pytest.raises(ValueError, match="divisible"):
+            ModelConfig(name="bad", n_layers=1, d_model=100, d_ffn=256, n_heads=3)
+
+    def test_kv_heads_must_divide_heads(self):
+        with pytest.raises(ValueError, match="divisible"):
+            ModelConfig(
+                name="bad", n_layers=1, d_model=64, d_ffn=256, n_heads=4, n_kv_heads=3
+            )
+
+    def test_unknown_activation(self):
+        with pytest.raises(ValueError, match="activation"):
+            ModelConfig(
+                name="bad",
+                n_layers=1,
+                d_model=64,
+                d_ffn=256,
+                n_heads=4,
+                activation="gelu",
+            )
+
+    def test_kv_heads_default_to_heads(self):
+        cfg = tiny_config()
+        assert cfg.n_kv_heads == cfg.n_heads
+
+    def test_nonpositive_dims_rejected(self):
+        with pytest.raises(ValueError):
+            ModelConfig(name="bad", n_layers=0, d_model=64, d_ffn=256, n_heads=4)
+
+
+class TestPresets:
+    def test_all_presets_registered(self):
+        assert set(MODEL_PRESETS) == {
+            "opt-6.7b",
+            "opt-13b",
+            "opt-30b",
+            "opt-66b",
+            "opt-175b",
+            "falcon-40b",
+            "llama-70b",
+        }
+
+    def test_paper_model_families(self):
+        assert MODEL_PRESETS["llama-70b"].activation == Activation.REGLU
+        assert MODEL_PRESETS["falcon-40b"].activation == Activation.RELU
+
+    def test_with_name(self):
+        renamed = OPT_30B.with_name("opt-30b-copy")
+        assert renamed.name == "opt-30b-copy"
+        assert renamed.total_params == OPT_30B.total_params

@@ -1,0 +1,102 @@
+"""Tests for attention-head sparsity hooks (paper Section 2.1)."""
+
+import numpy as np
+import pytest
+
+from repro.models.kvcache import KVCache
+from repro.models.transformer import head_mask_from_norms
+
+
+class TestHeadMaskFromNorms:
+    def test_full_coverage_keeps_all_heads(self, rng):
+        norms = rng.random((4, 8)) + 0.1
+        assert head_mask_from_norms(norms, coverage=1.0).all()
+
+    def test_dominant_head_alone_suffices(self):
+        norms = np.array([[10.0, 0.01, 0.01, 0.01]])
+        mask = head_mask_from_norms(norms, coverage=0.9)
+        assert mask[0, 0]
+        assert mask.sum() == 1
+
+    def test_mask_covers_requested_energy(self, rng):
+        norms = rng.random((6, 16))
+        mask = head_mask_from_norms(norms, coverage=0.8)
+        energy = norms**2
+        covered = (energy * mask).sum(axis=1) / energy.sum(axis=1)
+        assert (covered >= 0.8 - 1e-9).all()
+
+    def test_minimality(self, rng):
+        # Removing the weakest active head must drop below coverage.
+        norms = rng.random((1, 16))
+        mask = head_mask_from_norms(norms, coverage=0.8)[0]
+        energy = norms[0] ** 2
+        active = np.nonzero(mask)[0]
+        weakest = active[np.argmin(energy[active])]
+        reduced = mask.copy()
+        reduced[weakest] = False
+        assert (energy * reduced).sum() / energy.sum() < 0.8
+
+    def test_zero_norms_handled(self):
+        mask = head_mask_from_norms(np.zeros((2, 4)), coverage=0.9)
+        assert mask.shape == (2, 4)
+
+    def test_invalid_coverage(self):
+        with pytest.raises(ValueError):
+            head_mask_from_norms(np.ones((1, 4)), coverage=0.0)
+
+
+class TestHeadHooks:
+    def test_head_hook_sees_all_layers(self, tiny_model, tiny_cfg, rng):
+        seen = {}
+        tokens = rng.integers(0, tiny_cfg.vocab_size, size=5)
+        tiny_model.forward(
+            tokens,
+            KVCache(tiny_cfg),
+            head_hook=lambda li, norms: seen.setdefault(li, norms),
+        )
+        assert sorted(seen) == list(range(tiny_cfg.n_layers))
+        for norms in seen.values():
+            assert norms.shape == (5, tiny_cfg.n_heads)
+            assert (norms >= 0).all()
+
+    def test_all_on_mask_is_exact(self, tiny_model, tiny_cfg, rng):
+        tokens = rng.integers(0, tiny_cfg.vocab_size, size=4)
+        dense = tiny_model.forward(tokens, KVCache(tiny_cfg))
+        masked = tiny_model.forward(
+            tokens,
+            KVCache(tiny_cfg),
+            head_mask_override=lambda li, x: np.ones(
+                (4, tiny_cfg.n_heads), dtype=bool
+            ),
+        )
+        assert np.allclose(dense, masked)
+
+    def test_all_off_mask_changes_output(self, tiny_model, tiny_cfg, rng):
+        tokens = rng.integers(0, tiny_cfg.vocab_size, size=4)
+        dense = tiny_model.forward(tokens, KVCache(tiny_cfg))
+        masked = tiny_model.forward(
+            tokens,
+            KVCache(tiny_cfg),
+            head_mask_override=lambda li, x: np.zeros(
+                (4, tiny_cfg.n_heads), dtype=bool
+            ),
+        )
+        assert not np.allclose(dense, masked)
+
+    def test_high_coverage_mask_small_perturbation(self, tiny_model, tiny_cfg, rng):
+        # Skipping only low-contribution heads barely changes logits —
+        # the paper's attention-sparsity claim on the numerical substrate.
+        tokens = rng.integers(0, tiny_cfg.vocab_size, size=6)
+        norms = {}
+        dense = tiny_model.forward(
+            tokens, KVCache(tiny_cfg), head_hook=lambda li, n: norms.setdefault(li, n)
+        )
+        masks = {li: head_mask_from_norms(n, coverage=0.97) for li, n in norms.items()}
+        sparse = tiny_model.forward(
+            tokens, KVCache(tiny_cfg), head_mask_override=lambda li, x: masks[li]
+        )
+        rel = np.abs(sparse - dense).max() / np.abs(dense).max()
+        assert rel < 0.25
+        # And the answer structure is preserved.
+        agreement = (dense.argmax(-1) == sparse.argmax(-1)).mean()
+        assert agreement > 0.6

@@ -1,0 +1,72 @@
+"""Tests for the KV cache."""
+
+import numpy as np
+import pytest
+
+from repro.models.config import tiny_config
+from repro.models.kvcache import KVCache
+
+
+@pytest.fixture
+def cfg():
+    return tiny_config(n_layers=2, max_seq_len=16)
+
+
+@pytest.fixture
+def cache(cfg):
+    return KVCache(cfg)
+
+
+def _kv(cfg, t, fill):
+    return np.full((t, cfg.kv_dim), fill, dtype=np.float32)
+
+
+class TestAppend:
+    def test_cursor_advances_only_on_last_layer(self, cfg, cache):
+        cache.append(0, _kv(cfg, 3, 1.0), _kv(cfg, 3, 2.0))
+        assert len(cache) == 0  # cursor waits for the last layer
+        cache.append(1, _kv(cfg, 3, 1.0), _kv(cfg, 3, 2.0))
+        assert len(cache) == 3
+
+    def test_extra_exposes_inflight_rows(self, cfg, cache):
+        cache.append(0, _kv(cfg, 2, 5.0), _kv(cfg, 2, 6.0))
+        assert cache.keys(0).shape[0] == 0
+        assert cache.keys(0, extra=2).shape[0] == 2
+        assert (cache.keys(0, extra=2) == 5.0).all()
+
+    def test_overflow_rejected(self, cfg, cache):
+        with pytest.raises(ValueError, match="overflow"):
+            cache.append(0, _kv(cfg, 17, 0.0), _kv(cfg, 17, 0.0))
+
+    def test_shape_mismatch_rejected(self, cfg, cache):
+        bad = np.zeros((2, cfg.kv_dim + 1), dtype=np.float32)
+        with pytest.raises(ValueError):
+            cache.append(0, bad, bad)
+
+    def test_values_preserved_across_appends(self, cfg, cache):
+        for fill in (1.0, 2.0):
+            for layer in range(cfg.n_layers):
+                cache.append(layer, _kv(cfg, 1, fill), _kv(cfg, 1, fill * 10))
+        assert cache.keys(0)[0, 0] == 1.0
+        assert cache.keys(0)[1, 0] == 2.0
+        assert cache.values(1)[1, 0] == 20.0
+
+
+class TestLifecycle:
+    def test_reset_clears_length(self, cfg, cache):
+        for layer in range(cfg.n_layers):
+            cache.append(layer, _kv(cfg, 4, 1.0), _kv(cfg, 4, 1.0))
+        cache.reset()
+        assert len(cache) == 0
+        assert cache.keys(0).shape[0] == 0
+
+    def test_nbytes_grows_with_content(self, cfg, cache):
+        empty = cache.nbytes()
+        for layer in range(cfg.n_layers):
+            cache.append(layer, _kv(cfg, 4, 1.0), _kv(cfg, 4, 1.0))
+        assert cache.nbytes() > empty
+        expected = 2 * 4 * cfg.kv_dim * cfg.n_layers * 4  # fp32
+        assert cache.nbytes() == expected
+
+    def test_capacity(self, cfg, cache):
+        assert cache.capacity == cfg.max_seq_len

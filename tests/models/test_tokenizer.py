@@ -1,0 +1,57 @@
+"""Tests for the toy tokenizer."""
+
+import pytest
+
+from repro.models.tokenizer import ToyTokenizer
+
+
+@pytest.fixture
+def tok():
+    return ToyTokenizer(vocab_size=128)
+
+
+class TestEncode:
+    def test_bos_prepended(self, tok):
+        ids = tok.encode("hello world")
+        assert ids[0] == ToyTokenizer.BOS_ID
+        assert len(ids) == 3
+
+    def test_no_bos_option(self, tok):
+        assert len(tok.encode("hello", add_bos=False)) == 1
+
+    def test_ids_within_vocab(self, tok):
+        for token in tok.encode("a b c d e f g h"):
+            assert 0 <= token < tok.vocab_size
+
+    def test_stable_across_instances(self):
+        a = ToyTokenizer(128).encode("stable mapping test")
+        b = ToyTokenizer(128).encode("stable mapping test")
+        assert a == b
+
+    def test_same_word_same_id(self, tok):
+        ids = tok.encode("ping ping ping", add_bos=False)
+        assert len(set(ids)) == 1
+
+
+class TestDecode:
+    def test_round_trip_for_seen_text(self, tok):
+        text = "the quick brown fox"
+        assert tok.decode(tok.encode(text)) == text
+
+    def test_eos_truncates(self, tok):
+        ids = tok.encode("hello world", add_bos=False)
+        ids.insert(1, ToyTokenizer.EOS_ID)
+        assert tok.decode(ids) == "hello"
+
+    def test_unknown_token_rendered(self, tok):
+        assert tok.decode([99]) == "<99>"
+
+    def test_pad_skipped(self, tok):
+        ids = [ToyTokenizer.PAD_ID] + tok.encode("x", add_bos=False)
+        assert tok.decode(ids) == "x"
+
+
+class TestValidation:
+    def test_tiny_vocab_rejected(self):
+        with pytest.raises(ValueError):
+            ToyTokenizer(vocab_size=3)

@@ -1,0 +1,150 @@
+"""Tests for the numpy reference transformer."""
+
+import numpy as np
+import pytest
+
+from repro.models.config import Activation, tiny_config
+from repro.models.kvcache import KVCache
+from repro.models.transformer import Transformer, mlp_activation_mask, softmax
+from repro.models.weights import init_weights
+from repro.sparsity.powerlaw import synthesize_activation_probs
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        x = rng.standard_normal((5, 7))
+        assert np.allclose(softmax(x).sum(axis=-1), 1.0)
+
+    def test_stable_for_large_inputs(self):
+        x = np.array([1000.0, 1001.0])
+        out = softmax(x)
+        assert np.isfinite(out).all()
+        assert out[1] > out[0]
+
+    def test_respects_minus_inf_mask(self):
+        out = softmax(np.array([0.0, -np.inf]))
+        assert out[1] == 0.0
+
+
+class TestForward:
+    def test_logit_shape(self, tiny_model, tiny_cfg, rng):
+        tokens = rng.integers(0, tiny_cfg.vocab_size, size=5)
+        logits = tiny_model.forward(tokens, KVCache(tiny_cfg))
+        assert logits.shape == (5, tiny_cfg.vocab_size)
+
+    def test_incremental_decoding_matches_full_forward(self, tiny_model, tiny_cfg, rng):
+        # Feeding tokens one at a time through the KV cache must give the
+        # same final logits as one full forward pass.
+        tokens = rng.integers(0, tiny_cfg.vocab_size, size=6)
+        full = tiny_model.forward(tokens, KVCache(tiny_cfg))
+        cache = KVCache(tiny_cfg)
+        step_logits = None
+        for t in tokens:
+            step_logits = tiny_model.forward(np.array([t]), cache)
+        assert np.allclose(step_logits[-1], full[-1], atol=1e-4)
+
+    def test_causality(self, tiny_model, tiny_cfg, rng):
+        # Changing a later token must not change earlier logits.
+        tokens = rng.integers(0, tiny_cfg.vocab_size, size=6)
+        base = tiny_model.forward(tokens, KVCache(tiny_cfg))
+        changed = tokens.copy()
+        changed[-1] = (changed[-1] + 1) % tiny_cfg.vocab_size
+        other = tiny_model.forward(changed, KVCache(tiny_cfg))
+        assert np.allclose(base[:-1], other[:-1], atol=1e-5)
+        assert not np.allclose(base[-1], other[-1])
+
+    def test_rejects_2d_input(self, tiny_model, tiny_cfg):
+        with pytest.raises(ValueError, match="1-D"):
+            tiny_model.forward(np.zeros((2, 3), dtype=int), KVCache(tiny_cfg))
+
+    def test_deterministic(self, tiny_model, tiny_cfg):
+        tokens = np.array([1, 2, 3])
+        a = tiny_model.forward(tokens, KVCache(tiny_cfg))
+        b = tiny_model.forward(tokens, KVCache(tiny_cfg))
+        assert np.array_equal(a, b)
+
+
+class TestHooks:
+    def test_activation_hook_sees_every_layer(self, tiny_model, tiny_cfg, rng):
+        seen = {}
+        tokens = rng.integers(0, tiny_cfg.vocab_size, size=4)
+        tiny_model.forward(
+            tokens, KVCache(tiny_cfg), activation_hook=lambda li, m: seen.setdefault(li, m)
+        )
+        assert sorted(seen) == list(range(tiny_cfg.n_layers))
+        for mask in seen.values():
+            assert mask.shape == (4, tiny_cfg.d_ffn)
+            assert mask.dtype == bool
+
+    def test_mlp_override_replaces_dense(self, tiny_model, tiny_cfg, rng):
+        tokens = rng.integers(0, tiny_cfg.vocab_size, size=3)
+        zero_out = tiny_model.forward(
+            tokens, KVCache(tiny_cfg), mlp_override=lambda li, x: np.zeros_like(x)
+        )
+        dense = tiny_model.forward(tokens, KVCache(tiny_cfg))
+        assert not np.allclose(zero_out, dense)
+
+    def test_identity_override_differs_only_via_mlp(self, tiny_model, tiny_cfg, rng):
+        # Overriding with the true dense MLP must reproduce dense output.
+        tokens = rng.integers(0, tiny_cfg.vocab_size, size=3)
+        dense = tiny_model.forward(tokens, KVCache(tiny_cfg))
+        via_override = tiny_model.forward(
+            tokens,
+            KVCache(tiny_cfg),
+            mlp_override=lambda li, x: tiny_model._mlp(tiny_model.weights.layers[li], x),
+        )
+        assert np.allclose(dense, via_override)
+
+
+class TestActivationMask:
+    def test_mask_matches_relu_support(self, tiny_model, rng):
+        layer = tiny_model.weights.layers[0]
+        x = rng.standard_normal((3, tiny_model.config.d_model)).astype(np.float32)
+        mask = mlp_activation_mask(layer, x)
+        pre = x @ layer.fc1.T + layer.fc1_bias
+        assert np.array_equal(mask, pre > 0)
+
+    def test_power_law_biases_induce_target_sparsity(self, rng):
+        cfg = tiny_config(d_ffn=512)
+        probs = [
+            synthesize_activation_probs(cfg.d_ffn, rng, mean_activation_rate=0.1)
+            for _ in range(cfg.n_layers)
+        ]
+        model = Transformer(init_weights(cfg, rng, activation_probs=probs))
+        x = rng.standard_normal((200, cfg.d_model)).astype(np.float32)
+        mask = mlp_activation_mask(model.weights.layers[0], x)
+        # Mean activation rate should be near the 10% target.
+        assert 0.05 < mask.mean() < 0.2
+
+
+class TestGenerate:
+    def test_generates_requested_tokens(self, tiny_model):
+        out = tiny_model.generate([1, 2, 3], max_new_tokens=5)
+        assert len(out) == 5
+        assert all(0 <= t < tiny_model.config.vocab_size for t in out)
+
+    def test_greedy_is_deterministic(self, tiny_model):
+        assert tiny_model.generate([4, 5], 6) == tiny_model.generate([4, 5], 6)
+
+    def test_empty_prompt_rejected(self, tiny_model):
+        with pytest.raises(ValueError):
+            tiny_model.generate([], 4)
+
+    def test_stops_at_max_seq_len(self):
+        cfg = tiny_config(max_seq_len=8)
+        gen = np.random.default_rng(0)
+        model = Transformer(init_weights(cfg, gen))
+        out = model.generate([1, 2, 3, 4], max_new_tokens=100)
+        assert len(out) <= cfg.max_seq_len - 4 + 1
+
+
+class TestRegluModel:
+    def test_reglu_forward_works(self, rng):
+        cfg = tiny_config(activation=Activation.REGLU)
+        model = Transformer(init_weights(cfg, rng))
+        assert model.weights.layers[0].gate is not None
+        logits = model.forward(np.array([1, 2]), KVCache(cfg))
+        assert np.isfinite(logits).all()
+
+    def test_relu_model_has_no_gate(self, tiny_model):
+        assert tiny_model.weights.layers[0].gate is None

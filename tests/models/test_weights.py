@@ -1,0 +1,72 @@
+"""Tests for synthetic weight initialization."""
+
+import numpy as np
+import pytest
+
+from repro.models.config import Activation, tiny_config
+from repro.models.weights import init_weights
+
+
+class TestShapes:
+    def test_all_matrices_shaped_for_config(self, rng):
+        cfg = tiny_config(n_layers=3, d_model=64, d_ffn=256)
+        w = init_weights(cfg, rng)
+        assert len(w.layers) == 3
+        layer = w.layers[0]
+        assert layer.wq.shape == (64, 64)
+        assert layer.wk.shape == (cfg.kv_dim, 64)
+        assert layer.fc1.shape == (256, 64)
+        assert layer.fc2.shape == (64, 256)
+        assert layer.fc1_bias.shape == (256,)
+        assert w.embedding.shape == (cfg.vocab_size, 64)
+
+    def test_lm_head_tied_to_embedding(self, rng):
+        w = init_weights(tiny_config(), rng)
+        assert w.lm_head is w.embedding
+
+    def test_reglu_gets_gate_matrix(self, rng):
+        cfg = tiny_config(activation=Activation.REGLU)
+        w = init_weights(cfg, rng)
+        assert w.layers[0].gate.shape == (cfg.d_ffn, cfg.d_model)
+
+
+class TestActivationCalibration:
+    def test_biases_hit_target_rates(self, rng):
+        cfg = tiny_config(d_ffn=512)
+        target = np.full(cfg.d_ffn, 0.2)
+        w = init_weights(cfg, rng, activation_probs=[target] * cfg.n_layers)
+        # With ~unit-variance inputs, empirical activation rate ~= target.
+        x = rng.standard_normal((500, cfg.d_model)).astype(np.float32)
+        rate = ((x @ w.layers[0].fc1.T + w.layers[0].fc1_bias) > 0).mean()
+        assert 0.15 < rate < 0.26
+
+    def test_heterogeneous_probs_order_preserved(self, rng):
+        cfg = tiny_config(d_ffn=256)
+        probs = np.linspace(0.02, 0.9, cfg.d_ffn)
+        w = init_weights(cfg, rng, activation_probs=[probs] * cfg.n_layers)
+        x = rng.standard_normal((800, cfg.d_model)).astype(np.float32)
+        rates = ((x @ w.layers[0].fc1.T + w.layers[0].fc1_bias) > 0).mean(axis=0)
+        # Hot-designated neurons fire much more often than cold ones.
+        assert rates[-32:].mean() > rates[:32].mean() + 0.3
+
+    def test_no_probs_means_zero_bias(self, rng):
+        w = init_weights(tiny_config(), rng)
+        assert (w.layers[0].fc1_bias == 0).all()
+
+    def test_wrong_probs_length_rejected(self, rng):
+        cfg = tiny_config(n_layers=2)
+        with pytest.raises(ValueError, match="per layer"):
+            init_weights(cfg, rng, activation_probs=[np.full(cfg.d_ffn, 0.1)])
+
+
+class TestDeterminism:
+    def test_same_seed_same_weights(self):
+        cfg = tiny_config()
+        w1 = init_weights(cfg, np.random.default_rng(7))
+        w2 = init_weights(cfg, np.random.default_rng(7))
+        assert np.array_equal(w1.layers[0].fc1, w2.layers[0].fc1)
+        assert np.array_equal(w1.embedding, w2.embedding)
+
+    def test_dtype_respected(self, rng):
+        w = init_weights(tiny_config(), rng, dtype=np.float64)
+        assert w.layers[0].fc1.dtype == np.float64

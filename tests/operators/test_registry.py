@@ -1,0 +1,49 @@
+"""Tests for the operator registry."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.costmodel import OpWork
+from repro.operators.registry import OPERATOR_REGISTRY, get_operator, list_operators
+
+
+class TestRegistry:
+    def test_catalog_covers_the_families(self):
+        names = set(OPERATOR_REGISTRY)
+        assert "dense_gemv" in names
+        assert "neuron_gather_rows" in names
+        assert "csr_spmv" in names
+        assert "pit_gemv" in names
+        assert len(names) >= 7
+
+    def test_lookup(self):
+        spec = get_operator("neuron_gather_rows")
+        assert spec.sparsity_aware
+        assert "gpu" in spec.devices and "cpu" in spec.devices
+
+    def test_unknown_lists_known(self):
+        with pytest.raises(KeyError, match="known"):
+            get_operator("warp_speed_gemv")
+
+    def test_filter_by_device(self):
+        cpu_ops = list_operators(device="cpu")
+        assert all("cpu" in s.devices for s in cpu_ops)
+        assert any(s.name == "cpu_core_batched_gemv" for s in cpu_ops)
+        gpu_only = list_operators(device="gpu")
+        assert any(s.name == "pit_gemv" for s in gpu_only)
+
+    def test_filter_by_sparsity(self):
+        dense_ops = list_operators(sparsity_aware=False)
+        assert [s.name for s in dense_ops] == ["dense_gemv"]
+
+    def test_kernels_are_callable_and_work_fns_return_opwork(self, rng):
+        spec = get_operator("neuron_gather_rows")
+        weight = rng.standard_normal((8, 4)).astype(np.float32)
+        x = rng.standard_normal(4).astype(np.float32)
+        out = spec.kernel(weight, x, np.array([0, 3]))
+        assert out.shape == (2,)
+        assert isinstance(spec.work(2, 4), OpWork)
+
+    def test_every_entry_documents_origin(self):
+        for spec in OPERATOR_REGISTRY.values():
+            assert spec.origin

@@ -1,0 +1,107 @@
+"""Tests for the CSR and PIT baseline operators."""
+
+import numpy as np
+import pytest
+
+from repro.operators.dense import dense_gemv
+from repro.operators.sparse_baselines import (
+    csr_from_row_sparse,
+    csr_spmv,
+    csr_work,
+    pit_gemv,
+    pit_work,
+)
+
+
+@pytest.fixture
+def weight(rng):
+    return rng.standard_normal((32, 16)).astype(np.float32)
+
+
+@pytest.fixture
+def x(rng):
+    return rng.standard_normal(16).astype(np.float32)
+
+
+class TestCsrConversion:
+    def test_nnz_counts_active_rows_fully(self, weight):
+        active = np.array([0, 5, 9])
+        csr = csr_from_row_sparse(weight, active)
+        assert csr.nnz == 3 * 16
+        assert csr.shape == (32, 16)
+
+    def test_indptr_structure(self, weight):
+        csr = csr_from_row_sparse(weight, np.array([1]))
+        assert csr.indptr[0] == 0
+        assert csr.indptr[1] == 0  # row 0 empty
+        assert csr.indptr[2] == 16  # row 1 full
+        assert csr.indptr[-1] == 16
+
+    def test_empty_active_set(self, weight):
+        csr = csr_from_row_sparse(weight, np.array([], dtype=int))
+        assert csr.nnz == 0
+
+
+class TestCsrSpmv:
+    def test_matches_masked_dense(self, weight, x, rng):
+        active = np.sort(rng.choice(32, size=10, replace=False))
+        csr = csr_from_row_sparse(weight, active)
+        out = csr_spmv(csr, x)
+        dense = dense_gemv(weight, x)
+        assert np.allclose(out[active], dense[active], atol=1e-5)
+        inactive = np.setdiff1d(np.arange(32), active)
+        assert (out[inactive] == 0).all()
+
+    def test_all_rows_empty(self, weight, x):
+        csr = csr_from_row_sparse(weight, np.array([], dtype=int))
+        assert (csr_spmv(csr, x) == 0).all()
+
+    def test_wrong_x_shape_rejected(self, weight):
+        csr = csr_from_row_sparse(weight, np.array([0]))
+        with pytest.raises(ValueError):
+            csr_spmv(csr, np.zeros(7))
+
+
+class TestPit:
+    def test_matches_gather(self, weight, x, rng):
+        active = np.sort(rng.choice(32, size=8, replace=False))
+        out = pit_gemv(weight, x, active)
+        dense = dense_gemv(weight, x)
+        assert np.allclose(out, dense[active], atol=1e-5)
+
+
+class TestCostStructure:
+    def test_dynamic_conversion_dominates(self):
+        # With conversion charged per call, CSR reads at least the whole
+        # dense matrix — it can never beat a dense kernel on bytes.
+        dynamic = csr_work(4096, 4096, n_active=100, include_conversion=True)
+        assert dynamic.bytes_read >= 4096 * 4096 * 2.0
+
+    def test_static_csr_carries_index_overhead(self):
+        static = csr_work(4096, 4096, n_active=2048, include_conversion=False)
+        from repro.operators.neuron_aware import neuron_gemv_work
+
+        na = neuron_gemv_work(2048, 4096)
+        assert static.bytes_read > na.bytes_read  # indices + gather penalty
+
+    def test_pit_close_to_neuron_aware(self):
+        from repro.operators.neuron_aware import neuron_gemv_work
+
+        pit = pit_work(512, 4096)
+        na = neuron_gemv_work(512, 4096)
+        assert pit.bytes_total == pytest.approx(na.bytes_total, rel=0.05)
+
+    def test_csr_crossover_near_87_percent(self):
+        # Figure 16: pre-converted CSR beats dense only past ~87% sparsity
+        # on CPU (bandwidth-bound regime -> compare bytes).
+        from repro.operators.dense import dense_gemv_work
+
+        n = 4096
+        dense_bytes = dense_gemv_work(n, n).bytes_total
+
+        def csr_bytes(sparsity):
+            active = int((1 - sparsity) * n)
+            return csr_work(n, n, active, include_conversion=False).bytes_total
+
+        assert csr_bytes(0.80) > dense_bytes
+        assert csr_bytes(0.95) < dense_bytes

@@ -1,0 +1,98 @@
+"""Tests for adaptive predictor sizing."""
+
+import numpy as np
+import pytest
+
+from repro.models.config import OPT_30B, OPT_175B
+from repro.predictor.adaptive import (
+    adaptive_train,
+    baseline_hidden_size,
+    modeled_predictor_bytes,
+    modeled_predictor_params,
+)
+from repro.predictor.training import synthesize_training_data
+
+
+class TestBaselineSize:
+    def test_sparser_layers_get_smaller_baselines(self):
+        dense = baseline_hidden_size(512, 2048, layer_sparsity=0.80)
+        sparse = baseline_hidden_size(512, 2048, layer_sparsity=0.97)
+        assert sparse < dense
+
+    def test_bounds_respected(self):
+        assert baseline_hidden_size(8, 16, 0.99) >= 4
+        assert baseline_hidden_size(10_000, 100, 0.0) <= 100
+
+    def test_invalid_sparsity(self):
+        with pytest.raises(ValueError):
+            baseline_hidden_size(8, 16, 1.0)
+
+
+class TestAdaptiveTrain:
+    @pytest.fixture
+    def split_data(self, rng):
+        x, y = synthesize_training_data(48, 96, 800, rng, target_sparsity=0.92)
+        return x[:600], y[:600], x[600:], y[600:]
+
+    def test_meets_target_or_returns_best(self, split_data, rng):
+        xt, yt, xv, yv = split_data
+        result = adaptive_train(
+            xt, yt, xv, yv, layer_sparsity=0.92, layer_skewness=0.8, rng=rng,
+            accuracy_target=0.93, max_rounds=4, epochs=12,
+        )
+        assert result.metrics.accuracy > 0.90
+        assert result.history, "search history must be recorded"
+
+    def test_high_skew_shrinks_from_baseline(self, split_data, rng):
+        xt, yt, xv, yv = split_data
+        result = adaptive_train(
+            xt, yt, xv, yv, layer_sparsity=0.92, layer_skewness=0.9, rng=rng,
+            accuracy_target=0.80,  # easy target -> shrinking should engage
+            max_rounds=5, epochs=8,
+        )
+        baseline = baseline_hidden_size(48, 96, 0.92)
+        assert result.hidden <= baseline
+
+    def test_unreachable_target_returns_most_accurate(self, split_data, rng):
+        xt, yt, xv, yv = split_data
+        result = adaptive_train(
+            xt, yt, xv, yv, layer_sparsity=0.92, layer_skewness=0.2, rng=rng,
+            accuracy_target=0.9999, max_rounds=3, epochs=5,
+        )
+        accuracies = [acc for _, acc in result.history]
+        assert result.metrics.accuracy == pytest.approx(max(accuracies))
+
+
+class TestModeledSizing:
+    def test_decreases_with_sparsity(self):
+        sizes = [
+            modeled_predictor_params(OPT_175B, sp, 0.7) for sp in (0.85, 0.90, 0.95, 0.99)
+        ]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_decreases_with_skewness(self):
+        low = modeled_predictor_params(OPT_175B, 0.90, 0.2)
+        high = modeled_predictor_params(OPT_175B, 0.90, 0.9)
+        assert high < low
+
+    def test_stricter_target_costs_more(self):
+        loose = modeled_predictor_params(OPT_175B, 0.90, 0.7, accuracy_target=0.90)
+        strict = modeled_predictor_params(OPT_175B, 0.90, 0.7, accuracy_target=0.99)
+        assert strict > loose
+
+    def test_whole_model_budget_near_paper_10_percent(self):
+        # Section 5.1: predictors limited to ~10% of LLM parameters.
+        n = OPT_30B.n_layers
+        total = modeled_predictor_bytes(
+            OPT_30B, [0.90] * n, [0.75] * n, bytes_per_param=2.0
+        )
+        fraction = (total / 2.0) / OPT_30B.total_params
+        assert 0.02 < fraction < 0.12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            modeled_predictor_params(OPT_30B, 1.0, 0.5)
+        with pytest.raises(ValueError):
+            modeled_predictor_params(OPT_30B, 0.9, 1.5)
+        with pytest.raises(ValueError):
+            modeled_predictor_bytes(OPT_30B, [0.9], [0.5])

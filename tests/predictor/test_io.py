@@ -1,0 +1,68 @@
+"""Tests for predictor-set persistence."""
+
+import numpy as np
+import pytest
+
+from repro.predictor.io import load_predictors, save_predictors
+from repro.predictor.mlp import MlpPredictor
+
+
+@pytest.fixture
+def predictor_set(rng):
+    return [
+        MlpPredictor(16, 8, 32, rng=rng, threshold=0.4),
+        None,  # oracle layer
+        MlpPredictor(16, 4, 32, rng=rng),
+    ]
+
+
+class TestRoundTrip:
+    def test_weights_and_gaps_preserved(self, predictor_set, tmp_path):
+        path = tmp_path / "preds.npz"
+        save_predictors(predictor_set, path)
+        loaded = load_predictors(path)
+        assert len(loaded) == 3
+        assert loaded[1] is None
+        assert np.array_equal(loaded[0].w1, predictor_set[0].w1)
+        assert loaded[0].threshold == 0.4
+        assert loaded[2].hidden == 4
+
+    def test_predictions_identical(self, predictor_set, tmp_path, rng):
+        path = tmp_path / "preds.npz"
+        save_predictors(predictor_set, path)
+        loaded = load_predictors(path)
+        x = rng.standard_normal((6, 16)).astype(np.float32)
+        assert np.array_equal(loaded[0].predict(x), predictor_set[0].predict(x))
+        assert np.allclose(loaded[2].forward(x), predictor_set[2].forward(x))
+
+    def test_trained_then_restored_keeps_accuracy(self, tmp_path, rng):
+        from repro.predictor.training import synthesize_training_data
+
+        x, y = synthesize_training_data(16, 32, 400, rng, target_sparsity=0.85)
+        pred = MlpPredictor(16, 16, 32, rng=rng)
+        pred.fit(x, y, rng=rng, epochs=20, lr=1.0)
+        before = pred.evaluate(x, y)
+        path = tmp_path / "trained.npz"
+        save_predictors([pred], path)
+        (restored,) = load_predictors(path)
+        after = restored.evaluate(x, y)
+        assert after.accuracy == pytest.approx(before.accuracy)
+
+    def test_bad_version_rejected(self, predictor_set, tmp_path):
+        import json
+
+        path = tmp_path / "preds.npz"
+        save_predictors(predictor_set, path)
+        with np.load(path) as data:
+            arrays = {k: data[k] for k in data.files}
+        header = json.loads(bytes(arrays["header"]).decode())
+        header["version"] = 42
+        arrays["header"] = np.frombuffer(json.dumps(header).encode(), dtype=np.uint8)
+        np.savez(path, **arrays)
+        with pytest.raises(ValueError, match="version"):
+            load_predictors(path)
+
+    def test_empty_set(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        save_predictors([], path)
+        assert load_predictors(path) == []

@@ -1,0 +1,102 @@
+"""Tests for the numpy MLP predictor."""
+
+import numpy as np
+import pytest
+
+from repro.predictor.mlp import MlpPredictor
+from repro.predictor.training import synthesize_training_data
+
+
+@pytest.fixture
+def data(rng):
+    return synthesize_training_data(
+        d_in=32, n_neurons=64, n_samples=600, rng=rng, target_sparsity=0.85
+    )
+
+
+class TestArchitecture:
+    def test_param_count(self, rng):
+        pred = MlpPredictor(d_in=10, hidden=5, n_neurons=20, rng=rng)
+        assert pred.param_count == 10 * 5 + 5 + 5 * 20 + 20
+
+    def test_nbytes_fp16(self, rng):
+        pred = MlpPredictor(d_in=10, hidden=5, n_neurons=20, rng=rng)
+        assert pred.nbytes() == pred.param_count * 2.0
+
+    def test_invalid_dims_rejected(self, rng):
+        with pytest.raises(ValueError):
+            MlpPredictor(d_in=0, hidden=5, n_neurons=20, rng=rng)
+
+    def test_invalid_threshold_rejected(self, rng):
+        with pytest.raises(ValueError):
+            MlpPredictor(d_in=4, hidden=4, n_neurons=4, rng=rng, threshold=1.0)
+
+
+class TestForward:
+    def test_outputs_are_probabilities(self, rng):
+        pred = MlpPredictor(8, 4, 16, rng=rng)
+        probs = pred.forward(rng.standard_normal((5, 8)).astype(np.float32))
+        assert probs.shape == (5, 16)
+        assert ((probs >= 0) & (probs <= 1)).all()
+
+    def test_predict_thresholds(self, rng):
+        pred = MlpPredictor(8, 4, 16, rng=rng, threshold=0.5)
+        x = rng.standard_normal((3, 8)).astype(np.float32)
+        assert np.array_equal(pred.predict(x), pred.forward(x) >= 0.5)
+
+    def test_single_vector_input(self, rng):
+        pred = MlpPredictor(8, 4, 16, rng=rng)
+        assert pred.forward(np.zeros(8, dtype=np.float32)).shape == (16,)
+
+
+class TestTraining:
+    def test_loss_decreases(self, data, rng):
+        x, y = data
+        pred = MlpPredictor(32, 24, 64, rng=rng)
+        losses = pred.fit(x, y, rng=rng, epochs=10, lr=0.5)
+        assert losses[-1] < losses[0]
+
+    def test_learns_above_trivial_baseline(self, data, rng):
+        x, y = data
+        # Trivial baseline: predict all-inactive -> accuracy == sparsity.
+        trivial = 1.0 - y.mean()
+        pred = MlpPredictor(32, 32, 64, rng=rng)
+        pred.fit(x[:500], y[:500], rng=rng, epochs=40, lr=1.0)
+        metrics = pred.evaluate(x[500:], y[500:])
+        assert metrics.accuracy > trivial + 0.02
+        assert metrics.recall > 0.3
+
+    def test_mismatched_shapes_rejected(self, rng):
+        pred = MlpPredictor(8, 4, 16, rng=rng)
+        with pytest.raises(ValueError):
+            pred.fit(np.zeros((5, 8)), np.zeros((4, 16)), rng=rng)
+
+    def test_train_batch_returns_finite_loss(self, rng):
+        pred = MlpPredictor(8, 4, 16, rng=rng)
+        loss = pred.train_batch(
+            rng.standard_normal((4, 8)).astype(np.float32),
+            rng.random((4, 16)) < 0.2,
+            lr=0.1,
+        )
+        assert np.isfinite(loss) and loss > 0
+
+
+class TestEvaluation:
+    def test_perfect_prediction_metrics(self, rng):
+        pred = MlpPredictor(4, 4, 8, rng=rng)
+        x = rng.standard_normal((10, 4)).astype(np.float32)
+        truth = pred.predict(x)
+        metrics = pred.evaluate(x, truth)
+        assert metrics.accuracy == 1.0
+        assert metrics.recall == 1.0
+        assert metrics.precision == 1.0
+
+    def test_all_inactive_edge_case(self, rng):
+        pred = MlpPredictor(4, 4, 8, rng=rng)
+        # Force predictions to all-off by a huge negative output bias.
+        pred.b2[:] = -100.0
+        x = rng.standard_normal((5, 4)).astype(np.float32)
+        metrics = pred.evaluate(x, np.zeros((5, 8), dtype=bool))
+        assert metrics.accuracy == 1.0
+        assert metrics.recall == 1.0  # vacuous: no actives to find
+        assert metrics.precision == 1.0  # vacuous: nothing predicted

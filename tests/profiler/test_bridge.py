@@ -1,0 +1,59 @@
+"""Tests for the trace -> activation-model bridge."""
+
+import numpy as np
+import pytest
+
+from repro.profiler.bridge import activation_model_from_trace, profiles_from_trace
+from repro.profiler.profiler import profile_numerical, profile_statistical
+from repro.profiler.trace import ActivationTrace
+from repro.sparsity.activation import ActivationModel, LayerActivationProfile
+
+
+class TestProfilesFromTrace:
+    def test_rates_become_probabilities(self, rng):
+        trace = ActivationTrace.empty(2, 8)
+        trace.record_mlp(0, np.ones((4, 8), dtype=bool))
+        trace.record_mlp(1, np.zeros((4, 8), dtype=bool))
+        trace.advance_tokens(4)
+        profiles = profiles_from_trace(trace)
+        assert profiles[0].mean_rate == pytest.approx(1.0)
+        assert profiles[1].mean_rate == pytest.approx(0.0)
+
+    def test_round_trip_statistical(self, rng):
+        # Synthesize -> sample -> re-profile recovers the rates.
+        probs = rng.random(128) * 0.4
+        am = ActivationModel([LayerActivationProfile(probs)], rng)
+        trace = profile_statistical(am, n_tokens=3000)
+        recovered = profiles_from_trace(trace)[0].probs
+        assert np.abs(recovered - probs).mean() < 0.02
+
+
+class TestMeasuredProfilesDriveSimulator:
+    def test_numerical_trace_feeds_perf_engine(self, tiny_model, tiny_cfg, rng):
+        # Close the loop: profile the real numpy model, then sample a
+        # performance-engine activation model from the measurement.
+        requests = [rng.integers(0, tiny_cfg.vocab_size, size=16) for _ in range(4)]
+        trace = profile_numerical(tiny_model, requests)
+        am = activation_model_from_trace(trace, rng)
+        assert am.n_layers == tiny_cfg.n_layers
+        mask = am.sample_mlp_mask(0)
+        assert mask.shape == (tiny_cfg.d_ffn,)
+        # The sampled rate reflects the measured ~15% activation rate.
+        rate = np.mean([am.sample_mlp_mask(0).mean() for _ in range(50)])
+        assert 0.05 < rate < 0.35
+
+    def test_attn_profiles_included_when_traced(self, rng):
+        trace = ActivationTrace.empty(1, 8, attn_neurons=4)
+        trace.record_mlp(0, np.ones((2, 8), dtype=bool))
+        trace.record_attn(0, np.ones((2, 4), dtype=bool))
+        trace.advance_tokens(2)
+        am = activation_model_from_trace(trace, rng)
+        assert am.sample_attn_mask(0).shape == (4,)
+
+    def test_attn_profiles_absent_when_untraced(self, rng):
+        trace = ActivationTrace.empty(1, 8)
+        trace.record_mlp(0, np.ones((2, 8), dtype=bool))
+        trace.advance_tokens(2)
+        am = activation_model_from_trace(trace, rng)
+        with pytest.raises(ValueError):
+            am.sample_attn_mask(0)

@@ -1,0 +1,38 @@
+"""Tests for the synthetic profiling corpora."""
+
+import numpy as np
+import pytest
+
+from repro.profiler.datasets import ProfilingCorpus, c4_corpus, wikipedia_corpus
+
+
+class TestRequests:
+    def test_request_count_and_bounds(self, rng):
+        corpus = c4_corpus()
+        reqs = list(corpus.requests(20, vocab_size=100, rng=rng))
+        assert len(reqs) == 20
+        for req in reqs:
+            assert corpus.min_length <= req.size <= corpus.max_length
+            assert req.min() >= 0 and req.max() < 100
+
+    def test_length_distributions_differ(self, rng):
+        c4_lens = [r.size for r in c4_corpus().requests(200, 100, rng)]
+        wiki_lens = [r.size for r in wikipedia_corpus().requests(200, 100, rng)]
+        assert np.mean(wiki_lens) > np.mean(c4_lens)
+
+    def test_deterministic_with_seed(self):
+        a = [r.tolist() for r in c4_corpus().requests(5, 50, np.random.default_rng(1))]
+        b = [r.tolist() for r in c4_corpus().requests(5, 50, np.random.default_rng(1))]
+        assert a == b
+
+    def test_invalid_args(self, rng):
+        with pytest.raises(ValueError):
+            list(c4_corpus().requests(0, 100, rng))
+        with pytest.raises(ValueError):
+            list(c4_corpus().requests(5, 0, rng))
+
+    def test_custom_corpus(self, rng):
+        corpus = ProfilingCorpus(name="short", mean_length=8, min_length=2, max_length=12)
+        lens = [r.size for r in corpus.requests(50, 10, rng)]
+        assert max(lens) <= 12
+        assert min(lens) >= 2

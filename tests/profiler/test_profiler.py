@@ -1,0 +1,83 @@
+"""Tests for the offline profiler on both substrates."""
+
+import numpy as np
+import pytest
+
+from repro.profiler.datasets import c4_corpus
+from repro.profiler.profiler import (
+    layer_statistics,
+    profile_numerical,
+    profile_statistical,
+)
+from repro.sparsity.activation import ActivationModel, LayerActivationProfile
+
+
+class TestNumericalProfiling:
+    def test_counts_match_tokens(self, tiny_model, tiny_cfg, rng):
+        requests = [rng.integers(0, tiny_cfg.vocab_size, size=10) for _ in range(4)]
+        trace = profile_numerical(tiny_model, requests)
+        assert trace.n_tokens == 40
+        assert trace.n_layers == tiny_cfg.n_layers
+        # Counts are bounded by token count.
+        for counts in trace.mlp_counts:
+            assert counts.max() <= 40
+
+    def test_profile_reflects_real_sparsity(self, tiny_model, tiny_cfg, rng):
+        requests = [rng.integers(0, tiny_cfg.vocab_size, size=24) for _ in range(6)]
+        trace = profile_numerical(tiny_model, requests)
+        stats = layer_statistics(trace)
+        # The tiny model was built with ~15% activation rate.
+        for s in stats:
+            assert 0.6 < s.sparsity < 0.95
+
+    def test_empty_requests_rejected(self, tiny_model):
+        with pytest.raises(ValueError):
+            profile_numerical(tiny_model, [])
+
+    def test_long_requests_truncated(self, tiny_model, tiny_cfg, rng):
+        request = rng.integers(0, tiny_cfg.vocab_size, size=tiny_cfg.max_seq_len + 50)
+        trace = profile_numerical(tiny_model, [request])
+        assert trace.n_tokens == tiny_cfg.max_seq_len
+
+    def test_corpus_integration(self, tiny_model, tiny_cfg, rng):
+        requests = c4_corpus().requests(5, tiny_cfg.vocab_size, rng)
+        trace = profile_numerical(tiny_model, requests)
+        assert trace.n_tokens > 0
+
+
+class TestStatisticalProfiling:
+    def test_rates_converge_to_probs(self, rng):
+        probs = rng.random(256) * 0.4
+        am = ActivationModel([LayerActivationProfile(probs)], rng)
+        trace = profile_statistical(am, n_tokens=2000)
+        assert np.abs(trace.mlp_rates(0) - probs).mean() < 0.02
+
+    def test_attention_profiles_counted(self, rng):
+        mlp = LayerActivationProfile(rng.random(64))
+        attn = LayerActivationProfile(np.full(8, 0.5))
+        am = ActivationModel([mlp], rng, attn_profiles=[attn])
+        trace = profile_statistical(am, n_tokens=500)
+        assert trace.attn_rates(0).mean() == pytest.approx(0.5, abs=0.1)
+
+    def test_chunking_covers_exact_token_count(self, rng):
+        am = ActivationModel([LayerActivationProfile(rng.random(16))], rng)
+        trace = profile_statistical(am, n_tokens=777, batch_tokens=100)
+        assert trace.n_tokens == 777
+
+    def test_nonpositive_tokens_rejected(self, rng):
+        am = ActivationModel([LayerActivationProfile(rng.random(16))], rng)
+        with pytest.raises(ValueError):
+            profile_statistical(am, n_tokens=0)
+
+
+class TestLayerStatistics:
+    def test_stats_fields(self, rng):
+        am = ActivationModel(
+            [LayerActivationProfile(np.full(100, 0.25))], rng
+        )
+        trace = profile_statistical(am, n_tokens=1000)
+        (stats,) = layer_statistics(trace)
+        assert stats.layer == 0
+        assert stats.sparsity == pytest.approx(0.75, abs=0.05)
+        assert stats.mean_rate == pytest.approx(0.25, abs=0.05)
+        assert 0.0 <= stats.skewness < 0.3  # near-uniform probs -> low skew

@@ -1,0 +1,103 @@
+"""Tests for activation traces."""
+
+import numpy as np
+import pytest
+
+from repro.profiler.trace import ActivationTrace
+
+
+@pytest.fixture
+def trace():
+    return ActivationTrace.empty(n_layers=2, mlp_neurons=8, attn_neurons=4)
+
+
+class TestRecording:
+    def test_record_accumulates_counts(self, trace):
+        mask = np.zeros((3, 8), dtype=bool)
+        mask[:, 0] = True
+        mask[0, 1] = True
+        trace.record_mlp(0, mask)
+        assert trace.mlp_counts[0][0] == 3
+        assert trace.mlp_counts[0][1] == 1
+
+    def test_record_1d_mask(self, trace):
+        trace.record_mlp(1, np.array([True] * 8))
+        assert (trace.mlp_counts[1] == 1).all()
+
+    def test_rates_require_tokens(self, trace):
+        with pytest.raises(ValueError, match="token"):
+            trace.mlp_rates(0)
+
+    def test_rates_normalize_by_tokens(self, trace):
+        trace.record_mlp(0, np.ones((4, 8), dtype=bool))
+        trace.advance_tokens(4)
+        assert np.allclose(trace.mlp_rates(0), 1.0)
+
+    def test_attn_counts(self, trace):
+        trace.record_attn(0, np.array([True, False, True, False]))
+        trace.advance_tokens(1)
+        assert np.allclose(trace.attn_rates(0), [1, 0, 1, 0])
+
+    def test_negative_tokens_rejected(self, trace):
+        with pytest.raises(ValueError):
+            trace.advance_tokens(-1)
+
+
+class TestMerge:
+    def test_merge_sums_counts_and_tokens(self, trace):
+        other = ActivationTrace.empty(2, 8, 4)
+        trace.record_mlp(0, np.ones((2, 8), dtype=bool))
+        trace.advance_tokens(2)
+        other.record_mlp(0, np.ones((3, 8), dtype=bool))
+        other.advance_tokens(3)
+        merged = trace.merge(other)
+        assert merged.n_tokens == 5
+        assert (merged.mlp_counts[0] == 5).all()
+        # Originals untouched.
+        assert trace.n_tokens == 2
+
+    def test_merge_layer_mismatch_rejected(self, trace):
+        with pytest.raises(ValueError):
+            trace.merge(ActivationTrace.empty(3, 8, 4))
+
+    def test_merge_attn_presence_mismatch_rejected(self, trace):
+        with pytest.raises(ValueError):
+            trace.merge(ActivationTrace.empty(2, 8, 0))
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, trace, tmp_path):
+        trace.record_mlp(0, np.ones((2, 8), dtype=bool))
+        trace.record_attn(1, np.ones((2, 4), dtype=bool))
+        trace.advance_tokens(2)
+        path = tmp_path / "trace.npz"
+        trace.save(path)
+        loaded = ActivationTrace.load(path)
+        assert loaded.n_tokens == 2
+        assert np.array_equal(loaded.mlp_counts[0], trace.mlp_counts[0])
+        assert np.array_equal(loaded.attn_counts[1], trace.attn_counts[1])
+        assert loaded.n_layers == 2
+
+    def test_load_preserves_layer_order_beyond_ten(self, tmp_path):
+        # Lexicographic filename sorting would scramble layers 10+.
+        big = ActivationTrace.empty(12, 4)
+        big.mlp_counts[11][:] = 99
+        big.advance_tokens(1)
+        path = tmp_path / "big.npz"
+        big.save(path)
+        loaded = ActivationTrace.load(path)
+        assert (loaded.mlp_counts[11] == 99).all()
+        assert (loaded.mlp_counts[1] == 0).all()
+
+
+class TestValidation:
+    def test_empty_layers_rejected(self):
+        with pytest.raises(ValueError):
+            ActivationTrace(mlp_counts=[])
+
+    def test_all_rates_helper(self, trace):
+        trace.record_mlp(0, np.ones((1, 8), dtype=bool))
+        trace.advance_tokens(1)
+        rates = trace.all_mlp_rates()
+        assert len(rates) == 2
+        assert rates[0].sum() == 8

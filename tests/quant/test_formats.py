@@ -1,0 +1,52 @@
+"""Tests for dtype descriptors and memory accounting."""
+
+import pytest
+
+from repro.quant.formats import DTYPE_PRESETS, FP16, FP32, INT4, INT8, DType
+
+
+class TestBytesPerParam:
+    def test_fp32(self):
+        assert FP32.bytes_per_param == 4.0
+
+    def test_fp16(self):
+        assert FP16.bytes_per_param == 2.0
+
+    def test_int4_includes_group_metadata(self):
+        # 0.5 payload + 4 bytes / 32-param group = 0.625 bytes/param.
+        assert INT4.bytes_per_param == pytest.approx(0.625)
+
+    def test_int8_includes_group_metadata(self):
+        assert INT8.bytes_per_param == pytest.approx(1.0 + 2.0 / 32)
+
+    def test_ordering(self):
+        assert INT4.bytes_per_param < INT8.bytes_per_param < FP16.bytes_per_param
+
+
+class TestNbytes:
+    def test_nbytes_scales_linearly(self):
+        assert FP16.nbytes(1000) == 2000.0
+
+    def test_nbytes_rejects_negative(self):
+        with pytest.raises(ValueError):
+            FP16.nbytes(-1)
+
+    def test_paper_opt_66b_int4_exceeds_24gb(self):
+        # Intro: a 4-bit OPT-66B needs ~40 GB — more than an RTX 4090.
+        nbytes = INT4.nbytes(66e9)
+        assert nbytes > 24 * 2**30
+        assert nbytes == pytest.approx(41.25e9, rel=0.01)
+
+
+class TestValidation:
+    def test_rejects_nonpositive_bits(self):
+        with pytest.raises(ValueError):
+            DType(name="bad", bits=0)
+
+    def test_rejects_negative_group_size(self):
+        with pytest.raises(ValueError):
+            DType(name="bad", bits=4, group_size=-1)
+
+    def test_presets_by_name(self):
+        assert DTYPE_PRESETS["fp16"] is FP16
+        assert DTYPE_PRESETS["int4"] is INT4

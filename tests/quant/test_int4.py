@@ -1,0 +1,80 @@
+"""Tests for the numpy INT4 group quantizer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.quant.int4 import dequantize_int4, quantization_error, quantize_int4
+
+
+class TestRoundTrip:
+    def test_error_bounded_by_half_step(self, rng):
+        w = rng.standard_normal((16, 64)).astype(np.float32)
+        qt = quantize_int4(w, group_size=32)
+        grouped = w.reshape(16, 2, 32)
+        spans = grouped.max(-1) - grouped.min(-1)
+        bound = spans.max() / 15 / 2 + 1e-6
+        assert np.abs(dequantize_int4(qt) - w).max() <= bound
+
+    def test_constant_groups_exact(self):
+        w = np.full((4, 32), 3.25, dtype=np.float32)
+        assert np.allclose(dequantize_int4(quantize_int4(w)), w)
+
+    def test_endpoints_exact(self, rng):
+        # Group min and max are exactly representable (codes 0 and 15).
+        w = rng.standard_normal((8, 32)).astype(np.float32)
+        deq = dequantize_int4(quantize_int4(w))
+        assert np.allclose(deq.min(-1), w.min(-1), atol=1e-5)
+        assert np.allclose(deq.max(-1), w.max(-1), atol=1e-5)
+
+    def test_preserves_shape_and_monotone_order_within_group(self, rng):
+        w = np.sort(rng.standard_normal((1, 32)).astype(np.float32))
+        deq = dequantize_int4(quantize_int4(w))
+        assert deq.shape == w.shape
+        assert (np.diff(deq) >= -1e-6).all()
+
+    @given(
+        w=hnp.arrays(
+            dtype=np.float32,
+            shape=st.tuples(st.integers(1, 4), st.just(64)),
+            elements=st.floats(-100, 100, width=32),
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_error_bound_property(self, w):
+        assert quantization_error(w, group_size=32) <= (
+            (w.reshape(-1, 32).max(-1) - w.reshape(-1, 32).min(-1)).max() / 15.0
+        ) / 2.0 + 1e-5
+
+
+class TestValidation:
+    def test_rejects_indivisible_last_axis(self, rng):
+        with pytest.raises(ValueError, match="divisible"):
+            quantize_int4(rng.standard_normal((4, 33)), group_size=32)
+
+    def test_rejects_scalar(self):
+        with pytest.raises(ValueError):
+            quantize_int4(np.float32(1.0))
+
+    def test_rejects_nonpositive_group(self, rng):
+        with pytest.raises(ValueError):
+            quantize_int4(rng.standard_normal((4, 32)), group_size=0)
+
+    def test_codes_fit_4_bits(self, rng):
+        qt = quantize_int4(rng.standard_normal((8, 64)).astype(np.float32))
+        assert qt.codes.max() <= 15
+        assert qt.codes.dtype == np.uint8
+
+
+class TestStorage:
+    def test_effective_bytes_match_dtype_model(self, rng):
+        from repro.quant.formats import INT4
+
+        n = 8 * 256
+        qt = quantize_int4(rng.standard_normal((8, 256)).astype(np.float32))
+        assert qt.nbytes_effective == pytest.approx(INT4.nbytes(n))
+
+    def test_quantization_error_empty(self):
+        assert quantization_error(np.zeros((0, 32), dtype=np.float32)) == 0.0

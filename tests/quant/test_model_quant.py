@@ -1,0 +1,85 @@
+"""Tests for whole-model INT4 quantization."""
+
+import numpy as np
+import pytest
+
+from repro.models.config import Activation, tiny_config
+from repro.models.kvcache import KVCache
+from repro.models.transformer import Transformer
+from repro.models.weights import init_weights
+from repro.quant.model import quantize_model_weights
+
+
+@pytest.fixture
+def model_weights(rng):
+    return init_weights(tiny_config(), rng)
+
+
+class TestQuantization:
+    def test_errors_bounded_and_reported(self, model_weights):
+        quantized, report = quantize_model_weights(model_weights)
+        assert report.n_matrices > 0
+        assert 0 < report.mean_abs_error < report.max_abs_error
+        # Group-quantized random N(0, 1/sqrt(d)) weights: tiny steps.
+        assert report.max_abs_error < 0.2
+
+    def test_most_parameters_quantized(self, model_weights):
+        _, report = quantize_model_weights(model_weights)
+        assert report.quantized_fraction > 0.9
+
+    def test_biases_and_norms_untouched(self, model_weights):
+        quantized, _ = quantize_model_weights(model_weights)
+        assert np.array_equal(
+            quantized.layers[0].fc1_bias, model_weights.layers[0].fc1_bias
+        )
+        assert np.array_equal(
+            quantized.layers[0].attn_norm, model_weights.layers[0].attn_norm
+        )
+
+    def test_reglu_gate_quantized(self, rng):
+        weights = init_weights(tiny_config(activation=Activation.REGLU), rng)
+        quantized, _ = quantize_model_weights(weights)
+        assert quantized.layers[0].gate is not None
+        assert not np.array_equal(quantized.layers[0].gate, weights.layers[0].gate)
+
+    def test_incompatible_matrix_skipped(self, rng):
+        cfg = tiny_config(d_model=48)  # 48 % 32 != 0 -> attn mats skipped
+        weights = init_weights(cfg, rng)
+        quantized, report = quantize_model_weights(weights)
+        assert np.array_equal(quantized.layers[0].wq, weights.layers[0].wq)
+        assert report.quantized_fraction < 1.0
+
+
+class TestQuantizedInference:
+    def test_outputs_close_to_fp32(self, model_weights, rng):
+        cfg = model_weights.config
+        quantized, _ = quantize_model_weights(model_weights)
+        tokens = rng.integers(0, cfg.vocab_size, size=8)
+        full = Transformer(model_weights).forward(tokens, KVCache(cfg))
+        q4 = Transformer(quantized).forward(tokens, KVCache(cfg))
+        rel = np.abs(full - q4).max() / np.abs(full).max()
+        assert rel < 0.5  # perturbed but same scale
+
+    def test_answer_agreement_stays_high(self, rng):
+        # Table 2's INT4 side: quantized inference preserves decisions.
+        cfg = tiny_config()
+        from repro.sparsity.powerlaw import synthesize_activation_probs
+
+        probs = [
+            synthesize_activation_probs(cfg.d_ffn, rng, mean_activation_rate=0.15)
+            for _ in range(cfg.n_layers)
+        ]
+        weights = init_weights(cfg, rng, activation_probs=probs)
+        quantized, _ = quantize_model_weights(weights)
+        tokens = rng.integers(0, cfg.vocab_size, size=24)
+        full = Transformer(weights).forward(tokens, KVCache(cfg))
+        q4 = Transformer(quantized).forward(tokens, KVCache(cfg))
+        # Untrained tiny models have many near-tied logits, so exact top-1
+        # agreement is noisy; require that the quantized argmax stays among
+        # the dense model's top candidates.
+        ranks = (full > np.take_along_axis(
+            full, q4.argmax(-1, keepdims=True), axis=-1
+        )).sum(axis=-1)
+        assert (ranks < 10).mean() > 0.9
+        agreement = (full.argmax(-1) == q4.argmax(-1)).mean()
+        assert agreement > 0.4

@@ -1,0 +1,77 @@
+"""Tests for the greedy placement policies."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.spec import PC_HIGH
+from repro.solver.greedy import greedy_placement, greedy_with_repair
+from repro.solver.ilp import communication_threshold
+from repro.solver.placement import NeuronGroup
+
+
+def make_groups(rng, n_groups=3, n_neurons=128, neuron_bytes=1e5):
+    return [
+        NeuronGroup(name=f"g{i}", impacts=rng.random(n_neurons), neuron_bytes=neuron_bytes)
+        for i in range(n_groups)
+    ]
+
+
+class TestGreedy:
+    def test_budget_respected(self, rng):
+        groups = make_groups(rng)
+        budget = 100 * 1e5
+        policy = greedy_placement(groups, budget, batch_size=8)
+        assert policy.gpu_bytes <= budget
+
+    def test_fills_by_frequency(self, rng):
+        groups = make_groups(rng, n_groups=1)
+        policy = greedy_placement(groups, 64 * 1e5, batch_size=4)
+        mask = policy.mask("g0")
+        assert groups[0].impacts[mask].min() >= groups[0].impacts[~mask].max() - 0.2
+
+    def test_zero_budget(self, rng):
+        policy = greedy_placement(make_groups(rng), 0.0)
+        assert policy.gpu_bytes == 0.0
+
+    def test_whole_model_fits(self, rng):
+        groups = make_groups(rng)
+        total = sum(g.total_bytes for g in groups)
+        policy = greedy_placement(groups, total)
+        assert policy.gpu_impact_share() == pytest.approx(1.0)
+
+    def test_negative_budget_rejected(self, rng):
+        with pytest.raises(ValueError):
+            greedy_placement(make_groups(rng), -5.0)
+
+    def test_objective_recorded(self, rng):
+        groups = make_groups(rng)
+        policy = greedy_placement(groups, 100 * 1e5, batch_size=8)
+        expected = sum(
+            float(g.impacts[m].sum()) for g, m in zip(groups, policy.gpu_masks)
+        )
+        assert policy.objective == pytest.approx(expected)
+
+
+class TestGreedyWithRepair:
+    def test_no_sub_threshold_residues(self, rng):
+        groups = make_groups(rng, n_groups=4, n_neurons=64, neuron_bytes=2e4)
+        c_l = communication_threshold(groups[0], PC_HIGH)
+        assert c_l > 1
+        budget = int(1.5 * c_l) * 2e4  # enough for ~1.5 groups' thresholds
+        policy = greedy_with_repair(groups, PC_HIGH, budget, batch_size=4)
+        for group in groups:
+            count = int(policy.mask(group.name).sum())
+            assert count == 0 or count >= c_l
+
+    def test_repair_never_beats_unconstrained_greedy(self, rng):
+        groups = make_groups(rng, n_groups=4, n_neurons=64, neuron_bytes=2e4)
+        budget = 60 * 2e4
+        plain = greedy_placement(groups, budget, batch_size=4)
+        repaired = greedy_with_repair(groups, PC_HIGH, budget, batch_size=4)
+        assert repaired.objective <= plain.objective + 1e-9
+
+    def test_large_budget_needs_no_repair(self, rng):
+        groups = make_groups(rng)
+        total = sum(g.total_bytes for g in groups)
+        policy = greedy_with_repair(groups, PC_HIGH, total)
+        assert policy.gpu_impact_share() == pytest.approx(1.0)

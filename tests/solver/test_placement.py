@@ -1,0 +1,97 @@
+"""Tests for placement-policy containers and neuron tables."""
+
+import numpy as np
+import pytest
+
+from repro.solver.placement import NeuronGroup, NeuronTable, PlacementPolicy
+
+
+@pytest.fixture
+def groups(rng):
+    return [
+        NeuronGroup(name="l0.mlp", impacts=rng.random(16), neuron_bytes=4.0),
+        NeuronGroup(name="l1.mlp", impacts=rng.random(16), neuron_bytes=4.0),
+    ]
+
+
+@pytest.fixture
+def policy(groups):
+    masks = [np.zeros(16, dtype=bool), np.zeros(16, dtype=bool)]
+    masks[0][:8] = True
+    return PlacementPolicy(groups=groups, gpu_masks=masks, solver_name="test")
+
+
+class TestNeuronGroup:
+    def test_totals(self, groups):
+        assert groups[0].n_neurons == 16
+        assert groups[0].total_bytes == 64.0
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            NeuronGroup(name="bad", impacts=np.array([]), neuron_bytes=1.0)
+        with pytest.raises(ValueError):
+            NeuronGroup(name="bad", impacts=rng.random(4), neuron_bytes=0.0)
+        with pytest.raises(ValueError):
+            NeuronGroup(name="bad", impacts=np.array([-1.0]), neuron_bytes=1.0)
+
+
+class TestPolicy:
+    def test_mask_lookup(self, policy):
+        assert policy.mask("l0.mlp").sum() == 8
+        with pytest.raises(KeyError):
+            policy.mask("ghost")
+
+    def test_byte_accounting(self, policy):
+        assert policy.gpu_bytes == 8 * 4.0
+        assert policy.cpu_bytes == 24 * 4.0
+        assert policy.gpu_bytes + policy.cpu_bytes == sum(
+            g.total_bytes for g in policy.groups
+        )
+
+    def test_gpu_impact_share(self, groups):
+        masks = [np.ones(16, dtype=bool), np.zeros(16, dtype=bool)]
+        policy = PlacementPolicy(groups=groups, gpu_masks=masks)
+        total = sum(g.impacts.sum() for g in groups)
+        assert policy.gpu_impact_share() == pytest.approx(
+            groups[0].impacts.sum() / total
+        )
+
+    def test_group_gpu_fraction(self, policy):
+        assert policy.group_gpu_fraction("l0.mlp") == 0.5
+        assert policy.group_gpu_fraction("l1.mlp") == 0.0
+
+    def test_mismatched_mask_rejected(self, groups):
+        with pytest.raises(ValueError):
+            PlacementPolicy(groups=groups, gpu_masks=[np.zeros(16, dtype=bool)])
+        with pytest.raises(ValueError):
+            PlacementPolicy(
+                groups=groups,
+                gpu_masks=[np.zeros(15, dtype=bool), np.zeros(16, dtype=bool)],
+            )
+
+
+class TestNeuronTable:
+    def test_table_partitions_indices(self, policy):
+        table = policy.neuron_table("l0.mlp")
+        assert table.n_neurons == 16
+        assert set(table.gpu_indices) == set(range(8))
+        assert set(table.cpu_indices) == set(range(8, 16))
+
+    def test_device_lookup(self, policy):
+        table = policy.neuron_table("l0.mlp")
+        assert table.device_of(3) == "gpu"
+        assert table.device_of(12) == "cpu"
+        with pytest.raises(KeyError):
+            table.device_of(99)
+
+    def test_paper_table_size_estimate(self):
+        # Section 5.2: neuron tables for OPT-175B cost ~9 MB.
+        from repro.models.config import OPT_175B
+
+        per_layer = OPT_175B.mlp_neurons_per_layer + OPT_175B.attn_neurons_per_layer
+        total_neurons = OPT_175B.n_layers * per_layer
+        table = NeuronTable(
+            gpu_indices=np.arange(total_neurons // 2),
+            cpu_indices=np.arange(total_neurons - total_neurons // 2),
+        )
+        assert table.nbytes() < 30e6  # same order as the paper's 9 MB

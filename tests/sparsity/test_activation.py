@@ -1,0 +1,97 @@
+"""Tests for the runtime activation sampler."""
+
+import numpy as np
+import pytest
+
+from repro.sparsity.activation import ActivationModel, LayerActivationProfile
+
+
+@pytest.fixture
+def profile(rng):
+    return LayerActivationProfile(probs=rng.random(512) * 0.3)
+
+
+@pytest.fixture
+def model(profile, rng):
+    return ActivationModel([profile, profile], rng)
+
+
+class TestProfile:
+    def test_mean_rate(self):
+        prof = LayerActivationProfile(probs=np.array([0.1, 0.3]))
+        assert prof.mean_rate == pytest.approx(0.2)
+
+    def test_union_probs_formula(self):
+        prof = LayerActivationProfile(probs=np.array([0.5]))
+        assert prof.union_probs(2)[0] == pytest.approx(0.75)
+        assert prof.union_probs(1)[0] == pytest.approx(0.5)
+
+    def test_union_rate_increases_with_batch(self, profile):
+        rates = [profile.union_rate(b) for b in (1, 2, 8, 32)]
+        assert rates == sorted(rates)
+        assert rates[-1] <= 1.0
+
+    def test_invalid_probs_rejected(self):
+        with pytest.raises(ValueError):
+            LayerActivationProfile(probs=np.array([1.5]))
+        with pytest.raises(ValueError):
+            LayerActivationProfile(probs=np.array([[0.1]]))
+
+    def test_invalid_batch_rejected(self, profile):
+        with pytest.raises(ValueError):
+            profile.union_probs(0)
+
+
+class TestSampling:
+    def test_mask_shape_and_dtype(self, model):
+        mask = model.sample_mlp_mask(0)
+        assert mask.shape == (512,)
+        assert mask.dtype == bool
+
+    def test_empirical_rate_matches_probs(self, rng):
+        probs = np.full(2000, 0.2)
+        am = ActivationModel([LayerActivationProfile(probs)], rng)
+        rates = np.mean([am.sample_mlp_mask(0).mean() for _ in range(50)])
+        assert rates == pytest.approx(0.2, abs=0.02)
+
+    def test_batch_union_denser(self, rng):
+        probs = np.full(2000, 0.1)
+        am = ActivationModel([LayerActivationProfile(probs)], rng)
+        single = np.mean([am.sample_mlp_mask(0, 1).mean() for _ in range(30)])
+        batched = np.mean([am.sample_mlp_mask(0, 16).mean() for _ in range(30)])
+        assert batched > single * 3
+
+    def test_attn_requires_profiles(self, model):
+        with pytest.raises(ValueError, match="attention"):
+            model.sample_attn_mask(0)
+
+    def test_attn_sampling_works(self, rng):
+        mlp = LayerActivationProfile(rng.random(64))
+        attn = LayerActivationProfile(rng.random(8))
+        am = ActivationModel([mlp], rng, attn_profiles=[attn])
+        assert am.sample_attn_mask(0).shape == (8,)
+
+
+class TestExpectedSplit:
+    def test_split_sums_to_expected_total(self, rng):
+        probs = rng.random(100) * 0.5
+        am = ActivationModel([LayerActivationProfile(probs)], rng)
+        gpu_mask = np.zeros(100, dtype=bool)
+        gpu_mask[:40] = True
+        on_gpu, on_cpu = am.expected_active_split(0, gpu_mask)
+        assert on_gpu + on_cpu == pytest.approx(probs.sum())
+        assert on_gpu == pytest.approx(probs[:40].sum())
+
+    def test_mismatched_mask_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.expected_active_split(0, np.zeros(3, dtype=bool))
+
+
+class TestValidation:
+    def test_empty_profiles_rejected(self, rng):
+        with pytest.raises(ValueError):
+            ActivationModel([], rng)
+
+    def test_mismatched_attn_length_rejected(self, profile, rng):
+        with pytest.raises(ValueError):
+            ActivationModel([profile], rng, attn_profiles=[profile, profile])

@@ -1,0 +1,139 @@
+"""Tests for power-law activation synthesis and CDF utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparsity.powerlaw import (
+    activation_cdf,
+    fit_zipf_alpha,
+    neuron_fraction_for_mass,
+    synthesize_activation_probs,
+    top_share,
+    zipf_weights,
+)
+
+
+class TestZipf:
+    def test_alpha_zero_is_uniform(self):
+        w = zipf_weights(10, 0.0)
+        assert np.allclose(w, 1.0)
+
+    def test_weights_decrease(self):
+        w = zipf_weights(100, 1.0)
+        assert (np.diff(w) < 0).all()
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_weights(10, -0.5)
+
+
+class TestTopShare:
+    def test_uniform_share_equals_fraction(self):
+        assert top_share(np.ones(100), 0.3) == pytest.approx(0.3)
+
+    def test_point_mass(self):
+        w = np.zeros(100)
+        w[0] = 1.0
+        assert top_share(w, 0.01) == pytest.approx(1.0)
+
+    def test_monotone_in_alpha(self):
+        shares = [top_share(zipf_weights(1000, a), 0.2) for a in (0.0, 0.5, 1.0, 2.0)]
+        assert shares == sorted(shares)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            top_share(np.ones(10), 0.0)
+
+
+class TestFitAlpha:
+    def test_recovers_target_share(self):
+        alpha = fit_zipf_alpha(2000, hot_fraction=0.26, hot_mass=0.80)
+        assert top_share(zipf_weights(2000, alpha), 0.26) == pytest.approx(0.80, abs=0.01)
+
+    def test_rejects_impossible_target(self):
+        with pytest.raises(ValueError, match="proportional"):
+            fit_zipf_alpha(100, hot_fraction=0.5, hot_mass=0.3)
+
+    @given(
+        hot_fraction=st.floats(0.05, 0.6),
+        extra=st.floats(0.05, 0.35),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_fit_is_accurate_across_targets(self, hot_fraction, extra):
+        hot_mass = min(hot_fraction + extra, 0.95)
+        alpha = fit_zipf_alpha(1000, hot_fraction, hot_mass)
+        share = top_share(zipf_weights(1000, alpha), hot_fraction)
+        assert share == pytest.approx(hot_mass, abs=0.03)
+
+
+class TestSynthesize:
+    def test_paper_calibration_points(self, rng):
+        # Figure 5a anchors: (26%, 80%) for OPT and (43%, 80%) for LLaMA.
+        for hf, rate in ((0.26, 0.10), (0.43, 0.25)):
+            probs = synthesize_activation_probs(
+                4096, rng, hot_fraction=hf, hot_mass=0.80, mean_activation_rate=rate
+            )
+            assert probs.mean() == pytest.approx(rate, abs=0.005)
+            assert neuron_fraction_for_mass(probs, 0.80) == pytest.approx(hf, abs=0.02)
+
+    def test_probs_are_valid_probabilities(self, rng):
+        probs = synthesize_activation_probs(1000, rng)
+        assert (probs > 0).all() and (probs <= 1).all()
+
+    def test_shuffle_randomizes_order(self, rng):
+        probs = synthesize_activation_probs(1000, rng, shuffle=True)
+        # A sorted array would have monotone diffs; shuffled must not.
+        assert not (np.diff(probs) <= 0).all()
+
+    def test_no_shuffle_sorted_descending(self, rng):
+        probs = synthesize_activation_probs(1000, rng, shuffle=False, jitter=0.0)
+        assert (np.diff(probs) <= 1e-12).all()
+
+    def test_infeasible_rate_rejected(self, rng):
+        with pytest.raises(ValueError, match="infeasible"):
+            synthesize_activation_probs(
+                1000, rng, hot_fraction=0.26, hot_mass=0.80, mean_activation_rate=0.5
+            )
+
+    def test_deterministic_given_seed(self):
+        a = synthesize_activation_probs(500, np.random.default_rng(3))
+        b = synthesize_activation_probs(500, np.random.default_rng(3))
+        assert np.array_equal(a, b)
+
+
+class TestCdf:
+    def test_cdf_monotone_and_bounded(self, rng):
+        freqs = rng.random(500)
+        proportion, cum = activation_cdf(freqs)
+        assert (np.diff(cum) >= -1e-12).all()
+        assert cum[-1] == pytest.approx(1.0)
+        assert proportion[-1] == pytest.approx(1.0)
+
+    def test_rejects_zero_mass(self):
+        with pytest.raises(ValueError):
+            activation_cdf(np.zeros(10))
+
+    def test_neuron_fraction_for_full_mass(self, rng):
+        freqs = rng.random(100)
+        assert neuron_fraction_for_mass(freqs, 1.0) == pytest.approx(1.0)
+
+    def test_neuron_fraction_point_mass(self):
+        freqs = np.zeros(100)
+        freqs[42] = 1.0
+        assert neuron_fraction_for_mass(freqs, 0.9) == pytest.approx(0.01)
+
+    @given(mass=st.floats(0.1, 0.99))
+    @settings(max_examples=30, deadline=None)
+    def test_fraction_never_exceeds_mass_requirement_inverse(self, mass):
+        rng = np.random.default_rng(0)
+        freqs = rng.random(200)
+        frac = neuron_fraction_for_mass(freqs, mass)
+        # Verify the smallest-set property: the chosen fraction does cover
+        # the requested mass.
+        _, cum = activation_cdf(freqs)
+        k = int(round(frac * 200))
+        assert cum[k - 1] >= mass - 1e-9

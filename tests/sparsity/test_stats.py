@@ -1,0 +1,111 @@
+"""Tests for sparsity/skewness statistics and hot-cold classification."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.sparsity.stats import (
+    classify_hot_cold,
+    gini,
+    hot_neuron_mask,
+    skewness,
+    sparsity,
+)
+
+
+class TestSparsity:
+    def test_from_rates(self):
+        assert sparsity(np.array([0.1, 0.3])) == pytest.approx(0.8)
+
+    def test_from_counts(self):
+        assert sparsity(np.array([10, 30]), total_tokens=100) == pytest.approx(0.8)
+
+    def test_rejects_rates_above_one(self):
+        with pytest.raises(ValueError):
+            sparsity(np.array([1.5]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            sparsity(np.array([]))
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini(np.ones(100)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_point_mass_approaches_one(self):
+        v = np.zeros(1000)
+        v[0] = 1.0
+        assert gini(v) > 0.99
+
+    def test_known_value(self):
+        # For [0, 1]: G = 0.5.
+        assert gini(np.array([0.0, 1.0])) == pytest.approx(0.5)
+
+    def test_scale_invariant(self, rng):
+        v = rng.random(200)
+        assert gini(v) == pytest.approx(gini(v * 37.5))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            gini(np.array([-1.0, 1.0]))
+
+    def test_all_zero_is_zero(self):
+        assert gini(np.zeros(5)) == 0.0
+
+    @given(
+        v=hnp.arrays(
+            dtype=np.float64,
+            shape=st.integers(2, 50),
+            elements=st.floats(0, 100),
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_bounded_in_unit_interval(self, v):
+        g = gini(v)
+        assert -1e-9 <= g < 1.0
+
+    def test_skewness_alias(self, rng):
+        v = rng.random(50)
+        assert skewness(v) == gini(v)
+
+
+class TestHotColdClassification:
+    def test_mask_covers_requested_mass_minimally(self, rng):
+        freqs = rng.random(500)
+        mask = hot_neuron_mask(freqs, mass=0.8)
+        assert freqs[mask].sum() / freqs.sum() >= 0.8
+        # Minimality: removing the coldest hot neuron drops below the mass.
+        hot_idx = np.nonzero(mask)[0]
+        coldest_hot = hot_idx[np.argmin(freqs[hot_idx])]
+        reduced = mask.copy()
+        reduced[coldest_hot] = False
+        assert freqs[reduced].sum() / freqs.sum() < 0.8
+
+    def test_hot_set_is_top_frequencies(self, rng):
+        freqs = np.arange(100, dtype=float)
+        hot, cold = classify_hot_cold(freqs, mass=0.5)
+        assert freqs[hot].min() > freqs[cold].max()
+
+    def test_partition_is_complete(self, rng):
+        freqs = rng.random(64)
+        hot, cold = classify_hot_cold(freqs)
+        assert sorted(np.concatenate([hot, cold]).tolist()) == list(range(64))
+
+    def test_power_law_yields_small_hot_set(self, rng):
+        from repro.sparsity.powerlaw import synthesize_activation_probs
+
+        probs = synthesize_activation_probs(2048, rng)
+        hot, _ = classify_hot_cold(probs, mass=0.80)
+        # Paper: hot neurons are a minority (26% at this calibration).
+        assert len(hot) / 2048 < 0.30
+
+    def test_rejects_bad_mass(self):
+        with pytest.raises(ValueError):
+            hot_neuron_mask(np.ones(5), mass=0.0)
+
+    def test_rejects_zero_total(self):
+        with pytest.raises(ValueError):
+            hot_neuron_mask(np.zeros(5))

@@ -1,0 +1,55 @@
+"""Tests for serving workload distributions."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.prompts import (
+    ALPACA,
+    CHATGPT_PROMPTS,
+    PAPER_OUTPUT_LENGTHS,
+    PromptWorkload,
+    sample_requests,
+)
+
+
+class TestInputLengths:
+    def test_paper_range_respected(self, rng):
+        # Section 8.2: prompts sampled in the 8..128 range.
+        lengths = CHATGPT_PROMPTS.sample_input_lengths(500, rng)
+        assert lengths.min() >= 8
+        assert lengths.max() <= 128
+
+    def test_alpaca_longer_than_chatgpt(self, rng):
+        chat = CHATGPT_PROMPTS.sample_input_lengths(500, rng).mean()
+        alpaca = ALPACA.sample_input_lengths(500, rng).mean()
+        assert alpaca > chat
+
+    def test_deterministic(self):
+        a = CHATGPT_PROMPTS.sample_input_lengths(10, np.random.default_rng(1))
+        b = CHATGPT_PROMPTS.sample_input_lengths(10, np.random.default_rng(1))
+        assert np.array_equal(a, b)
+
+    def test_invalid_count(self, rng):
+        with pytest.raises(ValueError):
+            CHATGPT_PROMPTS.sample_input_lengths(0, rng)
+
+
+class TestRequests:
+    def test_paper_output_lengths(self):
+        assert PAPER_OUTPUT_LENGTHS == (8, 128, 512)
+
+    def test_sample_requests_pairs(self, rng):
+        reqs = sample_requests(ALPACA, 10, output_len=128, rng=rng)
+        assert len(reqs) == 10
+        for inp, out in reqs:
+            assert 8 <= inp <= 128
+            assert out == 128
+
+    def test_invalid_output_len(self, rng):
+        with pytest.raises(ValueError):
+            sample_requests(ALPACA, 3, output_len=0, rng=rng)
+
+    def test_custom_workload_clamping(self, rng):
+        w = PromptWorkload(name="w", mean_input=1000, min_input=4, max_input=16)
+        lengths = w.sample_input_lengths(50, rng)
+        assert lengths.max() <= 16

@@ -1,0 +1,70 @@
+"""Tests for multi-turn session workloads."""
+
+import numpy as np
+import pytest
+
+from repro.engine.powerinfer import PowerInferEngine
+from repro.workloads.prompts import CHATGPT_PROMPTS
+from repro.workloads.sessions import sample_session, simulate_session
+
+
+class TestSampleSession:
+    def test_context_accumulates(self, rng):
+        turns = sample_session(CHATGPT_PROMPTS, n_turns=5, rng=rng)
+        assert len(turns) == 5
+        assert turns[0].context_len == 0
+        for prev, cur in zip(turns, turns[1:]):
+            assert cur.context_len >= prev.context_len
+            assert cur.context_len <= prev.context_len + prev.prompt_len + prev.output_len
+
+    def test_context_window_capped(self, rng):
+        turns = sample_session(
+            CHATGPT_PROMPTS, n_turns=50, rng=rng, mean_output=256, max_context=512
+        )
+        assert max(t.context_len for t in turns) <= 512
+
+    def test_input_len_is_context_plus_prompt(self, rng):
+        turns = sample_session(CHATGPT_PROMPTS, n_turns=3, rng=rng)
+        for t in turns:
+            assert t.input_len == t.context_len + t.prompt_len
+
+    def test_outputs_bounded(self, rng):
+        turns = sample_session(CHATGPT_PROMPTS, n_turns=30, rng=rng, mean_output=50)
+        for t in turns:
+            assert 4 <= t.output_len <= 200
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            sample_session(CHATGPT_PROMPTS, n_turns=0, rng=rng)
+        with pytest.raises(ValueError):
+            sample_session(CHATGPT_PROMPTS, n_turns=2, rng=rng, mean_output=0)
+
+    def test_deterministic(self):
+        a = sample_session(CHATGPT_PROMPTS, 4, np.random.default_rng(5))
+        b = sample_session(CHATGPT_PROMPTS, 4, np.random.default_rng(5))
+        assert a == b
+
+
+class TestSimulateSession:
+    def test_per_turn_results(self, mini_plan, rng):
+        engine = PowerInferEngine(mini_plan)
+        turns = sample_session(CHATGPT_PROMPTS, n_turns=3, rng=rng)
+        results = simulate_session(engine, turns)
+        assert len(results) == 3
+        for turn, result in zip(turns, results):
+            assert result.input_len == turn.input_len
+            assert result.output_len == turn.output_len
+            assert result.total_time > 0
+
+    def test_later_turns_cost_more_per_prompt(self, mini_plan, rng):
+        # Growing context makes prompt phases longer across a session.
+        engine = PowerInferEngine(mini_plan)
+        turns = sample_session(
+            CHATGPT_PROMPTS, n_turns=6, rng=rng, mean_output=128
+        )
+        results = simulate_session(engine, turns)
+        assert results[-1].prompt_time > results[0].prompt_time
+
+    def test_empty_session_rejected(self, mini_plan):
+        with pytest.raises(ValueError):
+            simulate_session(PowerInferEngine(mini_plan), [])

@@ -1,0 +1,70 @@
+"""Tests for synthetic accuracy tasks (Table 2 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.engine.numerical import NumericalHybridEngine
+from repro.workloads.tasks import (
+    TASK_FAMILIES,
+    TaskSpec,
+    evaluate_agreement,
+    make_task,
+    score_choices,
+)
+
+
+class TestTaskGeneration:
+    def test_four_paper_families(self):
+        assert len(TASK_FAMILIES) == 4
+        names = {spec.name for spec in TASK_FAMILIES}
+        assert "copa-like" in names and "rte-like" in names
+
+    def test_instances_shaped_by_spec(self, rng):
+        spec = TaskSpec(name="t", n_choices=3, prompt_len=7)
+        instances = make_task(spec, 5, vocab_size=100, rng=rng)
+        assert len(instances) == 5
+        for inst in instances:
+            assert inst.prompt.shape == (7,)
+            assert inst.choices.shape == (3,)
+            assert len(set(inst.choices.tolist())) == 3  # distinct
+
+    def test_invalid_count(self, rng):
+        with pytest.raises(ValueError):
+            make_task(TASK_FAMILIES[0], 0, 100, rng)
+
+
+class TestScoring:
+    def test_picks_highest_logit(self):
+        logits = np.array([0.1, 5.0, -2.0, 3.0])
+        assert score_choices(logits, np.array([0, 2])) == 0
+        assert score_choices(logits, np.array([1, 3])) == 0
+        assert score_choices(logits, np.array([3, 1])) == 1
+
+
+class TestAgreement:
+    def test_oracle_sparse_agrees_fully(self, tiny_model, tiny_cfg, rng):
+        engine = NumericalHybridEngine(tiny_model, [None] * tiny_cfg.n_layers)
+        instances = make_task(TASK_FAMILIES[0], 8, tiny_cfg.vocab_size, rng)
+        assert evaluate_agreement(tiny_model, engine, instances) == 1.0
+
+    def test_broken_engine_disagrees(self, tiny_model, tiny_cfg, rng):
+        from repro.predictor.mlp import MlpPredictor
+
+        class NothingOn(MlpPredictor):
+            def predict(self, x):
+                return np.zeros(x.shape[:-1] + (tiny_cfg.d_ffn,), dtype=bool)
+
+        preds = [
+            NothingOn(tiny_cfg.d_model, 4, tiny_cfg.d_ffn, rng=rng)
+            for _ in range(tiny_cfg.n_layers)
+        ]
+        engine = NumericalHybridEngine(tiny_model, preds)
+        instances = make_task(TASK_FAMILIES[1], 16, tiny_cfg.vocab_size, rng)
+        # Killing every MLP neuron is a gross perturbation: agreement
+        # should be visibly below perfect.
+        assert evaluate_agreement(tiny_model, engine, instances) < 1.0
+
+    def test_empty_instances_rejected(self, tiny_model, tiny_cfg):
+        engine = NumericalHybridEngine(tiny_model, [None] * tiny_cfg.n_layers)
+        with pytest.raises(ValueError):
+            evaluate_agreement(tiny_model, engine, [])
