@@ -8,6 +8,7 @@ from repro.bench.ablations import (
     run_ablation_sync_overhead,
     run_prompt_heavy,
 )
+from repro.bench.continuous_batching import run_continuous_batching
 from repro.bench.end_to_end import run_end_to_end, run_fig10, run_fig11, run_fig13
 from repro.bench.fig04 import run_fig04
 from repro.bench.fig05 import cdf_series, run_fig05
@@ -37,6 +38,7 @@ __all__ = [
     "build_sparse_system",
     "cached_plan",
     "cdf_series",
+    "run_continuous_batching",
     "format_table",
     "make_engine",
     "print_table",

@@ -54,6 +54,7 @@ def cached_plan(
     dtype_name: str = "fp16",
     policy: str = "ilp",
     seed: int = 0,
+    kv_gpu_budget_bytes: float = 0.0,
 ) -> DeploymentPlan:
     """Build (or fetch) the deployment plan for a preset combination."""
     return build_plan(
@@ -62,6 +63,7 @@ def cached_plan(
         dtype=DTYPE_PRESETS[dtype_name],
         policy=policy,
         seed=seed,
+        kv_gpu_budget_bytes=kv_gpu_budget_bytes,
     )
 
 
@@ -72,8 +74,12 @@ def make_engine(
     dtype_name: str = "fp16",
     policy: str | None = None,
     seed: int = 0,
+    kv_gpu_budget_bytes: float = 0.0,
 ) -> PerfEngine:
     """Construct a named engine over a cached plan.
+
+    ``kv_gpu_budget_bytes`` withholds GPU memory from neuron placement for
+    serving-time KV cache (continuous-batching deployments).
 
     Raises:
         KeyError: Unknown engine/model/machine/dtype name.
@@ -81,5 +87,7 @@ def make_engine(
     """
     cls = ENGINE_CLASSES[engine_name]
     plan_policy = policy if policy is not None else _POLICY_FOR_ENGINE[engine_name]
-    plan = cached_plan(model_name, machine_name, dtype_name, plan_policy, seed)
+    plan = cached_plan(
+        model_name, machine_name, dtype_name, plan_policy, seed, kv_gpu_budget_bytes
+    )
     return cls(plan)

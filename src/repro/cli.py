@@ -27,6 +27,7 @@ from repro.bench import (
     run_ablation_selective_sync,
     run_ablation_solver_batching,
     run_ablation_sync_overhead,
+    run_continuous_batching,
     run_fig04,
     run_fig05,
     run_fig06,
@@ -79,6 +80,7 @@ FIGURES: dict[str, Callable[[], list[dict]]] = {
     "ablation-solver-batching": run_ablation_solver_batching,
     "ablation-impact-weighting": run_ablation_impact_weighting,
     "ablation-prompt-heavy": run_prompt_heavy,
+    "continuous-batching": run_continuous_batching,
 }
 
 
@@ -122,6 +124,36 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--engine", default="powerinfer", choices=sorted(ENGINE_CLASSES))
     serve.add_argument("--rate", type=float, default=0.1, help="requests/second")
     serve.add_argument("--requests", type=int, default=30)
+    serve.add_argument(
+        "--mode",
+        default="fcfs",
+        choices=("fcfs", "batched", "continuous"),
+        help="scheduling granularity: whole-request FCFS, static padded "
+        "batches, or iteration-level continuous batching",
+    )
+    serve.add_argument("--max-batch", type=int, default=8, dest="max_batch")
+    serve.add_argument(
+        "--scheduler",
+        default="fcfs",
+        choices=("fcfs", "prefill-first", "chunked"),
+        help="continuous-batching iteration policy",
+    )
+    serve.add_argument(
+        "--chunk-tokens",
+        type=int,
+        default=64,
+        dest="chunk_tokens",
+        help="per-iteration prompt-token cap for --scheduler chunked",
+    )
+    serve.add_argument(
+        "--kv-gib",
+        type=float,
+        default=0.5,
+        dest="kv_gib",
+        help="GPU memory carved out for KV cache (continuous mode)",
+    )
+    serve.add_argument("--slo-ttft", type=float, default=2.0, dest="slo_ttft")
+    serve.add_argument("--slo-tbt", type=float, default=1.0, dest="slo_tbt")
 
     bounds = sub.add_parser("bounds", help="analytic roofline throughput bounds")
     add_common(bounds)
@@ -224,19 +256,64 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import numpy as np
 
-    from repro.serving import poisson_arrivals, simulate_serving
+    from repro.serving import (
+        SLO,
+        poisson_arrivals,
+        simulate_batched_serving,
+        simulate_continuous_serving,
+        simulate_serving,
+    )
     from repro.workloads import CHATGPT_PROMPTS
 
-    engine = make_engine(args.engine, args.model, args.machine, args.dtype, seed=args.seed)
+    kv_carve = args.kv_gib * 2**30 if args.mode == "continuous" else 0.0
+    engine = make_engine(
+        args.engine,
+        args.model,
+        args.machine,
+        args.dtype,
+        seed=args.seed,
+        kv_gpu_budget_bytes=kv_carve,
+    )
     requests = poisson_arrivals(
         CHATGPT_PROMPTS,
         rate=args.rate,
         n_requests=args.requests,
         rng=np.random.default_rng(args.seed),
     )
-    report = simulate_serving(engine, requests)
+    header = f"{args.engine} / {args.model} / {args.machine} [{args.mode}]"
+    if args.mode == "continuous":
+        report = simulate_continuous_serving(
+            engine,
+            requests,
+            policy=args.scheduler,
+            max_batch=args.max_batch,
+            max_prefill_tokens=args.chunk_tokens,
+        )
+        slo = SLO(ttft_target=args.slo_ttft, tbt_target=args.slo_tbt)
+        print(
+            f"{header}: served {report.n_requests} requests at "
+            f"{args.rate:.3g}/s with {args.scheduler} scheduling — "
+            f"utilization {report.utilization:.0%}, "
+            f"p50 latency {report.latency_percentile(50):.1f} s, "
+            f"p95 {report.latency_percentile(95):.1f} s, "
+            f"{report.tokens_per_second:.1f} tokens/s aggregate"
+        )
+        print(
+            f"  TTFT p50 {report.ttft_percentile(50):.2f} s, "
+            f"TBT p99 {report.tbt_percentile(99) * 1e3:.0f} ms, "
+            f"peak KV {report.peak_kv_bytes / 2**30:.2f}/"
+            f"{report.kv_budget_bytes / 2**30:.2f} GiB, "
+            f"SLO (ttft<={args.slo_ttft:.3g}s, tbt<={args.slo_tbt:.3g}s) "
+            f"attainment {report.slo_attainment(slo):.0%}, "
+            f"goodput {report.goodput(slo):.2f} req/s"
+        )
+        return 0
+    if args.mode == "batched":
+        report = simulate_batched_serving(engine, requests, max_batch=args.max_batch)
+    else:
+        report = simulate_serving(engine, requests)
     print(
-        f"{args.engine} / {args.model} / {args.machine}: served "
+        f"{header}: served "
         f"{report.n_requests} requests at {args.rate:.3g}/s — "
         f"utilization {report.utilization:.0%}, "
         f"p50 latency {report.latency_percentile(50):.1f} s, "

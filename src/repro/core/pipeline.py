@@ -52,6 +52,7 @@ def build_plan(
     attn_probs: list[np.ndarray] | None = None,
     expected_context: int = 256,
     accuracy_target: float = 0.95,
+    kv_gpu_budget_bytes: float = 0.0,
 ) -> DeploymentPlan:
     """Run the offline phase and return a deployment plan.
 
@@ -68,6 +69,11 @@ def build_plan(
             when omitted.
         expected_context: Context length for KV-cache memory accounting.
         accuracy_target: Predictor accuracy target (drives predictor size).
+        kv_gpu_budget_bytes: GPU memory withheld from neuron placement and
+            earmarked for serving-time KV cache.  The default of zero
+            packs the GPU with weights (single-request deployments); a
+            continuous-batching deployment carves out its admission budget
+            here so :meth:`PerfEngine.kv_budget_bytes` has headroom.
 
     Raises:
         OutOfMemoryError: If the model + predictors cannot fit in combined
@@ -76,6 +82,8 @@ def build_plan(
     """
     if policy not in POLICIES:
         raise ValueError(f"policy must be one of {POLICIES}, got {policy!r}")
+    if kv_gpu_budget_bytes < 0:
+        raise ValueError("kv_gpu_budget_bytes must be non-negative")
     rng = np.random.default_rng(seed)
     if mlp_probs is None or attn_probs is None:
         synth_mlp, synth_attn = synthesize_model_probs(model, rng)
@@ -95,7 +103,9 @@ def build_plan(
     # -- memory budgets ------------------------------------------------------
     embedding_bytes = dtype.nbytes(model.embedding_params)
     gpu_usable = machine.gpu.memory_capacity * (1.0 - _GPU_RESERVE)
-    gpu_budget = gpu_usable - embedding_bytes - sum(predictor_bytes)
+    gpu_budget = (
+        gpu_usable - embedding_bytes - sum(predictor_bytes) - kv_gpu_budget_bytes
+    )
     gpu_budget = max(gpu_budget, 0.0)
     kv_bytes = model.kv_cache_bytes_per_token(dtype) * expected_context
     cpu_usable = machine.cpu.memory_capacity * (1.0 - _CPU_RESERVE)
@@ -105,7 +115,7 @@ def build_plan(
     # predictor footprint only shrinks the ILP's GPU budget (predictors can
     # spill to host memory in the worst case), so it is excluded here.
     layer_weight_bytes = dtype.nbytes(model.n_layers * model.params_per_layer)
-    combined = (gpu_usable - embedding_bytes) + cpu_budget
+    combined = (gpu_usable - embedding_bytes - kv_gpu_budget_bytes) + cpu_budget
     if layer_weight_bytes > combined:
         raise OutOfMemoryError(
             f"{model.name} ({layer_weight_bytes / 2**30:.1f} GiB {dtype.name}) "

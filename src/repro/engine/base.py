@@ -123,6 +123,38 @@ class PerfEngine(ABC):
             gpu_load_share=self.gpu_load_share(batch),
         )
 
+    # ---- KV-cache footprint (serving admission control) -------------------------
+
+    def kv_bytes_per_token(self) -> float:
+        """KV-cache bytes appended per token across all layers."""
+        return self.model.kv_cache_bytes_per_token(self.dtype)
+
+    def request_kv_bytes(self, input_len: int, output_len: int) -> float:
+        """Worst-case KV footprint of one request (prompt + full response).
+
+        This is what a continuous-batching server must reserve at admission
+        so the request can always run to completion without eviction.
+        """
+        if input_len <= 0 or output_len <= 0:
+            raise ValueError("input_len and output_len must be positive")
+        return (input_len + output_len) * self.kv_bytes_per_token()
+
+    def kv_budget_bytes(self) -> float:
+        """GPU memory left for KV cache after plan-resident allocations.
+
+        Usable GPU capacity (after the activation/scratch reserve) minus
+        hot neuron weights, predictors, and embeddings.  Clamped at zero —
+        a fully weight-packed GPU leaves no KV budget, and serving callers
+        must then supply an explicit budget.
+        """
+        usable = self.machine.gpu.memory_capacity * (1.0 - self.plan.gpu_memory_reserve)
+        resident = (
+            self.plan.gpu_weight_bytes
+            + self.plan.total_predictor_bytes
+            + self.plan.embedding_bytes
+        )
+        return max(usable - resident, 0.0)
+
     # ---- shared cost helpers ---------------------------------------------------
 
     def _activation_bytes(self, rows: int) -> float:

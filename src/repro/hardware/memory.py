@@ -70,16 +70,28 @@ class MemoryPool:
             OutOfMemoryError: If the allocation exceeds remaining capacity.
             ValueError: If ``name`` is already allocated or size is negative.
         """
-        if nbytes < 0:
-            raise ValueError("nbytes must be non-negative")
-        if name in self._allocations:
-            raise ValueError(f"allocation {name!r} already exists in {self.name}")
-        if nbytes > self.free:
+        alloc = self.try_allocate(name, nbytes)
+        if alloc is None:
             raise OutOfMemoryError(
                 f"pool {self.name}: cannot allocate {nbytes / 2**30:.2f} GiB "
                 f"({self.free / 2**30:.2f} GiB free of "
                 f"{self.usable_capacity / 2**30:.2f} GiB usable)"
             )
+        return alloc
+
+    def try_allocate(self, name: str, nbytes: float) -> Allocation | None:
+        """Reserve ``nbytes`` under ``name``, or return ``None`` if full.
+
+        The non-raising variant admission controllers use to probe-and-admit
+        in one step.  Invalid arguments (negative size, duplicate name)
+        still raise ``ValueError``.
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if name in self._allocations:
+            raise ValueError(f"allocation {name!r} already exists in {self.name}")
+        if nbytes > self.free:
+            return None
         alloc = Allocation(name=name, nbytes=nbytes)
         self._allocations[name] = alloc
         return alloc

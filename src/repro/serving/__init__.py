@@ -1,14 +1,50 @@
-"""Serving-loop simulation: request arrivals, FCFS queueing, latency stats."""
+"""Serving simulations: arrivals, FCFS/batched/continuous scheduling, SLO metrics."""
 
 from repro.serving.arrival import Request, poisson_arrivals
 from repro.serving.batched import simulate_batched_serving
+from repro.serving.continuous import (
+    ContinuousServer,
+    IterationCostCache,
+    RequestState,
+    simulate_continuous_serving,
+)
+from repro.serving.metrics import (
+    SLO,
+    ContinuousReport,
+    RequestMetrics,
+    merge_busy_intervals,
+)
+from repro.serving.policies import (
+    SERVING_POLICIES,
+    ChunkedPrefillPolicy,
+    FCFSJoinPolicy,
+    IterationPlan,
+    PrefillPriorityPolicy,
+    SchedulerPolicy,
+    make_policy,
+)
 from repro.serving.simulator import CompletedRequest, ServingReport, simulate_serving
 
 __all__ = [
+    "SLO",
+    "SERVING_POLICIES",
+    "ChunkedPrefillPolicy",
     "CompletedRequest",
+    "ContinuousReport",
+    "ContinuousServer",
+    "FCFSJoinPolicy",
+    "IterationCostCache",
+    "IterationPlan",
+    "PrefillPriorityPolicy",
     "Request",
+    "RequestMetrics",
+    "RequestState",
+    "SchedulerPolicy",
     "ServingReport",
+    "make_policy",
+    "merge_busy_intervals",
     "poisson_arrivals",
     "simulate_batched_serving",
+    "simulate_continuous_serving",
     "simulate_serving",
 ]

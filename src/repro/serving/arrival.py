@@ -44,19 +44,37 @@ def poisson_arrivals(
         n_requests: Stream length.
         rng: Seeded generator.
         output_lengths: Possible response lengths (paper's 8/128/512).
-        output_weights: Mixture weights over ``output_lengths``.
+        output_weights: Mixture weights over ``output_lengths``; they are
+            normalized, so any non-negative weights with a positive sum
+            are accepted.
 
     Returns:
-        Requests ordered by arrival time.
+        Requests ordered by arrival time (empty for ``n_requests == 0``).
+
+    Raises:
+        ValueError: On ``rate <= 0``, ``n_requests < 0``, mismatched or
+            empty length/weight vectors, or weights that are negative,
+            non-finite, or sum to zero.
     """
     if rate <= 0:
         raise ValueError("rate must be positive")
-    if n_requests <= 0:
-        raise ValueError("n_requests must be positive")
-    if len(output_lengths) != len(output_weights):
-        raise ValueError("output_lengths and output_weights must align")
+    if n_requests < 0:
+        raise ValueError("n_requests must be non-negative")
+    if not output_lengths or len(output_lengths) != len(output_weights):
+        raise ValueError(
+            "output_lengths and output_weights must be non-empty and align"
+        )
+    if any(length <= 0 for length in output_lengths):
+        raise ValueError("output_lengths must be positive")
     weights = np.asarray(output_weights, dtype=np.float64)
-    weights = weights / weights.sum()
+    if not np.all(np.isfinite(weights)) or np.any(weights < 0):
+        raise ValueError("output_weights must be finite and non-negative")
+    total = weights.sum()
+    if total <= 0:
+        raise ValueError("output_weights must sum to a positive value")
+    weights = weights / total
+    if n_requests == 0:
+        return []
 
     gaps = rng.exponential(1.0 / rate, size=n_requests)
     arrivals = np.cumsum(gaps)

@@ -1,0 +1,281 @@
+"""Orca-style continuous batching over a performance engine.
+
+The static simulators (:mod:`repro.serving.simulator`,
+:mod:`repro.serving.batched`) treat a request as one opaque service time, so
+a batch is frozen at dispatch and every member finishes together.  This
+module schedules at *token* granularity instead: the server advances one
+model iteration at a time via :meth:`PerfEngine.simulate_iteration`,
+requests join the running batch the moment a slot and KV memory are
+available, and leave the instant their last token is emitted — the
+iteration-level scheduling loop of Orca/vLLM-class serving systems.
+
+Three pieces cooperate:
+
+* **Admission control** — each admitted request reserves its worst-case KV
+  footprint (prompt + full response) in a :class:`MemoryPool` sized by the
+  GPU KV budget.  Requests queue FCFS when the pool is full
+  (head-of-line blocking preserves arrival order) and the reservation is
+  released on completion, so the budget is never exceeded mid-flight.
+* **Scheduler policy** (:mod:`repro.serving.policies`) — decides, per
+  iteration, which members prefill (and how many prompt tokens) and which
+  decode.
+* **Iteration cost cache** — iteration latency is deterministic in
+  ``(ctx_len, n_tokens, batch)``; context lengths are bucketed so streams
+  of thousands of requests hit a few hundred engine simulations.
+
+Timing convention: completing the prompt emits the request's first output
+token (the prefill step produces logits for token one), so TTFT is the end
+of the iteration that finishes the prompt, and ``output_len - 1`` decode
+steps follow.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.engine.base import PerfEngine
+from repro.hardware.memory import MemoryPool, OutOfMemoryError
+from repro.serving.arrival import Request
+from repro.serving.metrics import ContinuousReport, RequestMetrics
+from repro.serving.policies import SchedulerPolicy, make_policy
+
+__all__ = [
+    "RequestState",
+    "IterationCostCache",
+    "ContinuousServer",
+    "simulate_continuous_serving",
+]
+
+
+@dataclass
+class RequestState:
+    """Progress of one admitted request through prefill and decode."""
+
+    request: Request
+    admit_time: float
+    kv_bytes: float
+    prefilled: int = 0
+    emitted: int = 0
+    token_times: list[float] = field(default_factory=list)
+
+    @property
+    def remaining_prompt(self) -> int:
+        return self.request.input_len - self.prefilled
+
+    @property
+    def is_prefilling(self) -> bool:
+        return self.remaining_prompt > 0
+
+    @property
+    def is_decoding(self) -> bool:
+        return not self.is_prefilling and self.emitted < self.request.output_len
+
+    @property
+    def done(self) -> bool:
+        return self.emitted >= self.request.output_len
+
+    @property
+    def context(self) -> int:
+        """Tokens currently in this request's KV cache."""
+        return self.prefilled + self.emitted
+
+
+class IterationCostCache:
+    """Memoized iteration latencies with context-length bucketing.
+
+    Iteration cost varies slowly with context (only the KV terms are
+    ctx-dependent), so contexts are rounded to the nearest multiple of
+    ``ctx_bucket`` before keying the engine simulation.  This keeps the
+    number of distinct simulations bounded for long streams.
+    """
+
+    def __init__(self, engine: PerfEngine, ctx_bucket: int = 32) -> None:
+        if ctx_bucket < 1:
+            raise ValueError("ctx_bucket must be >= 1")
+        self.engine = engine
+        self.ctx_bucket = ctx_bucket
+        self._cache: dict[tuple[int, int, int], float] = {}
+
+    def _bucket(self, ctx_len: int) -> int:
+        return self.ctx_bucket * round(ctx_len / self.ctx_bucket)
+
+    def cost(self, ctx_len: int, n_tokens: int, batch: int) -> float:
+        """Latency of one iteration at ``(ctx_len, n_tokens, batch)``."""
+        key = (self._bucket(ctx_len), n_tokens, batch)
+        if key not in self._cache:
+            self._cache[key] = self.engine.simulate_iteration(*key).makespan
+        return self._cache[key]
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+
+class ContinuousServer:
+    """Event-driven continuous-batching server.
+
+    Attributes:
+        engine: Performance engine pricing each iteration.
+        policy: Scheduler policy shaping iterations (name or instance).
+        max_batch: Maximum concurrently running requests.
+        kv_budget_bytes: KV-cache memory budget for admission control;
+            defaults to the engine's free GPU memory after plan-resident
+            weights (:meth:`PerfEngine.kv_budget_bytes`).
+        ctx_bucket: Context-length bucket for the iteration cost cache.
+    """
+
+    def __init__(
+        self,
+        engine: PerfEngine,
+        policy: SchedulerPolicy | str = "fcfs",
+        max_batch: int = 8,
+        kv_budget_bytes: float | None = None,
+        ctx_bucket: int = 32,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.engine = engine
+        self.policy = make_policy(policy) if isinstance(policy, str) else policy
+        self.max_batch = max_batch
+        budget = kv_budget_bytes if kv_budget_bytes is not None else engine.kv_budget_bytes()
+        if budget <= 0:
+            raise ValueError(
+                "kv_budget_bytes must be positive (the plan leaves no GPU "
+                "memory for KV; pass an explicit budget)"
+            )
+        self.kv_budget_bytes = budget
+        self.costs = IterationCostCache(engine, ctx_bucket)
+
+    # ---- admission -----------------------------------------------------------
+
+    def _admit(
+        self,
+        waiting: deque[Request],
+        running: list[RequestState],
+        pool: MemoryPool,
+        now: float,
+    ) -> None:
+        """FCFS admission under batch slots and the KV budget.
+
+        Head-of-line blocking: if the oldest waiting request does not fit,
+        nothing behind it is admitted (preserves arrival order, the
+        "queue-on-full" discipline).
+        """
+        while waiting and len(running) < self.max_batch:
+            request = waiting[0]
+            kv_bytes = self.engine.request_kv_bytes(
+                request.input_len, request.output_len
+            )
+            if pool.try_allocate(f"req-{request.request_id}", kv_bytes) is None:
+                if not running:
+                    # Empty server and it still does not fit: it never will.
+                    raise OutOfMemoryError(
+                        f"request {request.request_id} needs "
+                        f"{kv_bytes / 2**20:.1f} MiB of KV cache but the "
+                        f"budget is {pool.usable_capacity / 2**20:.1f} MiB"
+                    )
+                return
+            waiting.popleft()
+            running.append(
+                RequestState(request=request, admit_time=now, kv_bytes=kv_bytes)
+            )
+
+    # ---- main loop -----------------------------------------------------------
+
+    def run(self, requests: list[Request]) -> ContinuousReport:
+        """Serve ``requests``; returns token-level metrics."""
+        pending = sorted(requests, key=lambda r: r.arrival_time)
+        waiting: deque[Request] = deque()
+        running: list[RequestState] = []
+        pool = MemoryPool(name="kv-cache", capacity=self.kv_budget_bytes)
+        report = ContinuousReport(kv_budget_bytes=pool.usable_capacity)
+
+        now = 0.0
+        next_arrival = 0
+        while next_arrival < len(pending) or waiting or running:
+            while (
+                next_arrival < len(pending)
+                and pending[next_arrival].arrival_time <= now
+            ):
+                waiting.append(pending[next_arrival])
+                next_arrival += 1
+            if not running and not waiting:
+                now = pending[next_arrival].arrival_time
+                continue
+
+            self._admit(waiting, running, pool, now)
+            report.peak_kv_bytes = max(report.peak_kv_bytes, pool.used)
+
+            plan = self.policy.plan_iteration(running)
+            if plan.is_empty:
+                raise RuntimeError(
+                    f"policy {self.policy.name!r} stalled a non-empty batch"
+                )
+
+            cost = 0.0
+            for state, chunk in plan.prefill:
+                cost += self.costs.cost(state.context, chunk, 1)
+            if plan.decode:
+                ctx = max(state.context for state in plan.decode)
+                cost += self.costs.cost(ctx, 1, len(plan.decode))
+            end = now + cost
+            report.busy_intervals.append((now, end))
+            report.n_iterations += 1
+
+            for state, chunk in plan.prefill:
+                state.prefilled += chunk
+                if not state.is_prefilling:
+                    # Prompt done: the prefill step yields the first token.
+                    state.emitted += 1
+                    state.token_times.append(end)
+            for state in plan.decode:
+                state.emitted += 1
+                state.token_times.append(end)
+
+            still_running: list[RequestState] = []
+            for state in running:
+                if state.done:
+                    pool.release(f"req-{state.request.request_id}")
+                    report.completed.append(
+                        RequestMetrics(
+                            request=state.request,
+                            admit_time=state.admit_time,
+                            token_times=tuple(state.token_times),
+                        )
+                    )
+                else:
+                    still_running.append(state)
+            running = still_running
+            now = end
+
+        report.completed.sort(key=lambda m: m.request.request_id)
+        return report
+
+
+def simulate_continuous_serving(
+    engine: PerfEngine,
+    requests: list[Request],
+    policy: SchedulerPolicy | str = "fcfs",
+    max_batch: int = 8,
+    kv_budget_bytes: float | None = None,
+    max_prefill_tokens: int = 64,
+    ctx_bucket: int = 32,
+) -> ContinuousReport:
+    """Serve ``requests`` with continuous batching; returns the report.
+
+    Convenience wrapper over :class:`ContinuousServer`.  ``policy`` is a
+    preset name (``"fcfs"``, ``"prefill-first"``, ``"chunked"``) or a
+    :class:`SchedulerPolicy` instance; ``max_prefill_tokens`` only applies
+    to the chunked policy.
+    """
+    if isinstance(policy, str):
+        kwargs = {"max_prefill_tokens": max_prefill_tokens} if policy == "chunked" else {}
+        policy = make_policy(policy, **kwargs)
+    server = ContinuousServer(
+        engine,
+        policy=policy,
+        max_batch=max_batch,
+        kv_budget_bytes=kv_budget_bytes,
+        ctx_bucket=ctx_bucket,
+    )
+    return server.run(requests)

@@ -1,0 +1,232 @@
+"""Per-request serving metrics: TTFT, TBT, latency percentiles, SLO goodput.
+
+Static serving reports (:class:`repro.serving.simulator.ServingReport`) only
+see whole requests; a token-level scheduler needs token-level metrics.  This
+module records, for each request, the time of every emitted token, and
+derives the quantities production serving systems are judged by:
+
+* **TTFT** — time to first token (arrival until the first output token).
+* **TBT**  — time between tokens during decode (the streaming cadence).
+* **Latency** — arrival until the last token.
+* **Goodput** — requests per second that met a configurable
+  :class:`SLO` on both TTFT and worst-case TBT.
+
+:func:`merge_busy_intervals` is the shared utilization primitive: it sums
+the union of (start, end) busy spans, so overlapping work (batched or
+continuous) is never double-counted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+from repro.serving.arrival import Request
+
+__all__ = ["SLO", "RequestMetrics", "ContinuousReport", "merge_busy_intervals"]
+
+
+def merge_busy_intervals(intervals: Iterable[tuple[float, float]]) -> float:
+    """Total length of the union of ``(start, end)`` intervals.
+
+    Overlapping and nested spans are merged before summing, so the result
+    is the wall-clock time during which *at least one* interval was active
+    — the correct notion of server busy time under batching.
+    """
+    spans = sorted((s, e) for s, e in intervals if e > s)
+    total = 0.0
+    current_start: float | None = None
+    current_end = 0.0
+    for start, end in spans:
+        if current_start is None or start > current_end:
+            if current_start is not None:
+                total += current_end - current_start
+            current_start, current_end = start, end
+        else:
+            current_end = max(current_end, end)
+    if current_start is not None:
+        total += current_end - current_start
+    return total
+
+
+@dataclass(frozen=True)
+class SLO:
+    """A latency service-level objective on the streaming experience.
+
+    Attributes:
+        ttft_target: Maximum acceptable time-to-first-token, seconds.
+        tbt_target: Maximum acceptable gap between consecutive tokens,
+            seconds (judged against the request's *worst* gap, since one
+            long stall breaks the streaming illusion).
+    """
+
+    ttft_target: float
+    tbt_target: float
+
+    def __post_init__(self) -> None:
+        if self.ttft_target <= 0 or self.tbt_target <= 0:
+            raise ValueError("SLO targets must be positive")
+
+
+@dataclass(frozen=True)
+class RequestMetrics:
+    """Token-level timing of one served request."""
+
+    request: Request
+    admit_time: float
+    token_times: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.token_times:
+            raise ValueError("a completed request must have emitted tokens")
+        if list(self.token_times) != sorted(self.token_times):
+            raise ValueError("token_times must be non-decreasing")
+
+    @property
+    def n_tokens(self) -> int:
+        return len(self.token_times)
+
+    @property
+    def first_token_time(self) -> float:
+        return self.token_times[0]
+
+    @property
+    def finish_time(self) -> float:
+        return self.token_times[-1]
+
+    @property
+    def queue_delay(self) -> float:
+        """Arrival until admission into the running batch."""
+        return self.admit_time - self.request.arrival_time
+
+    @property
+    def ttft(self) -> float:
+        """Time to first token (arrival until first emission)."""
+        return self.first_token_time - self.request.arrival_time
+
+    @property
+    def latency(self) -> float:
+        """Arrival-to-completion time (what the user experiences)."""
+        return self.finish_time - self.request.arrival_time
+
+    @property
+    def tbts(self) -> tuple[float, ...]:
+        """Gaps between consecutive emitted tokens (empty for 1 token)."""
+        return tuple(
+            b - a for a, b in zip(self.token_times, self.token_times[1:])
+        )
+
+    @property
+    def mean_tbt(self) -> float:
+        gaps = self.tbts
+        return float(np.mean(gaps)) if gaps else 0.0
+
+    @property
+    def max_tbt(self) -> float:
+        gaps = self.tbts
+        return max(gaps) if gaps else 0.0
+
+    def meets_slo(self, slo: SLO) -> bool:
+        """Whether this request stayed within the SLO end to end."""
+        return self.ttft <= slo.ttft_target and self.max_tbt <= slo.tbt_target
+
+
+@dataclass
+class ContinuousReport:
+    """Aggregate statistics of a continuous-batching simulation.
+
+    Attributes:
+        completed: Token-level metrics of every served request.
+        busy_intervals: ``(start, end)`` spans during which the server ran
+            an iteration (merged for utilization).
+        kv_budget_bytes: KV-cache memory budget the admission controller
+            enforced.
+        peak_kv_bytes: Highest concurrent KV reservation observed.
+        n_iterations: Model iterations executed.
+    """
+
+    completed: list[RequestMetrics] = field(default_factory=list)
+    busy_intervals: list[tuple[float, float]] = field(default_factory=list)
+    kv_budget_bytes: float = 0.0
+    peak_kv_bytes: float = 0.0
+    n_iterations: int = 0
+
+    @property
+    def n_requests(self) -> int:
+        return len(self.completed)
+
+    @property
+    def makespan(self) -> float:
+        if not self.completed:
+            return 0.0
+        return max(m.finish_time for m in self.completed)
+
+    @property
+    def throughput_rps(self) -> float:
+        """Requests completed per second of simulated time."""
+        span = self.makespan
+        return self.n_requests / span if span else 0.0
+
+    @property
+    def tokens_per_second(self) -> float:
+        span = self.makespan
+        total = sum(m.n_tokens for m in self.completed)
+        return total / span if span else 0.0
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of simulated time at least one iteration was running."""
+        span = self.makespan
+        return merge_busy_intervals(self.busy_intervals) / span if span else 0.0
+
+    @property
+    def mean_latency(self) -> float:
+        if not self.completed:
+            return 0.0
+        return float(np.mean([m.latency for m in self.completed]))
+
+    @property
+    def mean_ttft(self) -> float:
+        if not self.completed:
+            return 0.0
+        return float(np.mean([m.ttft for m in self.completed]))
+
+    @property
+    def mean_queue_delay(self) -> float:
+        if not self.completed:
+            return 0.0
+        return float(np.mean([m.queue_delay for m in self.completed]))
+
+    def latency_percentile(self, q: float) -> float:
+        """User-visible latency percentile, ``q`` in [0, 100]."""
+        if not self.completed:
+            raise ValueError("no completed requests")
+        return float(np.percentile([m.latency for m in self.completed], q))
+
+    def ttft_percentile(self, q: float) -> float:
+        if not self.completed:
+            raise ValueError("no completed requests")
+        return float(np.percentile([m.ttft for m in self.completed], q))
+
+    def tbt_percentile(self, q: float) -> float:
+        """Percentile over all inter-token gaps, pooled across requests."""
+        gaps = [g for m in self.completed for g in m.tbts]
+        if not gaps:
+            raise ValueError("no inter-token gaps recorded")
+        return float(np.percentile(gaps, q))
+
+    def slo_attainment(self, slo: SLO) -> float:
+        """Fraction of requests that met the SLO."""
+        if not self.completed:
+            return 0.0
+        met = sum(1 for m in self.completed if m.meets_slo(slo))
+        return met / self.n_requests
+
+    def goodput(self, slo: SLO) -> float:
+        """SLO-meeting requests completed per second of simulated time."""
+        span = self.makespan
+        if not span:
+            return 0.0
+        return sum(1 for m in self.completed if m.meets_slo(slo)) / span

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.engine.base import PerfEngine
 from repro.serving.arrival import Request
+from repro.serving.metrics import merge_busy_intervals
 
 __all__ = ["CompletedRequest", "ServingReport", "simulate_serving"]
 
@@ -72,9 +73,16 @@ class ServingReport:
 
     @property
     def utilization(self) -> float:
-        """Fraction of simulated time the server was busy."""
+        """Fraction of simulated time the server was busy.
+
+        Busy time is the union of per-request service intervals: a batch
+        of 8 occupies the server once, not 8 times, so utilization never
+        exceeds 1.
+        """
         span = self.makespan
-        busy = sum(c.service_time for c in self.completed)
+        busy = merge_busy_intervals(
+            (c.start_time, c.finish_time) for c in self.completed
+        )
         return busy / span if span else 0.0
 
     def latency_percentile(self, q: float) -> float:

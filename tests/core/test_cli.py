@@ -81,7 +81,9 @@ class TestPlan:
 
 class TestFigure:
     def test_registry_covers_every_experiment(self):
-        assert len(FIGURES) == 22  # 16 paper experiments + 6 ablations
+        # 16 paper experiments + 6 ablations + 1 serving study
+        assert len(FIGURES) == 23
+        assert "continuous-batching" in FIGURES
 
     def test_figure_runs_and_prints_table(self, capsys):
         assert main(["figure", "fig06"]) == 0

@@ -70,3 +70,30 @@ class TestBatchedServing:
     def test_invalid_max_batch(self, engine):
         with pytest.raises(ValueError):
             simulate_batched_serving(engine, burst(2), max_batch=0)
+
+    def test_max_batch_one_matches_fcfs_exactly(self, engine):
+        requests = burst(6, gap=0.01) + [
+            Request(request_id=6, arrival_time=10.0, input_len=32, output_len=8)
+        ]
+        fcfs = simulate_serving(engine, requests)
+        batched = simulate_batched_serving(engine, requests, max_batch=1)
+        key = lambda c: c.request.request_id
+        for a, b in zip(sorted(fcfs.completed, key=key), sorted(batched.completed, key=key)):
+            assert b.start_time == pytest.approx(a.start_time, abs=1e-12)
+            assert b.finish_time == pytest.approx(a.finish_time, abs=1e-12)
+
+    def test_empty_request_list(self, engine):
+        report = simulate_batched_serving(engine, [], max_batch=4)
+        assert report.n_requests == 0
+        assert report.makespan == 0.0
+        assert report.utilization == 0.0
+
+    def test_utilization_never_exceeds_one(self, engine):
+        # 8 requests dispatched as one batch: utilization counts the busy
+        # interval once, not 8 times.
+        simultaneous = [
+            Request(request_id=i, arrival_time=0.0, input_len=16, output_len=32)
+            for i in range(8)
+        ]
+        report = simulate_batched_serving(engine, simultaneous, max_batch=8)
+        assert 0.0 < report.utilization <= 1.0 + 1e-9

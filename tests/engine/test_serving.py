@@ -41,11 +41,51 @@ class TestArrivals:
         with pytest.raises(ValueError):
             poisson_arrivals(CHATGPT_PROMPTS, rate=0.0, n_requests=5, rng=rng)
         with pytest.raises(ValueError):
-            poisson_arrivals(CHATGPT_PROMPTS, rate=1.0, n_requests=0, rng=rng)
+            poisson_arrivals(CHATGPT_PROMPTS, rate=1.0, n_requests=-1, rng=rng)
         with pytest.raises(ValueError):
             poisson_arrivals(
                 CHATGPT_PROMPTS, 1.0, 5, rng, output_lengths=(8,), output_weights=(0.5, 0.5)
             )
+        with pytest.raises(ValueError):
+            poisson_arrivals(
+                CHATGPT_PROMPTS, 1.0, 5, rng, output_lengths=(), output_weights=()
+            )
+
+    def test_zero_requests_yield_empty_stream(self, rng):
+        assert poisson_arrivals(CHATGPT_PROMPTS, rate=1.0, n_requests=0, rng=rng) == []
+
+    def test_weight_validation(self, rng):
+        with pytest.raises(ValueError):
+            poisson_arrivals(
+                CHATGPT_PROMPTS, 1.0, 5, rng,
+                output_lengths=(8, 128), output_weights=(0.5, -0.5),
+            )
+        with pytest.raises(ValueError):
+            poisson_arrivals(
+                CHATGPT_PROMPTS, 1.0, 5, rng,
+                output_lengths=(8, 128), output_weights=(0.0, 0.0),
+            )
+        with pytest.raises(ValueError):
+            poisson_arrivals(
+                CHATGPT_PROMPTS, 1.0, 5, rng,
+                output_lengths=(8, 128), output_weights=(float("nan"), 1.0),
+            )
+        with pytest.raises(ValueError):
+            poisson_arrivals(
+                CHATGPT_PROMPTS, 1.0, 5, rng,
+                output_lengths=(0, 128), output_weights=(0.5, 0.5),
+            )
+
+    def test_unnormalized_weights_are_normalized(self):
+        scaled = poisson_arrivals(
+            CHATGPT_PROMPTS, 1.0, 100, np.random.default_rng(7),
+            output_lengths=(8, 128), output_weights=(3.0, 3.0),
+        )
+        unit = poisson_arrivals(
+            CHATGPT_PROMPTS, 1.0, 100, np.random.default_rng(7),
+            output_lengths=(8, 128), output_weights=(0.5, 0.5),
+        )
+        assert scaled == unit
 
 
 class TestServing:
@@ -104,3 +144,22 @@ class TestServing:
         assert report.throughput_rps == 0.0
         with pytest.raises(ValueError):
             report.latency_percentile(50)
+
+    def test_empty_request_list(self, engine):
+        report = simulate_serving(engine, [])
+        assert report.n_requests == 0
+        assert report.makespan == 0.0
+        assert report.utilization == 0.0
+        assert report.mean_queue_delay == 0.0
+
+    def test_simultaneous_arrivals_fcfs_order(self, engine):
+        reqs = [
+            Request(request_id=i, arrival_time=0.0, input_len=16, output_len=8)
+            for i in range(4)
+        ]
+        report = simulate_serving(engine, reqs)
+        starts = [
+            c.start_time
+            for c in sorted(report.completed, key=lambda c: c.request.request_id)
+        ]
+        assert starts == sorted(starts)

@@ -1,0 +1,122 @@
+"""Unit tests for serving metrics: intervals, TTFT/TBT, SLO goodput."""
+
+import pytest
+
+from repro.serving import SLO, ContinuousReport, Request, RequestMetrics
+from repro.serving.metrics import merge_busy_intervals
+
+
+def make_metrics(request_id=0, arrival=0.0, admit=0.5, tokens=(1.0, 1.5, 2.5)):
+    return RequestMetrics(
+        request=Request(
+            request_id=request_id,
+            arrival_time=arrival,
+            input_len=8,
+            output_len=len(tokens),
+        ),
+        admit_time=admit,
+        token_times=tuple(tokens),
+    )
+
+
+class TestMergeBusyIntervals:
+    def test_disjoint(self):
+        assert merge_busy_intervals([(0.0, 1.0), (2.0, 3.0)]) == pytest.approx(2.0)
+
+    def test_overlapping_not_double_counted(self):
+        assert merge_busy_intervals([(0.0, 2.0), (1.0, 3.0)]) == pytest.approx(3.0)
+
+    def test_nested_and_unsorted(self):
+        spans = [(1.0, 4.0), (0.0, 5.0), (2.0, 3.0)]
+        assert merge_busy_intervals(spans) == pytest.approx(5.0)
+
+    def test_empty_and_degenerate(self):
+        assert merge_busy_intervals([]) == 0.0
+        assert merge_busy_intervals([(1.0, 1.0)]) == 0.0
+
+
+class TestRequestMetrics:
+    def test_derived_quantities(self):
+        m = make_metrics(arrival=0.0, admit=0.5, tokens=(1.0, 1.5, 2.5))
+        assert m.n_tokens == 3
+        assert m.queue_delay == pytest.approx(0.5)
+        assert m.ttft == pytest.approx(1.0)
+        assert m.latency == pytest.approx(2.5)
+        assert m.tbts == pytest.approx((0.5, 1.0))
+        assert m.mean_tbt == pytest.approx(0.75)
+        assert m.max_tbt == pytest.approx(1.0)
+
+    def test_single_token_has_no_gaps(self):
+        m = make_metrics(tokens=(1.0,))
+        assert m.tbts == ()
+        assert m.mean_tbt == 0.0
+        assert m.max_tbt == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_metrics(tokens=())
+        with pytest.raises(ValueError):
+            make_metrics(tokens=(2.0, 1.0))
+
+    def test_meets_slo(self):
+        m = make_metrics(arrival=0.0, tokens=(1.0, 1.5, 2.5))
+        assert m.meets_slo(SLO(ttft_target=1.0, tbt_target=1.0))
+        assert not m.meets_slo(SLO(ttft_target=0.5, tbt_target=1.0))
+        assert not m.meets_slo(SLO(ttft_target=1.0, tbt_target=0.9))
+
+
+class TestSLO:
+    def test_targets_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SLO(ttft_target=0.0, tbt_target=1.0)
+        with pytest.raises(ValueError):
+            SLO(ttft_target=1.0, tbt_target=-1.0)
+
+
+class TestContinuousReport:
+    def build_report(self):
+        fast = make_metrics(request_id=0, arrival=0.0, admit=0.0, tokens=(0.5, 1.0))
+        slow = make_metrics(request_id=1, arrival=0.0, admit=0.0, tokens=(3.0, 8.0))
+        return ContinuousReport(
+            completed=[fast, slow],
+            busy_intervals=[(0.0, 1.0), (0.5, 8.0)],
+            kv_budget_bytes=100.0,
+            peak_kv_bytes=60.0,
+            n_iterations=4,
+        )
+
+    def test_aggregates(self):
+        report = self.build_report()
+        assert report.n_requests == 2
+        assert report.makespan == pytest.approx(8.0)
+        assert report.throughput_rps == pytest.approx(2 / 8.0)
+        assert report.tokens_per_second == pytest.approx(4 / 8.0)
+        assert report.utilization == pytest.approx(1.0)
+        assert report.mean_latency == pytest.approx((1.0 + 8.0) / 2)
+        assert report.mean_ttft == pytest.approx((0.5 + 3.0) / 2)
+
+    def test_percentiles(self):
+        report = self.build_report()
+        assert report.latency_percentile(100) == pytest.approx(8.0)
+        assert report.ttft_percentile(0) == pytest.approx(0.5)
+        assert report.tbt_percentile(100) == pytest.approx(5.0)
+
+    def test_goodput_counts_only_slo_compliant(self):
+        report = self.build_report()
+        slo = SLO(ttft_target=1.0, tbt_target=1.0)  # only the fast request
+        assert report.slo_attainment(slo) == pytest.approx(0.5)
+        assert report.goodput(slo) == pytest.approx(1 / 8.0)
+        generous = SLO(ttft_target=10.0, tbt_target=10.0)
+        assert report.slo_attainment(generous) == 1.0
+        impossible = SLO(ttft_target=1e-9, tbt_target=1e-9)
+        assert report.slo_attainment(impossible) == 0.0
+        assert report.goodput(impossible) == 0.0
+
+    def test_empty_report(self):
+        report = ContinuousReport()
+        assert report.n_requests == 0
+        assert report.utilization == 0.0
+        assert report.slo_attainment(SLO(1.0, 1.0)) == 0.0
+        assert report.goodput(SLO(1.0, 1.0)) == 0.0
+        with pytest.raises(ValueError):
+            report.tbt_percentile(50)

@@ -38,6 +38,23 @@ class TestAllocation:
         pool.allocate("empty", 0.0)
         assert pool.used == 0.0
 
+    def test_try_allocate_returns_none_when_full(self, pool):
+        pool.allocate("weights", 900.0)
+        assert pool.try_allocate("kv", 200.0) is None
+        assert pool.used == 900.0  # failed probe leaves no residue
+
+    def test_try_allocate_succeeds_and_accounts(self, pool):
+        alloc = pool.try_allocate("kv", 200.0)
+        assert alloc is not None and alloc.nbytes == 200.0
+        assert pool.used == 200.0
+
+    def test_try_allocate_still_rejects_invalid_args(self, pool):
+        pool.allocate("weights", 100.0)
+        with pytest.raises(ValueError, match="already exists"):
+            pool.try_allocate("weights", 1.0)
+        with pytest.raises(ValueError):
+            pool.try_allocate("neg", -1.0)
+
     def test_release_returns_capacity(self, pool):
         pool.allocate("a", 700.0)
         pool.release("a")
