@@ -10,6 +10,7 @@ from repro.bench.ablations import (
 )
 from repro.bench.continuous_batching import run_continuous_batching
 from repro.bench.end_to_end import run_end_to_end, run_fig10, run_fig11, run_fig13
+from repro.bench.fault_tolerance import default_fault_schedule, run_fault_tolerance
 from repro.bench.fig04 import run_fig04
 from repro.bench.fig05 import cdf_series, run_fig05
 from repro.bench.fig06 import run_fig06
@@ -38,7 +39,9 @@ __all__ = [
     "build_sparse_system",
     "cached_plan",
     "cdf_series",
+    "default_fault_schedule",
     "run_continuous_batching",
+    "run_fault_tolerance",
     "format_table",
     "make_engine",
     "print_table",

@@ -11,6 +11,9 @@ Subcommands::
     repro plan      --model opt-30b --machine pc-high --out plan.npz
                                          run the offline phase, save the plan
     repro figure    fig05 [...]          regenerate one paper figure/table
+    repro chaos     --model opt-6.7b --machine pc-low [--fault-seed 7]
+                                         serve under injected faults, naive
+                                         vs degradation-aware side by side
 
 Also runnable as ``python -m repro.cli ...``.
 """
@@ -42,6 +45,7 @@ from repro.bench import (
     run_fig16_measured,
     run_fig16_modeled,
     run_fig17,
+    run_fault_tolerance,
     run_fig18,
     run_prompt_heavy,
     run_table2,
@@ -81,6 +85,7 @@ FIGURES: dict[str, Callable[[], list[dict]]] = {
     "ablation-impact-weighting": run_ablation_impact_weighting,
     "ablation-prompt-heavy": run_prompt_heavy,
     "continuous-batching": run_continuous_batching,
+    "fault-tolerance": run_fault_tolerance,
 }
 
 
@@ -154,6 +159,46 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--slo-ttft", type=float, default=2.0, dest="slo_ttft")
     serve.add_argument("--slo-tbt", type=float, default=1.0, dest="slo_tbt")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="serve a stream under injected faults, naive vs degradation-aware",
+    )
+    add_common(chaos)
+    chaos.add_argument("--engine", default="powerinfer", choices=sorted(ENGINE_CLASSES))
+    chaos.add_argument("--rate", type=float, default=0.9, help="requests/second")
+    chaos.add_argument("--requests", type=int, default=48)
+    chaos.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        dest="fault_seed",
+        help="generate a random fault schedule from this seed "
+        "(default: the canonical degrade/squeeze/stall timeline)",
+    )
+    chaos.add_argument(
+        "--faults",
+        default=None,
+        help="JSON file with a fault-event list (see docs/serving.md)",
+    )
+    chaos.add_argument(
+        "--deadline",
+        type=float,
+        default=12.0,
+        help="per-request completion deadline, seconds after arrival",
+    )
+    chaos.add_argument("--max-batch", type=int, default=8, dest="max_batch")
+    chaos.add_argument(
+        "--kv-gib",
+        type=float,
+        default=0.35,
+        dest="kv_gib",
+        help="GPU memory carved out for the KV-cache admission budget",
+    )
+    chaos.add_argument("--max-queue", type=int, default=16, dest="max_queue")
+    chaos.add_argument("--max-retries", type=int, default=2, dest="max_retries")
+    chaos.add_argument("--slo-ttft", type=float, default=6.0, dest="slo_ttft")
+    chaos.add_argument("--slo-tbt", type=float, default=0.020, dest="slo_tbt")
 
     bounds = sub.add_parser("bounds", help="analytic roofline throughput bounds")
     add_common(bounds)
@@ -323,6 +368,85 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    import numpy as np
+
+    from repro.bench.fault_tolerance import default_fault_schedule
+    from repro.hardware.faults import FaultSchedule
+    from repro.serving import SLO, poisson_arrivals, simulate_continuous_serving
+    from repro.workloads import CHATGPT_PROMPTS
+
+    if args.faults is not None and args.fault_seed is not None:
+        print("error: --faults and --fault-seed are mutually exclusive", file=sys.stderr)
+        return 1
+    if args.faults is not None:
+        try:
+            with open(args.faults) as fh:
+                faults = FaultSchedule.from_dicts(json.load(fh))
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"error: {args.faults}: {exc}", file=sys.stderr)
+            return 1
+    elif args.fault_seed is not None:
+        horizon = args.requests / args.rate
+        faults = FaultSchedule.from_seed(args.fault_seed, horizon=horizon)
+    else:
+        faults = default_fault_schedule()
+
+    engine = make_engine(args.engine, args.model, args.machine, args.dtype, seed=args.seed)
+    requests = poisson_arrivals(
+        CHATGPT_PROMPTS,
+        rate=args.rate,
+        n_requests=args.requests,
+        rng=np.random.default_rng(args.seed),
+        deadline=args.deadline,
+    )
+    slo = SLO(ttft_target=args.slo_ttft, tbt_target=args.slo_tbt)
+    rows = []
+    for label, degradation in (("naive", False), ("degraded", True)):
+        report = simulate_continuous_serving(
+            engine,
+            requests,
+            policy="chunked",
+            max_batch=args.max_batch,
+            kv_budget_bytes=args.kv_gib * 2**30,
+            max_prefill_tokens=32,
+            faults=faults,
+            deadline=args.deadline,
+            max_retries=args.max_retries,
+            max_queue=args.max_queue,
+            degradation=degradation,
+        )
+        rows.append(
+            {
+                "server": label,
+                "slo_attainment": report.slo_attainment_overall(slo),
+                "completed": len(report.completed),
+                "timed_out": len(report.timed_out),
+                "shed": len(report.shed),
+                "failed": len(report.failed),
+                "aborts": report.n_aborts,
+                "retries": report.n_retries,
+                "degraded_s": report.time_in_degraded_mode,
+            }
+        )
+    events = ", ".join(
+        f"{e.kind}@{e.start:.1f}s x{e.duration:.1f}s (mag {e.magnitude:.2g})"
+        for e in faults.events
+    )
+    print(f"fault schedule: {events or 'empty'}")
+    print(
+        format_table(
+            rows,
+            f"{args.engine} / {args.model} / {args.machine} ({args.dtype}) under "
+            f"faults — SLO ttft<={args.slo_ttft:.3g}s tbt<={args.slo_tbt:.3g}s, "
+            f"deadline {args.deadline:.3g}s",
+        )
+    )
+    return 0
+
+
 def _cmd_bounds(args: argparse.Namespace) -> int:
     from repro.analysis import throughput_bounds
 
@@ -360,6 +484,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_figure(args)
         if args.command == "serve":
             return _cmd_serve(args)
+        if args.command == "chaos":
+            return _cmd_chaos(args)
         if args.command == "bounds":
             return _cmd_bounds(args)
     except OutOfMemoryError as exc:

@@ -16,12 +16,17 @@ simulating all ``output_len`` DAGs.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.engine.plan import DeploymentPlan
 from repro.engine.results import RequestResult
 from repro.hardware.events import EventSimulator, ScheduleResult, SimTask
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.hardware.faults import FaultSchedule
+    from repro.hardware.spec import MachineSpec
 
 __all__ = ["PerfEngine", "RESOURCES"]
 
@@ -72,10 +77,48 @@ class PerfEngine(ABC):
         n_tokens: int,
         batch: int = 1,
         rng: np.random.Generator | None = None,
+        machine: "MachineSpec | None" = None,
     ) -> ScheduleResult:
-        """Schedule one iteration's DAG; returns the timing result."""
+        """Schedule one iteration's DAG; returns the timing result.
+
+        ``machine`` overrides the plan's machine for this one iteration —
+        the hook fault injection uses to make iteration cost time-varying
+        (a :class:`~repro.hardware.faults.FaultSchedule` perturbs the spec
+        per epoch; see :meth:`simulate_iteration_at`).  The override is
+        visible to :meth:`iteration_tasks` via ``self.machine`` and is
+        restored before returning.
+        """
         sim = EventSimulator(list(RESOURCES))
-        return sim.run(self.iteration_tasks(ctx_len, n_tokens, batch, rng))
+        if machine is None or machine is self.machine:
+            return sim.run(self.iteration_tasks(ctx_len, n_tokens, batch, rng))
+        pristine = self.machine
+        self.machine = machine
+        try:
+            tasks = self.iteration_tasks(ctx_len, n_tokens, batch, rng)
+        finally:
+            self.machine = pristine
+        return sim.run(tasks)
+
+    def simulate_iteration_at(
+        self,
+        now: float,
+        faults: "FaultSchedule | None",
+        ctx_len: int,
+        n_tokens: int,
+        batch: int = 1,
+        rng: np.random.Generator | None = None,
+    ) -> ScheduleResult:
+        """One iteration at simulated time ``now`` under a fault schedule.
+
+        With ``faults`` given, the machine spec is perturbed by whatever
+        fault windows are active at ``now`` before costing the DAG, making
+        the simulation time-varying; with ``faults=None`` this is exactly
+        :meth:`simulate_iteration`.
+        """
+        machine = None
+        if faults is not None:
+            machine = faults.perturbed_machine(self.machine, now)
+        return self.simulate_iteration(ctx_len, n_tokens, batch, rng, machine=machine)
 
     def simulate_request(
         self,

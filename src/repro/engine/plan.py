@@ -159,6 +159,50 @@ class DeploymentPlan:
             cpu_capacity=cpu.usable_capacity,
         )
 
+    # ---- degraded-mode re-planning -------------------------------------------
+
+    def with_gpu_bytes_freed(self, nbytes: float) -> "DeploymentPlan":
+        """A copy with the coldest GPU-resident neurons demoted to the CPU.
+
+        Graceful-degradation hook: when GPU memory is squeezed mid-run
+        (e.g. a KV-budget shrink fault), the server trades hot-neuron
+        residency for KV space.  MLP neurons are demoted globally in
+        ascending activation-probability order — the least valuable GPU
+        bytes go first, the mirror image of the solver's hot-first
+        packing — until at least ``nbytes`` are freed or no GPU-resident
+        MLP neurons remain.  Attention heads are kept (their masks also
+        shape the CPU attention path) and deterministic order is guaranteed
+        by a stable sort.  Returns ``self`` when ``nbytes <= 0``.
+        """
+        if nbytes <= 0:
+            return self
+        neuron_bytes = self.model.mlp_neuron_bytes(self.dtype)
+        candidates: list[tuple[float, int, int]] = []  # (prob, layer, neuron)
+        for li in range(self.model.n_layers):
+            mask = self.mlp_gpu_masks[li]
+            probs = self.mlp_probs[li]
+            for ni in np.flatnonzero(mask):
+                candidates.append((float(probs[ni]), li, int(ni)))
+        candidates.sort(key=lambda c: (c[0], c[1], c[2]))
+        n_demote = min(
+            len(candidates), int(np.ceil(nbytes / neuron_bytes)) if neuron_bytes else 0
+        )
+        new_masks = [mask.copy() for mask in self.mlp_gpu_masks]
+        for _, li, ni in candidates[:n_demote]:
+            new_masks[li][ni] = False
+        return DeploymentPlan(
+            model=self.model,
+            machine=self.machine,
+            dtype=self.dtype,
+            mlp_probs=self.mlp_probs,
+            attn_probs=self.attn_probs,
+            mlp_gpu_masks=new_masks,
+            attn_gpu_masks=self.attn_gpu_masks,
+            predictor_bytes=list(self.predictor_bytes),
+            gpu_memory_reserve=self.gpu_memory_reserve,
+            expected_context=self.expected_context,
+        )
+
     # ---- expected activation splits -----------------------------------------
 
     def mlp_active_split(self, layer: int, batch: int = 1) -> tuple[float, float]:

@@ -6,12 +6,19 @@ output ships with the model.  This module serializes a
 :class:`~repro.engine.plan.DeploymentPlan` to a single ``.npz`` file —
 arrays for the per-layer probabilities and masks, a JSON header for the
 model/machine/dtype — and restores it exactly.
+
+Integrity: the header carries a CRC32 checksum of every array, so a
+truncated or bit-flipped file fails loudly at load time instead of
+producing a silently bogus plan.  Loading validates the format version,
+the presence of every expected array, and per-layer array shapes before
+constructing the plan.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
+import zlib
 from pathlib import Path
 
 import numpy as np
@@ -23,7 +30,10 @@ from repro.quant.formats import DTYPE_PRESETS, DType
 
 __all__ = ["save_plan", "load_plan"]
 
-_FORMAT_VERSION = 1
+# Version 2 added per-array checksums; version-1 files (no checksums) still
+# load, skipping integrity verification.
+_FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
 
 
 def _machine_to_dict(machine: MachineSpec) -> dict:
@@ -46,18 +56,13 @@ def _machine_from_dict(data: dict) -> MachineSpec:
     )
 
 
+def _checksum(array: np.ndarray) -> int:
+    return zlib.crc32(np.ascontiguousarray(array).tobytes())
+
+
 def save_plan(plan: DeploymentPlan, path: str | Path) -> None:
     """Write ``plan`` to ``path`` as an ``.npz`` archive."""
-    header = {
-        "version": _FORMAT_VERSION,
-        "model": dataclasses.asdict(plan.model),
-        "machine": _machine_to_dict(plan.machine),
-        "dtype": dataclasses.asdict(plan.dtype),
-        "gpu_memory_reserve": plan.gpu_memory_reserve,
-        "expected_context": plan.expected_context,
-    }
     arrays: dict[str, np.ndarray] = {
-        "header": np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8),
         "predictor_bytes": np.asarray(plan.predictor_bytes, dtype=np.float64),
     }
     for li in range(plan.model.n_layers):
@@ -65,35 +70,116 @@ def save_plan(plan: DeploymentPlan, path: str | Path) -> None:
         arrays[f"attn_probs_{li}"] = plan.attn_probs[li]
         arrays[f"mlp_mask_{li}"] = plan.mlp_gpu_masks[li]
         arrays[f"attn_mask_{li}"] = plan.attn_gpu_masks[li]
+    header = {
+        "version": _FORMAT_VERSION,
+        "model": dataclasses.asdict(plan.model),
+        "machine": _machine_to_dict(plan.machine),
+        "dtype": dataclasses.asdict(plan.dtype),
+        "gpu_memory_reserve": plan.gpu_memory_reserve,
+        "expected_context": plan.expected_context,
+        "checksums": {name: _checksum(a) for name, a in arrays.items()},
+    }
+    arrays["header"] = np.frombuffer(
+        json.dumps(header).encode("utf-8"), dtype=np.uint8
+    )
     np.savez_compressed(path, **arrays)
+
+
+def _fetch(data, name: str) -> np.ndarray:
+    try:
+        return data[name]
+    except KeyError:
+        raise ValueError(
+            f"plan file is missing array {name!r} (truncated or not a plan?)"
+        ) from None
+
+
+def _verify_shape(name: str, array: np.ndarray, expected: tuple[int, ...]) -> None:
+    if array.shape != expected:
+        raise ValueError(
+            f"plan array {name!r} has shape {array.shape}, expected {expected} "
+            "(file does not match its own model header)"
+        )
 
 
 def load_plan(path: str | Path) -> DeploymentPlan:
     """Restore a plan written by :func:`save_plan`.
 
     Raises:
-        ValueError: On an unsupported format version or corrupt header.
+        ValueError: On an unsupported format version, a corrupt or missing
+            header, missing arrays, array shapes inconsistent with the
+            model in the header, or checksum mismatches (bit rot /
+            truncation).
     """
     with np.load(path) as data:
-        header = json.loads(bytes(data["header"]).decode("utf-8"))
-        if header.get("version") != _FORMAT_VERSION:
+        try:
+            header_bytes = bytes(data["header"])
+        except KeyError:
             raise ValueError(
-                f"unsupported plan format version: {header.get('version')!r}"
+                f"{path}: no plan header found (not a plan file?)"
+            ) from None
+        try:
+            header = json.loads(header_bytes.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ValueError(f"{path}: corrupt plan header ({exc})") from None
+        version = header.get("version")
+        if version not in _SUPPORTED_VERSIONS:
+            raise ValueError(
+                f"unsupported plan format version: {version!r} "
+                f"(this build reads versions {list(_SUPPORTED_VERSIONS)})"
             )
         model = ModelConfig(**header["model"])
         machine = _machine_from_dict(header["machine"])
         dtype_dict = header["dtype"]
         dtype = DTYPE_PRESETS.get(dtype_dict["name"]) or DType(**dtype_dict)
         n = model.n_layers
+
+        arrays: dict[str, np.ndarray] = {
+            "predictor_bytes": _fetch(data, "predictor_bytes")
+        }
+        for li in range(n):
+            for name in (
+                f"mlp_probs_{li}",
+                f"attn_probs_{li}",
+                f"mlp_mask_{li}",
+                f"attn_mask_{li}",
+            ):
+                arrays[name] = _fetch(data, name)
+
+        _verify_shape("predictor_bytes", arrays["predictor_bytes"], (n,))
+        for li in range(n):
+            _verify_shape(f"mlp_probs_{li}", arrays[f"mlp_probs_{li}"], (model.d_ffn,))
+            _verify_shape(f"mlp_mask_{li}", arrays[f"mlp_mask_{li}"], (model.d_ffn,))
+            _verify_shape(
+                f"attn_probs_{li}", arrays[f"attn_probs_{li}"], (model.n_heads,)
+            )
+            _verify_shape(
+                f"attn_mask_{li}", arrays[f"attn_mask_{li}"], (model.n_heads,)
+            )
+
+        checksums = header.get("checksums")
+        if version >= 2:
+            if not isinstance(checksums, dict):
+                raise ValueError(f"{path}: version {version} plan has no checksums")
+            for name, array in arrays.items():
+                expected = checksums.get(name)
+                actual = _checksum(array)
+                if expected != actual:
+                    raise ValueError(
+                        f"plan array {name!r} failed its checksum "
+                        f"(stored {expected}, computed {actual}) — the file "
+                        "is corrupt or was modified after saving"
+                    )
+
         return DeploymentPlan(
             model=model,
             machine=machine,
             dtype=dtype,
-            mlp_probs=[data[f"mlp_probs_{li}"] for li in range(n)],
-            attn_probs=[data[f"attn_probs_{li}"] for li in range(n)],
-            mlp_gpu_masks=[data[f"mlp_mask_{li}"] for li in range(n)],
-            attn_gpu_masks=[data[f"attn_mask_{li}"] for li in range(n)],
-            predictor_bytes=list(data["predictor_bytes"]),
+            mlp_probs=[arrays[f"mlp_probs_{li}"] for li in range(n)],
+            attn_probs=[arrays[f"attn_probs_{li}"] for li in range(n)],
+            mlp_gpu_masks=[arrays[f"mlp_mask_{li}"] for li in range(n)],
+            attn_gpu_masks=[arrays[f"attn_mask_{li}"] for li in range(n)],
+            predictor_bytes=list(arrays["predictor_bytes"]),
             gpu_memory_reserve=header["gpu_memory_reserve"],
             expected_context=header["expected_context"],
         )

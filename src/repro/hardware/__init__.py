@@ -14,6 +14,7 @@ from repro.hardware.events import (
     SimTask,
     TaskResult,
 )
+from repro.hardware.faults import FaultEvent, FaultKind, FaultSchedule
 from repro.hardware.memory import Allocation, MemoryPool, OutOfMemoryError
 from repro.hardware.spec import (
     A100_SERVER,
@@ -35,6 +36,9 @@ __all__ = [
     "DeviceKind",
     "DeviceSpec",
     "EventSimulator",
+    "FaultEvent",
+    "FaultKind",
+    "FaultSchedule",
     "GB",
     "GIB",
     "LinkSpec",

@@ -20,12 +20,24 @@ __all__ = ["Request", "poisson_arrivals"]
 
 @dataclass(frozen=True)
 class Request:
-    """One serving request."""
+    """One serving request.
+
+    ``deadline`` is an optional per-request completion deadline in seconds
+    *relative to arrival*; ``None`` means the request never times out
+    (unless the server imposes a default).  Deadline enforcement is the
+    continuous server's job — see
+    :class:`repro.serving.continuous.ContinuousServer`.
+    """
 
     request_id: int
     arrival_time: float
     input_len: int
     output_len: int
+    deadline: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("deadline must be positive (or None)")
 
 
 def poisson_arrivals(
@@ -35,6 +47,7 @@ def poisson_arrivals(
     rng: np.random.Generator,
     output_lengths: tuple[int, ...] = (8, 128, 512),
     output_weights: tuple[float, ...] = (0.2, 0.6, 0.2),
+    deadline: float | None = None,
 ) -> list[Request]:
     """Sample a Poisson request stream.
 
@@ -47,6 +60,8 @@ def poisson_arrivals(
         output_weights: Mixture weights over ``output_lengths``; they are
             normalized, so any non-negative weights with a positive sum
             are accepted.
+        deadline: Optional per-request completion deadline (seconds after
+            arrival) stamped on every request.
 
     Returns:
         Requests ordered by arrival time (empty for ``n_requests == 0``).
@@ -86,6 +101,7 @@ def poisson_arrivals(
             arrival_time=float(arrivals[i]),
             input_len=int(inputs[i]),
             output_len=int(outputs[i]),
+            deadline=deadline,
         )
         for i in range(n_requests)
     ]

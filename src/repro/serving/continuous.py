@@ -9,7 +9,7 @@ requests join the running batch the moment a slot and KV memory are
 available, and leave the instant their last token is emitted — the
 iteration-level scheduling loop of Orca/vLLM-class serving systems.
 
-Three pieces cooperate:
+Pieces that cooperate:
 
 * **Admission control** — each admitted request reserves its worst-case KV
   footprint (prompt + full response) in a :class:`MemoryPool` sized by the
@@ -20,21 +20,36 @@ Three pieces cooperate:
   iteration, which members prefill (and how many prompt tokens) and which
   decode.
 * **Iteration cost cache** — iteration latency is deterministic in
-  ``(ctx_len, n_tokens, batch)``; context lengths are bucketed so streams
-  of thousands of requests hit a few hundred engine simulations.
+  ``(ctx_len, n_tokens, batch)`` *within one fault epoch*; context lengths
+  are bucketed so streams of thousands of requests hit a few hundred
+  engine simulations.
+* **Fault tolerance** — with a :class:`~repro.hardware.faults.FaultSchedule`
+  attached, iteration costs become time-varying (PCIe/GPU/CPU degradation
+  windows), device stalls abort in-flight work (bounded retry with
+  exponential backoff), per-request deadlines cancel hopeless requests and
+  free their KV reservations, arrivals beyond a queue bound are shed, and
+  — with ``degradation=True`` — the server adapts: it caps the batch while
+  a throughput fault is active and re-plans a smaller GPU hot-neuron set
+  when the KV budget shrinks mid-run (trading hot-neuron residency for KV
+  space).  All fault handling is deterministic: the same schedule and
+  request stream always produce the same report.
 
 Timing convention: completing the prompt emits the request's first output
 token (the prefill step produces logits for token one), so TTFT is the end
 of the iteration that finishes the prompt, and ``output_len - 1`` decode
-steps follow.
+steps follow.  Deadlines are enforced at iteration boundaries — a request
+that would finish mid-iteration past its deadline still completes; one
+that is unfinished at a boundary past its deadline is cancelled.
 """
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
 from dataclasses import dataclass, field
 
 from repro.engine.base import PerfEngine
+from repro.hardware.faults import FaultKind, FaultSchedule
 from repro.hardware.memory import MemoryPool, OutOfMemoryError
 from repro.serving.arrival import Request
 from repro.serving.metrics import ContinuousReport, RequestMetrics
@@ -88,23 +103,53 @@ class IterationCostCache:
     ctx-dependent), so contexts are rounded to the nearest multiple of
     ``ctx_bucket`` before keying the engine simulation.  This keeps the
     number of distinct simulations bounded for long streams.
+
+    With a fault schedule attached, cache keys additionally carry the
+    *fault epoch* of the query time — within one epoch the perturbed
+    machine is constant, so memoization stays sound while the simulation
+    becomes time-varying.  (Distinct epochs with identical perturbations
+    are cached separately; correctness over maximal sharing.)
     """
 
-    def __init__(self, engine: PerfEngine, ctx_bucket: int = 32) -> None:
+    def __init__(
+        self,
+        engine: PerfEngine,
+        ctx_bucket: int = 32,
+        faults: FaultSchedule | None = None,
+    ) -> None:
         if ctx_bucket < 1:
             raise ValueError("ctx_bucket must be >= 1")
         self.engine = engine
         self.ctx_bucket = ctx_bucket
-        self._cache: dict[tuple[int, int, int], float] = {}
+        self.faults = faults
+        self._cache: dict[tuple[int, int, int, int], float] = {}
 
     def _bucket(self, ctx_len: int) -> int:
         return self.ctx_bucket * round(ctx_len / self.ctx_bucket)
 
-    def cost(self, ctx_len: int, n_tokens: int, batch: int) -> float:
-        """Latency of one iteration at ``(ctx_len, n_tokens, batch)``."""
-        key = (self._bucket(ctx_len), n_tokens, batch)
+    def cost(self, ctx_len: int, n_tokens: int, batch: int, now: float = 0.0) -> float:
+        """Latency of one iteration at ``(ctx_len, n_tokens, batch)``.
+
+        ``now`` selects the fault epoch when a schedule is attached (and
+        is ignored otherwise).
+
+        Raises:
+            ValueError: On negative ``ctx_len`` or non-positive
+                ``n_tokens``/``batch`` — garbage keys must fail loudly
+                instead of being cached.
+        """
+        if ctx_len < 0:
+            raise ValueError("ctx_len must be non-negative")
+        if n_tokens < 1:
+            raise ValueError("n_tokens must be >= 1")
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        epoch = self.faults.epoch(now) if self.faults is not None else 0
+        key = (self._bucket(ctx_len), n_tokens, batch, epoch)
         if key not in self._cache:
-            self._cache[key] = self.engine.simulate_iteration(*key).makespan
+            self._cache[key] = self.engine.simulate_iteration_at(
+                now, self.faults, *key[:3]
+            ).makespan
         return self._cache[key]
 
     def __len__(self) -> int:
@@ -112,7 +157,7 @@ class IterationCostCache:
 
 
 class ContinuousServer:
-    """Event-driven continuous-batching server.
+    """Event-driven continuous-batching server with graceful degradation.
 
     Attributes:
         engine: Performance engine pricing each iteration.
@@ -122,6 +167,24 @@ class ContinuousServer:
             defaults to the engine's free GPU memory after plan-resident
             weights (:meth:`PerfEngine.kv_budget_bytes`).
         ctx_bucket: Context-length bucket for the iteration cost cache.
+        faults: Optional fault schedule perturbing the machine over
+            simulated time (see :mod:`repro.hardware.faults`).
+        deadline: Default per-request completion deadline (seconds after
+            arrival) applied when a request carries none.  ``None``
+            disables deadline enforcement for such requests.
+        max_retries: How many times a stall-aborted request is re-queued
+            before being recorded as failed.
+        retry_backoff: Base of the exponential backoff between an abort
+            and the retry's earliest re-admission (doubles per attempt).
+        max_queue: Bound on the admission queue; arrivals beyond it are
+            shed (``None`` disables load shedding).
+        degradation: Enables graceful degradation — the fault-adaptive
+            batch cap and the KV-shrink hot-neuron re-plan.  With
+            ``False`` the server still *suffers* every fault (perturbed
+            costs, stalls, shrunken budget) but does not adapt; the chaos
+            benchmark compares the two.
+        degraded_max_batch: Batch cap while a throughput fault is active
+            (defaults to ``max(1, max_batch // 4)``).
     """
 
     def __init__(
@@ -131,9 +194,26 @@ class ContinuousServer:
         max_batch: int = 8,
         kv_budget_bytes: float | None = None,
         ctx_bucket: int = 32,
+        faults: FaultSchedule | None = None,
+        deadline: float | None = None,
+        max_retries: int = 2,
+        retry_backoff: float = 0.05,
+        max_queue: int | None = None,
+        degradation: bool = True,
+        degraded_max_batch: int | None = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
+        if deadline is not None and deadline <= 0:
+            raise ValueError("deadline must be positive (or None)")
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if retry_backoff <= 0:
+            raise ValueError("retry_backoff must be positive")
+        if max_queue is not None and max_queue < 1:
+            raise ValueError("max_queue must be >= 1 (or None)")
+        if degraded_max_batch is not None and degraded_max_batch < 1:
+            raise ValueError("degraded_max_batch must be >= 1 (or None)")
         self.engine = engine
         self.policy = make_policy(policy) if isinstance(policy, str) else policy
         self.max_batch = max_batch
@@ -144,7 +224,49 @@ class ContinuousServer:
                 "memory for KV; pass an explicit budget)"
             )
         self.kv_budget_bytes = budget
-        self.costs = IterationCostCache(engine, ctx_bucket)
+        self.faults = faults
+        self.deadline = deadline
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        self.max_queue = max_queue
+        self.degradation = degradation
+        self.degraded_max_batch = (
+            degraded_max_batch if degraded_max_batch is not None else max(1, max_batch // 4)
+        )
+        self.costs = IterationCostCache(engine, ctx_bucket, faults=faults)
+        # Lazily-built degraded runtime: (engine, cost cache, bytes freed).
+        self._degraded: tuple[PerfEngine, IterationCostCache, float] | None = None
+
+    # ---- degraded mode -------------------------------------------------------
+
+    def _degraded_runtime(self) -> tuple[PerfEngine, IterationCostCache, float]:
+        """Engine + cache for KV-shrink windows: hot neurons demoted to CPU.
+
+        The re-plan frees enough GPU weight bytes to cover the worst KV
+        shrinkage in the schedule, so admissions keep flowing while the
+        squeeze lasts — at the price of slower iterations (more CPU-side
+        neuron work).  Built once, deterministically.
+        """
+        if self._degraded is None:
+            worst = min(
+                (
+                    e.magnitude
+                    for e in self.faults.events
+                    if e.kind == FaultKind.KV_SHRINK
+                ),
+                default=1.0,
+            )
+            target = self.kv_budget_bytes * (1.0 - worst)
+            pristine_plan = self.engine.plan
+            plan = pristine_plan.with_gpu_bytes_freed(target)
+            freed = pristine_plan.gpu_weight_bytes - plan.gpu_weight_bytes
+            engine = type(self.engine)(plan)
+            cache = IterationCostCache(engine, self.costs.ctx_bucket, faults=self.faults)
+            self._degraded = (engine, cache, float(freed))
+        return self._degraded
+
+    def _deadline_of(self, request: Request) -> float | None:
+        return request.deadline if request.deadline is not None else self.deadline
 
     # ---- admission -----------------------------------------------------------
 
@@ -154,57 +276,203 @@ class ContinuousServer:
         running: list[RequestState],
         pool: MemoryPool,
         now: float,
+        batch_cap: int,
+        effective_budget: float,
     ) -> None:
-        """FCFS admission under batch slots and the KV budget.
+        """FCFS admission under batch slots and the (possibly shrunken) KV budget.
 
         Head-of-line blocking: if the oldest waiting request does not fit,
         nothing behind it is admitted (preserves arrival order, the
-        "queue-on-full" discipline).
+        "queue-on-full" discipline).  A request that cannot fit even an
+        *empty* pristine pool can never be served and raises immediately.
         """
-        while waiting and len(running) < self.max_batch:
+        while waiting and len(running) < batch_cap:
             request = waiting[0]
             kv_bytes = self.engine.request_kv_bytes(
                 request.input_len, request.output_len
             )
-            if pool.try_allocate(f"req-{request.request_id}", kv_bytes) is None:
-                if not running:
-                    # Empty server and it still does not fit: it never will.
-                    raise OutOfMemoryError(
-                        f"request {request.request_id} needs "
-                        f"{kv_bytes / 2**20:.1f} MiB of KV cache but the "
-                        f"budget is {pool.usable_capacity / 2**20:.1f} MiB"
-                    )
+            if kv_bytes > pool.usable_capacity:
+                raise OutOfMemoryError(
+                    f"request {request.request_id} needs "
+                    f"{kv_bytes / 2**20:.1f} MiB of KV cache but the "
+                    f"budget is {pool.usable_capacity / 2**20:.1f} MiB"
+                )
+            if pool.used + kv_bytes > effective_budget:
                 return
+            pool.allocate(f"req-{request.request_id}", kv_bytes)
             waiting.popleft()
             running.append(
                 RequestState(request=request, admit_time=now, kv_bytes=kv_bytes)
             )
 
+    # ---- fault handling ------------------------------------------------------
+
+    def _abort_running(
+        self,
+        running: list[RequestState],
+        pool: MemoryPool,
+        report: ContinuousReport,
+        retry_heap: list[tuple[float, int, Request]],
+        attempts: dict[int, int],
+        resume_at: float,
+    ) -> None:
+        """Abort all in-flight requests (device stall): release KV, retry.
+
+        A retried request restarts from scratch (its partial stream is
+        lost) and becomes eligible for re-admission after an exponential
+        backoff; a request out of retries is recorded as failed.
+        """
+        for state in running:
+            pool.release(f"req-{state.request.request_id}")
+            report.n_aborts += 1
+            rid = state.request.request_id
+            attempt = attempts.get(rid, 0) + 1
+            attempts[rid] = attempt
+            if attempt > self.max_retries:
+                report.failed.append(state.request)
+            else:
+                report.n_retries += 1
+                ready = resume_at + self.retry_backoff * 2 ** (attempt - 1)
+                heapq.heappush(retry_heap, (ready, rid, state.request))
+        running.clear()
+
+    def _cancel_expired(
+        self,
+        waiting: deque[Request],
+        running: list[RequestState],
+        pool: MemoryPool,
+        report: ContinuousReport,
+        now: float,
+    ) -> list[RequestState]:
+        """Deadline enforcement at an iteration boundary.
+
+        Expired waiting requests are dropped; expired running requests
+        release their KV reservation.  Either way they are recorded as
+        timed out and never reach the completed set.
+        """
+        kept: deque[Request] = deque()
+        for request in waiting:
+            d = self._deadline_of(request)
+            if d is not None and now >= request.arrival_time + d:
+                report.timed_out.append(request)
+            else:
+                kept.append(request)
+        waiting.clear()
+        waiting.extend(kept)
+        still: list[RequestState] = []
+        for state in running:
+            d = self._deadline_of(state.request)
+            if d is not None and now >= state.request.arrival_time + d:
+                pool.release(f"req-{state.request.request_id}")
+                report.timed_out.append(state.request)
+            else:
+                still.append(state)
+        return still
+
     # ---- main loop -----------------------------------------------------------
 
     def run(self, requests: list[Request]) -> ContinuousReport:
         """Serve ``requests``; returns token-level metrics."""
-        pending = sorted(requests, key=lambda r: r.arrival_time)
+        pending = sorted(requests, key=lambda r: (r.arrival_time, r.request_id))
         waiting: deque[Request] = deque()
         running: list[RequestState] = []
         pool = MemoryPool(name="kv-cache", capacity=self.kv_budget_bytes)
         report = ContinuousReport(kv_budget_bytes=pool.usable_capacity)
+        retry_heap: list[tuple[float, int, Request]] = []  # (ready, id, request)
+        attempts: dict[int, int] = {}
+
+        def enqueue(request: Request) -> None:
+            if self.max_queue is not None and len(waiting) >= self.max_queue:
+                report.shed.append(request)
+            else:
+                waiting.append(request)
 
         now = 0.0
         next_arrival = 0
-        while next_arrival < len(pending) or waiting or running:
+        while next_arrival < len(pending) or waiting or running or retry_heap:
             while (
                 next_arrival < len(pending)
                 and pending[next_arrival].arrival_time <= now
             ):
-                waiting.append(pending[next_arrival])
+                enqueue(pending[next_arrival])
                 next_arrival += 1
+            while retry_heap and retry_heap[0][0] <= now:
+                _, _, request = heapq.heappop(retry_heap)
+                enqueue(request)
+
             if not running and not waiting:
-                now = pending[next_arrival].arrival_time
+                horizon = []
+                if next_arrival < len(pending):
+                    horizon.append(pending[next_arrival].arrival_time)
+                if retry_heap:
+                    horizon.append(retry_heap[0][0])
+                if not horizon:
+                    break  # everything remaining was shed or failed
+                now = max(now, min(horizon))
                 continue
 
-            self._admit(waiting, running, pool, now)
+            running = self._cancel_expired(waiting, running, pool, report, now)
+            if not running and not waiting:
+                continue
+
+            if self.faults is not None:
+                stall_end = self.faults.stall_end_at(now)
+                if stall_end is not None and stall_end > now:
+                    # The device is stalled: nothing can run until the
+                    # window closes; in-flight work is lost.
+                    self._abort_running(
+                        running, pool, report, retry_heap, attempts, stall_end
+                    )
+                    now = stall_end
+                    continue
+
+            kv_factor = (
+                self.faults.kv_budget_factor(now) if self.faults is not None else 1.0
+            )
+            throughput_fault = (
+                self.faults is not None and self.faults.is_degraded(now)
+            )
+            costs = self.costs
+            effective_budget = pool.usable_capacity * kv_factor
+            batch_cap = self.max_batch
+            degraded_now = False
+            if self.degradation and kv_factor < 1.0:
+                # KV squeeze: swap in the re-planned engine whose demoted
+                # hot neurons buy the budget back.
+                engine_, costs, freed = self._degraded_runtime()
+                effective_budget = min(
+                    pool.usable_capacity, effective_budget + freed
+                )
+                degraded_now = True
+            if self.degradation and throughput_fault:
+                # Brownout: keep the batch small while the machine is slow
+                # so in-flight streams keep their token cadence.
+                batch_cap = min(batch_cap, self.degraded_max_batch)
+                degraded_now = True
+
+            self._admit(waiting, running, pool, now, batch_cap, effective_budget)
             report.peak_kv_bytes = max(report.peak_kv_bytes, pool.used)
+
+            if not running:
+                # Admission blocked (shrunken budget or stalled retries):
+                # advance to whatever happens next.
+                horizon = []
+                if next_arrival < len(pending):
+                    horizon.append(pending[next_arrival].arrival_time)
+                if retry_heap:
+                    horizon.append(retry_heap[0][0])
+                if self.faults is not None:
+                    boundary = self.faults.next_boundary_after(now)
+                    if boundary is not None:
+                        horizon.append(boundary)
+                future = [t for t in horizon if t > now]
+                if not future:
+                    raise OutOfMemoryError(
+                        "admission deadlocked: waiting requests can never "
+                        "fit the remaining KV budget"
+                    )
+                now = min(future)
+                continue
 
             plan = self.policy.plan_iteration(running)
             if plan.is_empty:
@@ -214,13 +482,31 @@ class ContinuousServer:
 
             cost = 0.0
             for state, chunk in plan.prefill:
-                cost += self.costs.cost(state.context, chunk, 1)
+                cost += costs.cost(state.context, chunk, 1, now)
             if plan.decode:
                 ctx = max(state.context for state in plan.decode)
-                cost += self.costs.cost(ctx, 1, len(plan.decode))
+                cost += costs.cost(ctx, 1, len(plan.decode), now)
             end = now + cost
+
+            if self.faults is not None:
+                stall = self.faults.next_stall_start(now, end)
+                if stall is not None:
+                    # A device stall preempts the in-flight iteration: the
+                    # partial work is lost and the batch aborts.
+                    if stall.start > now:
+                        report.busy_intervals.append((now, stall.start))
+                    if degraded_now:
+                        report.degraded_intervals.append((now, stall.start))
+                    self._abort_running(
+                        running, pool, report, retry_heap, attempts, stall.end
+                    )
+                    now = stall.end
+                    continue
+
             report.busy_intervals.append((now, end))
             report.n_iterations += 1
+            if degraded_now:
+                report.degraded_intervals.append((now, end))
 
             for state, chunk in plan.prefill:
                 state.prefilled += chunk
@@ -249,6 +535,9 @@ class ContinuousServer:
             now = end
 
         report.completed.sort(key=lambda m: m.request.request_id)
+        report.timed_out.sort(key=lambda r: r.request_id)
+        report.shed.sort(key=lambda r: r.request_id)
+        report.failed.sort(key=lambda r: r.request_id)
         return report
 
 
@@ -260,13 +549,16 @@ def simulate_continuous_serving(
     kv_budget_bytes: float | None = None,
     max_prefill_tokens: int = 64,
     ctx_bucket: int = 32,
+    **robustness,
 ) -> ContinuousReport:
     """Serve ``requests`` with continuous batching; returns the report.
 
     Convenience wrapper over :class:`ContinuousServer`.  ``policy`` is a
     preset name (``"fcfs"``, ``"prefill-first"``, ``"chunked"``) or a
     :class:`SchedulerPolicy` instance; ``max_prefill_tokens`` only applies
-    to the chunked policy.
+    to the chunked policy.  Extra keyword arguments (``faults``,
+    ``deadline``, ``max_retries``, ``retry_backoff``, ``max_queue``,
+    ``degradation``, ``degraded_max_batch``) pass through to the server.
     """
     if isinstance(policy, str):
         kwargs = {"max_prefill_tokens": max_prefill_tokens} if policy == "chunked" else {}
@@ -277,5 +569,6 @@ def simulate_continuous_serving(
         max_batch=max_batch,
         kv_budget_bytes=kv_budget_bytes,
         ctx_bucket=ctx_bucket,
+        **robustness,
     )
     return server.run(requests)

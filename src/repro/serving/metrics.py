@@ -145,6 +145,18 @@ class ContinuousReport:
             enforced.
         peak_kv_bytes: Highest concurrent KV reservation observed.
         n_iterations: Model iterations executed.
+        timed_out: Requests cancelled because they exceeded their deadline
+            (KV reservation released; they never complete).
+        shed: Requests rejected at arrival because the admission queue
+            exceeded its bound (load shedding).
+        failed: Requests aborted by transient faults that exhausted their
+            retry budget.
+        n_aborts: In-flight request aborts caused by device stalls (one
+            request may abort several times across retries).
+        n_retries: Abort recoveries re-queued with backoff.
+        degraded_intervals: ``(start, end)`` spans the server spent in
+            degraded mode (fault-adaptive batch cap or re-planned
+            hot-neuron set active).
     """
 
     completed: list[RequestMetrics] = field(default_factory=list)
@@ -152,10 +164,49 @@ class ContinuousReport:
     kv_budget_bytes: float = 0.0
     peak_kv_bytes: float = 0.0
     n_iterations: int = 0
+    timed_out: list[Request] = field(default_factory=list)
+    shed: list[Request] = field(default_factory=list)
+    failed: list[Request] = field(default_factory=list)
+    n_aborts: int = 0
+    n_retries: int = 0
+    degraded_intervals: list[tuple[float, float]] = field(default_factory=list)
 
     @property
     def n_requests(self) -> int:
         return len(self.completed)
+
+    # ---- robustness accounting ---------------------------------------------
+
+    @property
+    def n_submitted(self) -> int:
+        """Every request that entered the system, by final disposition.
+
+        Each submitted request ends in exactly one of ``completed``,
+        ``timed_out``, ``shed``, or ``failed``.
+        """
+        return (
+            len(self.completed)
+            + len(self.timed_out)
+            + len(self.shed)
+            + len(self.failed)
+        )
+
+    @property
+    def deadline_miss_rate(self) -> float:
+        """Fraction of submitted requests cancelled past their deadline."""
+        n = self.n_submitted
+        return len(self.timed_out) / n if n else 0.0
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of submitted requests rejected by load shedding."""
+        n = self.n_submitted
+        return len(self.shed) / n if n else 0.0
+
+    @property
+    def time_in_degraded_mode(self) -> float:
+        """Seconds the server operated with degradation measures active."""
+        return merge_busy_intervals(self.degraded_intervals)
 
     @property
     def makespan(self) -> float:
@@ -218,11 +269,24 @@ class ContinuousReport:
         return float(np.percentile(gaps, q))
 
     def slo_attainment(self, slo: SLO) -> float:
-        """Fraction of requests that met the SLO."""
+        """Fraction of *completed* requests that met the SLO."""
         if not self.completed:
             return 0.0
         met = sum(1 for m in self.completed if m.meets_slo(slo))
         return met / self.n_requests
+
+    def slo_attainment_overall(self, slo: SLO) -> float:
+        """Fraction of *submitted* requests that completed within the SLO.
+
+        Unlike :meth:`slo_attainment`, the denominator includes requests
+        that timed out, were shed, or failed — a server cannot improve
+        this number by dropping inconvenient requests, which makes it the
+        honest metric for comparing degradation strategies.
+        """
+        n = self.n_submitted
+        if not n:
+            return 0.0
+        return sum(1 for m in self.completed if m.meets_slo(slo)) / n
 
     def goodput(self, slo: SLO) -> float:
         """SLO-meeting requests completed per second of simulated time."""

@@ -81,9 +81,10 @@ class TestPlan:
 
 class TestFigure:
     def test_registry_covers_every_experiment(self):
-        # 16 paper experiments + 6 ablations + 1 serving study
-        assert len(FIGURES) == 23
+        # 16 paper experiments + 6 ablations + 2 serving studies
+        assert len(FIGURES) == 24
         assert "continuous-batching" in FIGURES
+        assert "fault-tolerance" in FIGURES
 
     def test_figure_runs_and_prints_table(self, capsys):
         assert main(["figure", "fig06"]) == 0

@@ -253,3 +253,13 @@ class TestIterationCostCache:
     def test_invalid_bucket(self, engine):
         with pytest.raises(ValueError):
             IterationCostCache(engine, ctx_bucket=0)
+
+    def test_invalid_queries_fail_loudly_and_cache_nothing(self, engine):
+        cache = IterationCostCache(engine)
+        with pytest.raises(ValueError, match="ctx_len"):
+            cache.cost(-1, 1, 1)
+        with pytest.raises(ValueError, match="n_tokens"):
+            cache.cost(16, 0, 1)
+        with pytest.raises(ValueError, match="batch"):
+            cache.cost(16, 1, 0)
+        assert len(cache) == 0

@@ -42,19 +42,97 @@ class TestRoundTrip:
         assert load_plan(path).dtype.name == "int4"
 
 
-class TestValidation:
-    def test_bad_version_rejected(self, mini_plan, tmp_path):
-        import json
+def _resave(path, mutate):
+    """Load a saved plan archive, apply ``mutate(arrays, header)``, resave."""
+    import json
 
+    with np.load(path) as data:
+        arrays = {k: data[k] for k in data.files}
+    header = json.loads(bytes(arrays["header"]).decode())
+    mutate(arrays, header)
+    arrays["header"] = np.frombuffer(json.dumps(header).encode(), dtype=np.uint8)
+    np.savez(path, **arrays)
+
+
+class TestValidation:
+    @pytest.fixture
+    def saved(self, mini_plan, tmp_path):
         path = tmp_path / "plan.npz"
         save_plan(mini_plan, path)
-        with np.load(path) as data:
-            arrays = {k: data[k] for k in data.files}
-        header = json.loads(bytes(arrays["header"]).decode())
-        header["version"] = 999
-        arrays["header"] = np.frombuffer(
-            json.dumps(header).encode(), dtype=np.uint8
-        )
-        np.savez(path, **arrays)
+        return path
+
+    def test_bad_version_rejected(self, saved):
+        def mutate(arrays, header):
+            header["version"] = 999
+
+        _resave(saved, mutate)
         with pytest.raises(ValueError, match="version"):
+            load_plan(saved)
+
+    def test_missing_header_rejected(self, saved):
+        with np.load(saved) as data:
+            arrays = {k: data[k] for k in data.files if k != "header"}
+        np.savez(saved, **arrays)
+        with pytest.raises(ValueError, match="header"):
+            load_plan(saved)
+
+    def test_corrupt_header_rejected(self, saved):
+        with np.load(saved) as data:
+            arrays = {k: data[k] for k in data.files}
+        arrays["header"] = np.frombuffer(b"{not json", dtype=np.uint8)
+        np.savez(saved, **arrays)
+        with pytest.raises(ValueError, match="corrupt"):
+            load_plan(saved)
+
+    def test_missing_array_rejected(self, saved):
+        with np.load(saved) as data:
+            arrays = {k: data[k] for k in data.files if k != "mlp_mask_0"}
+        np.savez(saved, **arrays)
+        with pytest.raises(ValueError, match="mlp_mask_0"):
+            load_plan(saved)
+
+    def test_shape_mismatch_rejected(self, saved):
+        def mutate(arrays, header):
+            arrays["mlp_probs_0"] = arrays["mlp_probs_0"][:-1]
+            # Keep the checksum honest so shape is the error that fires.
+            import zlib
+
+            header["checksums"]["mlp_probs_0"] = zlib.crc32(
+                np.ascontiguousarray(arrays["mlp_probs_0"]).tobytes()
+            )
+
+        _resave(saved, mutate)
+        with pytest.raises(ValueError, match="shape"):
+            load_plan(saved)
+
+    def test_bit_flip_fails_checksum(self, saved):
+        def mutate(arrays, header):
+            probs = arrays["mlp_probs_0"].copy()
+            probs[0] += 0.25
+            arrays["mlp_probs_0"] = probs
+
+        _resave(saved, mutate)
+        with pytest.raises(ValueError, match="checksum"):
+            load_plan(saved)
+
+    def test_version1_file_without_checksums_still_loads(self, saved):
+        def mutate(arrays, header):
+            header["version"] = 1
+            del header["checksums"]
+
+        _resave(saved, mutate)
+        load_plan(saved)  # legacy format: no integrity data to verify
+
+    def test_version2_file_without_checksums_rejected(self, saved):
+        def mutate(arrays, header):
+            del header["checksums"]
+
+        _resave(saved, mutate)
+        with pytest.raises(ValueError, match="checksum"):
+            load_plan(saved)
+
+    def test_not_a_plan_file_rejected(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, stuff=np.arange(4))
+        with pytest.raises(ValueError, match="header"):
             load_plan(path)

@@ -72,6 +72,30 @@ class TestAllocation:
         assert pool.used == 800.0
         assert "b" not in pool.allocations()
 
+    def test_try_allocate_release_round_trip_reuses_name(self, pool):
+        # A released name is reusable — the cycle the KV admission
+        # controller runs for every request id.
+        for _ in range(3):
+            assert pool.try_allocate("kv", 400.0) is not None
+            assert pool.used == 400.0
+            pool.release("kv")
+            assert pool.used == 0.0
+
+    def test_zero_byte_round_trip_and_double_release(self, pool):
+        assert pool.try_allocate("empty", 0.0) is not None
+        pool.release("empty")
+        with pytest.raises(KeyError):
+            pool.release("empty")
+        assert pool.used == 0.0
+
+    def test_exactly_full_pool_rejects_any_positive_request(self, pool):
+        assert pool.try_allocate("all", 1000.0) is not None
+        assert pool.free == 0.0
+        assert pool.try_allocate("more", 1e-9) is None
+        pool.try_allocate("also-empty", 0.0)  # zero bytes still fits
+        pool.release("all")
+        assert pool.try_allocate("refill", 1000.0) is not None
+
 
 class TestReserve:
     def test_reserve_fraction_shrinks_usable(self):
