@@ -4,10 +4,18 @@ Every bench runs its experiment exactly once through pytest-benchmark
 (``pedantic(rounds=1)`` — the experiments are deterministic simulations,
 not microbenchmarks) and records the resulting table under
 ``benchmarks/results/`` so EXPERIMENTS.md can cite the exact output.
+
+Each result is persisted twice: the human-readable ``<name>.txt`` table
+(what EXPERIMENTS.md quotes) and a structured ``<name>.json`` document
+(title + rows) so downstream tooling can consume the numbers without
+re-parsing ASCII tables.  NaN cells — legal in floats, illegal in strict
+JSON — are serialized as ``null``.
 """
 
 from __future__ import annotations
 
+import json
+import math
 from pathlib import Path
 
 import pytest
@@ -17,14 +25,33 @@ from repro.bench.report import format_table
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
+def _json_safe(value):
+    """Recursively replace non-finite floats with None (strict-JSON NaN)."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {k: _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    return value
+
+
 @pytest.fixture(scope="session")
 def record_rows():
-    """Fixture: ``record_rows(name, rows, title)`` writes and prints a table."""
+    """Fixture: ``record_rows(name, rows, title)`` writes and prints a table.
+
+    Writes ``results/<name>.txt`` (formatted table) and
+    ``results/<name>.json`` (structured ``{"title", "rows"}``).
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
 
     def _record(name: str, rows: list[dict], title: str = "") -> None:
         text = format_table(rows, title or name)
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        document = {"title": title or name, "rows": _json_safe(rows)}
+        (RESULTS_DIR / f"{name}.json").write_text(
+            json.dumps(document, indent=2) + "\n"
+        )
         print(f"\n{text}")
 
     return _record

@@ -14,6 +14,9 @@ Subcommands::
     repro chaos     --model opt-6.7b --machine pc-low [--fault-seed 7]
                                          serve under injected faults, naive
                                          vs degradation-aware side by side
+    repro trace     --model opt-6.7b --machine pc-low --out run.trace.json
+                                         serve one traced stream and export a
+                                         Chrome trace / JSONL / timeline PNG
 
 Also runnable as ``python -m repro.cli ...``.
 """
@@ -200,6 +203,65 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--slo-ttft", type=float, default=6.0, dest="slo_ttft")
     chaos.add_argument("--slo-tbt", type=float, default=0.020, dest="slo_tbt")
 
+    trace = sub.add_parser(
+        "trace",
+        help="serve one traced request stream and export the telemetry",
+    )
+    add_common(trace)
+    trace.add_argument("--engine", default="powerinfer", choices=sorted(ENGINE_CLASSES))
+    trace.add_argument("--rate", type=float, default=0.9, help="requests/second")
+    trace.add_argument("--requests", type=int, default=48)
+    trace.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        dest="fault_seed",
+        help="generate a random fault schedule from this seed "
+        "(default: the canonical degrade/squeeze/stall timeline)",
+    )
+    trace.add_argument(
+        "--faults",
+        default=None,
+        help="JSON file with a fault-event list (see docs/serving.md); "
+        "'none' disables fault injection",
+    )
+    trace.add_argument(
+        "--deadline",
+        type=float,
+        default=12.0,
+        help="per-request completion deadline, seconds after arrival",
+    )
+    trace.add_argument("--max-batch", type=int, default=8, dest="max_batch")
+    trace.add_argument(
+        "--kv-gib",
+        type=float,
+        default=0.35,
+        dest="kv_gib",
+        help="GPU memory carved out for the KV-cache admission budget",
+    )
+    trace.add_argument("--max-queue", type=int, default=16, dest="max_queue")
+    trace.add_argument("--max-retries", type=int, default=2, dest="max_retries")
+    trace.add_argument(
+        "--out",
+        default="trace.json",
+        help="Chrome trace_event JSON output path (open in Perfetto)",
+    )
+    trace.add_argument(
+        "--jsonl",
+        default=None,
+        help="also write the event log as JSONL (one object per line)",
+    )
+    trace.add_argument(
+        "--png",
+        default=None,
+        help="also render a timeline/Gantt figure (requires matplotlib)",
+    )
+    trace.add_argument(
+        "--summary",
+        default=None,
+        help="also write the serving report + telemetry summary as JSON",
+    )
+
     bounds = sub.add_parser("bounds", help="analytic roofline throughput bounds")
     add_common(bounds)
     return parser
@@ -368,31 +430,45 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_chaos(args: argparse.Namespace) -> int:
-    import json
+def _load_faults(args: argparse.Namespace):
+    """Resolve --faults / --fault-seed into a FaultSchedule (or None).
 
-    import numpy as np
+    Shared by ``chaos`` and ``trace``.  Raises ValueError on conflicting
+    or unreadable inputs; the literal ``--faults none`` disables
+    injection entirely.
+    """
+    import json
 
     from repro.bench.fault_tolerance import default_fault_schedule
     from repro.hardware.faults import FaultSchedule
+
+    if args.faults is not None and args.fault_seed is not None:
+        raise ValueError("--faults and --fault-seed are mutually exclusive")
+    if args.faults is not None:
+        if args.faults == "none":
+            return None
+        try:
+            with open(args.faults) as fh:
+                return FaultSchedule.from_dicts(json.load(fh))
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            raise ValueError(f"{args.faults}: {exc}") from None
+    if args.fault_seed is not None:
+        horizon = args.requests / args.rate
+        return FaultSchedule.from_seed(args.fault_seed, horizon=horizon)
+    return default_fault_schedule()
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import numpy as np
+
     from repro.serving import SLO, poisson_arrivals, simulate_continuous_serving
     from repro.workloads import CHATGPT_PROMPTS
 
-    if args.faults is not None and args.fault_seed is not None:
-        print("error: --faults and --fault-seed are mutually exclusive", file=sys.stderr)
+    try:
+        faults = _load_faults(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return 1
-    if args.faults is not None:
-        try:
-            with open(args.faults) as fh:
-                faults = FaultSchedule.from_dicts(json.load(fh))
-        except (OSError, ValueError, json.JSONDecodeError) as exc:
-            print(f"error: {args.faults}: {exc}", file=sys.stderr)
-            return 1
-    elif args.fault_seed is not None:
-        horizon = args.requests / args.rate
-        faults = FaultSchedule.from_seed(args.fault_seed, horizon=horizon)
-    else:
-        faults = default_fault_schedule()
 
     engine = make_engine(args.engine, args.model, args.machine, args.dtype, seed=args.seed)
     requests = poisson_arrivals(
@@ -433,7 +509,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         )
     events = ", ".join(
         f"{e.kind}@{e.start:.1f}s x{e.duration:.1f}s (mag {e.magnitude:.2g})"
-        for e in faults.events
+        for e in (faults.events if faults is not None else ())
     )
     print(f"fault schedule: {events or 'empty'}")
     print(
@@ -444,6 +520,83 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             f"deadline {args.deadline:.3g}s",
         )
     )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    import numpy as np
+
+    from repro.serving import poisson_arrivals, simulate_continuous_serving
+    from repro.serving.metrics import merge_busy_intervals
+    from repro.telemetry import Tracer, save_chrome_trace, save_jsonl
+    from repro.workloads import CHATGPT_PROMPTS
+
+    try:
+        faults = _load_faults(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    engine = make_engine(args.engine, args.model, args.machine, args.dtype, seed=args.seed)
+    requests = poisson_arrivals(
+        CHATGPT_PROMPTS,
+        rate=args.rate,
+        n_requests=args.requests,
+        rng=np.random.default_rng(args.seed),
+        deadline=args.deadline,
+    )
+    tracer = Tracer()
+    report = simulate_continuous_serving(
+        engine,
+        requests,
+        policy="chunked",
+        max_batch=args.max_batch,
+        kv_budget_bytes=args.kv_gib * 2**30,
+        max_prefill_tokens=32,
+        faults=faults,
+        deadline=args.deadline,
+        max_retries=args.max_retries,
+        max_queue=args.max_queue,
+        tracer=tracer,
+    )
+
+    save_chrome_trace(tracer, args.out)
+    outputs = [args.out]
+    if args.jsonl is not None:
+        save_jsonl(tracer, args.jsonl)
+        outputs.append(args.jsonl)
+    if args.summary is not None:
+        summary = tracer.metrics.merge_into(report.to_dict())
+        with open(args.summary, "w", encoding="utf-8") as fh:
+            json.dump(summary, fh, indent=2)
+            fh.write("\n")
+        outputs.append(args.summary)
+    if args.png is not None:
+        from repro.telemetry.timeline import MissingDependencyError, plot_timeline
+
+        try:
+            plot_timeline(
+                tracer,
+                args.png,
+                title=f"{args.engine} / {args.model} / {args.machine} ({args.dtype})",
+            )
+            outputs.append(args.png)
+        except MissingDependencyError as exc:
+            print(f"warning: skipped {args.png}: {exc}", file=sys.stderr)
+
+    busy = merge_busy_intervals(report.busy_intervals)
+    drift = abs(tracer.busy_union() - busy)
+    print(
+        f"traced {report.n_iterations} iterations / {report.n_requests} "
+        f"completed requests over {report.makespan:.1f} s — "
+        f"{len(tracer.task_spans)} task spans, "
+        f"{len(tracer.request_spans)} request spans, "
+        f"{len(tracer.counters)} counter samples "
+        f"(busy-time drift vs report: {drift:.2e} s)"
+    )
+    print("wrote " + ", ".join(outputs))
     return 0
 
 
@@ -486,6 +639,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_serve(args)
         if args.command == "chaos":
             return _cmd_chaos(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
         if args.command == "bounds":
             return _cmd_bounds(args)
     except OutOfMemoryError as exc:

@@ -27,6 +27,7 @@ from repro.hardware.events import EventSimulator, ScheduleResult, SimTask
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from repro.hardware.faults import FaultSchedule
     from repro.hardware.spec import MachineSpec
+    from repro.telemetry.tracer import Tracer
 
 __all__ = ["PerfEngine", "RESOURCES"]
 
@@ -78,6 +79,9 @@ class PerfEngine(ABC):
         batch: int = 1,
         rng: np.random.Generator | None = None,
         machine: "MachineSpec | None" = None,
+        tracer: "Tracer | None" = None,
+        trace_t0: float = 0.0,
+        trace_iteration: int | None = None,
     ) -> ScheduleResult:
         """Schedule one iteration's DAG; returns the timing result.
 
@@ -87,17 +91,27 @@ class PerfEngine(ABC):
         per epoch; see :meth:`simulate_iteration_at`).  The override is
         visible to :meth:`iteration_tasks` via ``self.machine`` and is
         restored before returning.
+
+        With a ``tracer`` attached, every scheduled task is recorded as a
+        device-lane span shifted to global time ``trace_t0`` (and labelled
+        ``trace_iteration``).  With ``tracer=None`` — the default — the
+        telemetry layer costs one ``is None`` check and the result is
+        bit-identical to an untraced run.
         """
         sim = EventSimulator(list(RESOURCES))
         if machine is None or machine is self.machine:
-            return sim.run(self.iteration_tasks(ctx_len, n_tokens, batch, rng))
-        pristine = self.machine
-        self.machine = machine
-        try:
             tasks = self.iteration_tasks(ctx_len, n_tokens, batch, rng)
-        finally:
-            self.machine = pristine
-        return sim.run(tasks)
+        else:
+            pristine = self.machine
+            self.machine = machine
+            try:
+                tasks = self.iteration_tasks(ctx_len, n_tokens, batch, rng)
+            finally:
+                self.machine = pristine
+        result = sim.run(tasks)
+        if tracer is not None and tracer.enabled:
+            tracer.add_schedule(result, t0=trace_t0, iteration=trace_iteration)
+        return result
 
     def simulate_iteration_at(
         self,
@@ -107,18 +121,30 @@ class PerfEngine(ABC):
         n_tokens: int,
         batch: int = 1,
         rng: np.random.Generator | None = None,
+        tracer: "Tracer | None" = None,
+        trace_iteration: int | None = None,
     ) -> ScheduleResult:
         """One iteration at simulated time ``now`` under a fault schedule.
 
         With ``faults`` given, the machine spec is perturbed by whatever
         fault windows are active at ``now`` before costing the DAG, making
         the simulation time-varying; with ``faults=None`` this is exactly
-        :meth:`simulate_iteration`.
+        :meth:`simulate_iteration`.  A ``tracer`` records the scheduled
+        tasks as device spans anchored at ``now`` on the global timeline.
         """
         machine = None
         if faults is not None:
             machine = faults.perturbed_machine(self.machine, now)
-        return self.simulate_iteration(ctx_len, n_tokens, batch, rng, machine=machine)
+        return self.simulate_iteration(
+            ctx_len,
+            n_tokens,
+            batch,
+            rng,
+            machine=machine,
+            tracer=tracer,
+            trace_t0=now,
+            trace_iteration=trace_iteration,
+        )
 
     def simulate_request(
         self,

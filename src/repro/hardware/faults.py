@@ -132,6 +132,15 @@ class FaultSchedule:
         """End of the last event (0 for an empty schedule)."""
         return max((e.end for e in self.events), default=0.0)
 
+    @property
+    def boundaries(self) -> tuple[float, ...]:
+        """Sorted epoch boundaries (every event start and end, deduplicated).
+
+        These are the instants at which the perturbed machine changes;
+        telemetry marks each one on the trace timeline.
+        """
+        return tuple(self._boundaries)
+
     def epoch(self, t: float) -> int:
         """Index of the constant-perturbation interval containing ``t``."""
         return bisect_right(self._boundaries, t)

@@ -13,6 +13,7 @@ from repro.serving.metrics import (
     ContinuousReport,
     RequestMetrics,
     merge_busy_intervals,
+    percentile,
 )
 from repro.serving.policies import (
     SERVING_POLICIES,
@@ -43,6 +44,7 @@ __all__ = [
     "ServingReport",
     "make_policy",
     "merge_busy_intervals",
+    "percentile",
     "poisson_arrivals",
     "simulate_batched_serving",
     "simulate_continuous_serving",

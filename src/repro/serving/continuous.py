@@ -48,12 +48,18 @@ import heapq
 from collections import deque
 from dataclasses import dataclass, field
 
+from typing import TYPE_CHECKING
+
 from repro.engine.base import PerfEngine
+from repro.hardware.events import ScheduleResult
 from repro.hardware.faults import FaultKind, FaultSchedule
 from repro.hardware.memory import MemoryPool, OutOfMemoryError
 from repro.serving.arrival import Request
 from repro.serving.metrics import ContinuousReport, RequestMetrics
 from repro.serving.policies import SchedulerPolicy, make_policy
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.telemetry.tracer import Tracer
 
 __all__ = [
     "RequestState",
@@ -123,15 +129,15 @@ class IterationCostCache:
         self.ctx_bucket = ctx_bucket
         self.faults = faults
         self._cache: dict[tuple[int, int, int, int], float] = {}
+        self._schedules: dict[tuple[int, int, int, int], ScheduleResult] = {}
 
     def _bucket(self, ctx_len: int) -> int:
         return self.ctx_bucket * round(ctx_len / self.ctx_bucket)
 
-    def cost(self, ctx_len: int, n_tokens: int, batch: int, now: float = 0.0) -> float:
-        """Latency of one iteration at ``(ctx_len, n_tokens, batch)``.
-
-        ``now`` selects the fault epoch when a schedule is attached (and
-        is ignored otherwise).
+    def _key(
+        self, ctx_len: int, n_tokens: int, batch: int, now: float
+    ) -> tuple[int, int, int, int]:
+        """Validated, bucketed, epoch-stamped memoization key.
 
         Raises:
             ValueError: On negative ``ctx_len`` or non-positive
@@ -145,12 +151,39 @@ class IterationCostCache:
         if batch < 1:
             raise ValueError("batch must be >= 1")
         epoch = self.faults.epoch(now) if self.faults is not None else 0
-        key = (self._bucket(ctx_len), n_tokens, batch, epoch)
+        return (self._bucket(ctx_len), n_tokens, batch, epoch)
+
+    def cost(self, ctx_len: int, n_tokens: int, batch: int, now: float = 0.0) -> float:
+        """Latency of one iteration at ``(ctx_len, n_tokens, batch)``.
+
+        ``now`` selects the fault epoch when a schedule is attached (and
+        is ignored otherwise).
+        """
+        key = self._key(ctx_len, n_tokens, batch, now)
         if key not in self._cache:
             self._cache[key] = self.engine.simulate_iteration_at(
                 now, self.faults, *key[:3]
             ).makespan
         return self._cache[key]
+
+    def schedule(
+        self, ctx_len: int, n_tokens: int, batch: int, now: float = 0.0
+    ) -> ScheduleResult:
+        """The full per-task schedule behind :meth:`cost` (memoized).
+
+        Tracing uses this to replay the scheduled DAG onto the global
+        timeline.  The simulation is deterministic, so
+        ``schedule(...).makespan == cost(...)`` for the same arguments —
+        the invariant that keeps emitted task spans consistent with the
+        iteration windows the server books.
+        """
+        key = self._key(ctx_len, n_tokens, batch, now)
+        sched = self._schedules.get(key)
+        if sched is None:
+            sched = self.engine.simulate_iteration_at(now, self.faults, *key[:3])
+            self._schedules[key] = sched
+            self._cache.setdefault(key, sched.makespan)
+        return sched
 
     def __len__(self) -> int:
         return len(self._cache)
@@ -185,6 +218,11 @@ class ContinuousServer:
             benchmark compares the two.
         degraded_max_batch: Batch cap while a throughput fault is active
             (defaults to ``max(1, max_batch // 4)``).
+        tracer: Optional :class:`~repro.telemetry.tracer.Tracer` recording
+            device task spans, request lifecycle spans/events, iteration
+            and degraded-mode regions, fault annotations, and counter
+            samples over the run.  ``None`` (default) disables tracing;
+            the run's results are bit-identical either way.
     """
 
     def __init__(
@@ -201,6 +239,7 @@ class ContinuousServer:
         max_queue: int | None = None,
         degradation: bool = True,
         degraded_max_batch: int | None = None,
+        tracer: "Tracer | None" = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -233,9 +272,13 @@ class ContinuousServer:
         self.degraded_max_batch = (
             degraded_max_batch if degraded_max_batch is not None else max(1, max_batch // 4)
         )
+        self.tracer = tracer
         self.costs = IterationCostCache(engine, ctx_bucket, faults=faults)
         # Lazily-built degraded runtime: (engine, cost cache, bytes freed).
         self._degraded: tuple[PerfEngine, IterationCostCache, float] | None = None
+        # Run-scoped tracing state (set by run(); False/empty when untraced).
+        self._tracing = False
+        self._enqueued_at: dict[int, float] = {}
 
     # ---- degraded mode -------------------------------------------------------
 
@@ -267,6 +310,25 @@ class ContinuousServer:
 
     def _deadline_of(self, request: Request) -> float | None:
         return request.deadline if request.deadline is not None else self.deadline
+
+    # ---- tracing helpers -----------------------------------------------------
+
+    def _trace_batch_phases(self, state: RequestState, end: float) -> None:
+        """Record the phase spans of a request leaving the batch at ``end``.
+
+        Phase boundaries are reconstructed from the token timeline: the
+        prefill span runs from admission to the first token (which the
+        final prefill step emits); everything after is decode.  A request
+        evicted before its first token gets only a (partial) prefill span.
+        """
+        rid = state.request.request_id
+        if state.token_times:
+            first = state.token_times[0]
+            self.tracer.add_request_span(rid, "prefill", state.admit_time, first)
+            if end > first:
+                self.tracer.add_request_span(rid, "decode", first, end)
+        else:
+            self.tracer.add_request_span(rid, "prefill", state.admit_time, end)
 
     # ---- admission -----------------------------------------------------------
 
@@ -304,6 +366,11 @@ class ContinuousServer:
             running.append(
                 RequestState(request=request, admit_time=now, kv_bytes=kv_bytes)
             )
+            if self._tracing:
+                rid = request.request_id
+                queued_from = self._enqueued_at.get(rid, request.arrival_time)
+                self.tracer.add_request_span(rid, "queued", queued_from, now)
+                self.tracer.add_request_event(rid, "admit", now)
 
     # ---- fault handling ------------------------------------------------------
 
@@ -315,25 +382,38 @@ class ContinuousServer:
         retry_heap: list[tuple[float, int, Request]],
         attempts: dict[int, int],
         resume_at: float,
+        at: float | None = None,
     ) -> None:
         """Abort all in-flight requests (device stall): release KV, retry.
 
         A retried request restarts from scratch (its partial stream is
         lost) and becomes eligible for re-admission after an exponential
-        backoff; a request out of retries is recorded as failed.
+        backoff; a request out of retries is recorded as failed.  ``at``
+        is the abort instant on the traced timeline (defaults to
+        ``resume_at`` — the stall end — when not given).
         """
+        abort_time = at if at is not None else resume_at
         for state in running:
             pool.release(f"req-{state.request.request_id}")
             report.n_aborts += 1
             rid = state.request.request_id
             attempt = attempts.get(rid, 0) + 1
             attempts[rid] = attempt
+            if self._tracing:
+                self._trace_batch_phases(state, abort_time)
+                self.tracer.add_request_event(rid, "abort", abort_time)
+                self.tracer.metrics.counter("aborts").inc()
             if attempt > self.max_retries:
                 report.failed.append(state.request)
+                if self._tracing:
+                    self.tracer.add_request_event(rid, "fail", abort_time)
+                    self.tracer.metrics.counter("failed").inc()
             else:
                 report.n_retries += 1
                 ready = resume_at + self.retry_backoff * 2 ** (attempt - 1)
                 heapq.heappush(retry_heap, (ready, rid, state.request))
+                if self._tracing:
+                    self.tracer.metrics.counter("retries").inc()
         running.clear()
 
     def _cancel_expired(
@@ -355,6 +435,12 @@ class ContinuousServer:
             d = self._deadline_of(request)
             if d is not None and now >= request.arrival_time + d:
                 report.timed_out.append(request)
+                if self._tracing:
+                    rid = request.request_id
+                    queued_from = self._enqueued_at.get(rid, request.arrival_time)
+                    self.tracer.add_request_span(rid, "queued", queued_from, now)
+                    self.tracer.add_request_event(rid, "timeout", now)
+                    self.tracer.metrics.counter("timeouts").inc()
             else:
                 kept.append(request)
         waiting.clear()
@@ -365,6 +451,10 @@ class ContinuousServer:
             if d is not None and now >= state.request.arrival_time + d:
                 pool.release(f"req-{state.request.request_id}")
                 report.timed_out.append(state.request)
+                if self._tracing:
+                    self._trace_batch_phases(state, now)
+                    self.tracer.add_request_event(state.request.request_id, "timeout", now)
+                    self.tracer.metrics.counter("timeouts").inc()
             else:
                 still.append(state)
         return still
@@ -381,9 +471,21 @@ class ContinuousServer:
         retry_heap: list[tuple[float, int, Request]] = []  # (ready, id, request)
         attempts: dict[int, int] = {}
 
+        tracer = self.tracer
+        tracing = tracer is not None and tracer.enabled
+        self._tracing = tracing
+        self._enqueued_at = enqueued_at = {}
+        if tracing and self.faults is not None:
+            from repro.telemetry.tracer import record_fault_schedule
+
+            record_fault_schedule(tracer, self.faults)
+
         def enqueue(request: Request) -> None:
             if self.max_queue is not None and len(waiting) >= self.max_queue:
                 report.shed.append(request)
+                if tracing:
+                    tracer.add_request_event(request.request_id, "shed", now)
+                    tracer.metrics.counter("shed").inc()
             else:
                 waiting.append(request)
 
@@ -394,10 +496,19 @@ class ContinuousServer:
                 next_arrival < len(pending)
                 and pending[next_arrival].arrival_time <= now
             ):
-                enqueue(pending[next_arrival])
+                request = pending[next_arrival]
+                if tracing:
+                    tracer.add_request_event(
+                        request.request_id, "arrive", request.arrival_time
+                    )
+                    enqueued_at[request.request_id] = request.arrival_time
+                enqueue(request)
                 next_arrival += 1
             while retry_heap and retry_heap[0][0] <= now:
                 _, _, request = heapq.heappop(retry_heap)
+                if tracing:
+                    tracer.add_request_event(request.request_id, "requeue", now)
+                    enqueued_at[request.request_id] = now
                 enqueue(request)
 
             if not running and not waiting:
@@ -421,7 +532,7 @@ class ContinuousServer:
                     # The device is stalled: nothing can run until the
                     # window closes; in-flight work is lost.
                     self._abort_running(
-                        running, pool, report, retry_heap, attempts, stall_end
+                        running, pool, report, retry_heap, attempts, stall_end, at=now
                     )
                     now = stall_end
                     continue
@@ -480,11 +591,22 @@ class ContinuousServer:
                     f"policy {self.policy.name!r} stalled a non-empty batch"
                 )
 
+            if tracing:
+                tracer.add_counter("queue_depth", now, float(len(waiting)))
+                tracer.add_counter("running_batch", now, float(len(running)))
+                tracer.add_counter("kv_used_bytes", now, pool.used)
+
+            # Components: (offset within the iteration, ctx, n_tokens, batch).
+            # The offsets accumulate with the same float additions as the
+            # cost, so replayed schedules land exactly on the booked window.
             cost = 0.0
+            components: list[tuple[float, int, int, int]] = []
             for state, chunk in plan.prefill:
+                components.append((cost, state.context, chunk, 1))
                 cost += costs.cost(state.context, chunk, 1, now)
             if plan.decode:
                 ctx = max(state.context for state in plan.decode)
+                components.append((cost, ctx, 1, len(plan.decode)))
                 cost += costs.cost(ctx, 1, len(plan.decode), now)
             end = now + cost
 
@@ -495,10 +617,40 @@ class ContinuousServer:
                     # partial work is lost and the batch aborts.
                     if stall.start > now:
                         report.busy_intervals.append((now, stall.start))
+                        if tracing:
+                            tracer.add_region(
+                                "server",
+                                "iteration-aborted",
+                                now,
+                                stall.start,
+                                args={"batch": float(len(running))},
+                            )
+                            # The devices really did run until the stall —
+                            # replay the component schedules clipped at the
+                            # preemption point (lost work, no iteration id).
+                            for offset, ctx_c, n_tok, bsz in components:
+                                t0c = now + offset
+                                if t0c >= stall.start:
+                                    break
+                                sched = costs.schedule(ctx_c, n_tok, bsz, now)
+                                for task in sched.tasks.values():
+                                    t_start = t0c + task.start
+                                    t_end = min(t0c + task.end, stall.start)
+                                    if t_end > t_start:
+                                        tracer.add_task(
+                                            task.name,
+                                            task.resource,
+                                            t_start,
+                                            t_end,
+                                            tag=task.tag,
+                                        )
                     if degraded_now:
                         report.degraded_intervals.append((now, stall.start))
+                        if tracing and stall.start > now:
+                            tracer.add_region("server", "degraded", now, stall.start)
                     self._abort_running(
-                        running, pool, report, retry_heap, attempts, stall.end
+                        running, pool, report, retry_heap, attempts, stall.end,
+                        at=stall.start,
                     )
                     now = stall.end
                     continue
@@ -508,12 +660,45 @@ class ContinuousServer:
             if degraded_now:
                 report.degraded_intervals.append((now, end))
 
+            if tracing:
+                iteration = report.n_iterations - 1
+                tracer.add_region(
+                    "server",
+                    "iteration",
+                    now,
+                    end,
+                    args={
+                        "batch": float(len(running)),
+                        "prefill_tokens": float(plan.prefill_tokens),
+                        "decode": float(len(plan.decode)),
+                    },
+                )
+                if degraded_now:
+                    tracer.add_region("server", "degraded", now, end)
+                busy_by_lane: dict[str, float] = {}
+                for offset, ctx_c, n_tok, bsz in components:
+                    sched = costs.schedule(ctx_c, n_tok, bsz, now)
+                    tracer.add_schedule(sched, t0=now + offset, iteration=iteration)
+                    for lane, busy in sched.busy_time.items():
+                        busy_by_lane[lane] = busy_by_lane.get(lane, 0.0) + busy
+                if cost > 0:
+                    for lane in sorted(busy_by_lane):
+                        tracer.add_counter(
+                            f"busy_frac_{lane}", now, busy_by_lane[lane] / cost
+                        )
+                tracer.metrics.counter("iterations").inc()
+                tracer.metrics.gauge("kv_used_bytes").set(pool.used)
+
             for state, chunk in plan.prefill:
                 state.prefilled += chunk
                 if not state.is_prefilling:
                     # Prompt done: the prefill step yields the first token.
                     state.emitted += 1
                     state.token_times.append(end)
+                    if tracing:
+                        tracer.add_request_event(
+                            state.request.request_id, "first_token", end
+                        )
             for state in plan.decode:
                 state.emitted += 1
                 state.token_times.append(end)
@@ -522,13 +707,20 @@ class ContinuousServer:
             for state in running:
                 if state.done:
                     pool.release(f"req-{state.request.request_id}")
-                    report.completed.append(
-                        RequestMetrics(
-                            request=state.request,
-                            admit_time=state.admit_time,
-                            token_times=tuple(state.token_times),
-                        )
+                    metrics = RequestMetrics(
+                        request=state.request,
+                        admit_time=state.admit_time,
+                        token_times=tuple(state.token_times),
                     )
+                    report.completed.append(metrics)
+                    if tracing:
+                        self._trace_batch_phases(state, state.token_times[-1])
+                        tracer.add_request_event(
+                            state.request.request_id, "finish", state.token_times[-1]
+                        )
+                        tracer.metrics.counter("completed").inc()
+                        tracer.metrics.histogram("ttft_s").record(metrics.ttft)
+                        tracer.metrics.histogram("latency_s").record(metrics.latency)
                 else:
                     still_running.append(state)
             running = still_running
@@ -538,6 +730,12 @@ class ContinuousServer:
         report.timed_out.sort(key=lambda r: r.request_id)
         report.shed.sort(key=lambda r: r.request_id)
         report.failed.sort(key=lambda r: r.request_id)
+        if tracing:
+            tracer.metrics.gauge("peak_kv_bytes").set(report.peak_kv_bytes)
+            tracer.metrics.gauge("time_in_degraded_mode_s").set(
+                report.time_in_degraded_mode
+            )
+        self._tracing = False
         return report
 
 
@@ -558,7 +756,8 @@ def simulate_continuous_serving(
     :class:`SchedulerPolicy` instance; ``max_prefill_tokens`` only applies
     to the chunked policy.  Extra keyword arguments (``faults``,
     ``deadline``, ``max_retries``, ``retry_backoff``, ``max_queue``,
-    ``degradation``, ``degraded_max_batch``) pass through to the server.
+    ``degradation``, ``degraded_max_batch``, ``tracer``) pass through to
+    the server.
     """
     if isinstance(policy, str):
         kwargs = {"max_prefill_tokens": max_prefill_tokens} if policy == "chunked" else {}

@@ -25,7 +25,31 @@ import numpy as np
 
 from repro.serving.arrival import Request
 
-__all__ = ["SLO", "RequestMetrics", "ContinuousReport", "merge_busy_intervals"]
+__all__ = [
+    "SLO",
+    "RequestMetrics",
+    "ContinuousReport",
+    "merge_busy_intervals",
+    "percentile",
+]
+
+
+def percentile(values: Iterable[float], q: float) -> float:
+    """Validated percentile over a non-empty collection, ``q`` in [0, 100].
+
+    The one shared percentile primitive of the serving reports (and the
+    telemetry histograms), so validation lives in exactly one place.
+
+    Raises:
+        ValueError: When ``q`` is outside [0, 100] (or NaN), or ``values``
+            is empty.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q!r}")
+    vals = list(values)
+    if not vals:
+        raise ValueError("cannot take a percentile of an empty collection")
+    return float(np.percentile(vals, q))
 
 
 def merge_busy_intervals(intervals: Iterable[tuple[float, float]]) -> float:
@@ -252,21 +276,14 @@ class ContinuousReport:
 
     def latency_percentile(self, q: float) -> float:
         """User-visible latency percentile, ``q`` in [0, 100]."""
-        if not self.completed:
-            raise ValueError("no completed requests")
-        return float(np.percentile([m.latency for m in self.completed], q))
+        return percentile((m.latency for m in self.completed), q)
 
     def ttft_percentile(self, q: float) -> float:
-        if not self.completed:
-            raise ValueError("no completed requests")
-        return float(np.percentile([m.ttft for m in self.completed], q))
+        return percentile((m.ttft for m in self.completed), q)
 
     def tbt_percentile(self, q: float) -> float:
         """Percentile over all inter-token gaps, pooled across requests."""
-        gaps = [g for m in self.completed for g in m.tbts]
-        if not gaps:
-            raise ValueError("no inter-token gaps recorded")
-        return float(np.percentile(gaps, q))
+        return percentile((g for m in self.completed for g in m.tbts), q)
 
     def slo_attainment(self, slo: SLO) -> float:
         """Fraction of *completed* requests that met the SLO."""
@@ -294,3 +311,62 @@ class ContinuousReport:
         if not span:
             return 0.0
         return sum(1 for m in self.completed if m.meets_slo(slo)) / span
+
+    def to_dict(
+        self,
+        slo: SLO | None = None,
+        percentiles: tuple[float, ...] = (50.0, 90.0, 95.0, 99.0),
+    ) -> dict:
+        """The report as a JSON-ready dict (for structured benchmark output).
+
+        Scalars and percentile tables only — per-token timelines belong to
+        the telemetry subsystem (:mod:`repro.telemetry`), whose registry
+        summary merges into this dict via
+        :meth:`~repro.telemetry.metrics.MetricsRegistry.merge_into`.
+
+        Args:
+            slo: When given, adds an ``"slo"`` block with the targets and
+                attainment/goodput against them.
+            percentiles: Quantiles rendered into each percentile table.
+        """
+        def table(values: list[float]) -> dict[str, float]:
+            return {
+                f"p{q:g}": percentile(values, q) for q in percentiles
+            } if values else {}
+
+        result = {
+            "n_requests": self.n_requests,
+            "n_submitted": self.n_submitted,
+            "n_iterations": self.n_iterations,
+            "n_timed_out": len(self.timed_out),
+            "n_shed": len(self.shed),
+            "n_failed": len(self.failed),
+            "n_aborts": self.n_aborts,
+            "n_retries": self.n_retries,
+            "makespan_s": self.makespan,
+            "throughput_rps": self.throughput_rps,
+            "tokens_per_second": self.tokens_per_second,
+            "utilization": self.utilization,
+            "kv_budget_bytes": self.kv_budget_bytes,
+            "peak_kv_bytes": self.peak_kv_bytes,
+            "mean_latency_s": self.mean_latency,
+            "mean_ttft_s": self.mean_ttft,
+            "mean_queue_delay_s": self.mean_queue_delay,
+            "deadline_miss_rate": self.deadline_miss_rate,
+            "shed_rate": self.shed_rate,
+            "time_in_degraded_mode_s": self.time_in_degraded_mode,
+            "latency_percentiles_s": table([m.latency for m in self.completed]),
+            "ttft_percentiles_s": table([m.ttft for m in self.completed]),
+            "tbt_percentiles_s": table(
+                [g for m in self.completed for g in m.tbts]
+            ),
+        }
+        if slo is not None:
+            result["slo"] = {
+                "ttft_target_s": slo.ttft_target,
+                "tbt_target_s": slo.tbt_target,
+                "attainment": self.slo_attainment(slo),
+                "attainment_overall": self.slo_attainment_overall(slo),
+                "goodput_rps": self.goodput(slo),
+            }
+        return result

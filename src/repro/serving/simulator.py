@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.engine.base import PerfEngine
 from repro.serving.arrival import Request
-from repro.serving.metrics import merge_busy_intervals
+from repro.serving.metrics import merge_busy_intervals, percentile
 
 __all__ = ["CompletedRequest", "ServingReport", "simulate_serving"]
 
@@ -87,9 +87,7 @@ class ServingReport:
 
     def latency_percentile(self, q: float) -> float:
         """User-visible latency percentile, ``q`` in [0, 100]."""
-        if not self.completed:
-            raise ValueError("no completed requests")
-        return float(np.percentile([c.latency for c in self.completed], q))
+        return percentile((c.latency for c in self.completed), q)
 
     @property
     def mean_queue_delay(self) -> float:

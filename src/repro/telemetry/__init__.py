@@ -1,0 +1,55 @@
+"""Telemetry: event tracing, counter time-series, and trace exporters.
+
+The observability layer of the reproduction (see docs/observability.md).
+A :class:`Tracer` attached to the engine / continuous server records typed
+span events (operator tasks on their device lanes, request lifecycles,
+fault epochs, degraded-mode windows) plus sampled counters, aggregates
+summaries in a :class:`MetricsRegistry`, and exports Chrome ``trace_event``
+JSON (Perfetto / chrome://tracing), JSONL event logs, and a matplotlib
+timeline figure.  With no tracer attached the instrumented code paths cost
+one ``is None`` check and produce bit-identical results.
+"""
+
+from repro.telemetry.exporters import (
+    save_chrome_trace,
+    save_jsonl,
+    to_chrome_trace,
+    to_jsonl_records,
+)
+from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.telemetry.timeline import MissingDependencyError, plot_timeline
+from repro.telemetry.tracer import (
+    CounterSample,
+    Instant,
+    NullTracer,
+    Region,
+    RequestEvent,
+    RequestPhase,
+    RequestSpan,
+    TaskSpan,
+    Tracer,
+    record_fault_schedule,
+)
+
+__all__ = [
+    "Counter",
+    "CounterSample",
+    "Gauge",
+    "Histogram",
+    "Instant",
+    "MetricsRegistry",
+    "MissingDependencyError",
+    "NullTracer",
+    "Region",
+    "RequestEvent",
+    "RequestPhase",
+    "RequestSpan",
+    "TaskSpan",
+    "Tracer",
+    "plot_timeline",
+    "record_fault_schedule",
+    "save_chrome_trace",
+    "save_jsonl",
+    "to_chrome_trace",
+    "to_jsonl_records",
+]

@@ -1,0 +1,241 @@
+"""Render a recorded trace as Chrome ``trace_event`` JSON or JSONL.
+
+The Chrome trace-event format (consumed by Perfetto and chrome://tracing)
+models a trace as processes and threads of timed events.  We map:
+
+* ``pid 0`` (**devices**) — one thread per device lane (``gpu``, ``cpu``,
+  ``pcie``); every :class:`~repro.telemetry.tracer.TaskSpan` becomes a
+  complete (``"X"``) event whose category is the operator tag.  Counter
+  (``"C"``) events also live here, one track per series.
+* ``pid 1`` (**server**) — one thread per annotation lane (``server``
+  iterations, ``degraded`` windows, ``faults``); regions become ``"X"``
+  events, instants become ``"i"`` markers.
+* ``pid 2`` (**requests**) — one thread per request, carrying its
+  ``queued`` / ``prefill`` / ``decode`` phase spans and instant lifecycle
+  events — the per-request swim lanes of the timeline.
+
+Timestamps are microseconds (the unit the format expects); the recorded
+seconds are multiplied by 1e6 on the way out.  The JSONL exporter instead
+emits one self-describing JSON object per event, in seconds, for ad-hoc
+analysis with ``jq``/pandas.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.telemetry.tracer import Tracer
+
+__all__ = [
+    "to_chrome_trace",
+    "save_chrome_trace",
+    "to_jsonl_records",
+    "save_jsonl",
+]
+
+DEVICE_PID = 0
+SERVER_PID = 1
+REQUEST_PID = 2
+
+_US = 1e6  # seconds -> microseconds
+
+
+def _meta(metadata: str, pid: int, tid: int = 0, *, label: str) -> dict:
+    """A Chrome metadata ("M") event naming a process or thread."""
+    return {
+        "name": metadata,
+        "ph": "M",
+        "pid": pid,
+        "tid": tid,
+        "args": {"name": label},
+    }
+
+
+def to_chrome_trace(tracer: "Tracer") -> list[dict]:
+    """The recorded events as a Chrome ``trace_event`` object list."""
+    events: list[dict] = [
+        _meta("process_name", DEVICE_PID, label="devices"),
+        _meta("process_name", SERVER_PID, label="server"),
+        _meta("process_name", REQUEST_PID, label="requests"),
+    ]
+
+    # -- device lanes ----------------------------------------------------------
+    device_tids = {lane: i for i, lane in enumerate(tracer.lanes)}
+    for lane, tid in device_tids.items():
+        events.append(_meta("thread_name", DEVICE_PID, tid, label=lane))
+    for span in tracer.task_spans:
+        event = {
+            "name": span.name,
+            "cat": span.tag or "op",
+            "ph": "X",
+            "pid": DEVICE_PID,
+            "tid": device_tids[span.lane],
+            "ts": span.start * _US,
+            "dur": span.duration * _US,
+        }
+        if span.iteration is not None:
+            event["args"] = {"iteration": span.iteration}
+        events.append(event)
+
+    # -- annotation lanes (server iterations, degraded windows, faults) -------
+    annotation_lanes = sorted(
+        {r.lane for r in tracer.regions} | {i.lane for i in tracer.instants}
+    )
+    annotation_tids = {lane: i for i, lane in enumerate(annotation_lanes)}
+    for lane, tid in annotation_tids.items():
+        events.append(_meta("thread_name", SERVER_PID, tid, label=lane))
+    for region in tracer.regions:
+        event = {
+            "name": region.name,
+            "cat": region.lane,
+            "ph": "X",
+            "pid": SERVER_PID,
+            "tid": annotation_tids[region.lane],
+            "ts": region.start * _US,
+            "dur": (region.end - region.start) * _US,
+        }
+        if region.args:
+            event["args"] = dict(region.args)
+        events.append(event)
+    for instant in tracer.instants:
+        event = {
+            "name": instant.name,
+            "cat": instant.lane,
+            "ph": "i",
+            "s": "t",  # thread-scoped marker
+            "pid": SERVER_PID,
+            "tid": annotation_tids[instant.lane],
+            "ts": instant.time * _US,
+        }
+        if instant.args:
+            event["args"] = dict(instant.args)
+        events.append(event)
+
+    # -- request swim lanes ----------------------------------------------------
+    request_ids = sorted(
+        {s.request_id for s in tracer.request_spans}
+        | {e.request_id for e in tracer.request_events}
+    )
+    request_tids = {rid: i for i, rid in enumerate(request_ids)}
+    for rid, tid in request_tids.items():
+        events.append(_meta("thread_name", REQUEST_PID, tid, label=f"req-{rid}"))
+    for span in tracer.request_spans:
+        events.append(
+            {
+                "name": span.phase,
+                "cat": "request",
+                "ph": "X",
+                "pid": REQUEST_PID,
+                "tid": request_tids[span.request_id],
+                "ts": span.start * _US,
+                "dur": (span.end - span.start) * _US,
+            }
+        )
+    for ev in tracer.request_events:
+        events.append(
+            {
+                "name": ev.kind,
+                "cat": "request",
+                "ph": "i",
+                "s": "t",
+                "pid": REQUEST_PID,
+                "tid": request_tids[ev.request_id],
+                "ts": ev.time * _US,
+            }
+        )
+
+    # -- counter tracks --------------------------------------------------------
+    for sample in tracer.counters:
+        events.append(
+            {
+                "name": sample.series,
+                "ph": "C",
+                "pid": DEVICE_PID,
+                "ts": sample.time * _US,
+                "args": {"value": sample.value},
+            }
+        )
+    return events
+
+
+def save_chrome_trace(tracer: "Tracer", path) -> None:
+    """Write :func:`to_chrome_trace` output as a ``.trace.json`` file."""
+    payload = {"traceEvents": to_chrome_trace(tracer), "displayTimeUnit": "ms"}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh)
+
+
+def to_jsonl_records(tracer: "Tracer") -> list[dict]:
+    """One self-describing dict per event (times in seconds)."""
+    records: list[dict] = []
+    for t in tracer.task_spans:
+        records.append(
+            {
+                "type": "task",
+                "name": t.name,
+                "lane": t.lane,
+                "start": t.start,
+                "end": t.end,
+                "tag": t.tag,
+                "iteration": t.iteration,
+            }
+        )
+    for s in tracer.request_spans:
+        records.append(
+            {
+                "type": "request_span",
+                "request_id": s.request_id,
+                "phase": s.phase,
+                "start": s.start,
+                "end": s.end,
+            }
+        )
+    for e in tracer.request_events:
+        records.append(
+            {
+                "type": "request_event",
+                "request_id": e.request_id,
+                "kind": e.kind,
+                "time": e.time,
+            }
+        )
+    for r in tracer.regions:
+        records.append(
+            {
+                "type": "region",
+                "lane": r.lane,
+                "name": r.name,
+                "start": r.start,
+                "end": r.end,
+                "args": dict(r.args) if r.args else None,
+            }
+        )
+    for i in tracer.instants:
+        records.append(
+            {
+                "type": "instant",
+                "lane": i.lane,
+                "name": i.name,
+                "time": i.time,
+                "args": dict(i.args) if i.args else None,
+            }
+        )
+    for c in tracer.counters:
+        records.append(
+            {
+                "type": "counter",
+                "series": c.series,
+                "time": c.time,
+                "value": c.value,
+            }
+        )
+    return records
+
+
+def save_jsonl(tracer: "Tracer", path) -> None:
+    """Write :func:`to_jsonl_records` output, one JSON object per line."""
+    with open(path, "w", encoding="utf-8") as fh:
+        for record in to_jsonl_records(tracer):
+            fh.write(json.dumps(record) + "\n")

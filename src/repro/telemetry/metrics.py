@@ -1,0 +1,157 @@
+"""Counter / gauge / histogram registry for telemetry summaries.
+
+The tracer records raw events; many questions only need aggregates ("how
+many aborts?", "what was the TTFT p99?", "how high did the KV pool get?").
+:class:`MetricsRegistry` is the aggregate side of the telemetry subsystem:
+a named collection of
+
+* :class:`Counter` — monotonically increasing totals (iterations, aborts),
+* :class:`Gauge` — last/min/max of a sampled quantity (KV pool bytes),
+* :class:`Histogram` — full value distributions with percentiles (TTFT,
+  latency, inter-token gaps).
+
+``summary()`` renders everything as a plain JSON-ready dict, and
+``merge_into()`` attaches that summary to an existing report dict (e.g.
+:meth:`repro.serving.metrics.ContinuousReport.to_dict`) without clobbering
+the report's own keys.
+"""
+
+from __future__ import annotations
+
+from repro.serving.metrics import percentile
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase; use a Gauge instead")
+        self.value += amount
+
+    def summary(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """Last / min / max of a sampled quantity."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float | None = None
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def set(self, value: float) -> None:
+        self.value = value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    def summary(self) -> dict:
+        return {"last": self.value, "min": self.min, "max": self.max}
+
+
+class Histogram:
+    """A value distribution; retains samples so any percentile is exact.
+
+    Simulated runs record at most a few thousand samples, so keeping them
+    all (rather than bucketing) is both simpler and more precise.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._values: list[float] = []
+
+    def record(self, value: float) -> None:
+        self._values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def sum(self) -> float:
+        return float(sum(self._values))
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self._values else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Exact percentile over the recorded samples, ``q`` in [0, 100]."""
+        return percentile(self._values, q)
+
+    def summary(self) -> dict:
+        if not self._values:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": min(self._values),
+            "max": max(self._values),
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histograms with a JSON-ready summary."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # ---- get-or-create accessors --------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        if name not in self._gauges:
+            self._gauges[name] = Gauge(name)
+        return self._gauges[name]
+
+    def histogram(self, name: str) -> Histogram:
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(name)
+        return self._histograms[name]
+
+    # ---- export ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    def summary(self) -> dict:
+        """All instruments as one plain dict (stable key order)."""
+        return {
+            "counters": {
+                k: c.summary() for k, c in sorted(self._counters.items())
+            },
+            "gauges": {k: g.summary() for k, g in sorted(self._gauges.items())},
+            "histograms": {
+                k: h.summary() for k, h in sorted(self._histograms.items())
+            },
+        }
+
+    def merge_into(self, report: dict) -> dict:
+        """A copy of ``report`` with this registry under a ``"telemetry"`` key.
+
+        Raises:
+            ValueError: If ``report`` already carries a ``"telemetry"`` key
+                (merging twice would silently drop data).
+        """
+        if "telemetry" in report:
+            raise ValueError("report already contains a 'telemetry' key")
+        merged = dict(report)
+        merged["telemetry"] = self.summary()
+        return merged

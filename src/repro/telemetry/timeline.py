@@ -1,0 +1,177 @@
+"""Matplotlib timeline / Gantt rendering of a recorded trace.
+
+A static figure version of the Perfetto view: device lanes as horizontal
+Gantt bars colored by operator tag, request swim lanes underneath, fault
+windows shaded across all lanes, and the counter time-series (queue depth,
+running batch, KV bytes) as step plots on a second axis.
+
+Matplotlib is an *optional* dependency of this repository; everything else
+in :mod:`repro.telemetry` works without it.  :func:`plot_timeline` raises
+:class:`MissingDependencyError` with an actionable message when it is not
+installed, and the CLI turns that into a clean error instead of a
+traceback.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.telemetry.tracer import Tracer
+
+__all__ = ["MissingDependencyError", "plot_timeline"]
+
+# A muted categorical cycle for operator tags (kept library-neutral).
+_TAG_COLORS = (
+    "#4C78A8",
+    "#F58518",
+    "#54A24B",
+    "#B279A2",
+    "#E45756",
+    "#72B7B2",
+    "#9D755D",
+    "#EECA3B",
+)
+_FAULT_SHADE = "#D62728"
+_DEGRADED_SHADE = "#FF7F0E"
+
+
+class MissingDependencyError(RuntimeError):
+    """An optional plotting dependency is not installed."""
+
+
+def _import_pyplot():
+    try:
+        import matplotlib
+    except ImportError as exc:  # pragma: no cover - depends on environment
+        raise MissingDependencyError(
+            "matplotlib is required for timeline figures but is not "
+            "installed; install it (pip install matplotlib) or drop the "
+            "figure option"
+        ) from exc
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    return plt
+
+
+def plot_timeline(
+    tracer: "Tracer",
+    path,
+    title: str = "Simulated serving timeline",
+    max_requests: int = 16,
+) -> None:
+    """Render the trace as a Gantt timeline and save it to ``path``.
+
+    Args:
+        tracer: A populated :class:`~repro.telemetry.tracer.Tracer`.
+        path: Output image path (any extension matplotlib understands).
+        title: Figure title.
+        max_requests: Cap on rendered request swim lanes (earliest first);
+            beyond it the lanes would shrink into unreadable slivers.
+
+    Raises:
+        MissingDependencyError: When matplotlib is not installed.
+        ValueError: When the tracer holds no task spans (nothing to draw).
+    """
+    plt = _import_pyplot()
+    if not tracer.task_spans:
+        raise ValueError("tracer holds no task spans; run a traced simulation first")
+
+    lanes = list(tracer.lanes)
+    request_ids = sorted({s.request_id for s in tracer.request_spans})
+    shown_requests = request_ids[:max_requests]
+    tags = sorted({s.tag or "op" for s in tracer.task_spans})
+    tag_color = {tag: _TAG_COLORS[i % len(_TAG_COLORS)] for i, tag in enumerate(tags)}
+
+    counter_names = sorted({c.series for c in tracer.counters})
+    fig_height = 1.2 + 0.5 * (len(lanes) + len(shown_requests)) + (2.2 if counter_names else 0)
+    n_axes = 2 if counter_names else 1
+    fig, axes = plt.subplots(
+        n_axes,
+        1,
+        figsize=(12, fig_height),
+        sharex=True,
+        gridspec_kw={"height_ratios": [3, 1] if counter_names else [1]},
+    )
+    ax = axes[0] if counter_names else axes
+
+    # Row layout: devices on top, then request swim lanes.
+    rows: dict[tuple[str, object], int] = {}
+    labels: list[str] = []
+    for lane in lanes:
+        rows[("device", lane)] = len(labels)
+        labels.append(lane)
+    for rid in shown_requests:
+        rows[("request", rid)] = len(labels)
+        labels.append(f"req-{rid}")
+
+    for span in tracer.task_spans:
+        y = rows[("device", span.lane)]
+        ax.broken_barh(
+            [(span.start, span.duration)],
+            (y - 0.38, 0.76),
+            facecolors=tag_color[span.tag or "op"],
+            linewidth=0,
+        )
+    phase_alpha = {"queued": 0.25, "prefill": 0.6, "decode": 1.0}
+    for span in tracer.request_spans:
+        key = ("request", span.request_id)
+        if key not in rows:
+            continue
+        ax.broken_barh(
+            [(span.start, span.end - span.start)],
+            (rows[key] - 0.3, 0.6),
+            facecolors="#4C78A8",
+            alpha=phase_alpha.get(span.phase, 0.5),
+            linewidth=0,
+        )
+
+    for region in tracer.regions:
+        if region.lane == "faults":
+            ax.axvspan(region.start, region.end, color=_FAULT_SHADE, alpha=0.08)
+        elif region.name == "degraded":
+            ax.axvspan(region.start, region.end, color=_DEGRADED_SHADE, alpha=0.08)
+
+    ax.set_yticks(range(len(labels)))
+    ax.set_yticklabels(labels)
+    ax.invert_yaxis()
+    ax.set_title(title)
+    ax.grid(axis="x", linewidth=0.3, alpha=0.5)
+    handles = [
+        plt.Rectangle((0, 0), 1, 1, facecolor=tag_color[t], label=t) for t in tags
+    ]
+    ax.legend(handles=handles, loc="upper right", fontsize="small", ncol=2)
+    if len(request_ids) > len(shown_requests):
+        ax.annotate(
+            f"(+{len(request_ids) - len(shown_requests)} more requests not shown)",
+            xy=(0.01, 0.01),
+            xycoords="axes fraction",
+            fontsize="x-small",
+        )
+
+    if counter_names:
+        ax2 = axes[1]
+        for i, series in enumerate(counter_names):
+            samples = tracer.counter_series(series)
+            times = [t for t, _ in samples]
+            values = [v for _, v in samples]
+            ax2.step(
+                times,
+                values,
+                where="post",
+                label=series,
+                color=_TAG_COLORS[i % len(_TAG_COLORS)],
+                linewidth=1.0,
+            )
+        ax2.set_xlabel("simulated time (s)")
+        ax2.set_ylabel("counters")
+        ax2.set_yscale("symlog")
+        ax2.grid(axis="x", linewidth=0.3, alpha=0.5)
+        ax2.legend(loc="upper right", fontsize="x-small", ncol=2)
+    else:
+        ax.set_xlabel("simulated time (s)")
+
+    fig.tight_layout()
+    fig.savefig(path, dpi=150)
+    plt.close(fig)

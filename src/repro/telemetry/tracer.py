@@ -1,0 +1,327 @@
+"""Typed event tracing for the simulated engine and server.
+
+PowerInfer's performance story is about *where time goes* — GPU vs. CPU
+vs. PCIe occupancy, request lifecycles, fault windows.  End-of-run
+aggregates (:class:`~repro.serving.metrics.ContinuousReport`) cannot show
+*why* a schedule is slow; a timeline can.  This module records one:
+
+* :class:`TaskSpan` — one simulated operator occupying a device lane
+  (``gpu`` / ``cpu`` / ``pcie``) for ``[start, end)``, tagged with the
+  operator category the engines already attach to their DAG tasks.
+* :class:`RequestSpan` / :class:`RequestEvent` — per-request lifecycle:
+  a ``queued`` → ``prefill`` → ``decode`` span chain plus instant events
+  (``arrive``, ``admit``, ``first_token``, ``finish``, ``timeout``,
+  ``shed``, ``abort``, ``requeue``, ``fail``).
+* :class:`Region` / :class:`Instant` — named windows and markers on
+  annotation lanes: server iterations, degraded-mode windows, fault
+  epochs (:func:`record_fault_schedule`).
+* :class:`CounterSample` — sampled time-series (queue depth, running
+  batch, KV-pool bytes, per-device busy fraction).
+
+The :class:`Tracer` is **opt-in and zero-cost when absent**: every
+instrumented call site takes ``tracer=None`` by default and guards with
+``tracer is not None and tracer.enabled``, so the untraced hot path costs
+one pointer comparison and produces bit-identical results.
+:class:`NullTracer` (``enabled = False``) is a drop-in sink for callers
+that prefer passing an object over ``None``.
+
+All times are seconds of simulated time.  Exporters
+(:mod:`repro.telemetry.exporters`) render the recorded events as Chrome
+``trace_event`` JSON (open in Perfetto / chrome://tracing) or JSONL; see
+docs/observability.md for the schema.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping
+
+from repro.serving.metrics import merge_busy_intervals
+from repro.telemetry.metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.hardware.events import ScheduleResult
+    from repro.hardware.faults import FaultSchedule
+
+__all__ = [
+    "RequestPhase",
+    "TaskSpan",
+    "RequestSpan",
+    "RequestEvent",
+    "Region",
+    "Instant",
+    "CounterSample",
+    "Tracer",
+    "NullTracer",
+    "record_fault_schedule",
+]
+
+
+class RequestPhase:
+    """Lifecycle phases a request span can cover."""
+
+    QUEUED = "queued"
+    PREFILL = "prefill"
+    DECODE = "decode"
+
+    ALL = (QUEUED, PREFILL, DECODE)
+
+
+@dataclass(frozen=True)
+class TaskSpan:
+    """One operator task occupying a device lane for ``[start, end)``."""
+
+    name: str
+    lane: str
+    start: float
+    end: float
+    tag: str = ""
+    iteration: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"span {self.name!r} ends before it starts")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class RequestSpan:
+    """One lifecycle phase of one request."""
+
+    request_id: int
+    phase: str
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.phase not in RequestPhase.ALL:
+            raise ValueError(
+                f"unknown request phase {self.phase!r}; choose from {RequestPhase.ALL}"
+            )
+        if self.end < self.start:
+            raise ValueError(f"request {self.request_id} span ends before it starts")
+
+
+@dataclass(frozen=True)
+class RequestEvent:
+    """An instant lifecycle event of one request."""
+
+    request_id: int
+    kind: str
+    time: float
+
+
+@dataclass(frozen=True)
+class Region:
+    """A named window on an annotation lane (iteration, fault, degraded)."""
+
+    lane: str
+    name: str
+    start: float
+    end: float
+    args: Mapping[str, float] | None = None
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"region {self.name!r} ends before it starts")
+
+
+@dataclass(frozen=True)
+class Instant:
+    """A zero-duration marker on an annotation lane."""
+
+    lane: str
+    name: str
+    time: float
+    args: Mapping[str, float] | None = None
+
+
+@dataclass(frozen=True)
+class CounterSample:
+    """One sample of a named time-series."""
+
+    series: str
+    time: float
+    value: float
+
+
+class Tracer:
+    """Collects typed telemetry events from an instrumented simulation.
+
+    One tracer observes one run.  Recording methods append; query helpers
+    (:meth:`device_busy`, :meth:`busy_union`, :meth:`counter_series`)
+    aggregate for reconciliation and reporting; exporters consume the raw
+    event lists directly.
+
+    Attributes:
+        metrics: A :class:`~repro.telemetry.metrics.MetricsRegistry` the
+            instrumented code populates alongside the event stream.
+    """
+
+    enabled: bool = True
+
+    def __init__(self) -> None:
+        self.task_spans: list[TaskSpan] = []
+        self.request_spans: list[RequestSpan] = []
+        self.request_events: list[RequestEvent] = []
+        self.regions: list[Region] = []
+        self.instants: list[Instant] = []
+        self.counters: list[CounterSample] = []
+        self.metrics = MetricsRegistry()
+
+    # ---- recording -------------------------------------------------------------
+
+    def add_task(
+        self,
+        name: str,
+        lane: str,
+        start: float,
+        end: float,
+        tag: str = "",
+        iteration: int | None = None,
+    ) -> None:
+        self.task_spans.append(TaskSpan(name, lane, start, end, tag, iteration))
+
+    def add_schedule(
+        self, result: "ScheduleResult", t0: float = 0.0, iteration: int | None = None
+    ) -> None:
+        """Record every task of a simulated DAG, shifted to start at ``t0``.
+
+        This is how engine-level schedules (whose own clock starts at zero)
+        land on the server's global timeline.
+        """
+        for task in result.tasks.values():
+            self.task_spans.append(
+                TaskSpan(
+                    name=task.name,
+                    lane=task.resource,
+                    start=t0 + task.start,
+                    end=t0 + task.end,
+                    tag=task.tag,
+                    iteration=iteration,
+                )
+            )
+
+    def add_request_span(
+        self, request_id: int, phase: str, start: float, end: float
+    ) -> None:
+        self.request_spans.append(RequestSpan(request_id, phase, start, end))
+
+    def add_request_event(self, request_id: int, kind: str, time: float) -> None:
+        self.request_events.append(RequestEvent(request_id, kind, time))
+
+    def add_region(
+        self,
+        lane: str,
+        name: str,
+        start: float,
+        end: float,
+        args: Mapping[str, float] | None = None,
+    ) -> None:
+        self.regions.append(Region(lane, name, start, end, args))
+
+    def add_instant(
+        self,
+        lane: str,
+        name: str,
+        time: float,
+        args: Mapping[str, float] | None = None,
+    ) -> None:
+        self.instants.append(Instant(lane, name, time, args))
+
+    def add_counter(self, series: str, time: float, value: float) -> None:
+        self.counters.append(CounterSample(series, time, float(value)))
+
+    # ---- queries ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Total recorded events across all types."""
+        return (
+            len(self.task_spans)
+            + len(self.request_spans)
+            + len(self.request_events)
+            + len(self.regions)
+            + len(self.instants)
+            + len(self.counters)
+        )
+
+    @property
+    def lanes(self) -> tuple[str, ...]:
+        """Device lanes observed, sorted."""
+        return tuple(sorted({s.lane for s in self.task_spans}))
+
+    def device_busy(self) -> dict[str, float]:
+        """Merged busy seconds per device lane (overlaps never double-count)."""
+        by_lane: dict[str, list[tuple[float, float]]] = {}
+        for span in self.task_spans:
+            by_lane.setdefault(span.lane, []).append((span.start, span.end))
+        return {
+            lane: merge_busy_intervals(spans)
+            for lane, spans in sorted(by_lane.items())
+        }
+
+    def busy_union(self) -> float:
+        """Seconds during which *any* device lane was executing a task."""
+        return merge_busy_intervals((s.start, s.end) for s in self.task_spans)
+
+    def counter_series(self, series: str) -> list[tuple[float, float]]:
+        """All ``(time, value)`` samples of one series, in recording order."""
+        return [(c.time, c.value) for c in self.counters if c.series == series]
+
+    def regions_on(self, lane: str) -> list[Region]:
+        """All regions recorded on one annotation lane."""
+        return [r for r in self.regions if r.lane == lane]
+
+
+class NullTracer(Tracer):
+    """A tracer that records nothing — a drop-in sink for untraced runs.
+
+    Call sites that guard on ``tracer.enabled`` skip their instrumentation
+    entirely; anything that calls a recording method anyway hits a no-op.
+    """
+
+    enabled = False
+
+    def add_task(self, *args, **kwargs) -> None:  # noqa: D102 - no-op sink
+        return None
+
+    def add_schedule(self, *args, **kwargs) -> None:
+        return None
+
+    def add_request_span(self, *args, **kwargs) -> None:
+        return None
+
+    def add_request_event(self, *args, **kwargs) -> None:
+        return None
+
+    def add_region(self, *args, **kwargs) -> None:
+        return None
+
+    def add_instant(self, *args, **kwargs) -> None:
+        return None
+
+    def add_counter(self, *args, **kwargs) -> None:
+        return None
+
+
+def record_fault_schedule(tracer: Tracer, faults: "FaultSchedule") -> None:
+    """Annotate a tracer with a fault schedule's windows and epoch marks.
+
+    Every fault event becomes a region on the ``faults`` lane (named by
+    its kind, magnitude in the args) and every epoch boundary an instant
+    marker, so traces line up visually with the timeline the server ran
+    under.
+    """
+    for event in faults.events:
+        tracer.add_region(
+            "faults",
+            event.kind,
+            event.start,
+            event.end,
+            args={"magnitude": event.magnitude},
+        )
+    for boundary in faults.boundaries:
+        tracer.add_instant("faults", "epoch", boundary)

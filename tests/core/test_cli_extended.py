@@ -1,5 +1,6 @@
-"""Tests for the serve/bounds CLI subcommands and example hygiene."""
+"""Tests for the serve/bounds/trace CLI subcommands and example hygiene."""
 
+import json
 import pathlib
 import py_compile
 
@@ -42,6 +43,61 @@ class TestServeCommand:
         )
         assert code == 0
         assert "llama.cpp" in capsys.readouterr().out
+
+
+class TestTraceCommand:
+    def test_trace_writes_chrome_trace_and_summary(self, capsys, tmp_path):
+        out = tmp_path / "run.trace.json"
+        jsonl = tmp_path / "run.jsonl"
+        summary = tmp_path / "run.summary.json"
+        code = main(
+            [
+                "trace",
+                "--model", "opt-6.7b",
+                "--machine", "pc-low",
+                "--dtype", "int4",
+                "--rate", "0.5",
+                "--requests", "6",
+                "--faults", "none",
+                "--out", str(out),
+                "--jsonl", str(jsonl),
+                "--summary", str(summary),
+            ]
+        )
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "traced" in stdout
+        payload = json.loads(out.read_text())
+        phases = {e["ph"] for e in payload["traceEvents"]}
+        assert {"M", "X", "C"} <= phases
+        assert jsonl.read_text().splitlines()
+        merged = json.loads(summary.read_text())
+        assert "telemetry" in merged and "n_requests" in merged
+
+    def test_trace_with_fault_seed_annotates_faults(self, capsys, tmp_path):
+        out = tmp_path / "chaos.trace.json"
+        code = main(
+            [
+                "trace",
+                "--model", "opt-6.7b",
+                "--machine", "pc-low",
+                "--dtype", "int4",
+                "--rate", "0.5",
+                "--requests", "4",
+                "--fault-seed", "7",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        fault_threads = [
+            e
+            for e in payload["traceEvents"]
+            if e["ph"] == "M"
+            and e["name"] == "thread_name"
+            and e["args"]["name"] == "faults"
+        ]
+        assert fault_threads
 
 
 class TestBoundsCommand:

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.serving import SLO, ContinuousReport, Request, RequestMetrics
-from repro.serving.metrics import merge_busy_intervals
+from repro.serving.metrics import merge_busy_intervals, percentile
 
 
 def make_metrics(request_id=0, arrival=0.0, admit=0.5, tokens=(1.0, 1.5, 2.5)):
@@ -33,6 +33,35 @@ class TestMergeBusyIntervals:
     def test_empty_and_degenerate(self):
         assert merge_busy_intervals([]) == 0.0
         assert merge_busy_intervals([(1.0, 1.0)]) == 0.0
+
+    def test_exactly_adjacent_intervals_touch_without_gap(self):
+        # [0,1] and [1,2] share the boundary point; the union is 2.0, not
+        # 2.0-minus-a-gap and not a double count of the shared instant.
+        assert merge_busy_intervals([(0.0, 1.0), (1.0, 2.0)]) == pytest.approx(2.0)
+        assert merge_busy_intervals(
+            [(1.0, 2.0), (0.0, 1.0), (2.0, 2.0)]
+        ) == pytest.approx(2.0)
+
+
+class TestPercentile:
+    def test_interpolates(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 4.0
+        assert percentile(values, 50) == pytest.approx(2.5)
+
+    def test_single_value(self):
+        assert percentile([7.0], 99) == 7.0
+
+    def test_rejects_out_of_range_q(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], -1)
+        with pytest.raises(ValueError):
+            percentile([1.0], 100.5)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
 
 
 class TestRequestMetrics:
@@ -120,3 +149,42 @@ class TestContinuousReport:
         assert report.goodput(SLO(1.0, 1.0)) == 0.0
         with pytest.raises(ValueError):
             report.tbt_percentile(50)
+
+
+class TestReportToDict:
+    def test_mirrors_scalar_aggregates(self):
+        report = TestContinuousReport().build_report()
+        d = report.to_dict()
+        assert d["n_requests"] == 2
+        assert d["n_iterations"] == 4
+        assert d["makespan_s"] == pytest.approx(8.0)
+        assert d["utilization"] == pytest.approx(report.utilization)
+        assert d["mean_ttft_s"] == pytest.approx(report.mean_ttft)
+        assert d["peak_kv_bytes"] == 60.0
+        assert d["latency_percentiles_s"]["p99"] == pytest.approx(
+            report.latency_percentile(99)
+        )
+        assert "slo" not in d
+
+    def test_is_json_serializable(self):
+        import json
+
+        payload = json.dumps(TestContinuousReport().build_report().to_dict())
+        assert json.loads(payload)["n_requests"] == 2
+
+    def test_slo_block_when_requested(self):
+        report = TestContinuousReport().build_report()
+        slo = SLO(ttft_target=1.0, tbt_target=1.0)
+        d = report.to_dict(slo=slo)
+        assert d["slo"]["attainment"] == pytest.approx(0.5)
+        assert d["slo"]["goodput_rps"] == pytest.approx(1 / 8.0)
+
+    def test_custom_percentiles(self):
+        report = TestContinuousReport().build_report()
+        d = report.to_dict(percentiles=(50,))
+        assert set(d["latency_percentiles_s"]) == {"p50"}
+
+    def test_empty_report_serializes(self):
+        d = ContinuousReport().to_dict()
+        assert d["n_requests"] == 0
+        assert d["latency_percentiles_s"] == {}

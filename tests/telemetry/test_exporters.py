@@ -1,0 +1,118 @@
+"""Unit tests for the Chrome trace_event and JSONL exporters."""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    Tracer,
+    save_chrome_trace,
+    save_jsonl,
+    to_chrome_trace,
+    to_jsonl_records,
+)
+from repro.telemetry.exporters import DEVICE_PID, REQUEST_PID, SERVER_PID
+
+
+@pytest.fixture
+def tracer():
+    """A small hand-built trace covering every event type."""
+    t = Tracer()
+    t.add_task("mlp-0", "gpu", 0.0, 0.5, tag="mlp", iteration=0)
+    t.add_task("xfer-0", "pcie", 0.5, 0.75, tag="transfer", iteration=0)
+    t.add_request_span(7, "queued", 0.0, 0.25)
+    t.add_request_span(7, "prefill", 0.25, 0.5)
+    t.add_request_event(7, "finish", 0.5)
+    t.add_region("server", "iteration", 0.0, 0.75, args={"batch": 1.0})
+    t.add_instant("faults", "epoch", 0.3)
+    t.add_counter("queue_depth", 0.0, 2.0)
+    return t
+
+
+class TestChromeTrace:
+    def test_metadata_names_all_processes_and_threads(self, tracer):
+        events = to_chrome_trace(tracer)
+        meta = [e for e in events if e["ph"] == "M"]
+        procs = {
+            e["pid"]: e["args"]["name"]
+            for e in meta
+            if e["name"] == "process_name"
+        }
+        assert procs == {DEVICE_PID: "devices", SERVER_PID: "server",
+                         REQUEST_PID: "requests"}
+        threads = {
+            (e["pid"], e["tid"]): e["args"]["name"]
+            for e in meta
+            if e["name"] == "thread_name"
+        }
+        assert "gpu" in threads.values()
+        assert "pcie" in threads.values()
+        assert "req-7" in threads.values()
+        assert "server" in threads.values()
+        assert "faults" in threads.values()
+
+    def test_task_spans_are_complete_events_in_microseconds(self, tracer):
+        events = to_chrome_trace(tracer)
+        mlp = next(e for e in events if e.get("name") == "mlp-0")
+        assert mlp["ph"] == "X"
+        assert mlp["pid"] == DEVICE_PID
+        assert mlp["ts"] == pytest.approx(0.0)
+        assert mlp["dur"] == pytest.approx(0.5e6)
+        assert mlp["cat"] == "mlp"
+        assert mlp["args"] == {"iteration": 0}
+
+    def test_request_span_and_event(self, tracer):
+        events = to_chrome_trace(tracer)
+        prefill = next(
+            e for e in events
+            if e.get("name") == "prefill" and e["pid"] == REQUEST_PID
+        )
+        assert prefill["ph"] == "X"
+        assert prefill["ts"] == pytest.approx(0.25e6)
+        finish = next(e for e in events if e.get("name") == "finish")
+        assert finish["ph"] == "i"
+        assert finish["s"] == "t"
+
+    def test_region_instant_and_counter(self, tracer):
+        events = to_chrome_trace(tracer)
+        iteration = next(e for e in events if e.get("name") == "iteration")
+        assert iteration["ph"] == "X"
+        assert iteration["pid"] == SERVER_PID
+        assert iteration["args"] == {"batch": 1.0}
+        epoch = next(e for e in events if e.get("name") == "epoch")
+        assert epoch["ph"] == "i"
+        counter = next(e for e in events if e["ph"] == "C")
+        assert counter["name"] == "queue_depth"
+        assert counter["args"] == {"value": 2.0}
+
+    def test_save_chrome_trace_roundtrips(self, tracer, tmp_path):
+        path = tmp_path / "run.trace.json"
+        save_chrome_trace(tracer, path)
+        payload = json.loads(path.read_text())
+        assert payload["displayTimeUnit"] == "ms"
+        assert len(payload["traceEvents"]) == len(to_chrome_trace(tracer))
+
+    def test_empty_tracer_exports_only_metadata(self):
+        events = to_chrome_trace(Tracer())
+        assert all(e["ph"] == "M" for e in events)
+
+
+class TestJsonl:
+    def test_one_record_per_event_with_types(self, tracer):
+        records = to_jsonl_records(tracer)
+        assert len(records) == len(tracer)
+        types = {r["type"] for r in records}
+        assert types == {
+            "task", "request_span", "request_event", "region", "instant",
+            "counter",
+        }
+        task = next(r for r in records if r["type"] == "task")
+        assert task["start"] == 0.0 and task["end"] == 0.5  # seconds, unscaled
+
+    def test_save_jsonl_is_line_delimited_json(self, tracer, tmp_path):
+        path = tmp_path / "run.jsonl"
+        save_jsonl(tracer, path)
+        lines = path.read_text().splitlines()
+        assert len(lines) == len(tracer)
+        for line in lines:
+            json.loads(line)

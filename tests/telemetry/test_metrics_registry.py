@@ -1,0 +1,85 @@
+"""Unit tests for the counter/gauge/histogram registry."""
+
+import pytest
+
+from repro.telemetry import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter("iters")
+        c.inc()
+        c.inc(2.5)
+        assert c.summary() == pytest.approx(3.5)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("iters").inc(-1.0)
+
+
+class TestGauge:
+    def test_tracks_last_min_max(self):
+        g = Gauge("kv")
+        g.set(5.0)
+        g.set(2.0)
+        g.set(3.0)
+        assert g.summary() == {"last": 3.0, "min": 2.0, "max": 5.0}
+
+    def test_unset_gauge_summary_is_none(self):
+        assert Gauge("kv").summary() == {"last": None, "min": None, "max": None}
+
+
+class TestHistogram:
+    def test_stats_and_percentiles(self):
+        h = Histogram("latency")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.record(v)
+        assert h.count == 4
+        assert h.mean == pytest.approx(2.5)
+        assert h.percentile(0) == pytest.approx(1.0)
+        assert h.percentile(100) == pytest.approx(4.0)
+        s = h.summary()
+        assert s["count"] == 4
+        assert s["min"] == 1.0 and s["max"] == 4.0
+        assert set(s) == {"count", "mean", "min", "max", "p50", "p95", "p99"}
+
+    def test_empty_summary_and_percentile(self):
+        h = Histogram("latency")
+        assert h.summary() == {"count": 0}
+        with pytest.raises(ValueError):
+            h.percentile(50)
+
+    def test_percentile_validates_q(self):
+        h = Histogram("latency")
+        h.record(1.0)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+        assert len(reg) == 3
+
+    def test_summary_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("iters").inc(4)
+        reg.gauge("kv").set(10.0)
+        reg.histogram("ttft").record(0.5)
+        s = reg.summary()
+        assert s["counters"] == {"iters": 4.0}
+        assert s["gauges"]["kv"]["last"] == 10.0
+        assert s["histograms"]["ttft"]["count"] == 1
+
+    def test_merge_into_copies_and_guards_collisions(self):
+        reg = MetricsRegistry()
+        reg.counter("iters").inc()
+        report = {"makespan_s": 1.0}
+        merged = reg.merge_into(report)
+        assert merged["telemetry"]["counters"] == {"iters": 1.0}
+        assert "telemetry" not in report  # original untouched
+        with pytest.raises(ValueError):
+            reg.merge_into(merged)

@@ -1,0 +1,45 @@
+"""Tests for the optional matplotlib timeline rendering.
+
+Matplotlib is not a dependency of this repository; when it is absent the
+module must fail with an actionable MissingDependencyError, and when it is
+present the figure must actually render.  Both branches are covered —
+whichever matches the environment runs, the other is skipped.
+"""
+
+import importlib.util
+
+import pytest
+
+from repro.telemetry import MissingDependencyError, Tracer, plot_timeline
+
+HAVE_MPL = importlib.util.find_spec("matplotlib") is not None
+
+
+def populated_tracer():
+    t = Tracer()
+    t.add_task("mlp-0", "gpu", 0.0, 0.5, tag="mlp")
+    t.add_task("xfer-0", "pcie", 0.5, 0.75, tag="transfer")
+    t.add_request_span(0, "queued", 0.0, 0.25)
+    t.add_request_span(0, "prefill", 0.25, 0.5)
+    t.add_region("faults", "stall", 0.6, 0.7)
+    t.add_counter("queue_depth", 0.0, 1.0)
+    return t
+
+
+@pytest.mark.skipif(HAVE_MPL, reason="matplotlib installed; gating moot")
+def test_missing_matplotlib_raises_actionable_error(tmp_path):
+    with pytest.raises(MissingDependencyError, match="matplotlib"):
+        plot_timeline(populated_tracer(), tmp_path / "out.png")
+
+
+@pytest.mark.skipif(not HAVE_MPL, reason="matplotlib not installed")
+def test_renders_png(tmp_path):
+    path = tmp_path / "out.png"
+    plot_timeline(populated_tracer(), path)
+    assert path.stat().st_size > 0
+
+
+@pytest.mark.skipif(not HAVE_MPL, reason="matplotlib not installed")
+def test_empty_tracer_is_an_error(tmp_path):
+    with pytest.raises(ValueError):
+        plot_timeline(Tracer(), tmp_path / "out.png")

@@ -1,0 +1,145 @@
+"""Unit tests for the Tracer event store and NullTracer sink."""
+
+import pytest
+
+from repro.hardware.events import EventSimulator, SimTask
+from repro.hardware.faults import FaultEvent, FaultKind, FaultSchedule
+from repro.telemetry import (
+    NullTracer,
+    Region,
+    RequestSpan,
+    TaskSpan,
+    Tracer,
+    record_fault_schedule,
+)
+
+
+def small_schedule():
+    """A three-task DAG across two resources (deterministic)."""
+    sim = EventSimulator(["gpu", "cpu"])
+    return sim.run(
+        [
+            SimTask("a", "gpu", 1.0, tag="mlp"),
+            SimTask("b", "cpu", 0.5, deps=("a",), tag="mlp"),
+            SimTask("c", "gpu", 0.25, deps=("a",), tag="transfer"),
+        ]
+    )
+
+
+class TestEventValidation:
+    def test_task_span_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            TaskSpan("t", "gpu", 1.0, 0.5)
+
+    def test_request_span_rejects_unknown_phase(self):
+        with pytest.raises(ValueError):
+            RequestSpan(0, "warming-up", 0.0, 1.0)
+
+    def test_request_span_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            RequestSpan(0, "decode", 2.0, 1.0)
+
+    def test_region_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            Region("server", "iteration", 2.0, 1.0)
+
+    def test_zero_length_spans_are_legal(self):
+        TaskSpan("t", "gpu", 1.0, 1.0)
+        RequestSpan(0, "queued", 1.0, 1.0)
+        Region("server", "iteration", 1.0, 1.0)
+
+
+class TestTracerRecording:
+    def test_add_schedule_shifts_to_global_time(self):
+        sched = small_schedule()
+        tracer = Tracer()
+        tracer.add_schedule(sched, t0=10.0, iteration=3)
+        assert len(tracer.task_spans) == len(sched.tasks)
+        by_name = {s.name: s for s in tracer.task_spans}
+        for name, task in sched.tasks.items():
+            span = by_name[name]
+            assert span.start == 10.0 + task.start
+            assert span.end == 10.0 + task.end
+            assert span.lane == task.resource
+            assert span.tag == task.tag
+            assert span.iteration == 3
+
+    def test_lanes_and_len(self):
+        tracer = Tracer()
+        tracer.add_task("a", "gpu", 0.0, 1.0)
+        tracer.add_task("b", "cpu", 0.0, 1.0)
+        tracer.add_request_event(0, "arrive", 0.0)
+        tracer.add_counter("queue_depth", 0.0, 1)
+        assert tracer.lanes == ("cpu", "gpu")
+        assert len(tracer) == 4
+
+    def test_device_busy_merges_overlaps(self):
+        tracer = Tracer()
+        tracer.add_task("a", "gpu", 0.0, 2.0)
+        tracer.add_task("b", "gpu", 1.0, 3.0)  # overlaps a
+        tracer.add_task("c", "cpu", 0.0, 1.0)
+        busy = tracer.device_busy()
+        assert busy["gpu"] == pytest.approx(3.0)
+        assert busy["cpu"] == pytest.approx(1.0)
+
+    def test_busy_union_spans_all_lanes(self):
+        tracer = Tracer()
+        tracer.add_task("a", "gpu", 0.0, 1.0)
+        tracer.add_task("b", "cpu", 0.5, 2.0)
+        assert tracer.busy_union() == pytest.approx(2.0)
+
+    def test_counter_series_filters_by_name(self):
+        tracer = Tracer()
+        tracer.add_counter("x", 0.0, 1.0)
+        tracer.add_counter("y", 0.5, 2.0)
+        tracer.add_counter("x", 1.0, 3.0)
+        assert tracer.counter_series("x") == [(0.0, 1.0), (1.0, 3.0)]
+        assert tracer.counter_series("missing") == []
+
+    def test_regions_on_lane(self):
+        tracer = Tracer()
+        tracer.add_region("server", "iteration", 0.0, 1.0)
+        tracer.add_region("faults", "stall", 2.0, 3.0)
+        assert [r.name for r in tracer.regions_on("faults")] == ["stall"]
+
+
+class TestNullTracer:
+    def test_disabled_and_records_nothing(self):
+        null = NullTracer()
+        assert null.enabled is False
+        null.add_task("a", "gpu", 0.0, 1.0)
+        null.add_schedule(small_schedule(), t0=1.0)
+        null.add_request_span(0, "queued", 0.0, 1.0)
+        null.add_request_event(0, "arrive", 0.0)
+        null.add_region("server", "iteration", 0.0, 1.0)
+        null.add_instant("faults", "epoch", 0.0)
+        null.add_counter("x", 0.0, 1.0)
+        assert len(null) == 0
+
+    def test_is_a_tracer(self):
+        assert isinstance(NullTracer(), Tracer)
+
+
+class TestRecordFaultSchedule:
+    def test_events_become_regions_and_boundaries_instants(self):
+        faults = FaultSchedule(
+            [
+                FaultEvent(FaultKind.PCIE_DEGRADE, 1.0, 2.0, 4.0),
+                FaultEvent(FaultKind.DEVICE_STALL, 5.0, 0.5),
+            ]
+        )
+        tracer = Tracer()
+        record_fault_schedule(tracer, faults)
+        regions = tracer.regions_on("faults")
+        assert [(r.name, r.start, r.end) for r in regions] == [
+            ("pcie-degrade", 1.0, 3.0),
+            ("stall", 5.0, 5.5),
+        ]
+        assert regions[0].args == {"magnitude": 4.0}
+        marks = [i.time for i in tracer.instants if i.name == "epoch"]
+        assert marks == list(faults.boundaries) == [1.0, 3.0, 5.0, 5.5]
+
+    def test_empty_schedule_adds_nothing(self):
+        tracer = Tracer()
+        record_fault_schedule(tracer, FaultSchedule([]))
+        assert len(tracer) == 0
