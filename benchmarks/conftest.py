@@ -5,35 +5,23 @@ Every bench runs its experiment exactly once through pytest-benchmark
 not microbenchmarks) and records the resulting table under
 ``benchmarks/results/`` so EXPERIMENTS.md can cite the exact output.
 
-Each result is persisted twice: the human-readable ``<name>.txt`` table
-(what EXPERIMENTS.md quotes) and a structured ``<name>.json`` document
-(title + rows) so downstream tooling can consume the numbers without
-re-parsing ASCII tables.  NaN cells — legal in floats, illegal in strict
-JSON — are serialized as ``null``.
+Each result is persisted twice via the shared writer in
+:mod:`repro.bench.report`: the human-readable ``<name>.txt`` table (what
+EXPERIMENTS.md quotes) and a structured ``<name>.json`` document (title +
+rows) so ``repro bench-check`` and other tooling consume the exact same
+numbers.  NaN cells — legal in floats, illegal in strict JSON — are
+serialized as ``null``.
 """
 
 from __future__ import annotations
 
-import json
-import math
 from pathlib import Path
 
 import pytest
 
-from repro.bench.report import format_table
+from repro.bench.report import save_rows
 
 RESULTS_DIR = Path(__file__).parent / "results"
-
-
-def _json_safe(value):
-    """Recursively replace non-finite floats with None (strict-JSON NaN)."""
-    if isinstance(value, float) and not math.isfinite(value):
-        return None
-    if isinstance(value, dict):
-        return {k: _json_safe(v) for k, v in value.items()}
-    if isinstance(value, (list, tuple)):
-        return [_json_safe(v) for v in value]
-    return value
 
 
 @pytest.fixture(scope="session")
@@ -41,17 +29,12 @@ def record_rows():
     """Fixture: ``record_rows(name, rows, title)`` writes and prints a table.
 
     Writes ``results/<name>.txt`` (formatted table) and
-    ``results/<name>.json`` (structured ``{"title", "rows"}``).
+    ``results/<name>.json`` (structured ``{"title", "rows"}``) through
+    :func:`repro.bench.report.save_rows`.
     """
-    RESULTS_DIR.mkdir(exist_ok=True)
 
     def _record(name: str, rows: list[dict], title: str = "") -> None:
-        text = format_table(rows, title or name)
-        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
-        document = {"title": title or name, "rows": _json_safe(rows)}
-        (RESULTS_DIR / f"{name}.json").write_text(
-            json.dumps(document, indent=2) + "\n"
-        )
+        text = save_rows(RESULTS_DIR, name, rows, title=title)
         print(f"\n{text}")
 
     return _record

@@ -1,0 +1,208 @@
+"""What-if sensitivity: re-cost a recorded schedule under hardware knobs.
+
+The attribution layer says where time went; the next question is *what
+single knob would help most*.  Because every engine task carries its raw
+roofline terms (:class:`~repro.hardware.costmodel.TaskCost` — flops,
+bytes, launch/sync counts, UM flag), a recorded schedule can be re-priced
+**analytically** against a perturbed :class:`MachineSpec` and re-run
+through the deterministic list scheduler without touching the engine: the
+DAG's shape does not depend on the machine, only its durations do.
+
+:data:`STANDARD_KNOBS` covers the perturbations the paper's bottleneck
+arguments revolve around: PCIe bandwidth x2 (Section 6.2's weight-streaming
+claim), GPU/CPU memory bandwidth x2 (Equation 5's bandwidth-bound regime),
+kernel-launch overhead -> 0 and sync overhead -> 0 (Section 6.3.1's fixed
+costs), and CPU cores +/- (throughput of the CPU executor).
+
+:func:`cross_validate` checks the analytic predictions against an actual
+re-simulation of the engine on the perturbed machine — the two should
+agree to float noise on deterministic DAGs, and the acceptance bar is 5%.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Mapping
+
+from repro.hardware.events import EventSimulator, ScheduleResult, SimTask
+from repro.hardware.spec import MachineSpec
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.engine.base import PerfEngine
+
+__all__ = [
+    "Knob",
+    "STANDARD_KNOBS",
+    "WhatIfResult",
+    "reprice_tasks",
+    "reprice_schedule",
+    "whatif_sensitivity",
+    "cross_validate",
+]
+
+Knob = Callable[[MachineSpec], MachineSpec]
+
+
+def _scale_gpu_bandwidth(factor: float) -> Knob:
+    def knob(machine: MachineSpec) -> MachineSpec:
+        gpu = dataclasses.replace(
+            machine.gpu, memory_bandwidth=machine.gpu.memory_bandwidth * factor
+        )
+        return dataclasses.replace(machine, gpu=gpu)
+
+    return knob
+
+
+def _scale_cpu(factor: float, *, bandwidth: bool = False, flops: bool = False) -> Knob:
+    def knob(machine: MachineSpec) -> MachineSpec:
+        changes: dict = {}
+        if bandwidth:
+            changes["memory_bandwidth"] = machine.cpu.memory_bandwidth * factor
+        if flops:
+            changes["compute_flops"] = machine.cpu.compute_flops * factor
+        cpu = dataclasses.replace(machine.cpu, **changes)
+        return dataclasses.replace(machine, cpu=cpu)
+
+    return knob
+
+
+def _scale_link_bandwidth(factor: float) -> Knob:
+    def knob(machine: MachineSpec) -> MachineSpec:
+        link = dataclasses.replace(
+            machine.link, bandwidth=machine.link.bandwidth * factor
+        )
+        return dataclasses.replace(machine, link=link)
+
+    return knob
+
+
+def _zero_launch(machine: MachineSpec) -> MachineSpec:
+    gpu = dataclasses.replace(machine.gpu, launch_overhead=0.0)
+    cpu = dataclasses.replace(machine.cpu, launch_overhead=0.0)
+    return dataclasses.replace(machine, gpu=gpu, cpu=cpu)
+
+
+def _zero_sync(machine: MachineSpec) -> MachineSpec:
+    return dataclasses.replace(machine, sync_overhead=0.0)
+
+
+# Knob name -> MachineSpec perturbation.  Core count maps to CPU compute
+# throughput (AVX throughput scales with cores; DRAM bandwidth does not).
+STANDARD_KNOBS: dict[str, Knob] = {
+    "pcie_bw_x2": _scale_link_bandwidth(2.0),
+    "gpu_bw_x2": _scale_gpu_bandwidth(2.0),
+    "cpu_bw_x2": _scale_cpu(2.0, bandwidth=True),
+    "launch_zero": _zero_launch,
+    "sync_zero": _zero_sync,
+    "cpu_cores_x2": _scale_cpu(2.0, flops=True),
+    "cpu_cores_half": _scale_cpu(0.5, flops=True),
+}
+
+
+@dataclass(frozen=True)
+class WhatIfResult:
+    """Predicted effect of one hardware knob on one recorded schedule."""
+
+    knob: str
+    baseline_makespan: float
+    predicted_makespan: float
+
+    @property
+    def predicted_speedup(self) -> float:
+        if self.predicted_makespan <= 0.0:
+            return float("inf")
+        return self.baseline_makespan / self.predicted_makespan
+
+    def as_row(self) -> dict:
+        return {
+            "knob": self.knob,
+            "baseline_s": self.baseline_makespan,
+            "predicted_s": self.predicted_makespan,
+            "speedup": self.predicted_speedup,
+        }
+
+
+def reprice_tasks(tasks: list[SimTask], machine: MachineSpec) -> list[SimTask]:
+    """Same DAG, durations re-derived from each task's recorded work.
+
+    Tasks without a :class:`~repro.hardware.costmodel.TaskCost` keep their
+    original duration (there is nothing to re-price).
+    """
+    out: list[SimTask] = []
+    for task in tasks:
+        if task.cost is None:
+            out.append(task)
+            continue
+        cost = task.cost.repriced(task.resource, machine)
+        out.append(
+            SimTask(
+                name=task.name,
+                resource=task.resource,
+                duration=cost.duration,
+                deps=task.deps,
+                priority=task.priority,
+                tag=task.tag,
+                cost=cost,
+            )
+        )
+    return out
+
+
+def reprice_schedule(tasks: list[SimTask], machine: MachineSpec) -> ScheduleResult:
+    """Re-price the DAG on ``machine`` and re-run the list scheduler."""
+    resources = sorted({t.resource for t in tasks})
+    return EventSimulator(resources).run(reprice_tasks(tasks, machine))
+
+
+def whatif_sensitivity(
+    tasks: list[SimTask],
+    machine: MachineSpec,
+    knobs: Mapping[str, Knob] | None = None,
+) -> list[WhatIfResult]:
+    """Predicted speedup of each knob for one recorded iteration DAG.
+
+    ``machine`` is the spec the DAG was originally priced against; each
+    knob perturbs it and the schedule is analytically re-costed.  Results
+    come back sorted by predicted speedup, best first.
+    """
+    knobs = dict(knobs) if knobs is not None else dict(STANDARD_KNOBS)
+    baseline = reprice_schedule(tasks, machine).makespan
+    results = [
+        WhatIfResult(
+            knob=name,
+            baseline_makespan=baseline,
+            predicted_makespan=reprice_schedule(tasks, transform(machine)).makespan,
+        )
+        for name, transform in knobs.items()
+    ]
+    results.sort(key=lambda r: r.predicted_makespan)
+    return results
+
+
+def cross_validate(
+    engine: "PerfEngine",
+    ctx_len: int,
+    n_tokens: int,
+    batch: int = 1,
+    knobs: Mapping[str, Knob] | None = None,
+) -> dict[str, dict[str, float]]:
+    """Analytic what-if vs. actual re-simulation, per knob.
+
+    For each knob, the engine is actually re-run with the perturbed
+    machine (``simulate_iteration(machine=...)``) and compared to the
+    analytic re-pricing of the unperturbed DAG.  Returns per-knob
+    ``{"predicted": s, "actual": s, "rel_error": |p-a|/a}``.
+    """
+    knobs = dict(knobs) if knobs is not None else dict(STANDARD_KNOBS)
+    tasks = engine.iteration_tasks(ctx_len, n_tokens, batch)
+    report: dict[str, dict[str, float]] = {}
+    for name, transform in knobs.items():
+        perturbed = transform(engine.machine)
+        predicted = reprice_schedule(tasks, perturbed).makespan
+        actual = engine.simulate_iteration(
+            ctx_len, n_tokens, batch, machine=perturbed
+        ).makespan
+        rel = abs(predicted - actual) / actual if actual > 0.0 else 0.0
+        report[name] = {"predicted": predicted, "actual": actual, "rel_error": rel}
+    return report

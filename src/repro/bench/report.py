@@ -1,10 +1,21 @@
-"""Plain-text table rendering for experiment outputs."""
+"""Table rendering and machine-readable persistence for experiment outputs.
+
+Every benchmark result is persisted twice from the same rows: the
+human-readable ASCII table EXPERIMENTS.md quotes, and a structured JSON
+document (``{"title", "rows"}``) downstream tooling — including ``repro
+bench-check`` — reads without re-parsing tables.  :func:`save_rows` is the
+single writer both the ``benchmarks/`` drivers and ad-hoc scripts share, so
+humans and the regression harness always see the same numbers.
+"""
 
 from __future__ import annotations
 
+import json
+import math
+from pathlib import Path
 from typing import Any, Sequence
 
-__all__ = ["format_table", "print_table"]
+__all__ = ["format_table", "print_table", "json_safe", "write_rows_json", "save_rows"]
 
 
 def _fmt(value: Any) -> str:
@@ -40,3 +51,35 @@ def format_table(rows: Sequence[dict[str, Any]], title: str = "") -> str:
 def print_table(rows: Sequence[dict[str, Any]], title: str = "") -> None:
     """Print :func:`format_table` output."""
     print(format_table(rows, title))
+
+
+def json_safe(value: Any) -> Any:
+    """Recursively replace non-finite floats with None (strict-JSON NaN)."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {k: json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [json_safe(v) for v in value]
+    return value
+
+
+def write_rows_json(path: Path | str, rows: Sequence[dict[str, Any]], title: str = "") -> None:
+    """Write rows as a structured ``{"title", "rows"}`` JSON document."""
+    document = {"title": title, "rows": json_safe(list(rows))}
+    Path(path).write_text(json.dumps(document, indent=2) + "\n")
+
+
+def save_rows(
+    directory: Path | str, name: str, rows: Sequence[dict[str, Any]], title: str = ""
+) -> str:
+    """Persist one result set as ``<name>.txt`` + ``<name>.json``.
+
+    Returns the formatted table so callers can also print it.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    text = format_table(rows, title or name)
+    (directory / f"{name}.txt").write_text(text + "\n")
+    write_rows_json(directory / f"{name}.json", rows, title=title or name)
+    return text

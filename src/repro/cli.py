@@ -17,6 +17,16 @@ Subcommands::
     repro trace     --model opt-6.7b --machine pc-low --out run.trace.json
                                          serve one traced stream and export a
                                          Chrome trace / JSONL / timeline PNG
+    repro attribution --model opt-6.7b --machine pc-low
+                                         decompose one iteration: roofline
+                                         components, critical path, what-if
+                                         knob sensitivity
+    repro bench-baseline [--quick] [--out BENCH_baseline.json]
+                                         record the canonical benchmark suite
+    repro bench-check [--tolerance 0.05] [--report diff.json]
+                                         re-run the suite, diff against the
+                                         committed baseline, exit non-zero on
+                                         regression
 
 Also runnable as ``python -m repro.cli ...``.
 """
@@ -264,6 +274,46 @@ def _build_parser() -> argparse.ArgumentParser:
 
     bounds = sub.add_parser("bounds", help="analytic roofline throughput bounds")
     add_common(bounds)
+
+    attr = sub.add_parser(
+        "attribution",
+        help="attribute one iteration's time: decomposition, critical path, what-if",
+    )
+    add_common(attr)
+    attr.add_argument("--engine", default="powerinfer", choices=sorted(ENGINE_CLASSES))
+    attr.add_argument(
+        "--ctx", type=int, default=128, help="context length of the decode iteration"
+    )
+    attr.add_argument("--batch", type=int, default=1)
+    attr.add_argument(
+        "--group",
+        default="device",
+        choices=("device", "tag", "layer"),
+        help="grouping for the decomposition table",
+    )
+
+    bench_base = sub.add_parser(
+        "bench-baseline", help="run the canonical suite and write the baseline"
+    )
+    bench_base.add_argument(
+        "--out", default="BENCH_baseline.json", help="baseline JSON output path"
+    )
+    bench_base.add_argument(
+        "--quick", action="store_true", help="small suite (tests / local iteration)"
+    )
+
+    bench_check = sub.add_parser(
+        "bench-check", help="re-run the suite and diff against the baseline"
+    )
+    bench_check.add_argument(
+        "--baseline", default="BENCH_baseline.json", help="baseline JSON to compare to"
+    )
+    bench_check.add_argument(
+        "--tolerance", type=float, default=0.05, help="per-metric relative tolerance"
+    )
+    bench_check.add_argument(
+        "--report", default=None, help="also write the structured diff as JSON"
+    )
     return parser
 
 
@@ -619,6 +669,76 @@ def _cmd_bounds(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_attribution(args: argparse.Namespace) -> int:
+    from repro.analysis import analyze_iteration, whatif_sensitivity
+
+    engine = make_engine(args.engine, args.model, args.machine, args.dtype, seed=args.seed)
+    analysis = analyze_iteration(engine, args.ctx, 1, args.batch)
+    deco, cp = analysis.decomposition, analysis.critical_path
+
+    header = f"{args.engine} / {args.model} / {args.machine} ({args.dtype})"
+    print(
+        format_table(
+            deco.as_rows(args.group),
+            f"{header}: decode iteration at ctx={args.ctx} — seconds by {args.group}",
+        )
+    )
+    shares = deco.shares()
+    share_text = ", ".join(f"{k} {v:.0%}" for k, v in shares.items() if v > 0.005)
+    print(f"\nshares: {share_text}")
+    print(
+        f"critical path: {len(cp.segments)} tasks, gating resource "
+        f"{cp.gating_resource()} ({cp.time_by_resource()})"
+    )
+    gates = {}
+    for seg in cp.segments:
+        gates[seg.gate] = gates.get(seg.gate, 0) + 1
+    print(f"gates along path: {gates}")
+
+    tasks = engine.iteration_tasks(args.ctx, 1, args.batch)
+    rows = [r.as_row() for r in whatif_sensitivity(tasks, engine.machine)]
+    print()
+    print(format_table(rows, "what-if sensitivity (analytic re-pricing)"))
+    return 0
+
+
+def _cmd_bench_baseline(args: argparse.Namespace) -> int:
+    from repro.bench.baseline import write_baseline
+
+    document = write_baseline(args.out, quick=args.quick)
+    print(
+        f"wrote {args.out}: {len(document['metrics'])} metrics "
+        f"({document['suite']} suite)"
+    )
+    return 0
+
+
+def _cmd_bench_check(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bench.baseline import (
+        check_against_baseline,
+        format_diff,
+        load_baseline,
+        run_suite,
+    )
+
+    try:
+        baseline = load_baseline(args.baseline)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {args.baseline}: {exc}", file=sys.stderr)
+        return 2
+    current = run_suite(quick=baseline.get("suite") == "quick")
+    diff = check_against_baseline(baseline, current, tolerance=args.tolerance)
+    print(format_diff(diff))
+    if args.report is not None:
+        with open(args.report, "w", encoding="utf-8") as fh:
+            json.dump(diff.as_dict(), fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.report}")
+    return 0 if diff.ok else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -643,6 +763,12 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_trace(args)
         if args.command == "bounds":
             return _cmd_bounds(args)
+        if args.command == "attribution":
+            return _cmd_attribution(args)
+        if args.command == "bench-baseline":
+            return _cmd_bench_baseline(args)
+        if args.command == "bench-check":
+            return _cmd_bench_check(args)
     except OutOfMemoryError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -22,16 +22,57 @@ import numpy as np
 
 from repro.engine.plan import DeploymentPlan
 from repro.engine.results import RequestResult
+from repro.hardware.costmodel import CostModel, OpWork
 from repro.hardware.events import EventSimulator, ScheduleResult, SimTask
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from repro.hardware.faults import FaultSchedule
-    from repro.hardware.spec import MachineSpec
+    from repro.hardware.spec import DeviceSpec, LinkSpec, MachineSpec
     from repro.telemetry.tracer import Tracer
 
-__all__ = ["PerfEngine", "RESOURCES"]
+__all__ = ["PerfEngine", "RESOURCES", "op_task", "transfer_task"]
 
 RESOURCES = ("gpu", "cpu", "pcie")
+
+
+def op_task(
+    name: str,
+    resource: str,
+    device: "DeviceSpec",
+    work: OpWork,
+    deps: tuple[str, ...] = (),
+    tag: str = "",
+    sync: float = 0.0,
+    include_launch: bool = True,
+    priority: int = 0,
+) -> SimTask:
+    """A :class:`SimTask` priced by the roofline model, cost terms attached.
+
+    The attached :class:`~repro.hardware.costmodel.TaskCost` is what lets
+    the attribution layer decompose the span into memory/compute/launch/
+    sync components and re-price it under perturbed hardware; its
+    ``duration`` is bit-identical to ``sync + CostModel.op_time(...)``.
+    """
+    cost = CostModel.op_cost(work, device, include_launch=include_launch, sync=sync)
+    return SimTask(
+        name, resource, cost.duration, deps=deps, priority=priority, tag=tag, cost=cost
+    )
+
+
+def transfer_task(
+    name: str,
+    link: "LinkSpec",
+    nbytes: float,
+    deps: tuple[str, ...] = (),
+    tag: str = "transfer",
+    unified_memory: bool = False,
+    priority: int = 0,
+) -> SimTask:
+    """A PCIe :class:`SimTask` priced by the link model, cost attached."""
+    cost = CostModel.transfer_cost(nbytes, link, unified_memory=unified_memory)
+    return SimTask(
+        name, "pcie", cost.duration, deps=deps, priority=priority, tag=tag, cost=cost
+    )
 
 
 class PerfEngine(ABC):
@@ -153,23 +194,42 @@ class PerfEngine(ABC):
         batch: int = 1,
         decode_samples: int = 4,
         rng: np.random.Generator | None = None,
+        tracer: "Tracer | None" = None,
+        trace_t0: float = 0.0,
     ) -> RequestResult:
         """Simulate a full request: prompt phase + ``output_len`` decode steps.
 
         Decode cost is evaluated at ``decode_samples`` context lengths
         spread over the generation window and averaged (KV growth is linear
         in context, so the mean over evenly spaced samples integrates it).
+
+        A ``tracer`` records the *sampled* timeline starting at
+        ``trace_t0`` — the prompt iteration followed by each sampled decode
+        iteration back to back (iteration 0 is the prompt).  The integrated
+        result itself is bit-identical with or without a tracer.
         """
         if input_len <= 0 or output_len <= 0 or batch <= 0:
             raise ValueError("input_len, output_len, batch must be positive")
-        prompt = self.simulate_iteration(0, input_len, batch, rng)
+        prompt = self.simulate_iteration(
+            0, input_len, batch, rng, tracer=tracer, trace_t0=trace_t0, trace_iteration=0
+        )
 
         samples = min(decode_samples, output_len)
         ctx_points = np.linspace(input_len, input_len + output_len - 1, samples)
         decode_time = 0.0
         decode_tags: dict[str, float] = {}
-        for ctx in ctx_points:
-            result = self.simulate_iteration(int(ctx), 1, batch, rng)
+        trace_now = trace_t0 + prompt.makespan
+        for i, ctx in enumerate(ctx_points):
+            result = self.simulate_iteration(
+                int(ctx),
+                1,
+                batch,
+                rng,
+                tracer=tracer,
+                trace_t0=trace_now,
+                trace_iteration=i + 1,
+            )
+            trace_now += result.makespan
             decode_time += result.makespan
             for tag, t in result.time_by_tag().items():
                 decode_tags[tag] = decode_tags.get(tag, 0.0) + t

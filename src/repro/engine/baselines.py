@@ -26,9 +26,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.engine.base import PerfEngine
+from repro.engine.base import PerfEngine, op_task, transfer_task
 from repro.engine.plan import DeploymentPlan
-from repro.hardware.costmodel import CostModel, OpWork
+from repro.hardware.costmodel import OpWork
 from repro.hardware.events import SimTask
 from repro.hardware.memory import OutOfMemoryError
 
@@ -96,12 +96,11 @@ class LlamaCppEngine(_LayerSplitMixin, PerfEngine):
         for li in range(n_cpu):
             name = f"L{li}.cpu"
             tasks.append(
-                SimTask(
+                op_task(
                     name,
                     "cpu",
-                    CostModel.op_time(
-                        self._layer_work("cpu", ctx_len, n_tokens, batch), machine.cpu
-                    ),
+                    machine.cpu,
+                    self._layer_work("cpu", ctx_len, n_tokens, batch),
                     deps=(prev,) if prev else (),
                     tag="cpu-dense",
                 )
@@ -110,12 +109,8 @@ class LlamaCppEngine(_LayerSplitMixin, PerfEngine):
         # ... then one hidden-state hop to the GPU ...
         if n_cpu and n_gpu:
             tasks.append(
-                SimTask(
-                    "hidden_xfer",
-                    "pcie",
-                    CostModel.transfer_time(self._activation_bytes(rows), machine.link),
-                    deps=(prev,),
-                    tag="transfer",
+                transfer_task(
+                    "hidden_xfer", machine.link, self._activation_bytes(rows), deps=(prev,)
                 )
             )
             prev = "hidden_xfer"
@@ -123,12 +118,11 @@ class LlamaCppEngine(_LayerSplitMixin, PerfEngine):
         for li in range(n_cpu, self.model.n_layers):
             name = f"L{li}.gpu"
             tasks.append(
-                SimTask(
+                op_task(
                     name,
                     "gpu",
-                    CostModel.op_time(
-                        self._layer_work("gpu", ctx_len, n_tokens, batch), machine.gpu
-                    ),
+                    machine.gpu,
+                    self._layer_work("gpu", ctx_len, n_tokens, batch),
                     deps=(prev,) if prev else (),
                     tag="gpu-dense",
                 )
@@ -144,10 +138,11 @@ class LlamaCppEngine(_LayerSplitMixin, PerfEngine):
             + self._activation_bytes(batch),
             bytes_written=batch * self.model.vocab_size * 4.0,
         )
-        return SimTask(
+        return op_task(
             "lm_head",
             "gpu",
-            CostModel.op_time(work, self.machine.gpu),
+            self.machine.gpu,
+            work,
             deps=(dep,) if dep else (),
             tag="lmhead",
         )
@@ -182,12 +177,11 @@ class FlexGenEngine(_LayerSplitMixin, PerfEngine):
             if li >= n_resident:
                 xfer = f"L{li}.stream"
                 tasks.append(
-                    SimTask(
+                    transfer_task(
                         xfer,
-                        "pcie",
-                        CostModel.transfer_time(layer_bytes, machine.link),
+                        machine.link,
+                        layer_bytes,
                         deps=(prev_xfer,) if prev_xfer else (),
-                        tag="transfer",
                     )
                 )
                 prev_xfer = xfer
@@ -200,10 +194,11 @@ class FlexGenEngine(_LayerSplitMixin, PerfEngine):
                 bytes_written=act,
             )
             tasks.append(
-                SimTask(
+                op_task(
                     name,
                     "gpu",
-                    CostModel.op_time(work, machine.gpu),
+                    machine.gpu,
+                    work,
                     deps=tuple(deps),
                     tag="gpu-dense",
                 )
@@ -249,13 +244,11 @@ class DejaVuUmEngine(_LayerSplitMixin, PerfEngine):
 
             pred = f"L{li}.pred"
             tasks.append(
-                SimTask(
+                op_task(
                     pred,
                     "gpu",
-                    CostModel.op_time(
-                        OpWork(flops=pred_bytes * rows, bytes_read=pred_bytes + act),
-                        machine.gpu,
-                    ),
+                    machine.gpu,
+                    OpWork(flops=pred_bytes * rows, bytes_read=pred_bytes + act),
                     deps=(prev,) if prev else (),
                     tag="predictor",
                 )
@@ -267,12 +260,12 @@ class DejaVuUmEngine(_LayerSplitMixin, PerfEngine):
                 if prev_fetch:
                     fetch_deps.append(prev_fetch)
                 tasks.append(
-                    SimTask(
+                    transfer_task(
                         fetch,
-                        "pcie",
-                        machine.link.transfer_time(active_bytes, unified_memory=True),
+                        machine.link,
+                        active_bytes,
                         deps=tuple(fetch_deps),
-                        tag="transfer",
+                        unified_memory=True,
                     )
                 )
                 prev_fetch = fetch
@@ -291,10 +284,11 @@ class DejaVuUmEngine(_LayerSplitMixin, PerfEngine):
                 bytes_written=act,
             )
             tasks.append(
-                SimTask(
+                op_task(
                     name,
                     "gpu",
-                    CostModel.op_time(work, machine.gpu),
+                    machine.gpu,
+                    work,
                     deps=tuple(deps),
                     tag="gpu-neuron",
                 )
@@ -349,10 +343,11 @@ class VllmEngine(PerfEngine):
             )
             name = f"L{li}.gpu"
             tasks.append(
-                SimTask(
+                op_task(
                     name,
                     "gpu",
-                    CostModel.op_time(work, machine.gpu),
+                    machine.gpu,
+                    work,
                     deps=(prev,) if prev else (),
                     tag="gpu-dense",
                 )
@@ -406,13 +401,11 @@ class LayerwiseSparseEngine(_LayerSplitMixin, PerfEngine):
             pred_bytes = self.plan.predictor_bytes[li]
             pred = f"L{li}.pred"
             tasks.append(
-                SimTask(
+                op_task(
                     pred,
                     resource,
-                    CostModel.op_time(
-                        OpWork(flops=pred_bytes * rows, bytes_read=pred_bytes + act),
-                        device,
-                    ),
+                    device,
+                    OpWork(flops=pred_bytes * rows, bytes_read=pred_bytes + act),
                     deps=(prev,) if prev else (),
                     tag="predictor",
                 )
@@ -430,10 +423,11 @@ class LayerwiseSparseEngine(_LayerSplitMixin, PerfEngine):
                 bytes_written=act,
             )
             tasks.append(
-                SimTask(
+                op_task(
                     name,
                     resource,
-                    CostModel.op_time(work, device),
+                    device,
+                    work,
                     deps=(pred,),
                     tag=f"{resource}-neuron",
                 )
@@ -443,15 +437,7 @@ class LayerwiseSparseEngine(_LayerSplitMixin, PerfEngine):
         for li in range(n_cpu):
             layer_tasks(li, "cpu", machine.cpu)
         if n_cpu and n_gpu:
-            tasks.append(
-                SimTask(
-                    "hidden_xfer",
-                    "pcie",
-                    CostModel.transfer_time(act, machine.link),
-                    deps=(prev,),
-                    tag="transfer",
-                )
-            )
+            tasks.append(transfer_task("hidden_xfer", machine.link, act, deps=(prev,)))
             prev = "hidden_xfer"
         for li in range(n_cpu, model.n_layers):
             layer_tasks(li, "gpu", machine.gpu)

@@ -18,8 +18,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.engine.base import PerfEngine
-from repro.hardware.costmodel import CostModel, OpWork
+from repro.engine.base import PerfEngine, op_task, transfer_task
+from repro.hardware.costmodel import OpWork
 from repro.hardware.events import SimTask
 
 __all__ = ["PowerInferEngine"]
@@ -83,28 +83,21 @@ class PowerInferEngine(PerfEngine):
             )
             pred_attn = f"L{li}.pred_attn"
             tasks.append(
-                SimTask(
-                    pred_attn,
-                    "gpu",
-                    CostModel.op_time(pred_work.scaled(0.5), gpu),
-                    deps=deps_in,
-                    tag="predictor",
-                )
+                op_task(pred_attn, "gpu", gpu, pred_work.scaled(0.5),
+                        deps=deps_in, tag="predictor")
             )
 
             # -- attention block ------------------------------------------
             attn_gpu = f"L{li}.attn_gpu"
             tasks.append(
-                SimTask(
+                op_task(
                     attn_gpu,
                     "gpu",
-                    CostModel.op_time(
-                        OpWork(
-                            flops=2.0 * ag1 * attn_np_ * rows,
-                            bytes_read=ag * attn_nb + act,
-                            bytes_written=act,
-                        ),
-                        gpu,
+                    gpu,
+                    OpWork(
+                        flops=2.0 * ag1 * attn_np_ * rows,
+                        bytes_read=ag * attn_nb + act,
+                        bytes_written=act,
                     ),
                     deps=(pred_attn,),
                     tag="gpu-neuron",
@@ -114,16 +107,14 @@ class PowerInferEngine(PerfEngine):
             if ac > 0:
                 attn_cpu = f"L{li}.attn_cpu"
                 tasks.append(
-                    SimTask(
+                    op_task(
                         attn_cpu,
                         "cpu",
-                        CostModel.op_time(
-                            OpWork(
-                                flops=2.0 * ac1 * attn_np_ * rows,
-                                bytes_read=ac * attn_nb + act,
-                                bytes_written=act,
-                            ),
-                            cpu,
+                        cpu,
+                        OpWork(
+                            flops=2.0 * ac1 * attn_np_ * rows,
+                            bytes_read=ac * attn_nb + act,
+                            bytes_written=act,
                         ),
                         deps=(pred_attn,),
                         tag="cpu-neuron",
@@ -133,80 +124,57 @@ class PowerInferEngine(PerfEngine):
             # QKV of GPU-computed heads ship to the CPU, where the KV cache
             # lives (Section 7) and attention-over-context runs.
             qkv_xfer = f"L{li}.qkv_xfer"
-            tasks.append(
-                SimTask(
-                    qkv_xfer,
-                    "pcie",
-                    CostModel.transfer_time(act, link),
-                    deps=(attn_gpu,),
-                    tag="transfer",
-                )
-            )
+            tasks.append(transfer_task(qkv_xfer, link, act, deps=(attn_gpu,)))
             active_head_frac = min((ag + ac) / model.n_heads, 1.0)
             attn_ctx = f"L{li}.attn_ctx"
             tasks.append(
-                SimTask(
+                op_task(
                     attn_ctx,
                     "cpu",
-                    CostModel.op_time(
-                        OpWork(
-                            flops=self._kv_flops(ctx_len, n_tokens, batch)
-                            * active_head_frac,
-                            bytes_read=self._kv_read_bytes(ctx_len, n_tokens, batch)
-                            * active_head_frac,
-                            bytes_written=act,
-                        ),
-                        cpu,
+                    cpu,
+                    OpWork(
+                        flops=self._kv_flops(ctx_len, n_tokens, batch)
+                        * active_head_frac,
+                        bytes_read=self._kv_read_bytes(ctx_len, n_tokens, batch)
+                        * active_head_frac,
+                        bytes_written=act,
                     ),
                     deps=tuple(attn_deps[1:]) + (qkv_xfer,),
                     tag="kv",
                 )
             )
             ctx_xfer = f"L{li}.ctx_xfer"
-            tasks.append(
-                SimTask(
-                    ctx_xfer,
-                    "pcie",
-                    CostModel.transfer_time(act, link),
-                    deps=(attn_ctx,),
-                    tag="transfer",
-                )
-            )
+            tasks.append(transfer_task(ctx_xfer, link, act, deps=(attn_ctx,)))
             attn_merge = f"L{li}.attn_merge"
             merge_work = OpWork(bytes_read=2 * act, bytes_written=act)
             tasks.append(
-                SimTask(
+                op_task(
                     attn_merge,
                     "gpu",
-                    machine.sync_overhead + CostModel.op_time(merge_work, gpu),
+                    gpu,
+                    merge_work,
                     deps=(attn_gpu, ctx_xfer),
                     tag="merge",
+                    sync=machine.sync_overhead,
                 )
             )
 
             # -- MLP block ---------------------------------------------------
             pred_mlp = f"L{li}.pred_mlp"
             tasks.append(
-                SimTask(
-                    pred_mlp,
-                    "gpu",
-                    CostModel.op_time(pred_work.scaled(0.5), gpu),
-                    deps=(attn_merge,),
-                    tag="predictor",
-                )
+                op_task(pred_mlp, "gpu", gpu, pred_work.scaled(0.5),
+                        deps=(attn_merge,), tag="predictor")
             )
             mlp_gpu = f"L{li}.mlp_gpu"
             tasks.append(
-                SimTask(
+                op_task(
                     mlp_gpu,
                     "gpu",
-                    CostModel.op_time(
-                        OpWork(
-                            flops=2.0 * mg1 * mlp_np_ * rows,
-                            bytes_read=mg * mlp_nb + act,
-                            bytes_written=act,
-                        ),
-                        gpu,
+                    gpu,
+                    OpWork(
+                        flops=2.0 * mg1 * mlp_np_ * rows,
+                        bytes_read=mg * mlp_nb + act,
+                        bytes_written=act,
                     ),
                     deps=(pred_mlp,),
                     tag="gpu-neuron",
@@ -217,42 +185,34 @@ class PowerInferEngine(PerfEngine):
             if mc > 0 or not self.selective_sync:
                 mlp_cpu = f"L{li}.mlp_cpu"
                 tasks.append(
-                    SimTask(
+                    op_task(
                         mlp_cpu,
                         "cpu",
-                        CostModel.op_time(
-                            OpWork(
-                                flops=2.0 * mc1 * mlp_np_ * rows,
-                                bytes_read=mc * mlp_nb + act,
-                                bytes_written=act,
-                            ),
-                            cpu,
+                        cpu,
+                        OpWork(
+                            flops=2.0 * mc1 * mlp_np_ * rows,
+                            bytes_read=mc * mlp_nb + act,
+                            bytes_written=act,
                         ),
                         deps=(pred_mlp, attn_merge),
                         tag="cpu-neuron",
                     )
                 )
                 mlp_xfer = f"L{li}.mlp_xfer"
-                tasks.append(
-                    SimTask(
-                        mlp_xfer,
-                        "pcie",
-                        CostModel.transfer_time(act, link),
-                        deps=(mlp_cpu,),
-                        tag="transfer",
-                    )
-                )
+                tasks.append(transfer_task(mlp_xfer, link, act, deps=(mlp_cpu,)))
                 merge_deps.append(mlp_xfer)
                 sync_cost = machine.sync_overhead  # selective sync: only
                 # paid when the CPU actually produced partial results.
             mlp_merge = f"L{li}.mlp_merge"
             tasks.append(
-                SimTask(
+                op_task(
                     mlp_merge,
                     "gpu",
-                    sync_cost + CostModel.op_time(merge_work, gpu),
+                    gpu,
+                    merge_work,
                     deps=tuple(merge_deps),
                     tag="merge",
+                    sync=sync_cost,
                 )
             )
             prev_out = mlp_merge
@@ -264,10 +224,11 @@ class PowerInferEngine(PerfEngine):
             bytes_written=batch * model.vocab_size * 4.0,
         )
         tasks.append(
-            SimTask(
+            op_task(
                 "lm_head",
                 "gpu",
-                CostModel.op_time(lm_work, gpu),
+                gpu,
+                lm_work,
                 deps=(prev_out,) if prev_out else (),
                 tag="lmhead",
             )

@@ -21,10 +21,15 @@ several output tokens.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.engine.base import PerfEngine
 from repro.engine.results import RequestResult
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.telemetry.tracer import Tracer
 
 __all__ = ["SpeculativeEngine", "expected_accepted_tokens"]
 
@@ -79,15 +84,28 @@ class SpeculativeEngine:
         return expected_accepted_tokens(self.draft_len, self.acceptance_rate)
 
     def round_time(
-        self, ctx_len: int, batch: int = 1, rng: np.random.Generator | None = None
+        self,
+        ctx_len: int,
+        batch: int = 1,
+        rng: np.random.Generator | None = None,
+        tracer: "Tracer | None" = None,
+        trace_t0: float = 0.0,
     ) -> float:
-        """Seconds per speculative round at the given context length."""
-        draft_time = sum(
-            self.draft.simulate_iteration(ctx_len + i, 1, batch, rng).makespan
-            for i in range(self.draft_len)
-        )
+        """Seconds per speculative round at the given context length.
+
+        A ``tracer`` records the round's timeline from ``trace_t0``: the
+        draft iterations back to back, then the verify iteration.
+        """
+        trace_now = trace_t0
+        draft_time = 0.0
+        for i in range(self.draft_len):
+            result = self.draft.simulate_iteration(
+                ctx_len + i, 1, batch, rng, tracer=tracer, trace_t0=trace_now
+            )
+            draft_time += result.makespan
+            trace_now += result.makespan
         verify_time = self.target.simulate_iteration(
-            ctx_len, self.draft_len + 1, batch, rng
+            ctx_len, self.draft_len + 1, batch, rng, tracer=tracer, trace_t0=trace_now
         ).makespan
         return draft_time + verify_time
 
@@ -98,23 +116,35 @@ class SpeculativeEngine:
         batch: int = 1,
         decode_samples: int = 3,
         rng: np.random.Generator | None = None,
+        tracer: "Tracer | None" = None,
+        trace_t0: float = 0.0,
     ) -> RequestResult:
         """End-to-end request with speculative decoding.
 
         The prompt phase runs on the target alone; decode rounds are
         sampled at a few context points and integrated, like
-        :meth:`PerfEngine.simulate_request`.
+        :meth:`PerfEngine.simulate_request`.  A ``tracer`` records the
+        sampled timeline (prompt, then each sampled round) from
+        ``trace_t0``; results are bit-identical either way.
         """
         if input_len <= 0 or output_len <= 0:
             raise ValueError("input_len and output_len must be positive")
-        prompt = self.target.simulate_iteration(0, input_len, batch, rng)
+        prompt = self.target.simulate_iteration(
+            0, input_len, batch, rng, tracer=tracer, trace_t0=trace_t0, trace_iteration=0
+        )
         rounds = output_len / self.tokens_per_round
         ctx_points = np.linspace(
             input_len, input_len + output_len - 1, min(decode_samples, output_len)
         )
-        mean_round = float(
-            np.mean([self.round_time(int(c), batch, rng) for c in ctx_points])
-        )
+        trace_now = trace_t0 + prompt.makespan
+        round_times = []
+        for c in ctx_points:
+            rt = self.round_time(
+                int(c), batch, rng, tracer=tracer, trace_t0=trace_now
+            )
+            round_times.append(rt)
+            trace_now += rt
+        mean_round = float(np.mean(round_times))
         decode_time = rounds * mean_round
         return RequestResult(
             engine=self.name,

@@ -16,10 +16,18 @@ crossover the paper exploits in Figures 6 and 14.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.hardware.spec import DeviceSpec, LinkSpec
 
-__all__ = ["OpWork", "CostModel"]
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.hardware.spec import MachineSpec
+
+__all__ = ["OpWork", "TaskCost", "CostModel", "COST_COMPONENTS"]
+
+# The five places a simulated second can go.  Decompositions index by these
+# names; their per-task sum always equals the task duration exactly.
+COST_COMPONENTS = ("memory", "compute", "launch", "sync", "transfer")
 
 
 @dataclass(frozen=True)
@@ -62,6 +70,103 @@ class OpWork:
         )
 
 
+@dataclass(frozen=True)
+class TaskCost:
+    """The roofline terms behind one task's duration, kept separable.
+
+    Attribution and what-if analysis need more than a scalar latency: they
+    need to know *why* the task costs what it costs and how that cost
+    responds to hardware knobs.  ``TaskCost`` records the cost model's own
+    terms at pricing time:
+
+    Attributes:
+        flops: Floating-point work priced into ``compute_time``.
+        bytes: Device-memory bytes (operators) or link bytes (transfers).
+        mem_time: Full ``bytes / effective_bandwidth`` term (even when
+            compute-bound — the roofline keeps both sides).
+        compute_time: Full ``flops / compute_flops`` term.
+        launch: Dispatch overhead charged (0 when elided).
+        sync: Fixed synchronization overhead charged (paper's T_sync).
+        transfer: Link latency + DMA/UM streaming time (transfers only).
+        launches: How many dispatch overheads ``launch`` covers (0 or 1) —
+            what-if re-pricing rescales by the perturbed device's overhead.
+        syncs: How many sync overheads ``sync`` covers (0 or 1).
+        unified_memory: Whether ``transfer`` was priced at UM page-fault
+            efficiency rather than bulk-DMA efficiency.
+    """
+
+    flops: float = 0.0
+    bytes: float = 0.0
+    mem_time: float = 0.0
+    compute_time: float = 0.0
+    launch: float = 0.0
+    sync: float = 0.0
+    transfer: float = 0.0
+    launches: int = 0
+    syncs: int = 0
+    unified_memory: bool = False
+
+    @property
+    def duration(self) -> float:
+        """Task duration: the roofline max plus every fixed overhead.
+
+        Matches :meth:`CostModel.op_time` / :meth:`CostModel.transfer_time`
+        bit for bit for costs built by :meth:`CostModel.op_cost` /
+        :meth:`CostModel.transfer_cost`.
+        """
+        return max(self.mem_time, self.compute_time) + self.launch + self.sync + self.transfer
+
+    @property
+    def bound(self) -> str:
+        """Which roofline side binds: ``"memory"`` or ``"compute"``."""
+        return "memory" if self.mem_time >= self.compute_time else "compute"
+
+    def components(self) -> dict[str, float]:
+        """Duration split over :data:`COST_COMPONENTS`; sums to ``duration``.
+
+        The roofline ``max`` term is attributed entirely to the binding
+        side (a memory-bound operator's compute time is hidden under the
+        memory streaming, and vice versa), so the five components add up
+        to the task duration exactly.
+        """
+        binding = self.bound
+        return {
+            "memory": self.mem_time if binding == "memory" else 0.0,
+            "compute": self.compute_time if binding == "compute" else 0.0,
+            "launch": self.launch,
+            "sync": self.sync,
+            "transfer": self.transfer,
+        }
+
+    def repriced(self, resource: str, machine: "MachineSpec") -> "TaskCost":
+        """Re-price this task's recorded work on a (perturbed) machine.
+
+        The recorded ``flops``/``bytes`` are re-run through the same cost
+        formulas against ``machine``'s specs — the analytic core of what-if
+        sensitivity analysis.  ``resource`` is the task's resource name
+        (``"gpu"`` / ``"cpu"`` / ``"pcie"``).
+        """
+        if resource == "pcie":
+            return TaskCost(
+                bytes=self.bytes,
+                transfer=machine.link.transfer_time(
+                    self.bytes, unified_memory=self.unified_memory
+                ),
+                unified_memory=self.unified_memory,
+            )
+        device = machine.device(resource)
+        return TaskCost(
+            flops=self.flops,
+            bytes=self.bytes,
+            mem_time=self.bytes / device.effective_bandwidth,
+            compute_time=self.flops / device.compute_flops,
+            launch=self.launches * device.launch_overhead,
+            sync=self.syncs * machine.sync_overhead,
+            launches=self.launches,
+            syncs=self.syncs,
+        )
+
+
 class CostModel:
     """Latency estimates for operators and transfers on a given machine."""
 
@@ -79,6 +184,43 @@ class CostModel:
     def transfer_time(nbytes: float, link: LinkSpec) -> float:
         """Time to move ``nbytes`` across ``link`` in seconds."""
         return link.transfer_time(nbytes)
+
+    @staticmethod
+    def op_cost(
+        work: OpWork,
+        device: DeviceSpec,
+        include_launch: bool = True,
+        sync: float = 0.0,
+    ) -> TaskCost:
+        """The structured cost behind :meth:`op_time` (plus optional sync).
+
+        ``TaskCost.duration`` equals ``sync + op_time(work, device,
+        include_launch)`` exactly; engines attach the returned record to
+        their :class:`~repro.hardware.events.SimTask` so traces stay
+        decomposable and re-priceable.
+        """
+        launched = include_launch
+        return TaskCost(
+            flops=work.flops,
+            bytes=work.bytes_total,
+            mem_time=work.bytes_total / device.effective_bandwidth,
+            compute_time=work.flops / device.compute_flops,
+            launch=device.launch_overhead if launched else 0.0,
+            sync=sync,
+            launches=1 if launched else 0,
+            syncs=1 if sync > 0.0 else 0,
+        )
+
+    @staticmethod
+    def transfer_cost(
+        nbytes: float, link: LinkSpec, unified_memory: bool = False
+    ) -> TaskCost:
+        """The structured cost behind :meth:`transfer_time`."""
+        return TaskCost(
+            bytes=nbytes,
+            transfer=link.transfer_time(nbytes, unified_memory=unified_memory),
+            unified_memory=unified_memory,
+        )
 
     @staticmethod
     def bandwidth_bound(work: OpWork, device: DeviceSpec) -> bool:

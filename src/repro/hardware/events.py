@@ -18,6 +18,10 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.hardware.costmodel import TaskCost
 
 __all__ = ["Resource", "SimTask", "TaskResult", "ScheduleResult", "EventSimulator"]
 
@@ -59,6 +63,9 @@ class SimTask:
             ready tasks on the same resource.
         tag: Free-form label used for per-category time accounting
             (e.g. ``"transfer"``, ``"mlp"``, ``"predictor"``).
+        cost: Optional structured cost terms behind ``duration``
+            (:class:`~repro.hardware.costmodel.TaskCost`) — attached by
+            engines so attribution can decompose and re-price the task.
     """
 
     name: str
@@ -67,6 +74,7 @@ class SimTask:
     deps: tuple[str, ...] = ()
     priority: int = 0
     tag: str = ""
+    cost: "TaskCost | None" = None
 
 
 @dataclass(frozen=True)
@@ -78,6 +86,7 @@ class TaskResult:
     start: float
     end: float
     tag: str = ""
+    cost: "TaskCost | None" = None
 
     @property
     def duration(self) -> float:
@@ -209,7 +218,12 @@ class EventSimulator:
             res = self._resources[task.resource]
             start, end = res.reserve(earliest, task.duration)
             results[name] = TaskResult(
-                name=name, resource=task.resource, start=start, end=end, tag=task.tag
+                name=name,
+                resource=task.resource,
+                start=start,
+                end=end,
+                tag=task.tag,
+                cost=task.cost,
             )
             if task.tag:
                 tag_time[task.tag] = tag_time.get(task.tag, 0.0) + task.duration

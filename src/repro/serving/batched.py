@@ -14,9 +14,14 @@ exactly that trade against the FCFS baseline in
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.engine.base import PerfEngine
 from repro.serving.arrival import Request
 from repro.serving.simulator import CompletedRequest, ServingReport
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.telemetry.tracer import Tracer
 
 __all__ = ["simulate_batched_serving"]
 
@@ -26,6 +31,7 @@ def simulate_batched_serving(
     requests: list[Request],
     max_batch: int = 8,
     cache_service_times: bool = True,
+    tracer: "Tracer | None" = None,
 ) -> ServingReport:
     """Serve ``requests`` with greedy dynamic batching.
 
@@ -34,11 +40,18 @@ def simulate_batched_serving(
     idles until the next arrival.  All members of a batch complete when the
     batch completes (the padded-batch semantics of static batching).
 
+    A ``tracer`` records each batch's sampled engine timeline at its
+    service start plus one ``batch`` region per service window; because
+    cached service times would skip the engine entirely, traced runs
+    re-simulate cache hits to keep the span record complete — the report
+    itself stays bit-identical.
+
     Returns:
         A :class:`~repro.serving.simulator.ServingReport`.
     """
     if max_batch < 1:
         raise ValueError("max_batch must be >= 1")
+    tracing = tracer is not None and tracer.enabled
     pending = sorted(requests, key=lambda r: r.arrival_time)
     report = ServingReport()
     service_cache: dict[tuple[int, int, int], float] = {}
@@ -58,9 +71,18 @@ def simulate_batched_serving(
         output_len = max(r.output_len for r in batch)
         shape = (input_len, output_len, len(batch))
         if not cache_service_times or shape not in service_cache:
-            result = engine.simulate_request(input_len, output_len, batch=len(batch))
+            result = engine.simulate_request(
+                input_len, output_len, batch=len(batch), tracer=tracer, trace_t0=now
+            )
             service_cache[shape] = result.total_time
+        elif tracing:
+            # Cache hit, but the spans still need recording for this window.
+            engine.simulate_request(
+                input_len, output_len, batch=len(batch), tracer=tracer, trace_t0=now
+            )
         finish = now + service_cache[shape]
+        if tracing:
+            tracer.add_region("server", "batch", now, finish, args={"n": len(batch)})
         for request in batch:
             report.completed.append(
                 CompletedRequest(

@@ -171,17 +171,18 @@ def to_jsonl_records(tracer: "Tracer") -> list[dict]:
     """One self-describing dict per event (times in seconds)."""
     records: list[dict] = []
     for t in tracer.task_spans:
-        records.append(
-            {
-                "type": "task",
-                "name": t.name,
-                "lane": t.lane,
-                "start": t.start,
-                "end": t.end,
-                "tag": t.tag,
-                "iteration": t.iteration,
-            }
-        )
+        record = {
+            "type": "task",
+            "name": t.name,
+            "lane": t.lane,
+            "start": t.start,
+            "end": t.end,
+            "tag": t.tag,
+            "iteration": t.iteration,
+        }
+        if t.cost is not None:
+            record["cost"] = {"bound": t.cost.bound, **t.cost.components()}
+        records.append(record)
     for s in tracer.request_spans:
         records.append(
             {

@@ -40,6 +40,7 @@ from repro.serving.metrics import merge_busy_intervals
 from repro.telemetry.metrics import MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.hardware.costmodel import TaskCost
     from repro.hardware.events import ScheduleResult
     from repro.hardware.faults import FaultSchedule
 
@@ -69,7 +70,13 @@ class RequestPhase:
 
 @dataclass(frozen=True)
 class TaskSpan:
-    """One operator task occupying a device lane for ``[start, end)``."""
+    """One operator task occupying a device lane for ``[start, end)``.
+
+    ``cost`` carries the engine's structured roofline terms
+    (:class:`~repro.hardware.costmodel.TaskCost`) when the scheduled task
+    had them attached — the attribution layer decomposes and re-prices
+    spans through it.  ``None`` for spans recorded without cost data.
+    """
 
     name: str
     lane: str
@@ -77,6 +84,7 @@ class TaskSpan:
     end: float
     tag: str = ""
     iteration: int | None = None
+    cost: "TaskCost | None" = None
 
     def __post_init__(self) -> None:
         if self.end < self.start:
@@ -182,8 +190,9 @@ class Tracer:
         end: float,
         tag: str = "",
         iteration: int | None = None,
+        cost: "TaskCost | None" = None,
     ) -> None:
-        self.task_spans.append(TaskSpan(name, lane, start, end, tag, iteration))
+        self.task_spans.append(TaskSpan(name, lane, start, end, tag, iteration, cost))
 
     def add_schedule(
         self, result: "ScheduleResult", t0: float = 0.0, iteration: int | None = None
@@ -202,6 +211,7 @@ class Tracer:
                     end=t0 + task.end,
                     tag=task.tag,
                     iteration=iteration,
+                    cost=task.cost,
                 )
             )
 

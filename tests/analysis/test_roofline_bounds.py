@@ -1,0 +1,68 @@
+"""Roofline throughput bounds are true bounds on the simulated engine.
+
+``oracle_gpu_sparse`` assumes every active weight byte streams at GPU
+bandwidth with zero overheads, and ``sparse_hybrid`` assumes perfect
+CPU/GPU overlap with no launch/sync/transfer/KV costs — both must sit at
+or above what the full event-driven simulation of PowerInfer achieves,
+when fed the activation rates and placement the plan actually solved.
+"""
+
+import pytest
+
+from repro.analysis.roofline import throughput_bounds
+from repro.bench.runner import make_engine
+
+PRESETS = [
+    ("opt-30b", "pc-high", "fp16"),
+    ("opt-13b", "pc-high", "fp16"),
+    ("opt-6.7b", "pc-low", "int4"),
+]
+
+
+def _plan_bounds(engine):
+    """Bounds parameterized by the engine's own plan, not the defaults."""
+    plan = engine.plan
+    n = plan.model.n_layers
+    mlp_rate = sum(
+        sum(plan.mlp_active_split(li)) / plan.mlp_probs[li].size for li in range(n)
+    ) / n
+    attn_rate = sum(
+        sum(plan.attn_active_split(li)) / plan.attn_probs[li].size for li in range(n)
+    ) / n
+    gpu_fraction = plan.gpu_weight_bytes / plan.dtype.nbytes(
+        plan.model.n_layers * plan.model.params_per_layer
+    )
+    return throughput_bounds(
+        plan.model,
+        engine.machine,
+        plan.dtype,
+        mlp_active_rate=mlp_rate,
+        attn_active_rate=attn_rate,
+        hot_capture=plan.gpu_neuron_load_share(1),
+        gpu_weight_fraction=min(gpu_fraction, 1.0),
+    )
+
+
+@pytest.mark.parametrize("model,machine,dtype", PRESETS)
+def test_simulated_decode_within_bounds(model, machine, dtype):
+    engine = make_engine("powerinfer", model, machine, dtype)
+    bounds = _plan_bounds(engine)
+    simulated_tps = 1.0 / engine.simulate_iteration(64, 1, 1).makespan
+
+    assert simulated_tps > 0.0
+    # Oracle: all active bytes at GPU bandwidth — a strict ceiling.
+    assert simulated_tps <= bounds.oracle_gpu_sparse
+    # Sparse hybrid: overlapped CPU/GPU streaming with no fixed costs —
+    # the simulation adds launch/sync/transfer/KV time, so it sits below.
+    assert simulated_tps <= bounds.sparse_hybrid
+
+
+@pytest.mark.parametrize("model,machine,dtype", PRESETS)
+def test_bound_ordering(model, machine, dtype):
+    engine = make_engine("powerinfer", model, machine, dtype)
+    bounds = _plan_bounds(engine)
+    # Sparsity can only help: dense ceilings sit below the sparse ones.
+    assert bounds.dense_gpu_only <= bounds.oracle_gpu_sparse
+    assert bounds.dense_hybrid <= bounds.sparse_hybrid
+    assert 0.0 < bounds.active_fraction < 1.0
+    assert 0.0 < bounds.gpu_weight_fraction <= 1.0

@@ -1,0 +1,110 @@
+"""What-if sensitivity: analytic re-pricing matches actual re-simulation."""
+
+import pytest
+
+from repro.analysis.whatif import (
+    STANDARD_KNOBS,
+    cross_validate,
+    reprice_tasks,
+    whatif_sensitivity,
+)
+from repro.engine.base import RESOURCES
+from repro.engine.powerinfer import PowerInferEngine
+from repro.hardware.events import EventSimulator, SimTask
+from repro.hardware.spec import PC_HIGH
+
+
+@pytest.fixture(scope="module")
+def engine(mini_plan):
+    return PowerInferEngine(mini_plan)
+
+
+class TestKnobs:
+    def test_standard_knob_set(self):
+        assert set(STANDARD_KNOBS) == {
+            "pcie_bw_x2",
+            "gpu_bw_x2",
+            "cpu_bw_x2",
+            "launch_zero",
+            "sync_zero",
+            "cpu_cores_x2",
+            "cpu_cores_half",
+        }
+
+    def test_knobs_touch_only_their_field(self):
+        m = PC_HIGH
+        pcie = STANDARD_KNOBS["pcie_bw_x2"](m)
+        assert pcie.link.bandwidth == 2.0 * m.link.bandwidth
+        assert pcie.gpu == m.gpu and pcie.cpu == m.cpu
+
+        gpu = STANDARD_KNOBS["gpu_bw_x2"](m)
+        assert gpu.gpu.memory_bandwidth == 2.0 * m.gpu.memory_bandwidth
+        assert gpu.cpu == m.cpu and gpu.link == m.link
+
+        launch = STANDARD_KNOBS["launch_zero"](m)
+        assert launch.gpu.launch_overhead == 0.0
+        assert launch.cpu.launch_overhead == 0.0
+        assert launch.sync_overhead == m.sync_overhead
+
+        sync = STANDARD_KNOBS["sync_zero"](m)
+        assert sync.sync_overhead == 0.0
+
+        half = STANDARD_KNOBS["cpu_cores_half"](m)
+        assert half.cpu.compute_flops == 0.5 * m.cpu.compute_flops
+        assert half.cpu.memory_bandwidth == m.cpu.memory_bandwidth
+
+    def test_original_machine_untouched(self):
+        before = PC_HIGH.link.bandwidth
+        STANDARD_KNOBS["pcie_bw_x2"](PC_HIGH)
+        assert PC_HIGH.link.bandwidth == before
+
+
+class TestReprice:
+    def test_identity_reprice_is_bit_identical(self, engine):
+        tasks = engine.iteration_tasks(64, 1, 1)
+        repriced = reprice_tasks(tasks, engine.machine)
+        for orig, new in zip(tasks, repriced):
+            assert new.name == orig.name
+            assert new.duration == orig.duration
+
+    def test_costless_tasks_pass_through(self):
+        raw = SimTask("raw", "gpu", 0.25)
+        out = reprice_tasks([raw], PC_HIGH)
+        assert out[0] is raw
+
+
+class TestSensitivity:
+    def test_sorted_best_first(self, engine):
+        tasks = engine.iteration_tasks(64, 1, 1)
+        results = whatif_sensitivity(tasks, engine.machine)
+        assert set(r.knob for r in results) == set(STANDARD_KNOBS)
+        spans = [r.predicted_makespan for r in results]
+        assert spans == sorted(spans)
+
+    def test_baseline_matches_schedule(self, engine):
+        tasks = engine.iteration_tasks(64, 1, 1)
+        actual = EventSimulator(list(RESOURCES)).run(tasks).makespan
+        results = whatif_sensitivity(tasks, engine.machine)
+        for r in results:
+            assert r.baseline_makespan == pytest.approx(actual, rel=1e-12)
+
+    def test_directions(self, engine):
+        tasks = engine.iteration_tasks(64, 1, 1)
+        by_knob = {r.knob: r for r in whatif_sensitivity(tasks, engine.machine)}
+        # Pure improvements can never slow the schedule down.
+        for knob in ("pcie_bw_x2", "gpu_bw_x2", "cpu_bw_x2", "launch_zero",
+                     "sync_zero", "cpu_cores_x2"):
+            assert by_knob[knob].predicted_speedup >= 1.0 - 1e-12
+        # Halving CPU throughput can never speed it up.
+        assert by_knob["cpu_cores_half"].predicted_speedup <= 1.0 + 1e-12
+
+
+def test_cross_validation_within_acceptance(engine):
+    """Acceptance bar: analytic prediction within 5% of re-simulation."""
+    report = cross_validate(engine, 64, 1)
+    assert set(report) == set(STANDARD_KNOBS)
+    for knob, row in report.items():
+        assert row["rel_error"] <= 0.05, f"{knob}: {row}"
+        # The DAG shape is machine-independent, so in practice the two
+        # agree to float noise, far inside the 5% bar.
+        assert row["rel_error"] <= 1e-9, f"{knob}: {row}"

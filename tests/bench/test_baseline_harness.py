@@ -1,0 +1,147 @@
+"""Benchmark baseline harness: record, re-check, and catch regressions."""
+
+import json
+
+import pytest
+
+from repro.bench.baseline import (
+    SCHEMA_VERSION,
+    check_against_baseline,
+    format_diff,
+    load_baseline,
+    run_suite,
+    write_baseline,
+)
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def baseline_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("bench") / "BENCH_baseline.json"
+    assert main(["bench-baseline", "--quick", "--out", str(path)]) == 0
+    return path
+
+
+class TestBaselineDocument:
+    def test_schema_and_contents(self, baseline_path):
+        doc = load_baseline(baseline_path)
+        assert doc["schema"] == SCHEMA_VERSION
+        assert doc["suite"] == "quick"
+        metrics = doc["metrics"]
+        assert "serving/ttft_p95_s" in metrics
+        assert any(k.startswith("e2e/powerinfer/") for k in metrics)
+        for record in metrics.values():
+            assert set(record) == {"value", "higher_is_better"}
+        assert doc["attribution"], "e2e configs must carry fingerprints"
+        for fp in doc["attribution"].values():
+            assert set(fp) == {"shares", "critical_resource", "makespan_s"}
+            assert fp["critical_resource"] in ("gpu", "cpu", "pcie")
+            assert sum(fp["shares"].values()) == pytest.approx(1.0)
+
+    def test_load_rejects_unknown_schema(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": 999, "metrics": {}}))
+        with pytest.raises(ValueError, match="schema"):
+            load_baseline(bad)
+
+
+class TestBenchCheckCli:
+    def test_self_check_passes(self, baseline_path, capsys):
+        """The suite is deterministic: HEAD vs HEAD must exit 0."""
+        assert main(["bench-check", "--baseline", str(baseline_path)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_doctored_baseline_fails(self, baseline_path, tmp_path, capsys):
+        doc = json.loads(baseline_path.read_text())
+        name = next(k for k in doc["metrics"] if k.endswith("/decode_tps"))
+        doc["metrics"][name]["value"] *= 1.5  # pretend we used to be faster
+        doctored = tmp_path / "doctored.json"
+        doctored.write_text(json.dumps(doc))
+        assert main(["bench-check", "--baseline", str(doctored)]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "regression" in out
+
+    def test_report_artifact(self, baseline_path, tmp_path):
+        report = tmp_path / "diff.json"
+        code = main(
+            ["bench-check", "--baseline", str(baseline_path), "--report", str(report)]
+        )
+        assert code == 0
+        payload = json.loads(report.read_text())
+        assert payload["ok"] is True
+        assert payload["rows"]
+
+    def test_missing_baseline_exits_2(self, tmp_path):
+        assert main(["bench-check", "--baseline", str(tmp_path / "nope.json")]) == 2
+
+
+class TestDiffLogic:
+    def _doc(self, metrics, attribution=None):
+        return {
+            "schema": SCHEMA_VERSION,
+            "suite": "quick",
+            "metrics": metrics,
+            "attribution": attribution or {},
+        }
+
+    def test_within_tolerance_ok(self):
+        base = self._doc({"m": {"value": 100.0, "higher_is_better": True}})
+        cur = self._doc({"m": {"value": 97.0, "higher_is_better": True}})
+        assert check_against_baseline(base, cur, tolerance=0.05).ok
+
+    def test_regression_direction_respects_orientation(self):
+        higher = {"value": 100.0, "higher_is_better": True}
+        lower = {"value": 100.0, "higher_is_better": False}
+        base = self._doc({"up": higher, "down": lower})
+        cur = self._doc(
+            {
+                "up": {"value": 90.0, "higher_is_better": True},  # -10%: bad
+                "down": {"value": 90.0, "higher_is_better": False},  # -10%: good
+            }
+        )
+        diff = check_against_baseline(base, cur, tolerance=0.05)
+        assert [r["metric"] for r in diff.regressions] == ["up"]
+        by_name = {r["metric"]: r for r in diff.rows}
+        assert by_name["down"]["status"] == "improved"
+
+    def test_missing_metric_is_regression(self):
+        base = self._doc({"m": {"value": 1.0, "higher_is_better": True}})
+        diff = check_against_baseline(base, self._doc({}), tolerance=0.05)
+        assert not diff.ok
+        assert diff.regressions[0]["status"] == "missing-in-current"
+
+    def test_attribution_note_on_e2e_regression(self):
+        key = "e2e/powerinfer/opt-6.7b/pc-low/int4"
+        metric = f"{key}/decode_tps"
+        base = self._doc(
+            {metric: {"value": 100.0, "higher_is_better": True}},
+            {key: {"shares": {"memory": 0.6, "transfer": 0.31},
+                   "critical_resource": "gpu", "makespan_s": 0.01}},
+        )
+        cur = self._doc(
+            {metric: {"value": 80.0, "higher_is_better": True}},
+            {key: {"shares": {"memory": 0.47, "transfer": 0.44},
+                   "critical_resource": "pcie", "makespan_s": 0.0125}},
+        )
+        diff = check_against_baseline(base, cur, tolerance=0.05)
+        assert not diff.ok
+        (note,) = diff.attribution_notes
+        assert "transfer share grew 31% -> 44%" in note
+        assert "critical resource moved gpu -> pcie" in note
+        assert note in format_diff(diff)
+
+    def test_format_diff_verdict_lines(self):
+        base = self._doc({"m": {"value": 1.0, "higher_is_better": True}})
+        ok = check_against_baseline(base, base)
+        assert "OK" in format_diff(ok)
+        bad = check_against_baseline(base, self._doc({}))
+        assert "FAIL: 1 metric(s) regressed" in format_diff(bad)
+
+
+def test_write_baseline_roundtrip(tmp_path):
+    path = tmp_path / "b.json"
+    doc = write_baseline(path, quick=True)
+    assert load_baseline(path) == doc
+    # Deterministic simulation: a fresh run is byte-for-byte reproducible.
+    assert run_suite(quick=True) == doc

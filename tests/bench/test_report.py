@@ -1,8 +1,11 @@
 """Tests for the table formatter and bench runner plumbing."""
 
+import json
+import math
+
 import pytest
 
-from repro.bench.report import format_table
+from repro.bench.report import format_table, json_safe, save_rows, write_rows_json
 from repro.bench.runner import ENGINE_CLASSES, cached_plan, make_engine
 
 
@@ -32,6 +35,27 @@ class TestFormatTable:
     def test_missing_keys_render_blank(self):
         text = format_table([{"a": 1, "b": 2}, {"a": 3}])
         assert text  # no KeyError
+
+
+class TestJsonOutput:
+    def test_json_safe_scrubs_non_finite(self):
+        value = {"a": float("nan"), "b": [1.0, float("inf")], "c": "x"}
+        assert json_safe(value) == {"a": None, "b": [1.0, None], "c": "x"}
+
+    def test_write_rows_json(self, tmp_path):
+        path = tmp_path / "t.json"
+        rows = [{"x": 1.0, "y": math.nan}]
+        write_rows_json(path, rows, title="T")
+        doc = json.loads(path.read_text())
+        assert doc == {"title": "T", "rows": [{"x": 1.0, "y": None}]}
+
+    def test_save_rows_emits_txt_and_json(self, tmp_path):
+        rows = [{"engine": "powerinfer", "tps": 20.8}]
+        text = save_rows(tmp_path, "fig", rows, title="Figure")
+        assert (tmp_path / "fig.txt").read_text() == text + "\n"
+        doc = json.loads((tmp_path / "fig.json").read_text())
+        assert doc["title"] == "Figure"
+        assert doc["rows"] == rows
 
 
 class TestRunner:

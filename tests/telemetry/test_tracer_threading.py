@@ -1,0 +1,115 @@
+"""Tracer threading: every simulation path records spans, none pay for it.
+
+PR contract: passing ``tracer=None`` (default), a ``NullTracer``, or a
+real ``Tracer`` must yield bit-identical simulation results — tracing is
+observation, never perturbation — and the paths that used to drop the
+parameter (request integration, dynamic batching, speculative decoding)
+now record complete timelines.
+"""
+
+import pytest
+
+from repro.engine.baselines import LlamaCppEngine
+from repro.engine.powerinfer import PowerInferEngine
+from repro.engine.speculative import SpeculativeEngine
+from repro.serving.arrival import Request
+from repro.serving.batched import simulate_batched_serving
+from repro.telemetry.tracer import NullTracer, Tracer
+
+
+@pytest.fixture(scope="module")
+def engine(mini_plan):
+    return PowerInferEngine(mini_plan)
+
+
+def _request_fields(result):
+    return (result.prompt_time, result.decode_time, result.breakdown)
+
+
+class TestSimulateRequest:
+    def test_bit_identity_across_tracers(self, engine):
+        untraced = engine.simulate_request(16, 8)
+        null = NullTracer()
+        with_null = engine.simulate_request(16, 8, tracer=null)
+        real = Tracer()
+        with_real = engine.simulate_request(16, 8, tracer=real, trace_t0=5.0)
+        assert _request_fields(untraced) == _request_fields(with_null)
+        assert _request_fields(untraced) == _request_fields(with_real)
+        assert len(null) == 0
+
+    def test_sampled_timeline_recorded(self, engine):
+        tracer = Tracer()
+        engine.simulate_request(16, 8, tracer=tracer, trace_t0=2.0)
+        iterations = {s.iteration for s in tracer.task_spans}
+        assert 0 in iterations, "prompt iteration must be labelled 0"
+        assert len(iterations) > 1, "decode samples must be recorded too"
+        assert min(s.start for s in tracer.task_spans) == 2.0
+        # Back-to-back: each iteration starts where the previous ended.
+        spans = tracer.task_spans
+        for it in sorted(iterations)[1:]:
+            prev_end = max(s.end for s in spans if s.iteration == it - 1)
+            this_start = min(s.start for s in spans if s.iteration == it)
+            assert this_start == pytest.approx(prev_end, rel=1e-12)
+
+
+class TestBatchedServing:
+    def _requests(self):
+        # Two windows with identical padded shape: the second is served
+        # from the service-time cache.
+        return [
+            Request(request_id=0, arrival_time=0.0, input_len=16, output_len=8),
+            Request(request_id=1, arrival_time=1000.0, input_len=16, output_len=8),
+        ]
+
+    def test_bit_identity_across_tracers(self, engine):
+        reports = [
+            simulate_batched_serving(engine, self._requests(), tracer=tracer)
+            for tracer in (None, NullTracer(), Tracer())
+        ]
+        finish = [
+            [(c.request.request_id, c.start_time, c.finish_time) for c in r.completed]
+            for r in reports
+        ]
+        assert finish[0] == finish[1] == finish[2]
+
+    def test_cache_hit_window_still_traced(self, engine):
+        tracer = Tracer()
+        simulate_batched_serving(engine, self._requests(), tracer=tracer)
+        windows = tracer.regions_on("server")
+        assert len(windows) == 2
+        assert all(w.name == "batch" for w in windows)
+        # The second window is a cache hit, but its spans are still there.
+        second = windows[1]
+        assert any(s.start >= second.start for s in tracer.task_spans)
+
+    def test_null_tracer_records_nothing(self, engine):
+        null = NullTracer()
+        simulate_batched_serving(engine, self._requests(), tracer=null)
+        assert len(null) == 0
+
+
+class TestSpeculative:
+    @pytest.fixture(scope="class")
+    def spec(self, mini_plan, mini_plan_none):
+        return SpeculativeEngine(
+            target=PowerInferEngine(mini_plan),
+            draft=LlamaCppEngine(mini_plan_none),
+            draft_len=3,
+            acceptance_rate=0.8,
+        )
+
+    def test_round_time_bit_identity(self, spec):
+        untraced = spec.round_time(32)
+        assert spec.round_time(32, tracer=NullTracer()) == untraced
+        tracer = Tracer()
+        assert spec.round_time(32, tracer=tracer, trace_t0=1.0) == untraced
+        assert tracer.task_spans
+
+    def test_request_bit_identity(self, spec):
+        untraced = spec.simulate_request(16, 8)
+        with_null = spec.simulate_request(16, 8, tracer=NullTracer())
+        real = Tracer()
+        with_real = spec.simulate_request(16, 8, tracer=real)
+        assert _request_fields(untraced) == _request_fields(with_null)
+        assert _request_fields(untraced) == _request_fields(with_real)
+        assert {s.iteration for s in real.task_spans} >= {0}
