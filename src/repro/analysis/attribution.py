@@ -306,12 +306,15 @@ def critical_path(tasks: list[SimTask], result: ScheduleResult) -> CriticalPath:
         gate = "start"
         nxt = None
         for dep in by_name[current].deps:
-            if res[dep].end == tr.start:
+            # Gate classification is exact by construction: the scheduler
+            # sets each start to the float max of dep finishes and resource
+            # availability, so the gating predecessor matches bit-for-bit.
+            if res[dep].end == tr.start:  # repro-lint: disable=float-time-eq -- exact by construction
                 gate, nxt = "dependency", dep
                 break
         if nxt is None:
             prev = prev_on_resource.get(current)
-            if prev is not None and res[prev].end == tr.start:
+            if prev is not None and res[prev].end == tr.start:  # repro-lint: disable=float-time-eq -- exact by construction
                 gate, nxt = "resource", prev
         chain.append(
             CriticalSegment(

@@ -136,7 +136,9 @@ def reprice_tasks(tasks: list[SimTask], machine: MachineSpec) -> list[SimTask]:
             continue
         cost = task.cost.repriced(task.resource, machine)
         out.append(
-            SimTask(
+            # Not engine pricing: this clones an already-priced recorded
+            # DAG with its TaskCost re-evaluated under perturbed hardware.
+            SimTask(  # repro-lint: disable=inline-sim-task -- re-pricing a recorded DAG
                 name=task.name,
                 resource=task.resource,
                 duration=cost.duration,

@@ -151,7 +151,9 @@ def run_ablation_solver_batching(
     budget = 0.3 * sum(g.total_bytes for g in groups)
     rows = []
     for batch_size in batch_sizes:
-        start = time.perf_counter()
+        # Real wall time on purpose: the ablation measures actual ILP
+        # solver cost, which is not part of the simulated timeline.
+        start = time.perf_counter()  # repro-lint: disable=wall-clock -- measuring real solver time
         policy = solve_ilp(
             groups, machine, budget,
             options=SolverOptions(batch_size=batch_size, time_limit=60.0),
@@ -159,7 +161,7 @@ def run_ablation_solver_batching(
         rows.append(
             {
                 "batch_size": batch_size,
-                "solve_s": time.perf_counter() - start,
+                "solve_s": time.perf_counter() - start,  # repro-lint: disable=wall-clock -- measuring real solver time
                 "gpu_impact_share": policy.gpu_impact_share(),
             }
         )

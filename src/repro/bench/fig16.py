@@ -68,11 +68,16 @@ def run_fig16_modeled(
 
 
 def _time_call(fn, repeats: int = 5) -> float:
+    """Best-of-N wall time of ``fn`` — Figure 16's *measured* operator cost.
+
+    Real wall time on purpose: this benchmarks the numpy operator kernels
+    themselves, not anything on the simulated timeline.
+    """
     best = float("inf")
     for _ in range(repeats):
-        start = time.perf_counter()
+        start = time.perf_counter()  # repro-lint: disable=wall-clock -- measuring real operator kernels
         fn()
-        best = min(best, time.perf_counter() - start)
+        best = min(best, time.perf_counter() - start)  # repro-lint: disable=wall-clock -- measuring real operator kernels
     return best
 
 

@@ -1,0 +1,46 @@
+"""Simulation-correctness analyzers: static lint rules + schedule validation.
+
+Two halves, one contract.  :mod:`repro.check.lint` statically enforces
+the coding discipline the simulator's determinism rests on (simulated
+clock only, seeded RNGs, tolerance-based time comparison, shared cost
+constructors, opt-in tracing, stable iteration order).
+:mod:`repro.check.schedule` dynamically replays realized schedules and
+serving runs against the invariants the simulator promises (exclusive
+devices, dependency order, cost-component accounting, KV-memory
+conservation, fault-epoch consistency, trace/report reconciliation).
+:mod:`repro.check.verify` sweeps the dynamic checks across the bench
+suite.  CLI: ``repro lint`` and ``repro verify-schedule``.
+"""
+
+from repro.check.lint import (
+    RULES,
+    LintViolation,
+    lint_paths,
+    lint_source,
+)
+from repro.check.schedule import (
+    KVEvent,
+    ScheduleValidationError,
+    Violation,
+    require_valid,
+    validate_kv_ledger,
+    validate_schedule,
+    validate_server_run,
+)
+from repro.check.verify import format_verification, run_verification
+
+__all__ = [
+    "RULES",
+    "LintViolation",
+    "lint_paths",
+    "lint_source",
+    "KVEvent",
+    "ScheduleValidationError",
+    "Violation",
+    "require_valid",
+    "validate_kv_ledger",
+    "validate_schedule",
+    "validate_server_run",
+    "format_verification",
+    "run_verification",
+]

@@ -1,0 +1,563 @@
+"""Dynamic invariant checks over realized schedules and serving runs.
+
+The static linter (:mod:`repro.check.lint`) keeps discipline in the
+*source*; this module checks the *output*: a realized
+:class:`~repro.hardware.events.ScheduleResult` or a full
+:class:`~repro.serving.metrics.ContinuousReport` is replayed against the
+invariants the simulator promises —
+
+* exclusive devices never run two tasks at once (no busy-interval races);
+* no task starts before every dependency has finished;
+* durations are finite and non-negative;
+* each task's :class:`~repro.hardware.costmodel.TaskCost` components sum
+  to its scheduled duration (the attribution contract);
+* per-resource busy time and per-tag time account exactly for the task
+  intervals, and the makespan is the last task end;
+* KV memory is conserved (every allocate matched by one free, the pool
+  never exceeds its budget, nothing leaks past the end of the run);
+* nothing executes inside a device-stall fault window; and
+* an attached trace reconciles with the report (busy-union drift and the
+  iteration counter).
+
+All checks report, they do not repair: each problem becomes a
+:class:`Violation` carrying the offending task id and simulated
+timestamp.  ``require_valid`` turns a non-empty violation list into a
+:class:`ScheduleValidationError`.  Engines and the serving loop expose
+this as an opt-in ``validate=True`` hook; ``repro verify-schedule`` runs
+it across the bench-suite engine × machine grid.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.hardware.events import ScheduleResult, SimTask
+    from repro.hardware.faults import FaultSchedule
+    from repro.serving.metrics import ContinuousReport
+    from repro.telemetry.tracer import Tracer
+
+__all__ = [
+    "Violation",
+    "ScheduleValidationError",
+    "KVEvent",
+    "validate_schedule",
+    "validate_kv_ledger",
+    "validate_server_run",
+    "require_valid",
+]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant broken at one point of the realized schedule."""
+
+    check: str
+    message: str
+    task: str | None = None
+    time: float | None = None
+
+    def to_dict(self) -> dict:
+        out: dict = {"check": self.check, "message": self.message}
+        if self.task is not None:
+            out["task"] = self.task
+        if self.time is not None:
+            out["time"] = self.time
+        return out
+
+    def format(self) -> str:
+        where = ""
+        if self.task is not None:
+            where += f" task={self.task}"
+        if self.time is not None:
+            where += f" t={self.time:.6g}s"
+        return f"{self.check}:{where} {self.message}"
+
+
+class ScheduleValidationError(ValueError):
+    """A realized schedule broke one or more simulator invariants."""
+
+    def __init__(self, violations: Sequence[Violation]) -> None:
+        self.violations = list(violations)
+        lines = [v.format() for v in self.violations[:10]]
+        extra = len(self.violations) - len(lines)
+        if extra > 0:
+            lines.append(f"... and {extra} more")
+        super().__init__(
+            f"{len(self.violations)} schedule invariant violation(s):\n  "
+            + "\n  ".join(lines)
+        )
+
+
+def require_valid(violations: Sequence[Violation]) -> None:
+    """Raise :class:`ScheduleValidationError` if any violations exist."""
+    if violations:
+        raise ScheduleValidationError(violations)
+
+
+def _tol(scale: float, rel_tol: float) -> float:
+    return rel_tol * max(abs(scale), 1.0)
+
+
+# ---- single-iteration schedules -------------------------------------------------
+
+
+def validate_schedule(
+    result: "ScheduleResult",
+    tasks: Iterable["SimTask"] | None = None,
+    rel_tol: float = 1e-9,
+) -> list[Violation]:
+    """Check one realized DAG schedule against the simulator invariants.
+
+    Dependency edges come from each :class:`TaskResult`'s recorded
+    ``deps`` (the simulator stamps them); passing the original ``tasks``
+    overrides that — which is also how tests replay a tampered DAG.
+    ``rel_tol`` scales every float comparison by the magnitude compared.
+    """
+    violations: list[Violation] = []
+    results = result.tasks
+
+    deps_of: dict[str, tuple[str, ...]] = {
+        name: tr.deps for name, tr in results.items()
+    }
+    if tasks is not None:
+        deps_of = {t.name: tuple(t.deps) for t in tasks}
+
+    # Finite, non-negative intervals.
+    for name, tr in results.items():
+        for label, value in (("start", tr.start), ("end", tr.end)):
+            if not math.isfinite(value):
+                violations.append(
+                    Violation(
+                        check="non-finite-time",
+                        task=name,
+                        time=None,
+                        message=f"{label} is {value!r}",
+                    )
+                )
+        if math.isfinite(tr.start) and math.isfinite(tr.end) and tr.end < tr.start:
+            violations.append(
+                Violation(
+                    check="negative-duration",
+                    task=name,
+                    time=tr.start,
+                    message=f"end {tr.end:.6g} precedes start {tr.start:.6g}",
+                )
+            )
+
+    clean = {
+        name: tr
+        for name, tr in results.items()
+        if math.isfinite(tr.start) and math.isfinite(tr.end) and tr.end >= tr.start
+    }
+
+    # Exclusive devices: intervals on one resource must not overlap.
+    by_resource: dict[str, list] = {}
+    for tr in clean.values():
+        by_resource.setdefault(tr.resource, []).append(tr)
+    for resource in sorted(by_resource):
+        intervals = sorted(by_resource[resource], key=lambda t: (t.start, t.end, t.name))
+        for prev, cur in zip(intervals, intervals[1:]):
+            overlap = prev.end - cur.start
+            if overlap > _tol(prev.end, rel_tol):
+                violations.append(
+                    Violation(
+                        check="device-overlap",
+                        task=cur.name,
+                        time=cur.start,
+                        message=(
+                            f"{cur.name!r} starts at {cur.start:.6g} while "
+                            f"{prev.name!r} still occupies {resource!r} until "
+                            f"{prev.end:.6g} (overlap {overlap:.3g}s)"
+                        ),
+                    )
+                )
+
+    # Dependency order: a task may not start before its deps finish.
+    for name, tr in clean.items():
+        for dep in deps_of.get(name, ()):
+            dep_tr = clean.get(dep)
+            if dep_tr is None:
+                if dep not in results:
+                    violations.append(
+                        Violation(
+                            check="missing-dependency",
+                            task=name,
+                            time=tr.start,
+                            message=f"depends on {dep!r} which was never scheduled",
+                        )
+                    )
+                continue
+            lag = dep_tr.end - tr.start
+            if lag > _tol(dep_tr.end, rel_tol):
+                violations.append(
+                    Violation(
+                        check="dependency-order",
+                        task=name,
+                        time=tr.start,
+                        message=(
+                            f"starts at {tr.start:.6g} but dependency "
+                            f"{dep!r} finishes at {dep_tr.end:.6g} "
+                            f"({lag:.3g}s too early)"
+                        ),
+                    )
+                )
+
+    # Attribution contract: cost duration and component sum match the
+    # scheduled interval bit-tightly (both are built from the same floats).
+    for name, tr in clean.items():
+        if tr.cost is None:
+            continue
+        if abs(tr.cost.duration - tr.duration) > _tol(tr.duration, rel_tol):
+            violations.append(
+                Violation(
+                    check="cost-duration-mismatch",
+                    task=name,
+                    time=tr.start,
+                    message=(
+                        f"scheduled duration {tr.duration:.6g}s but TaskCost "
+                        f"prices it at {tr.cost.duration:.6g}s"
+                    ),
+                )
+            )
+        comp_sum = sum(tr.cost.components().values())
+        if abs(comp_sum - tr.cost.duration) > _tol(tr.cost.duration, rel_tol):
+            violations.append(
+                Violation(
+                    check="cost-sum-mismatch",
+                    task=name,
+                    time=tr.start,
+                    message=(
+                        f"TaskCost components sum to {comp_sum:.6g}s, not the "
+                        f"cost duration {tr.cost.duration:.6g}s"
+                    ),
+                )
+            )
+
+    # Busy-time accounting per resource.
+    for resource, recorded in sorted(result.busy_time.items()):
+        actual = sum(tr.duration for tr in clean.values() if tr.resource == resource)
+        if abs(actual - recorded) > _tol(actual, rel_tol):
+            violations.append(
+                Violation(
+                    check="busy-accounting",
+                    task=None,
+                    time=None,
+                    message=(
+                        f"resource {resource!r} busy_time {recorded:.6g}s does "
+                        f"not match summed task durations {actual:.6g}s"
+                    ),
+                )
+            )
+
+    # Tag accounting.
+    tag_actual: dict[str, float] = {}
+    for tr in clean.values():
+        if tr.tag:
+            tag_actual[tr.tag] = tag_actual.get(tr.tag, 0.0) + tr.duration
+    for tag in sorted(set(tag_actual) | set(result.tag_time)):
+        actual = tag_actual.get(tag, 0.0)
+        recorded = result.tag_time.get(tag, 0.0)
+        if abs(actual - recorded) > _tol(actual, rel_tol):
+            violations.append(
+                Violation(
+                    check="tag-accounting",
+                    task=None,
+                    time=None,
+                    message=(
+                        f"tag {tag!r} time {recorded:.6g}s does not match "
+                        f"summed task durations {actual:.6g}s"
+                    ),
+                )
+            )
+
+    # Makespan is the last task end.
+    last_end = max((tr.end for tr in clean.values()), default=0.0)
+    if abs(result.makespan - last_end) > _tol(last_end, rel_tol):
+        violations.append(
+            Violation(
+                check="makespan-mismatch",
+                task=None,
+                time=last_end,
+                message=(
+                    f"makespan {result.makespan:.6g}s but the last task ends "
+                    f"at {last_end:.6g}s"
+                ),
+            )
+        )
+
+    violations.sort(key=lambda v: (v.time if v.time is not None else -1.0, v.check))
+    return violations
+
+
+# ---- KV-memory conservation -----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class KVEvent:
+    """One KV-pool operation on the simulated timeline."""
+
+    time: float
+    op: str  # "alloc" | "free"
+    name: str
+    nbytes: float
+
+    def to_dict(self) -> dict:
+        return {
+            "time": self.time,
+            "op": self.op,
+            "name": self.name,
+            "nbytes": self.nbytes,
+        }
+
+
+def validate_kv_ledger(
+    events: Sequence[KVEvent],
+    budget: float,
+    peak: float | None = None,
+    rel_tol: float = 1e-9,
+) -> list[Violation]:
+    """Check KV-memory conservation over a run's allocation ledger.
+
+    Invariants: events are time-ordered; every allocation names a new
+    reservation with positive finite bytes; every free matches a live
+    reservation and its recorded size; the pool never exceeds ``budget``;
+    nothing is still live after the last event; and — when ``peak`` is
+    given — the report's ``peak_kv_bytes`` equals the ledger's true peak.
+    """
+    violations: list[Violation] = []
+    live: dict[str, float] = {}
+    used = 0.0
+    true_peak = 0.0
+    prev_time = -math.inf
+    for ev in events:
+        if ev.time < prev_time:
+            violations.append(
+                Violation(
+                    check="kv-time-order",
+                    task=ev.name,
+                    time=ev.time,
+                    message=f"{ev.op} at {ev.time:.6g}s precedes an earlier "
+                    f"event at {prev_time:.6g}s",
+                )
+            )
+        prev_time = max(prev_time, ev.time)
+        if ev.op == "alloc":
+            if not math.isfinite(ev.nbytes) or ev.nbytes <= 0:
+                violations.append(
+                    Violation(
+                        check="kv-bad-bytes",
+                        task=ev.name,
+                        time=ev.time,
+                        message=f"allocation of {ev.nbytes!r} bytes",
+                    )
+                )
+                continue
+            if ev.name in live:
+                violations.append(
+                    Violation(
+                        check="kv-double-alloc",
+                        task=ev.name,
+                        time=ev.time,
+                        message=f"reservation {ev.name!r} allocated twice "
+                        "without an intervening free",
+                    )
+                )
+                continue
+            live[ev.name] = ev.nbytes
+            used += ev.nbytes
+            true_peak = max(true_peak, used)
+            over = used - budget
+            if over > _tol(budget, rel_tol):
+                violations.append(
+                    Violation(
+                        check="kv-over-budget",
+                        task=ev.name,
+                        time=ev.time,
+                        message=(
+                            f"pool holds {used:.6g} bytes after allocating "
+                            f"{ev.name!r}, {over:.6g} over the "
+                            f"{budget:.6g}-byte budget"
+                        ),
+                    )
+                )
+        elif ev.op == "free":
+            if ev.name not in live:
+                violations.append(
+                    Violation(
+                        check="kv-double-free",
+                        task=ev.name,
+                        time=ev.time,
+                        message=f"free of {ev.name!r} which holds no live "
+                        "reservation (double free or free-before-alloc)",
+                    )
+                )
+                continue
+            held = live.pop(ev.name)
+            if abs(held - ev.nbytes) > _tol(held, rel_tol):
+                violations.append(
+                    Violation(
+                        check="kv-size-mismatch",
+                        task=ev.name,
+                        time=ev.time,
+                        message=(
+                            f"free of {ev.nbytes:.6g} bytes but {ev.name!r} "
+                            f"reserved {held:.6g}"
+                        ),
+                    )
+                )
+            used -= held
+        else:
+            violations.append(
+                Violation(
+                    check="kv-bad-op",
+                    task=ev.name,
+                    time=ev.time,
+                    message=f"unknown ledger op {ev.op!r}",
+                )
+            )
+    for name in sorted(live):
+        violations.append(
+            Violation(
+                check="kv-leak",
+                task=name,
+                time=prev_time if events else None,
+                message=f"reservation {name!r} ({live[name]:.6g} bytes) never freed",
+            )
+        )
+    if peak is not None and abs(true_peak - peak) > _tol(true_peak, rel_tol):
+        violations.append(
+            Violation(
+                check="kv-peak-mismatch",
+                task=None,
+                time=None,
+                message=(
+                    f"report peak_kv_bytes {peak:.6g} but the ledger peaks "
+                    f"at {true_peak:.6g}"
+                ),
+            )
+        )
+    return violations
+
+
+# ---- whole serving runs ---------------------------------------------------------
+
+
+def validate_server_run(
+    report: "ContinuousReport",
+    ledger: Sequence[KVEvent] | None = None,
+    budget: float | None = None,
+    faults: "FaultSchedule | None" = None,
+    tracer: "Tracer | None" = None,
+    rel_tol: float = 1e-6,
+) -> list[Violation]:
+    """Check a continuous-serving run against the server's invariants.
+
+    * ``busy_intervals`` must be non-degenerate and non-overlapping (the
+      server books one iteration window at a time);
+    * no busy interval may run inside a device-stall fault window (fault-
+      epoch consistency: a stalled device cannot execute);
+    * the KV ledger (when given) must conserve memory under ``budget``
+      and reconcile with ``report.peak_kv_bytes``;
+    * an attached tracer's device busy-union must match the report's
+      merged busy intervals within ``rel_tol`` (relative), and its
+      ``iterations`` counter must equal ``report.n_iterations``.
+    """
+    violations: list[Violation] = []
+
+    intervals = sorted(report.busy_intervals)
+    for start, end in intervals:
+        if not (math.isfinite(start) and math.isfinite(end)) or end < start:
+            violations.append(
+                Violation(
+                    check="bad-busy-interval",
+                    task=None,
+                    time=start,
+                    message=f"busy interval ({start!r}, {end!r}) is degenerate",
+                )
+            )
+    for (s0, e0), (s1, e1) in zip(intervals, intervals[1:]):
+        overlap = e0 - s1
+        if overlap > _tol(e0, rel_tol):
+            violations.append(
+                Violation(
+                    check="iteration-overlap",
+                    task=None,
+                    time=s1,
+                    message=(
+                        f"iteration window starting {s1:.6g}s overlaps the "
+                        f"previous window ending {e0:.6g}s by {overlap:.3g}s"
+                    ),
+                )
+            )
+
+    if faults is not None:
+        from repro.hardware.faults import FaultKind
+
+        stalls = [e for e in faults.events if e.kind == FaultKind.DEVICE_STALL]
+        for start, end in intervals:
+            for stall in stalls:
+                lo = max(start, stall.start)
+                hi = min(end, stall.end)
+                if hi - lo > _tol(hi, rel_tol):
+                    violations.append(
+                        Violation(
+                            check="stall-overlap",
+                            task=None,
+                            time=lo,
+                            message=(
+                                f"busy interval ({start:.6g}, {end:.6g}) runs "
+                                f"{hi - lo:.3g}s inside the device stall "
+                                f"({stall.start:.6g}, {stall.end:.6g})"
+                            ),
+                        )
+                    )
+
+    if ledger is not None:
+        if budget is None:
+            raise ValueError("validating a KV ledger requires the pool budget")
+        violations.extend(
+            validate_kv_ledger(
+                ledger, budget, peak=report.peak_kv_bytes, rel_tol=rel_tol
+            )
+        )
+
+    if tracer is not None and tracer.enabled:
+        # Imported lazily: repro.serving.__init__ pulls in the server,
+        # which imports this module — a top-level import would cycle.
+        from repro.serving.metrics import merge_busy_intervals
+
+        report_busy = merge_busy_intervals(report.busy_intervals)
+        trace_busy = tracer.busy_union()
+        drift = abs(trace_busy - report_busy)
+        if drift > _tol(report_busy, rel_tol):
+            violations.append(
+                Violation(
+                    check="trace-drift",
+                    task=None,
+                    time=None,
+                    message=(
+                        f"tracer busy union {trace_busy:.6g}s vs report busy "
+                        f"{report_busy:.6g}s (drift {drift:.3g}s beyond "
+                        f"tolerance)"
+                    ),
+                )
+            )
+        counted = tracer.metrics.counter("iterations").value
+        if counted != report.n_iterations:
+            violations.append(
+                Violation(
+                    check="iteration-count-mismatch",
+                    task=None,
+                    time=None,
+                    message=(
+                        f"tracer counted {counted} iterations but the report "
+                        f"says {report.n_iterations}"
+                    ),
+                )
+            )
+
+    violations.sort(key=lambda v: (v.time if v.time is not None else -1.0, v.check))
+    return violations

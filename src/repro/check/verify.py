@@ -1,0 +1,194 @@
+"""Run the schedule validator across the bench suite (`repro verify-schedule`).
+
+Sweeps the canonical benchmark grid — every registered engine on the
+bench-suite (model, machine, dtype) combinations — validating a prompt
+iteration, a decode iteration, and a batched decode iteration for each,
+then replays the canonical continuous-serving scenarios (fault-free and
+the chaos degrade/squeeze/stall timeline) with ``validate=True`` and a
+tracer attached, so every invariant in :mod:`repro.check.schedule` is
+exercised against real schedules.  Engines that legitimately cannot fit a
+configuration (OOM at plan time) are reported as skipped, not failed.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterator
+
+from repro.check.schedule import ScheduleValidationError, validate_schedule
+
+__all__ = ["run_verification", "format_verification", "verification_to_json"]
+
+# One schedule per phase shape: prompt prefill, single-token decode, and
+# a batched decode (the shapes continuous batching actually issues).
+ITERATION_POINTS = (
+    ("prompt", 0, 64, 1),
+    ("decode", 128, 1, 1),
+    ("batched-decode", 128, 1, 4),
+)
+
+SERVING_N_REQUESTS = {"full": 32, "quick": 10}
+
+
+def _iteration_grid(quick: bool) -> Iterator[tuple[str, str, str, str]]:
+    """(engine, model, machine, dtype) combos: bench hw × every engine."""
+    from repro.bench.baseline import E2E_CONFIGS_FULL, E2E_CONFIGS_QUICK
+    from repro.bench.runner import ENGINE_CLASSES
+
+    configs = E2E_CONFIGS_QUICK if quick else E2E_CONFIGS_FULL
+    hardware = sorted({(model, machine, dtype) for _, model, machine, dtype in configs})
+    for model, machine, dtype in hardware:
+        for engine_name in sorted(ENGINE_CLASSES):
+            yield engine_name, model, machine, dtype
+
+
+def _iteration_cases(quick: bool) -> list[dict]:
+    from repro.bench.runner import make_engine
+    from repro.hardware.memory import OutOfMemoryError
+
+    cases: list[dict] = []
+    for engine_name, model, machine, dtype in _iteration_grid(quick):
+        prefix = f"iteration/{engine_name}/{model}/{machine}/{dtype}"
+        try:
+            engine = make_engine(engine_name, model, machine, dtype)
+        except OutOfMemoryError as exc:
+            cases.append(
+                {
+                    "case": prefix,
+                    "status": "skipped",
+                    "reason": f"does not fit: {exc}",
+                    "violations": [],
+                }
+            )
+            continue
+        for kind, ctx, n_tokens, batch in ITERATION_POINTS:
+            result = engine.simulate_iteration(ctx, n_tokens, batch)
+            violations = validate_schedule(result)
+            cases.append(
+                {
+                    "case": f"{prefix}/{kind}",
+                    "status": "ok" if not violations else "fail",
+                    "n_tasks": len(result.tasks),
+                    "makespan_s": result.makespan,
+                    "violations": [v.to_dict() for v in violations],
+                }
+            )
+    return cases
+
+
+def _serving_cases(quick: bool) -> list[dict]:
+    import numpy as np
+
+    from repro.bench.fault_tolerance import (
+        DEADLINE_S,
+        DTYPE,
+        KV_BUDGET_BYTES,
+        MACHINE,
+        MAX_BATCH,
+        MAX_QUEUE,
+        MAX_RETRIES,
+        MODEL,
+        RATE_RPS,
+        SEED,
+        default_fault_schedule,
+    )
+    from repro.bench.runner import make_engine
+    from repro.serving.continuous import ContinuousServer
+    from repro.serving.arrival import poisson_arrivals
+    from repro.telemetry.tracer import Tracer
+    from repro.workloads import CHATGPT_PROMPTS
+
+    suite = "quick" if quick else "full"
+    engine = make_engine("powerinfer", MODEL, MACHINE, DTYPE)
+    requests = poisson_arrivals(
+        CHATGPT_PROMPTS,
+        rate=RATE_RPS,
+        n_requests=SERVING_N_REQUESTS[suite],
+        rng=np.random.default_rng(SEED),
+        deadline=DEADLINE_S,
+    )
+    scenarios = (
+        ("serving/no-fault", None),
+        ("serving/chaos", default_fault_schedule()),
+    )
+    cases: list[dict] = []
+    for case_name, faults in scenarios:
+        tracer = Tracer()
+        server = ContinuousServer(
+            engine,
+            policy="chunked",
+            max_batch=MAX_BATCH,
+            kv_budget_bytes=KV_BUDGET_BYTES,
+            faults=faults,
+            deadline=DEADLINE_S,
+            max_retries=MAX_RETRIES,
+            max_queue=MAX_QUEUE,
+            tracer=tracer,
+            validate=True,
+        )
+        try:
+            report = server.run(requests)
+        except ScheduleValidationError as exc:
+            cases.append(
+                {
+                    "case": case_name,
+                    "status": "fail",
+                    "violations": [v.to_dict() for v in exc.violations],
+                }
+            )
+            continue
+        cases.append(
+            {
+                "case": case_name,
+                "status": "ok",
+                "n_iterations": report.n_iterations,
+                "n_completed": len(report.completed),
+                "makespan_s": report.makespan,
+                "kv_events": len(server.last_kv_ledger),
+                "violations": [],
+            }
+        )
+    return cases
+
+
+def run_verification(quick: bool = False) -> dict:
+    """Validate the bench suite; returns the verification document."""
+    cases = _iteration_cases(quick) + _serving_cases(quick)
+    n_violations = sum(len(c["violations"]) for c in cases)
+    n_skipped = sum(1 for c in cases if c["status"] == "skipped")
+    return {
+        "suite": "quick" if quick else "full",
+        "ok": all(c["status"] != "fail" for c in cases),
+        "n_cases": len(cases),
+        "n_skipped": n_skipped,
+        "n_violations": n_violations,
+        "cases": cases,
+    }
+
+
+def format_verification(document: dict) -> str:
+    """Human-readable verification report."""
+    lines: list[str] = []
+    for case in document["cases"]:
+        status = case["status"]
+        note = ""
+        if status == "skipped":
+            note = f" ({case['reason']})"
+        elif status == "fail":
+            note = f" ({len(case['violations'])} violation(s))"
+        lines.append(f"{status:>7}  {case['case']}{note}")
+        for v in case["violations"]:
+            where = f" task={v['task']}" if v.get("task") is not None else ""
+            when = f" t={v['time']:.6g}s" if v.get("time") is not None else ""
+            lines.append(f"         - {v['check']}:{where}{when} {v['message']}")
+    verdict = "OK" if document["ok"] else "FAIL"
+    lines.append(
+        f"{verdict}: {document['n_cases']} case(s), "
+        f"{document['n_skipped']} skipped, "
+        f"{document['n_violations']} violation(s) [{document['suite']} suite]"
+    )
+    return "\n".join(lines)
+
+
+def verification_to_json(document: dict) -> str:
+    return json.dumps(document, indent=2) + "\n"

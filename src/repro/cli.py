@@ -27,6 +27,12 @@ Subcommands::
                                          re-run the suite, diff against the
                                          committed baseline, exit non-zero on
                                          regression
+    repro lint [paths ...] [--format json] [--out report.json]
+                                         static simulation-discipline lint
+                                         (custom AST rules over src/repro)
+    repro verify-schedule [--quick] [--format json] [--out report.json]
+                                         replay bench-suite schedules against
+                                         the simulator invariants
 
 Also runnable as ``python -m repro.cli ...``.
 """
@@ -314,6 +320,33 @@ def _build_parser() -> argparse.ArgumentParser:
     bench_check.add_argument(
         "--report", default=None, help="also write the structured diff as JSON"
     )
+
+    lint = sub.add_parser(
+        "lint", help="static simulation-discipline lint (custom AST rules)"
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    lint.add_argument("--format", default="text", choices=("text", "json"))
+    lint.add_argument("--out", default=None, help="also write the JSON report here")
+    lint.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated subset of rules to run (default: all)",
+    )
+
+    verify = sub.add_parser(
+        "verify-schedule",
+        help="replay bench-suite schedules against the simulator invariants",
+    )
+    verify.add_argument(
+        "--quick", action="store_true", help="small grid (tests / local iteration)"
+    )
+    verify.add_argument("--format", default="text", choices=("text", "json"))
+    verify.add_argument("--out", default=None, help="also write the JSON report here")
     return parser
 
 
@@ -739,6 +772,52 @@ def _cmd_bench_check(args: argparse.Namespace) -> int:
     return 0 if diff.ok else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.check.lint import format_text, lint_paths, report_as_dict
+
+    rules = None
+    if args.rules is not None:
+        rules = [name.strip() for name in args.rules.split(",") if name.strip()]
+    try:
+        violations, n_files = lint_paths(args.paths, rules=rules)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    document = report_as_dict(violations, n_files)
+    if args.format == "json":
+        import json
+
+        print(json.dumps(document, indent=2))
+    else:
+        print(format_text(violations, n_files))
+    if args.out is not None:
+        import json
+
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(document, fh, indent=2)
+            fh.write("\n")
+    return 0 if document["ok"] else 1
+
+
+def _cmd_verify_schedule(args: argparse.Namespace) -> int:
+    from repro.check.verify import format_verification, run_verification
+
+    document = run_verification(quick=args.quick)
+    if args.format == "json":
+        import json
+
+        print(json.dumps(document, indent=2))
+    else:
+        print(format_verification(document))
+    if args.out is not None:
+        import json
+
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(document, fh, indent=2)
+            fh.write("\n")
+    return 0 if document["ok"] else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -769,6 +848,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_bench_baseline(args)
         if args.command == "bench-check":
             return _cmd_bench_check(args)
+        if args.command == "lint":
+            return _cmd_lint(args)
+        if args.command == "verify-schedule":
+            return _cmd_verify_schedule(args)
     except OutOfMemoryError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -54,7 +54,7 @@ def op_task(
     ``duration`` is bit-identical to ``sync + CostModel.op_time(...)``.
     """
     cost = CostModel.op_cost(work, device, include_launch=include_launch, sync=sync)
-    return SimTask(
+    return SimTask(  # repro-lint: disable=inline-sim-task -- the blessed constructor itself
         name, resource, cost.duration, deps=deps, priority=priority, tag=tag, cost=cost
     )
 
@@ -70,7 +70,7 @@ def transfer_task(
 ) -> SimTask:
     """A PCIe :class:`SimTask` priced by the link model, cost attached."""
     cost = CostModel.transfer_cost(nbytes, link, unified_memory=unified_memory)
-    return SimTask(
+    return SimTask(  # repro-lint: disable=inline-sim-task -- the blessed constructor itself
         name, "pcie", cost.duration, deps=deps, priority=priority, tag=tag, cost=cost
     )
 
@@ -123,6 +123,7 @@ class PerfEngine(ABC):
         tracer: "Tracer | None" = None,
         trace_t0: float = 0.0,
         trace_iteration: int | None = None,
+        validate: bool = False,
     ) -> ScheduleResult:
         """Schedule one iteration's DAG; returns the timing result.
 
@@ -138,6 +139,13 @@ class PerfEngine(ABC):
         ``trace_iteration``).  With ``tracer=None`` — the default — the
         telemetry layer costs one ``is None`` check and the result is
         bit-identical to an untraced run.
+
+        ``validate=True`` replays the realized schedule against the
+        simulator invariants (:func:`repro.check.schedule.validate_schedule`
+        — exclusive devices, dependency order, cost accounting) and raises
+        :class:`~repro.check.schedule.ScheduleValidationError` on any
+        violation.  Off by default: validation is a debugging/CI hook, not
+        a per-iteration cost.
         """
         sim = EventSimulator(list(RESOURCES))
         if machine is None or machine is self.machine:
@@ -150,6 +158,12 @@ class PerfEngine(ABC):
             finally:
                 self.machine = pristine
         result = sim.run(tasks)
+        if validate:
+            # Imported lazily: repro.check is diagnostic tooling, and the
+            # default (validate=False) path must not pay for it.
+            from repro.check.schedule import require_valid, validate_schedule
+
+            require_valid(validate_schedule(result, tasks))
         if tracer is not None and tracer.enabled:
             tracer.add_schedule(result, t0=trace_t0, iteration=trace_iteration)
         return result
@@ -164,6 +178,7 @@ class PerfEngine(ABC):
         rng: np.random.Generator | None = None,
         tracer: "Tracer | None" = None,
         trace_iteration: int | None = None,
+        validate: bool = False,
     ) -> ScheduleResult:
         """One iteration at simulated time ``now`` under a fault schedule.
 
@@ -185,6 +200,7 @@ class PerfEngine(ABC):
             tracer=tracer,
             trace_t0=now,
             trace_iteration=trace_iteration,
+            validate=validate,
         )
 
     def simulate_request(

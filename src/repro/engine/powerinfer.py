@@ -16,11 +16,16 @@ came from the greedy policy) and, with ``hybrid=False``-style subclasses in
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.engine.base import PerfEngine, op_task, transfer_task
 from repro.hardware.costmodel import OpWork
-from repro.hardware.events import SimTask
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import; tasks are built
+    # exclusively through the op_task/transfer_task pricing constructors.
+    from repro.hardware.events import SimTask
 
 __all__ = ["PowerInferEngine"]
 

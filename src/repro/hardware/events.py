@@ -79,7 +79,13 @@ class SimTask:
 
 @dataclass(frozen=True)
 class TaskResult:
-    """Scheduled interval for one task."""
+    """Scheduled interval for one task.
+
+    ``deps`` records the task's (deduplicated) dependency edges so a
+    realized :class:`ScheduleResult` is self-contained for validation —
+    :func:`repro.check.schedule.validate_schedule` can verify dependency
+    order without the original :class:`SimTask` list.
+    """
 
     name: str
     resource: str
@@ -87,6 +93,7 @@ class TaskResult:
     end: float
     tag: str = ""
     cost: "TaskCost | None" = None
+    deps: tuple[str, ...] = ()
 
     @property
     def duration(self) -> float:
@@ -195,10 +202,14 @@ class EventSimulator:
                 if dep not in by_name:
                     raise ValueError(f"task {task.name!r} depends on unknown task {dep!r}")
 
-        indegree = {t.name: len(set(t.deps)) for t in tasks}
+        # dict.fromkeys (not set) deduplicates while keeping declaration
+        # order, so the dependents lists — and with them heap tiebreaks —
+        # are stable run to run.
+        unique_deps = {t.name: tuple(dict.fromkeys(t.deps)) for t in tasks}
+        indegree = {name: len(deps) for name, deps in unique_deps.items()}
         dependents: dict[str, list[str]] = {t.name: [] for t in tasks}
         for task in tasks:
-            for dep in set(task.deps):
+            for dep in unique_deps[task.name]:
                 dependents[dep].append(task.name)
 
         counter = itertools.count()
@@ -224,6 +235,7 @@ class EventSimulator:
                 end=end,
                 tag=task.tag,
                 cost=task.cost,
+                deps=unique_deps[name],
             )
             if task.tag:
                 tag_time[task.tag] = tag_time.get(task.tag, 0.0) + task.duration

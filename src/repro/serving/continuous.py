@@ -50,6 +50,7 @@ from dataclasses import dataclass, field
 
 from typing import TYPE_CHECKING
 
+from repro.check.schedule import KVEvent, require_valid, validate_server_run
 from repro.engine.base import PerfEngine
 from repro.hardware.events import ScheduleResult
 from repro.hardware.faults import FaultKind, FaultSchedule
@@ -223,6 +224,14 @@ class ContinuousServer:
             and degraded-mode regions, fault annotations, and counter
             samples over the run.  ``None`` (default) disables tracing;
             the run's results are bit-identical either way.
+        validate: When ``True``, :meth:`run` keeps a KV-allocation ledger
+            and, before returning, replays the report against the server
+            invariants (:func:`repro.check.schedule.validate_server_run` —
+            non-overlapping iteration windows, nothing executing inside a
+            device stall, KV-memory conservation under the nominal budget,
+            trace/report reconciliation), raising
+            :class:`~repro.check.schedule.ScheduleValidationError` on any
+            violation.  Off by default; a diagnostic/CI hook.
     """
 
     def __init__(
@@ -240,6 +249,7 @@ class ContinuousServer:
         degradation: bool = True,
         degraded_max_batch: int | None = None,
         tracer: "Tracer | None" = None,
+        validate: bool = False,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -273,12 +283,15 @@ class ContinuousServer:
             degraded_max_batch if degraded_max_batch is not None else max(1, max_batch // 4)
         )
         self.tracer = tracer
+        self.validate = validate
         self.costs = IterationCostCache(engine, ctx_bucket, faults=faults)
         # Lazily-built degraded runtime: (engine, cost cache, bytes freed).
         self._degraded: tuple[PerfEngine, IterationCostCache, float] | None = None
         # Run-scoped tracing state (set by run(); False/empty when untraced).
         self._tracing = False
         self._enqueued_at: dict[int, float] = {}
+        # KV-pool ledger of the last run (only populated with validate=True).
+        self.last_kv_ledger: list[KVEvent] = []
 
     # ---- degraded mode -------------------------------------------------------
 
@@ -310,6 +323,18 @@ class ContinuousServer:
 
     def _deadline_of(self, request: Request) -> float | None:
         return request.deadline if request.deadline is not None else self.deadline
+
+    def _ledger_add(self, time: float, op: str, name: str, nbytes: float) -> None:
+        """Record one KV-pool operation for post-run validation.
+
+        The ledger mirrors every ``allocate``/``release`` on the pool with
+        its simulated timestamp; :func:`validate_kv_ledger` replays it to
+        prove conservation.  Only kept with ``validate=True``.
+        """
+        if self.validate:
+            self.last_kv_ledger.append(
+                KVEvent(time=time, op=op, name=name, nbytes=nbytes)
+            )
 
     # ---- tracing helpers -----------------------------------------------------
 
@@ -362,6 +387,7 @@ class ContinuousServer:
             if pool.used + kv_bytes > effective_budget:
                 return
             pool.allocate(f"req-{request.request_id}", kv_bytes)
+            self._ledger_add(now, "alloc", f"req-{request.request_id}", kv_bytes)
             waiting.popleft()
             running.append(
                 RequestState(request=request, admit_time=now, kv_bytes=kv_bytes)
@@ -395,6 +421,9 @@ class ContinuousServer:
         abort_time = at if at is not None else resume_at
         for state in running:
             pool.release(f"req-{state.request.request_id}")
+            self._ledger_add(
+                abort_time, "free", f"req-{state.request.request_id}", state.kv_bytes
+            )
             report.n_aborts += 1
             rid = state.request.request_id
             attempt = attempts.get(rid, 0) + 1
@@ -450,6 +479,9 @@ class ContinuousServer:
             d = self._deadline_of(state.request)
             if d is not None and now >= state.request.arrival_time + d:
                 pool.release(f"req-{state.request.request_id}")
+                self._ledger_add(
+                    now, "free", f"req-{state.request.request_id}", state.kv_bytes
+                )
                 report.timed_out.append(state.request)
                 if self._tracing:
                     self._trace_batch_phases(state, now)
@@ -468,6 +500,7 @@ class ContinuousServer:
         running: list[RequestState] = []
         pool = MemoryPool(name="kv-cache", capacity=self.kv_budget_bytes)
         report = ContinuousReport(kv_budget_bytes=pool.usable_capacity)
+        self.last_kv_ledger = []
         retry_heap: list[tuple[float, int, Request]] = []  # (ready, id, request)
         attempts: dict[int, int] = {}
 
@@ -707,6 +740,12 @@ class ContinuousServer:
             for state in running:
                 if state.done:
                     pool.release(f"req-{state.request.request_id}")
+                    self._ledger_add(
+                        state.token_times[-1],
+                        "free",
+                        f"req-{state.request.request_id}",
+                        state.kv_bytes,
+                    )
                     metrics = RequestMetrics(
                         request=state.request,
                         admit_time=state.admit_time,
@@ -736,6 +775,19 @@ class ContinuousServer:
                 report.time_in_degraded_mode
             )
         self._tracing = False
+        if self.validate:
+            # Over-budget is checked against the *nominal* pool capacity:
+            # KV-shrink windows shrink the admission threshold, but
+            # reservations made before the squeeze legitimately persist.
+            require_valid(
+                validate_server_run(
+                    report,
+                    ledger=self.last_kv_ledger,
+                    budget=pool.usable_capacity,
+                    faults=self.faults,
+                    tracer=tracer if tracing else None,
+                )
+            )
         return report
 
 
@@ -756,8 +808,8 @@ def simulate_continuous_serving(
     :class:`SchedulerPolicy` instance; ``max_prefill_tokens`` only applies
     to the chunked policy.  Extra keyword arguments (``faults``,
     ``deadline``, ``max_retries``, ``retry_backoff``, ``max_queue``,
-    ``degradation``, ``degraded_max_batch``, ``tracer``) pass through to
-    the server.
+    ``degradation``, ``degraded_max_batch``, ``tracer``, ``validate``)
+    pass through to the server.
     """
     if isinstance(policy, str):
         kwargs = {"max_prefill_tokens": max_prefill_tokens} if policy == "chunked" else {}

@@ -1,0 +1,67 @@
+"""Suppression-mechanism tests.
+
+The contract: a `# repro-lint: disable=<rule>` comment on the violating
+line silences exactly that rule on exactly that line; an identical
+unsuppressed line still fires; and a suppression naming an unknown rule
+is itself reported (typos must not silently disable checks).
+"""
+
+from repro.check.lint import lint_source
+
+
+class TestSuppression:
+    def test_suppressed_line_is_silent(self):
+        src = "import time\nt = time.time()  # repro-lint: disable=wall-clock\n"
+        assert lint_source(src) == []
+
+    def test_identical_unsuppressed_line_still_fires(self):
+        src = (
+            "import time\n"
+            "a = time.time()  # repro-lint: disable=wall-clock\n"
+            "b = time.time()\n"
+        )
+        violations = lint_source(src)
+        assert [(v.rule, v.line) for v in violations] == [("wall-clock", 3)]
+
+    def test_suppression_only_covers_named_rule(self):
+        # The wrong rule name leaves the wall-clock violation standing.
+        src = "import time\nt = time.time()  # repro-lint: disable=mutable-default\n"
+        assert [v.rule for v in lint_source(src)] == ["wall-clock"]
+
+    def test_multiple_rules_in_one_comment(self):
+        src = (
+            "import time\n"
+            "def f(x=[], tracer=None):\n"
+            "    return time.time(), x  "
+            "# repro-lint: disable=wall-clock,mutable-default\n"
+        )
+        # The mutable default anchors on line 2, not the suppressed line 3.
+        assert [(v.rule, v.line) for v in lint_source(src)] == [("mutable-default", 2)]
+
+    def test_justification_text_after_dashes(self):
+        src = (
+            "import time\n"
+            "t = time.time()  # repro-lint: disable=wall-clock -- measuring real solver time\n"
+        )
+        assert lint_source(src) == []
+
+    def test_unknown_rule_name_is_reported(self):
+        src = "x = 1  # repro-lint: disable=no-such-rule\n"
+        violations = lint_source(src)
+        assert [v.rule for v in violations] == ["bad-suppression"]
+        assert "no-such-rule" in violations[0].message
+
+    def test_unknown_rule_reported_alongside_valid_one(self):
+        src = "import time\nt = time.time()  # repro-lint: disable=wall-clock,wall-clok\n"
+        violations = lint_source(src)
+        assert [v.rule for v in violations] == ["bad-suppression"]
+        assert "wall-clok" in violations[0].message
+
+    def test_meta_rules_cannot_be_suppressed(self):
+        # disable=bad-suppression is itself an unknown (meta) rule name.
+        src = "x = 1  # repro-lint: disable=bad-suppression\n"
+        assert [v.rule for v in lint_source(src)] == ["bad-suppression"]
+
+    def test_unrelated_comments_ignored(self):
+        src = "import time\nt = time.time()  # TODO: revisit\n"
+        assert [v.rule for v in lint_source(src)] == ["wall-clock"]
