@@ -11,6 +11,12 @@ from repro.bench.ablations import (
 from repro.bench.continuous_batching import run_continuous_batching
 from repro.bench.end_to_end import run_end_to_end, run_fig10, run_fig11, run_fig13
 from repro.bench.fault_tolerance import default_fault_schedule, run_fault_tolerance
+from repro.bench.fleet_chaos import (
+    build_fleet,
+    default_crash_schedule,
+    fleet_requests,
+    run_fleet_chaos,
+)
 from repro.bench.fig04 import run_fig04
 from repro.bench.fig05 import cdf_series, run_fig05
 from repro.bench.fig06 import run_fig06
@@ -36,12 +42,16 @@ __all__ = [
     "run_ablation_solver_batching",
     "run_ablation_sync_overhead",
     "run_prompt_heavy",
+    "build_fleet",
     "build_sparse_system",
     "cached_plan",
     "cdf_series",
+    "default_crash_schedule",
     "default_fault_schedule",
+    "fleet_requests",
     "run_continuous_batching",
     "run_fault_tolerance",
+    "run_fleet_chaos",
     "format_table",
     "make_engine",
     "print_table",

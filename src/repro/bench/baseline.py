@@ -162,6 +162,17 @@ def run_suite(quick: bool = False) -> dict:
             metrics[f"{prefix}/slo_attainment"] = _metric(row["slo_attainment"], True)
             metrics[f"{prefix}/completed"] = _metric(row["completed"], True)
 
+    # -- fleet chaos per router policy (full suite only) -----------------------
+    if not quick:
+        from repro.bench.fleet_chaos import run_fleet_chaos
+
+        for row in run_fleet_chaos():
+            condition = row["faults"] if row["failover"] else "nofailover"
+            prefix = f"fleet/{row['policy']}/{condition}"
+            metrics[f"{prefix}/goodput_rps"] = _metric(row["goodput_rps"], True)
+            metrics[f"{prefix}/ttft_p99_s"] = _metric(row["ttft_p99_s"], False)
+            metrics[f"{prefix}/availability"] = _metric(row["availability"], True)
+
     return {
         "schema": SCHEMA_VERSION,
         "suite": suite,

@@ -23,6 +23,7 @@ from repro.check.schedule import (
     ScheduleValidationError,
     Violation,
     require_valid,
+    validate_fleet_run,
     validate_kv_ledger,
     validate_schedule,
     validate_server_run,
@@ -38,6 +39,7 @@ __all__ = [
     "ScheduleValidationError",
     "Violation",
     "require_valid",
+    "validate_fleet_run",
     "validate_kv_ledger",
     "validate_schedule",
     "validate_server_run",

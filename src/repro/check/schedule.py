@@ -46,6 +46,7 @@ __all__ = [
     "validate_schedule",
     "validate_kv_ledger",
     "validate_server_run",
+    "validate_fleet_run",
     "require_valid",
 ]
 
@@ -556,6 +557,150 @@ def validate_server_run(
                         f"tracer counted {counted} iterations but the report "
                         f"says {report.n_iterations}"
                     ),
+                )
+            )
+
+    violations.sort(key=lambda v: (v.time if v.time is not None else -1.0, v.check))
+    return violations
+
+
+# ---- fleet runs -----------------------------------------------------------------
+
+
+def validate_fleet_run(result, rel_tol: float = 1e-6) -> list[Violation]:
+    """Check a fleet run (:class:`~repro.serving.fleet.report.FleetResult`)
+    against the router's invariants.
+
+    * every replica's own run passes :func:`validate_server_run` (its
+      ledger, budget, and machine-view faults — whose stall windows cover
+      the replica's crashes);
+    * **no request is served by a crashed replica**: no replica busy
+      interval overlaps one of its ground-truth crash windows;
+    * **KV is conserved across migration**: merging every replica's
+      ledger events for one request id, at most one replica holds the
+      request's KV at any instant (loss-then-realloc, never two at once)
+      — hedged requests are exempt, duplicate residency is their point;
+    * **router/replica accounting reconciles**: the four fleet
+      disposition lists partition the submitted request ids exactly, and
+      every completed request's stitched timeline carries exactly
+      ``output_len`` tokens;
+    * the realized KV-transfer schedule (when present) passes
+      :func:`validate_schedule`.
+    """
+    violations: list[Violation] = []
+
+    for rep in result.replicas:
+        for v in validate_server_run(
+            rep.report,
+            ledger=rep.ledger,
+            budget=rep.kv_budget_bytes,
+            faults=rep.machine_faults,
+            rel_tol=rel_tol,
+        ):
+            violations.append(
+                Violation(
+                    check=v.check,
+                    task=v.task if v.task is not None else f"replica:{rep.name}",
+                    time=v.time,
+                    message=f"[replica {rep.name}] {v.message}",
+                )
+            )
+        for start, end in rep.report.busy_intervals:
+            for c0, c1 in rep.crash_windows:
+                lo, hi = max(start, c0), min(end, c1)
+                if hi - lo > _tol(hi, rel_tol):
+                    violations.append(
+                        Violation(
+                            check="crashed-replica-served",
+                            task=f"replica:{rep.name}",
+                            time=lo,
+                            message=(
+                                f"replica {rep.name} executed "
+                                f"({start:.6g}, {end:.6g}) overlapping its "
+                                f"crash window ({c0:.6g}, {c1:.6g})"
+                            ),
+                        )
+                    )
+
+    # KV conservation across migration: merge per-request events from every
+    # replica ledger; residency depth must never exceed one holder.
+    by_request: dict[str, list[tuple[float, int, str, str]]] = {}
+    for rep in result.replicas:
+        for seq, ev in enumerate(rep.ledger):
+            by_request.setdefault(ev.name, []).append(
+                (ev.time, 0 if ev.op == "free" else 1, ev.op, rep.name)
+            )
+    hedged_names = {f"req-{rid}" for rid in result.hedged_ids}
+    for name, events in sorted(by_request.items()):
+        if name in hedged_names:
+            continue
+        depth = 0
+        # At equal timestamps the old replica's free precedes the new
+        # replica's alloc — a same-instant migration is legal.
+        for time, _, op, rep_name in sorted(events, key=lambda e: (e[0], e[1])):
+            depth += 1 if op == "alloc" else -1
+            if depth > 1:
+                violations.append(
+                    Violation(
+                        check="kv-migration-overlap",
+                        task=name,
+                        time=time,
+                        message=(
+                            f"{name} held KV on two replicas at once "
+                            f"(second alloc on {rep_name} at {time:.6g}s)"
+                        ),
+                    )
+                )
+                break
+
+    # Router/replica accounting: dispositions partition the stream.
+    report = result.report
+    seen: dict[int, str] = {}
+    for label, ids in (
+        ("completed", [m.request.request_id for m in report.completed]),
+        ("timed_out", [r.request_id for r in report.timed_out]),
+        ("shed", [r.request_id for r in report.shed]),
+        ("failed", [r.request_id for r in report.failed]),
+    ):
+        for rid in ids:
+            if rid in seen:
+                violations.append(
+                    Violation(
+                        check="fleet-accounting",
+                        task=f"req-{rid}",
+                        time=None,
+                        message=(
+                            f"request {rid} has two dispositions: "
+                            f"{seen[rid]} and {label}"
+                        ),
+                    )
+                )
+            seen[rid] = label
+
+    for metrics in report.completed:
+        want = metrics.request.output_len
+        got = len(metrics.token_times)
+        if got != want:
+            violations.append(
+                Violation(
+                    check="token-count-mismatch",
+                    task=f"req-{metrics.request.request_id}",
+                    time=metrics.token_times[-1],
+                    message=(
+                        f"request {metrics.request.request_id} delivered "
+                        f"{got} tokens but owes {want}"
+                    ),
+                )
+            )
+
+    if result.transfers is not None:
+        for v in validate_schedule(result.transfers, rel_tol=max(rel_tol, 1e-9)):
+            violations.append(
+                Violation(
+                    check=v.check,
+                    task=v.task,
+                    time=v.time,
+                    message=f"[transfers] {v.message}",
                 )
             )
 

@@ -6,7 +6,11 @@ iteration, a decode iteration, and a batched decode iteration for each,
 then replays the canonical continuous-serving scenarios (fault-free and
 the chaos degrade/squeeze/stall timeline) with ``validate=True`` and a
 tracer attached, so every invariant in :mod:`repro.check.schedule` is
-exercised against real schedules.  Engines that legitimately cannot fit a
+exercised against real schedules.  The fleet chaos scenarios
+(:mod:`repro.bench.fleet_chaos`) are replayed through
+:func:`~repro.check.schedule.validate_fleet_run` — crashed replicas
+served nothing, KV conservation across migration, router/replica
+accounting reconciliation.  Engines that legitimately cannot fit a
 configuration (OOM at plan time) are reported as skipped, not failed.
 """
 
@@ -151,9 +155,50 @@ def _serving_cases(quick: bool) -> list[dict]:
     return cases
 
 
+def _fleet_cases(quick: bool) -> list[dict]:
+    """Replay the canonical fleet chaos scenarios through the validator.
+
+    Covers the resilience mechanisms the fleet validator has dedicated
+    checks for: failover under a crash, the blind (no-failover)
+    ablation, and — in the full suite — the fault-free fleet, the
+    disaggregated fleet (KV transfers under a decode-replica crash), and
+    hedged dispatch (deliberate dual-residency the migration check must
+    exempt).
+    """
+    from repro.bench.fleet_chaos import build_fleet, fleet_requests
+    from repro.check.schedule import validate_fleet_run
+
+    scenarios = [
+        ("fleet/failover-chaos", dict(router_policy="round-robin", chaos=True)),
+        ("fleet/blind-chaos", dict(router_policy="round-robin", chaos=True, failover=False)),
+    ]
+    if not quick:
+        scenarios += [
+            ("fleet/no-fault", dict(router_policy="least-loaded", chaos=False)),
+            ("fleet/disagg-chaos", dict(router_policy="round-robin", chaos=True, disaggregate=True)),
+            ("fleet/hedge-chaos", dict(router_policy="least-loaded", chaos=True, hedge=True)),
+        ]
+    cases: list[dict] = []
+    for case_name, kwargs in scenarios:
+        result = build_fleet(**kwargs).run(fleet_requests())
+        violations = validate_fleet_run(result)
+        cases.append(
+            {
+                "case": case_name,
+                "status": "ok" if not violations else "fail",
+                "n_replicas": len(result.replicas),
+                "n_completed": len(result.report.completed),
+                "availability": result.availability,
+                "n_transfers": len(result.transfers.tasks) if result.transfers else 0,
+                "violations": [v.to_dict() for v in violations],
+            }
+        )
+    return cases
+
+
 def run_verification(quick: bool = False) -> dict:
     """Validate the bench suite; returns the verification document."""
-    cases = _iteration_cases(quick) + _serving_cases(quick)
+    cases = _iteration_cases(quick) + _serving_cases(quick) + _fleet_cases(quick)
     n_violations = sum(len(c["violations"]) for c in cases)
     n_skipped = sum(1 for c in cases if c["status"] == "skipped")
     return {

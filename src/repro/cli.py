@@ -14,6 +14,10 @@ Subcommands::
     repro chaos     --model opt-6.7b --machine pc-low [--fault-seed 7]
                                          serve under injected faults, naive
                                          vs degradation-aware side by side
+    repro fleet     [--policy least-loaded] [--no-failover] [--disaggregate]
+                                         run the canonical 3-replica fleet
+                                         chaos scenario, validate it, and
+                                         optionally export trace/summary
     repro trace     --model opt-6.7b --machine pc-low --out run.trace.json
                                          serve one traced stream and export a
                                          Chrome trace / JSONL / timeline PNG
@@ -77,6 +81,7 @@ from repro.hardware.memory import OutOfMemoryError
 from repro.hardware.spec import MACHINE_PRESETS
 from repro.models.config import MODEL_PRESETS
 from repro.quant.formats import DTYPE_PRESETS
+from repro.serving.fleet.policies import ROUTER_POLICIES
 
 __all__ = ["main", "FIGURES"]
 
@@ -218,6 +223,58 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--max-retries", type=int, default=2, dest="max_retries")
     chaos.add_argument("--slo-ttft", type=float, default=6.0, dest="slo_ttft")
     chaos.add_argument("--slo-tbt", type=float, default=0.020, dest="slo_tbt")
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="run the canonical 3-replica fleet chaos scenario and validate it",
+    )
+    fleet.add_argument(
+        "--policy", default="round-robin", choices=sorted(ROUTER_POLICIES)
+    )
+    fleet.add_argument("--requests", type=int, default=48)
+    fleet.add_argument(
+        "--sessions",
+        type=int,
+        default=None,
+        help="tag conversation ids 0..N-1 onto the stream (session-affinity)",
+    )
+    fleet.add_argument(
+        "--no-chaos",
+        action="store_true",
+        dest="no_chaos",
+        help="skip the replica crash (fault-free reference fleet)",
+    )
+    fleet.add_argument(
+        "--no-failover",
+        action="store_true",
+        dest="no_failover",
+        help="blind-router ablation: keep dispatching to dead replicas",
+    )
+    fleet.add_argument(
+        "--disaggregate",
+        action="store_true",
+        help="prefill on the A100 replica, decode on the PCs, KV streamed over",
+    )
+    fleet.add_argument(
+        "--hedge", action="store_true", help="hedge deadline-critical dispatches"
+    )
+    fleet.add_argument(
+        "--brownout",
+        action="store_true",
+        help="shed low-priority arrivals while a replica is detected down",
+    )
+    fleet.add_argument(
+        "--trace", default=None, help="write a Chrome trace of the fleet run"
+    )
+    fleet.add_argument(
+        "--summary", default=None, help="write the fleet report JSON"
+    )
+    fleet.add_argument(
+        "--verify-out",
+        default=None,
+        dest="verify_out",
+        help="write the fleet validator verdict as JSON",
+    )
 
     trace = sub.add_parser(
         "trace",
@@ -606,6 +663,84 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bench.fleet_chaos import DEFAULT_SLO, build_fleet, fleet_requests
+    from repro.check.schedule import validate_fleet_run
+    from repro.telemetry import Tracer, save_chrome_trace
+
+    tracer = Tracer() if args.trace is not None else None
+    router = build_fleet(
+        router_policy=args.policy,
+        chaos=not args.no_chaos,
+        failover=not args.no_failover,
+        disaggregate=args.disaggregate,
+        hedge=args.hedge,
+        brownout=args.brownout,
+        tracer=tracer,
+    )
+    result = router.run(fleet_requests(args.requests, sessions=args.sessions))
+    violations = validate_fleet_run(result)
+
+    report = result.report
+    rows = [
+        {
+            "replica": rep.name,
+            "role": rep.role,
+            "iterations": rep.report.n_iterations,
+            "segments": len(rep.report.completed),
+            "crashes": len(rep.crash_windows),
+            "detected": len(rep.detected_windows),
+        }
+        for rep in result.replicas
+    ]
+    print(
+        format_table(
+            rows,
+            f"fleet [{args.policy}] — {report.n_submitted} requests, "
+            f"{'chaos' if not args.no_chaos else 'no faults'}, "
+            f"failover {'off' if args.no_failover else 'on'}",
+        )
+    )
+    print(
+        f"goodput {report.goodput(DEFAULT_SLO):.3f} req/s, "
+        f"TTFT p99 {report.ttft_percentile(99):.3f} s, "
+        f"deadline-miss {report.deadline_miss_rate:.1%}, "
+        f"availability {result.availability:.1%} "
+        f"(capacity {result.capacity_availability:.1%})"
+    )
+    counters = ", ".join(f"{k}={v}" for k, v in sorted(result.counters.items()) if v)
+    print(f"router counters: {counters or 'none'}")
+    verdict = "OK" if not violations else f"{len(violations)} violation(s)"
+    print(f"fleet validation: {verdict}")
+    for v in violations:
+        print(f"  - {v.check}: {v.message}")
+
+    outputs = []
+    if args.trace is not None:
+        save_chrome_trace(tracer, args.trace)
+        outputs.append(args.trace)
+    if args.summary is not None:
+        with open(args.summary, "w", encoding="utf-8") as fh:
+            json.dump(result.to_dict(slo=DEFAULT_SLO), fh, indent=2)
+            fh.write("\n")
+        outputs.append(args.summary)
+    if args.verify_out is not None:
+        document = {
+            "ok": not violations,
+            "n_violations": len(violations),
+            "violations": [v.to_dict() for v in violations],
+        }
+        with open(args.verify_out, "w", encoding="utf-8") as fh:
+            json.dump(document, fh, indent=2)
+            fh.write("\n")
+        outputs.append(args.verify_out)
+    if outputs:
+        print("wrote " + ", ".join(outputs))
+    return 0 if not violations else 1
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     import json
 
@@ -838,6 +973,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_serve(args)
         if args.command == "chaos":
             return _cmd_chaos(args)
+        if args.command == "fleet":
+            return _cmd_fleet(args)
         if args.command == "trace":
             return _cmd_trace(args)
         if args.command == "bounds":

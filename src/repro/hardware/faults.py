@@ -44,7 +44,18 @@ class FaultKind:
     DEVICE_STALL = "stall"  # no iterations run; in-flight work aborts
     KV_SHRINK = "kv-shrink"  # KV budget * magnitude (fraction remaining)
 
-    ALL = (PCIE_DEGRADE, GPU_THROTTLE, CPU_THROTTLE, DEVICE_STALL, KV_SHRINK)
+    # Replica-granularity kinds, interpreted by the fleet layer
+    # (:mod:`repro.serving.fleet`) rather than by the machine model:
+    REPLICA_CRASH = "replica-crash"  # replica down; in-progress KV lost
+    REPLICA_RECOVER = "replica-recover"  # warm-up window after a crash
+    LINK_DEGRADE = "link-degrade"  # fleet interconnect slowed / magnitude
+
+    # Machine-level kinds — what perturbs a single machine's spec.
+    MACHINE = (PCIE_DEGRADE, GPU_THROTTLE, CPU_THROTTLE, DEVICE_STALL, KV_SHRINK)
+    # Fleet-level kinds — replica lifecycle and interconnect health.
+    FLEET = (REPLICA_CRASH, REPLICA_RECOVER, LINK_DEGRADE)
+
+    ALL = MACHINE + FLEET
 
     # Kinds that slow the machine down (as opposed to stalling it or
     # squeezing memory) — what a degradation-aware server throttles under.
@@ -63,7 +74,10 @@ class FaultEvent:
             degradations/throttles — divisor applied to the affected
             bandwidth/compute parameters (``>= 1``; 4.0 means "a quarter of
             nominal"); KV shrinkage — fraction of the budget that *remains*
-            (``0 < m <= 1``); stalls ignore it.
+            (``0 < m <= 1``); stalls and replica crashes ignore it;
+            ``replica-recover`` — slowdown divisor while the replica warms
+            back up (``>= 1``); ``link-degrade`` — divisor on the fleet
+            interconnect bandwidth (``>= 1``).
     """
 
     kind: str
@@ -80,7 +94,11 @@ class FaultEvent:
             raise ValueError("start must be non-negative")
         if self.duration <= 0:
             raise ValueError("duration must be positive")
-        if self.kind in FaultKind.THROUGHPUT and self.magnitude < 1.0:
+        divisor_kinds = FaultKind.THROUGHPUT + (
+            FaultKind.REPLICA_RECOVER,
+            FaultKind.LINK_DEGRADE,
+        )
+        if self.kind in divisor_kinds and self.magnitude < 1.0:
             raise ValueError(
                 f"{self.kind} magnitude is a slowdown divisor and must be >= 1"
             )
@@ -250,6 +268,73 @@ class FaultSchedule:
                 return event
         return None
 
+    # ---- fleet-level queries ---------------------------------------------------
+
+    def crash_windows(self) -> tuple[tuple[float, float], ...]:
+        """``(start, end)`` of every ``replica-crash`` window, sorted."""
+        return tuple(
+            (e.start, e.end)
+            for e in self.events
+            if e.kind == FaultKind.REPLICA_CRASH
+        )
+
+    def is_crashed(self, t: float) -> bool:
+        """Whether a ``replica-crash`` window covers ``t``."""
+        return any(
+            e.kind == FaultKind.REPLICA_CRASH for e in self.events if e.active_at(t)
+        )
+
+    def link_degrade_factor(self, t: float) -> float:
+        """Interconnect slowdown divisor at ``t`` (1.0 = nominal).
+
+        Concurrent ``link-degrade`` windows compose multiplicatively, the
+        same convention as :meth:`perturbed_machine`.  The fleet transfer
+        model divides link bandwidth (and multiplies latency) by this.
+        """
+        factor = 1.0
+        for event in self.active(t):
+            if event.kind == FaultKind.LINK_DEGRADE:
+                factor *= event.magnitude
+        return factor
+
+    def machine_view(self) -> "FaultSchedule":
+        """This schedule as a single machine experiences it.
+
+        The fleet kinds are translated into their machine-level effect so
+        a :class:`~repro.serving.continuous.ContinuousServer` can run the
+        replica without knowing about the fleet:
+
+        * ``replica-crash`` becomes a ``stall`` over the same window — a
+          crashed replica executes nothing and in-flight work is lost,
+          which is exactly the stall semantics (and lets the server-run
+          validator prove no iteration overlaps a crash);
+        * ``replica-recover`` becomes a ``gpu-throttle`` of the same
+          magnitude — a warming replica is slow (cold caches, weights
+          reloading);
+        * ``link-degrade`` is dropped — the fleet interconnect is not the
+          machine's PCIe link; the fleet layer prices it on transfers.
+
+        Machine-level events pass through unchanged.  An all-machine
+        schedule returns ``self``.
+        """
+        if all(e.kind in FaultKind.MACHINE for e in self.events):
+            return self
+        translated = []
+        for e in self.events:
+            if e.kind == FaultKind.REPLICA_CRASH:
+                translated.append(
+                    dataclasses.replace(e, kind=FaultKind.DEVICE_STALL, magnitude=1.0)
+                )
+            elif e.kind == FaultKind.REPLICA_RECOVER:
+                translated.append(
+                    dataclasses.replace(e, kind=FaultKind.GPU_THROTTLE)
+                )
+            elif e.kind == FaultKind.LINK_DEGRADE:
+                continue
+            else:
+                translated.append(e)
+        return FaultSchedule(translated)
+
     # ---- construction helpers -------------------------------------------------
 
     def to_dicts(self) -> list[dict]:
@@ -276,7 +361,7 @@ class FaultSchedule:
         seed: int,
         horizon: float,
         n_events: int = 4,
-        kinds: Sequence[str] = FaultKind.ALL,
+        kinds: Sequence[str] = FaultKind.MACHINE,
         max_magnitude: float = 4.0,
     ) -> "FaultSchedule":
         """Generate a deterministic random schedule.
@@ -287,7 +372,12 @@ class FaultSchedule:
         Args:
             seed: RNG seed.
             horizon: Timeline length; events start within ``[0, horizon)``.
-            n_events: Number of events to draw.
+            n_events: Number of events to draw.  Defaults to the
+                machine-level kinds; pass ``FaultKind.FLEET`` (or
+                ``FaultKind.ALL``) to draw replica-lifecycle events too —
+                though :meth:`from_seed_replica` is the better generator
+                for crash/recover timelines (it pairs them and respects
+                an MTBF/MTTR).
             kinds: Fault kinds to draw from (uniformly).
             max_magnitude: Worst slowdown divisor for degradations; KV
                 shrink draws its remaining fraction from ``[1/max, 1)``.
@@ -306,7 +396,7 @@ class FaultSchedule:
         for _ in range(n_events):
             kind = str(rng.choice(list(kinds)))
             start = float(rng.uniform(0.0, horizon))
-            if kind == FaultKind.DEVICE_STALL:
+            if kind in (FaultKind.DEVICE_STALL, FaultKind.REPLICA_CRASH):
                 duration = float(rng.uniform(0.005, 0.05) * horizon)
                 magnitude = 1.0
             elif kind == FaultKind.KV_SHRINK:
@@ -318,6 +408,78 @@ class FaultSchedule:
             events.append(
                 FaultEvent(kind=kind, start=start, duration=duration, magnitude=magnitude)
             )
+        return cls(events)
+
+    @classmethod
+    def from_seed_replica(
+        cls,
+        seed: int,
+        horizon: float,
+        mtbf: float,
+        mttr: float,
+        recover_fraction: float = 0.5,
+        recover_slowdown: float = 2.0,
+        first_crash_after: float = 0.0,
+    ) -> "FaultSchedule":
+        """Generate a deterministic replica crash/recover lifecycle.
+
+        Crash arrivals follow an exponential inter-failure distribution
+        with mean ``mtbf`` (measured from the previous recovery) and each
+        outage lasts an exponential draw with mean ``mttr``.  Every crash
+        is followed by a ``replica-recover`` warm-up window of
+        ``recover_fraction * outage`` at slowdown ``recover_slowdown``.
+        Windows never overlap by construction and the timeline stops at
+        ``horizon``.  The same arguments always yield the same schedule.
+
+        Args:
+            seed: RNG seed.
+            horizon: Timeline length; no window starts at or past it.
+            mtbf: Mean time between failures (uptime between outages), s.
+            mttr: Mean time to recovery (outage length), s.
+            recover_fraction: Warm-up length as a fraction of the outage
+                it follows (``0`` disables recover windows).
+            recover_slowdown: Throughput divisor during warm-up (``>= 1``).
+            first_crash_after: Earliest instant the first crash may start
+                (lets callers guarantee a healthy start-up phase).
+        """
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        if mtbf <= 0 or mttr <= 0:
+            raise ValueError("mtbf and mttr must be positive")
+        if not 0.0 <= recover_fraction <= 1.0:
+            raise ValueError("recover_fraction must be in [0, 1]")
+        if recover_slowdown < 1.0:
+            raise ValueError("recover_slowdown is a slowdown divisor (>= 1)")
+        if first_crash_after < 0:
+            raise ValueError("first_crash_after must be non-negative")
+        rng = np.random.default_rng(seed)
+        events = []
+        t = first_crash_after
+        while True:
+            start = t + float(rng.exponential(mtbf))
+            if start >= horizon:
+                break
+            outage = max(float(rng.exponential(mttr)), 1e-6)
+            events.append(
+                FaultEvent(
+                    kind=FaultKind.REPLICA_CRASH,
+                    start=start,
+                    duration=outage,
+                    magnitude=1.0,
+                )
+            )
+            t = start + outage
+            if recover_fraction > 0.0:
+                warmup = recover_fraction * outage
+                events.append(
+                    FaultEvent(
+                        kind=FaultKind.REPLICA_RECOVER,
+                        start=t,
+                        duration=warmup,
+                        magnitude=recover_slowdown,
+                    )
+                )
+                t += warmup
         return cls(events)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

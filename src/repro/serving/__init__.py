@@ -6,7 +6,18 @@ from repro.serving.continuous import (
     ContinuousServer,
     IterationCostCache,
     RequestState,
+    ServerSession,
+    retry_delay,
     simulate_continuous_serving,
+)
+from repro.serving.fleet import (
+    FleetConfig,
+    FleetResult,
+    FleetRouter,
+    Replica,
+    ReplicaRole,
+    ReplicaSummary,
+    make_router_policy,
 )
 from repro.serving.metrics import (
     SLO,
@@ -34,15 +45,24 @@ __all__ = [
     "ContinuousReport",
     "ContinuousServer",
     "FCFSJoinPolicy",
+    "FleetConfig",
+    "FleetResult",
+    "FleetRouter",
     "IterationCostCache",
     "IterationPlan",
     "PrefillPriorityPolicy",
+    "Replica",
+    "ReplicaRole",
+    "ReplicaSummary",
     "Request",
     "RequestMetrics",
     "RequestState",
     "SchedulerPolicy",
+    "ServerSession",
     "ServingReport",
     "make_policy",
+    "make_router_policy",
+    "retry_delay",
     "merge_busy_intervals",
     "percentile",
     "poisson_arrivals",

@@ -27,6 +27,13 @@ class Request:
     (unless the server imposes a default).  Deadline enforcement is the
     continuous server's job — see
     :class:`repro.serving.continuous.ContinuousServer`.
+
+    ``priority`` ranks requests for fleet brownout (higher is more
+    important; the router sheds the lowest classes first when surviving
+    capacity drops).  ``session`` is an optional conversation id used by
+    the session-affinity router policy to pin a conversation's requests
+    to one replica (warm KV locality).  Both are inert outside the fleet
+    layer (:mod:`repro.serving.fleet`).
     """
 
     request_id: int
@@ -34,10 +41,14 @@ class Request:
     input_len: int
     output_len: int
     deadline: float | None = None
+    priority: int = 0
+    session: int | None = None
 
     def __post_init__(self) -> None:
         if self.deadline is not None and self.deadline <= 0:
             raise ValueError("deadline must be positive (or None)")
+        if self.priority < 0:
+            raise ValueError("priority must be non-negative")
 
 
 def poisson_arrivals(

@@ -34,6 +34,15 @@ Pieces that cooperate:
   space).  All fault handling is deterministic: the same schedule and
   request stream always produce the same report.
 
+The event loop itself lives in :class:`ServerSession`, a *re-entrant*
+stepwise core: :meth:`ServerSession.step` executes exactly one pass of the
+loop body and returns, so a driver can interleave many sessions on one
+simulated clock.  :meth:`ContinuousServer.run` drives a session to
+completion for the classic single-server case; the fleet layer
+(:mod:`repro.serving.fleet`) drives one session per replica, feeding them
+through :meth:`ServerSession.submit` and harvesting lifecycle events from
+:attr:`ServerSession.outbox`.
+
 Timing convention: completing the prompt emits the request's first output
 token (the prefill step produces logits for token one), so TTFT is the end
 of the iteration that finishes the prompt, and ``output_len - 1`` decode
@@ -50,6 +59,8 @@ from dataclasses import dataclass, field
 
 from typing import TYPE_CHECKING
 
+import numpy as np
+
 from repro.check.schedule import KVEvent, require_valid, validate_server_run
 from repro.engine.base import PerfEngine
 from repro.hardware.events import ScheduleResult
@@ -65,9 +76,49 @@ if TYPE_CHECKING:  # pragma: no cover - type-only imports
 __all__ = [
     "RequestState",
     "IterationCostCache",
+    "ServerSession",
     "ContinuousServer",
+    "retry_delay",
     "simulate_continuous_serving",
 ]
+
+
+def retry_delay(
+    base: float,
+    attempt: int,
+    jitter: float = 0.0,
+    rng: np.random.Generator | None = None,
+    cap: float | None = None,
+) -> float:
+    """Bounded exponential backoff with optional seeded jitter.
+
+    The one retry-delay code path shared by the single-replica server and
+    the fleet router, so both back off identically.  The deterministic
+    part is ``base * 2 ** (attempt - 1)``, optionally clamped at ``cap``;
+    with ``jitter > 0`` a uniform fraction of the (clamped) delay — up to
+    ``jitter`` of it, drawn from ``rng`` — is added on top.
+
+    With ``jitter == 0`` (the default) no random number is consumed and
+    the result is bit-identical to the classic un-jittered schedule.
+
+    Raises:
+        ValueError: On ``attempt < 1``, a negative ``jitter``, or
+            ``jitter > 0`` without a generator (jitter must come from a
+            *seeded* stream — an implicit global RNG would break run
+            determinism).
+    """
+    if attempt < 1:
+        raise ValueError("attempt numbers start at 1")
+    if jitter < 0:
+        raise ValueError("jitter must be non-negative")
+    delay = base * 2 ** (attempt - 1)
+    if cap is not None:
+        delay = min(delay, cap)
+    if jitter > 0.0:
+        if rng is None:
+            raise ValueError("retry jitter requires a seeded generator")
+        delay += delay * jitter * float(rng.uniform())
+    return delay
 
 
 @dataclass
@@ -190,6 +241,711 @@ class IterationCostCache:
         return len(self._cache)
 
 
+class ServerSession:
+    """The re-entrant stepwise core of one continuous-serving run.
+
+    A session owns all loop state of one run — queues, running batch, KV
+    pool, retry heap, report, simulated clock — and advances it one loop
+    pass at a time via :meth:`step`.  :meth:`ContinuousServer.run` is just
+    "construct a session, step until done, finish"; a fleet driver holds
+    one session per replica and always steps the session whose
+    :meth:`next_action_time` is earliest, which is what keeps N replicas
+    consistent on one global clock.
+
+    Two modes:
+
+    * **batch mode** (``external=False``): the request stream is fixed up
+      front and the session is driven to completion.  Behaviour is
+      bit-identical to the historical monolithic loop.
+    * **external mode** (``external=True``): requests arrive through
+      :meth:`submit` (possibly mid-run, possibly with prior progress from
+      another replica), lifecycle events are mirrored into
+      :attr:`outbox` for the driver, and an admission deadlock parks the
+      session (:attr:`blocked`) instead of raising — only an external
+      event can unblock it.
+
+    Outbox entries (external mode only) are tuples whose first element is
+    the kind: ``("admit", rid, t)``, ``("token", rid, t)``,
+    ``("complete", rid, metrics)``, ``("failed", request, t)``,
+    ``("timeout", request, t)``, ``("shed", request, t)``.
+    """
+
+    def __init__(
+        self,
+        server: "ContinuousServer",
+        requests: list[Request] | tuple[Request, ...] = (),
+        external: bool = False,
+        record_ledger: bool | None = None,
+    ) -> None:
+        self.server = server
+        self.external = external
+        self.record_ledger = server.validate if record_ledger is None else record_ledger
+        self.pending = sorted(requests, key=lambda r: (r.arrival_time, r.request_id))
+        self.next_arrival = 0
+        self.waiting: deque[Request] = deque()
+        self.running: list[RequestState] = []
+        self.pool = MemoryPool(name="kv-cache", capacity=server.kv_budget_bytes)
+        self.report = ContinuousReport(kv_budget_bytes=self.pool.usable_capacity)
+        self.kv_ledger: list[KVEvent] = []
+        self.retry_heap: list[tuple[float, int, Request]] = []  # (ready, id, request)
+        self.attempts: dict[int, int] = {}
+        self.now = 0.0
+        self.blocked = False
+        # External submissions: (dispatch time, insertion seq, request,
+        # prefilled, emitted).  The seq keeps equal-time pops FIFO.
+        self.dispatch_heap: list[tuple[float, int, Request, int, int]] = []
+        self._dispatch_seq = 0
+        self._progress: dict[int, tuple[int, int]] = {}
+        self.outbox: list[tuple] = []
+        # Upper bound on pure clock *advances* (idle / admission-blocked
+        # jumps) — a fleet driver sets it to the next global event time so
+        # a session never skips past an arrival it has not been handed
+        # yet.  Iterations and stalls are atomic and ignore the cap, same
+        # as the monolithic loop.  None = unbounded.
+        self.time_cap: float | None = None
+        # Seeded jitter stream (None when retry_jitter == 0: the classic
+        # schedule consumes no randomness and stays bit-identical).
+        self.rng = (
+            np.random.default_rng(server.seed) if server.retry_jitter > 0.0 else None
+        )
+        tracer = server.tracer
+        self.tracer = tracer
+        self.tracing = tracer is not None and tracer.enabled
+        self.enqueued_at: dict[int, float] = {}
+        if self.tracing and server.faults is not None:
+            from repro.telemetry.tracer import record_fault_schedule
+
+            record_fault_schedule(tracer, server.faults)
+
+    # ---- external-driver API -------------------------------------------------
+
+    def submit(
+        self, request: Request, at: float, prefilled: int = 0, emitted: int = 0
+    ) -> None:
+        """Hand the session a request that becomes visible at time ``at``.
+
+        ``prefilled``/``emitted`` seed the request's admitted state — how a
+        fleet resumes a migrated request whose context (``prefilled``) was
+        already built elsewhere (e.g. KV streamed in from a prefill
+        replica) and whose first ``emitted`` tokens already reached the
+        user.  The session emits only the remaining
+        ``output_len - emitted`` tokens.
+        """
+        if not self.external:
+            raise RuntimeError("submit() requires an external-mode session")
+        if prefilled < 0 or emitted < 0:
+            raise ValueError("prefilled and emitted must be non-negative")
+        heapq.heappush(
+            self.dispatch_heap,
+            (at, self._dispatch_seq, request, prefilled, emitted),
+        )
+        self._dispatch_seq += 1
+        self.blocked = False
+
+    def cancel(self, request_id: int, at: float) -> bool:
+        """Withdraw a request wherever it lives (hedge loser, stale copy).
+
+        Releases its KV reservation and drops any queued or backoff copy;
+        returns whether anything was removed.  The release is ledgered at
+        the *session's* clock, not ``at``: the cancellation takes effect
+        when this replica processes it, which keeps the per-replica KV
+        ledger time-ordered whether the caller is ahead of or behind this
+        session's clock.
+        """
+        t = self.now
+        for i, request in enumerate(self.waiting):
+            if request.request_id == request_id:
+                del self.waiting[i]
+                self._progress.pop(request_id, None)
+                self.blocked = False
+                return True
+        for i, state in enumerate(self.running):
+            if state.request.request_id == request_id:
+                self.pool.release(f"req-{request_id}")
+                self._ledger_add(t, "free", f"req-{request_id}", state.kv_bytes)
+                if self.tracing:
+                    self._trace_batch_phases(state, t)
+                    self.tracer.add_request_event(request_id, "cancel", t)
+                del self.running[i]
+                self.blocked = False
+                return True
+        for heap in (self.retry_heap, self.dispatch_heap):
+            for i, entry in enumerate(heap):
+                if entry[2].request_id == request_id:
+                    del heap[i]
+                    heapq.heapify(heap)
+                    self._progress.pop(request_id, None)
+                    return True
+        return False
+
+    def drain(self, at: float) -> list[Request]:
+        """Pull every undelivered request out of the session (crash drain).
+
+        Queued, backoff, and not-yet-pumped submissions are returned for
+        the driver to re-dispatch; anything still marked running (normally
+        already aborted by the crash stall) is released defensively.  The
+        session itself stays usable — a recovered replica accepts new
+        :meth:`submit` calls.
+        """
+        drained: list[Request] = list(self.waiting)
+        self.waiting.clear()
+        while self.retry_heap:
+            _, _, request = heapq.heappop(self.retry_heap)
+            drained.append(request)
+        while self.dispatch_heap:
+            _, _, request, _, _ = heapq.heappop(self.dispatch_heap)
+            drained.append(request)
+        for state in self.running:
+            self.pool.release(f"req-{state.request.request_id}")
+            self._ledger_add(
+                max(at, self.now),
+                "free",
+                f"req-{state.request.request_id}",
+                state.kv_bytes,
+            )
+            self.report.n_aborts += 1
+            drained.append(state.request)
+        self.running.clear()
+        self._progress.clear()
+        self.blocked = False
+        drained.sort(key=lambda r: r.request_id)
+        return drained
+
+    def has_work(self) -> bool:
+        """Whether another :meth:`step` could make progress."""
+        return bool(
+            self.next_arrival < len(self.pending)
+            or self.dispatch_heap
+            or self.waiting
+            or self.running
+            or self.retry_heap
+        )
+
+    def next_action_time(self) -> float | None:
+        """Earliest simulated time the session can act, or None when idle.
+
+        A session with admitted or queued work acts *now*; an empty one
+        reports its next arrival/submission/retry instant.  ``None`` means
+        no internal event will ever occur — only :meth:`submit` /
+        :meth:`cancel` can wake it (this includes the :attr:`blocked`
+        admission-deadlock state).
+        """
+        if self.blocked:
+            return None
+        if self.waiting or self.running:
+            return self.now
+        horizon = []
+        if self.next_arrival < len(self.pending):
+            horizon.append(self.pending[self.next_arrival].arrival_time)
+        if self.dispatch_heap:
+            horizon.append(self.dispatch_heap[0][0])
+        if self.retry_heap:
+            horizon.append(self.retry_heap[0][0])
+        if not horizon:
+            return None
+        return max(self.now, min(horizon))
+
+    # ---- bookkeeping helpers -------------------------------------------------
+
+    def _ledger_add(self, time: float, op: str, name: str, nbytes: float) -> None:
+        """Record one KV-pool operation for post-run validation.
+
+        The ledger mirrors every ``allocate``/``release`` on the pool with
+        its simulated timestamp; :func:`validate_kv_ledger` replays it to
+        prove conservation.  Kept with ``validate=True`` (or when the
+        driver asked for it explicitly — the fleet validator needs per-
+        replica ledgers even on unvalidated replicas).
+        """
+        if self.record_ledger:
+            self.kv_ledger.append(KVEvent(time=time, op=op, name=name, nbytes=nbytes))
+
+    def _trace_batch_phases(self, state: RequestState, end: float) -> None:
+        """Record the phase spans of a request leaving the batch at ``end``.
+
+        Phase boundaries are reconstructed from the token timeline: the
+        prefill span runs from admission to the first token (which the
+        final prefill step emits); everything after is decode.  A request
+        evicted before its first token gets only a (partial) prefill span.
+        """
+        rid = state.request.request_id
+        if state.token_times:
+            first = state.token_times[0]
+            self.tracer.add_request_span(rid, "prefill", state.admit_time, first)
+            if end > first:
+                self.tracer.add_request_span(rid, "decode", first, end)
+        else:
+            self.tracer.add_request_span(rid, "prefill", state.admit_time, end)
+
+    def _enqueue(self, request: Request) -> None:
+        if (
+            self.server.max_queue is not None
+            and len(self.waiting) >= self.server.max_queue
+        ):
+            self.report.shed.append(request)
+            if self.external:
+                self.outbox.append(("shed", request, self.now))
+            if self.tracing:
+                self.tracer.add_request_event(request.request_id, "shed", self.now)
+                self.tracer.metrics.counter("shed").inc()
+        else:
+            self.waiting.append(request)
+
+    def _admit(self, batch_cap: int, effective_budget: float) -> None:
+        """FCFS admission under batch slots and the (possibly shrunken) KV budget.
+
+        Head-of-line blocking: if the oldest waiting request does not fit,
+        nothing behind it is admitted (preserves arrival order, the
+        "queue-on-full" discipline).  A request that cannot fit even an
+        *empty* pristine pool can never be served and raises immediately.
+        """
+        while self.waiting and len(self.running) < batch_cap:
+            request = self.waiting[0]
+            kv_bytes = self.server.engine.request_kv_bytes(
+                request.input_len, request.output_len
+            )
+            if kv_bytes > self.pool.usable_capacity:
+                raise OutOfMemoryError(
+                    f"request {request.request_id} needs "
+                    f"{kv_bytes / 2**20:.1f} MiB of KV cache but the "
+                    f"budget is {self.pool.usable_capacity / 2**20:.1f} MiB"
+                )
+            if self.pool.used + kv_bytes > effective_budget:
+                return
+            self.pool.allocate(f"req-{request.request_id}", kv_bytes)
+            self._ledger_add(self.now, "alloc", f"req-{request.request_id}", kv_bytes)
+            self.waiting.popleft()
+            prefilled, emitted = self._progress.pop(request.request_id, (0, 0))
+            self.running.append(
+                RequestState(
+                    request=request,
+                    admit_time=self.now,
+                    kv_bytes=kv_bytes,
+                    prefilled=prefilled,
+                    emitted=emitted,
+                )
+            )
+            if self.external:
+                self.outbox.append(("admit", request.request_id, self.now))
+            if self.tracing:
+                rid = request.request_id
+                queued_from = self.enqueued_at.get(rid, request.arrival_time)
+                self.tracer.add_request_span(rid, "queued", queued_from, self.now)
+                self.tracer.add_request_event(rid, "admit", self.now)
+
+    def _abort_running(self, resume_at: float, at: float | None = None) -> None:
+        """Abort all in-flight requests (device stall): release KV, retry.
+
+        A retried request restarts from scratch (its partial stream is
+        lost) and becomes eligible for re-admission after an exponential
+        backoff (jittered when the server was configured with
+        ``retry_jitter``); a request out of retries is recorded as failed.
+        ``at`` is the abort instant on the traced timeline (defaults to
+        ``resume_at`` — the stall end — when not given).
+        """
+        server = self.server
+        abort_time = at if at is not None else resume_at
+        for state in self.running:
+            self.pool.release(f"req-{state.request.request_id}")
+            self._ledger_add(
+                abort_time, "free", f"req-{state.request.request_id}", state.kv_bytes
+            )
+            self.report.n_aborts += 1
+            rid = state.request.request_id
+            attempt = self.attempts.get(rid, 0) + 1
+            self.attempts[rid] = attempt
+            if self.tracing:
+                self._trace_batch_phases(state, abort_time)
+                self.tracer.add_request_event(rid, "abort", abort_time)
+                self.tracer.metrics.counter("aborts").inc()
+            if attempt > server.max_retries:
+                self.report.failed.append(state.request)
+                if self.external:
+                    self.outbox.append(("failed", state.request, abort_time))
+                if self.tracing:
+                    self.tracer.add_request_event(rid, "fail", abort_time)
+                    self.tracer.metrics.counter("failed").inc()
+            else:
+                self.report.n_retries += 1
+                ready = resume_at + retry_delay(
+                    server.retry_backoff, attempt, server.retry_jitter, self.rng
+                )
+                heapq.heappush(self.retry_heap, (ready, rid, state.request))
+                if self.tracing:
+                    self.tracer.metrics.counter("retries").inc()
+        self.running.clear()
+
+    def _cancel_expired(self) -> None:
+        """Deadline enforcement at an iteration boundary.
+
+        Expired waiting requests are dropped; expired running requests
+        release their KV reservation.  Either way they are recorded as
+        timed out and never reach the completed set.
+        """
+        now = self.now
+        kept: deque[Request] = deque()
+        for request in self.waiting:
+            d = self.server._deadline_of(request)
+            if d is not None and now >= request.arrival_time + d:
+                self.report.timed_out.append(request)
+                self._progress.pop(request.request_id, None)
+                if self.external:
+                    self.outbox.append(("timeout", request, now))
+                if self.tracing:
+                    rid = request.request_id
+                    queued_from = self.enqueued_at.get(rid, request.arrival_time)
+                    self.tracer.add_request_span(rid, "queued", queued_from, now)
+                    self.tracer.add_request_event(rid, "timeout", now)
+                    self.tracer.metrics.counter("timeouts").inc()
+            else:
+                kept.append(request)
+        self.waiting.clear()
+        self.waiting.extend(kept)
+        still: list[RequestState] = []
+        for state in self.running:
+            d = self.server._deadline_of(state.request)
+            if d is not None and now >= state.request.arrival_time + d:
+                self.pool.release(f"req-{state.request.request_id}")
+                self._ledger_add(
+                    now, "free", f"req-{state.request.request_id}", state.kv_bytes
+                )
+                self.report.timed_out.append(state.request)
+                if self.external:
+                    self.outbox.append(("timeout", state.request, now))
+                if self.tracing:
+                    self._trace_batch_phases(state, now)
+                    self.tracer.add_request_event(
+                        state.request.request_id, "timeout", now
+                    )
+                    self.tracer.metrics.counter("timeouts").inc()
+            else:
+                still.append(state)
+        self.running = still
+
+    # ---- the loop body -------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute one pass of the serving loop; returns whether it ran.
+
+        One pass pumps due arrivals/submissions/retries, then either
+        advances the clock to the next event, handles a stall, or books
+        one iteration.  ``False`` means the session is done (or blocked,
+        in external mode) — stepping again without new input is a no-op.
+        """
+        if self.blocked or not self.has_work():
+            return False
+        server = self.server
+        tracer = self.tracer
+        tracing = self.tracing
+        pending = self.pending
+        report = self.report
+        pool = self.pool
+
+        while (
+            self.next_arrival < len(pending)
+            and pending[self.next_arrival].arrival_time <= self.now
+        ):
+            request = pending[self.next_arrival]
+            if tracing:
+                tracer.add_request_event(
+                    request.request_id, "arrive", request.arrival_time
+                )
+                self.enqueued_at[request.request_id] = request.arrival_time
+            self._enqueue(request)
+            self.next_arrival += 1
+        while self.dispatch_heap and self.dispatch_heap[0][0] <= self.now:
+            at, _, request, prefilled, emitted = heapq.heappop(self.dispatch_heap)
+            if prefilled or emitted:
+                self._progress[request.request_id] = (prefilled, emitted)
+            if tracing:
+                tracer.add_request_event(request.request_id, "arrive", at)
+                self.enqueued_at[request.request_id] = at
+            self._enqueue(request)
+        while self.retry_heap and self.retry_heap[0][0] <= self.now:
+            _, _, request = heapq.heappop(self.retry_heap)
+            if tracing:
+                tracer.add_request_event(request.request_id, "requeue", self.now)
+                self.enqueued_at[request.request_id] = self.now
+            self._enqueue(request)
+
+        if not self.running and not self.waiting:
+            horizon = []
+            if self.next_arrival < len(pending):
+                horizon.append(pending[self.next_arrival].arrival_time)
+            if self.dispatch_heap:
+                horizon.append(self.dispatch_heap[0][0])
+            if self.retry_heap:
+                horizon.append(self.retry_heap[0][0])
+            if not horizon:
+                return False  # everything remaining was shed or failed
+            target = max(self.now, min(horizon))
+            if self.time_cap is not None and self.time_cap < target:
+                if self.time_cap <= self.now:
+                    return False  # parked: the driver must act first
+                target = self.time_cap
+            self.now = target
+            return True
+
+        self._cancel_expired()
+        if not self.running and not self.waiting:
+            return True
+
+        if server.faults is not None:
+            stall_end = server.faults.stall_end_at(self.now)
+            if stall_end is not None and stall_end > self.now:
+                # The device is stalled: nothing can run until the
+                # window closes; in-flight work is lost.
+                self._abort_running(stall_end, at=self.now)
+                self.now = stall_end
+                return True
+
+        kv_factor = (
+            server.faults.kv_budget_factor(self.now)
+            if server.faults is not None
+            else 1.0
+        )
+        throughput_fault = server.faults is not None and server.faults.is_degraded(
+            self.now
+        )
+        costs = server.costs
+        effective_budget = pool.usable_capacity * kv_factor
+        batch_cap = server.max_batch
+        degraded_now = False
+        if server.degradation and kv_factor < 1.0:
+            # KV squeeze: swap in the re-planned engine whose demoted
+            # hot neurons buy the budget back.
+            engine_, costs, freed = server._degraded_runtime()
+            effective_budget = min(pool.usable_capacity, effective_budget + freed)
+            degraded_now = True
+        if server.degradation and throughput_fault:
+            # Brownout: keep the batch small while the machine is slow
+            # so in-flight streams keep their token cadence.
+            batch_cap = min(batch_cap, server.degraded_max_batch)
+            degraded_now = True
+
+        self._admit(batch_cap, effective_budget)
+        report.peak_kv_bytes = max(report.peak_kv_bytes, pool.used)
+
+        if not self.running:
+            # Admission blocked (shrunken budget or stalled retries):
+            # advance to whatever happens next.
+            horizon = []
+            if self.next_arrival < len(pending):
+                horizon.append(pending[self.next_arrival].arrival_time)
+            if self.dispatch_heap:
+                horizon.append(self.dispatch_heap[0][0])
+            if self.retry_heap:
+                horizon.append(self.retry_heap[0][0])
+            if server.faults is not None:
+                boundary = server.faults.next_boundary_after(self.now)
+                if boundary is not None:
+                    horizon.append(boundary)
+            future = [t for t in horizon if t > self.now]
+            if not future:
+                if self.external:
+                    # Only an external submit/cancel can change anything;
+                    # park instead of raising so the driver decides.
+                    self.blocked = True
+                    return False
+                raise OutOfMemoryError(
+                    "admission deadlocked: waiting requests can never "
+                    "fit the remaining KV budget"
+                )
+            target = min(future)
+            if self.time_cap is not None and self.time_cap < target:
+                if self.time_cap <= self.now:
+                    return False  # parked until the driver's next event
+                target = self.time_cap
+            self.now = target
+            return True
+
+        plan = server.policy.plan_iteration(self.running)
+        if plan.is_empty:
+            raise RuntimeError(
+                f"policy {server.policy.name!r} stalled a non-empty batch"
+            )
+
+        if tracing:
+            tracer.add_counter("queue_depth", self.now, float(len(self.waiting)))
+            tracer.add_counter("running_batch", self.now, float(len(self.running)))
+            tracer.add_counter("kv_used_bytes", self.now, pool.used)
+
+        # Components: (offset within the iteration, ctx, n_tokens, batch).
+        # The offsets accumulate with the same float additions as the
+        # cost, so replayed schedules land exactly on the booked window.
+        cost = 0.0
+        components: list[tuple[float, int, int, int]] = []
+        for state, chunk in plan.prefill:
+            components.append((cost, state.context, chunk, 1))
+            cost += costs.cost(state.context, chunk, 1, self.now)
+        if plan.decode:
+            ctx = max(state.context for state in plan.decode)
+            components.append((cost, ctx, 1, len(plan.decode)))
+            cost += costs.cost(ctx, 1, len(plan.decode), self.now)
+        end = self.now + cost
+
+        if server.faults is not None:
+            stall = server.faults.next_stall_start(self.now, end)
+            if stall is not None:
+                # A device stall preempts the in-flight iteration: the
+                # partial work is lost and the batch aborts.
+                if stall.start > self.now:
+                    report.busy_intervals.append((self.now, stall.start))
+                    if tracing:
+                        tracer.add_region(
+                            "server",
+                            "iteration-aborted",
+                            self.now,
+                            stall.start,
+                            args={"batch": float(len(self.running))},
+                        )
+                        # The devices really did run until the stall —
+                        # replay the component schedules clipped at the
+                        # preemption point (lost work, no iteration id).
+                        for offset, ctx_c, n_tok, bsz in components:
+                            t0c = self.now + offset
+                            if t0c >= stall.start:
+                                break
+                            sched = costs.schedule(ctx_c, n_tok, bsz, self.now)
+                            for task in sched.tasks.values():
+                                t_start = t0c + task.start
+                                t_end = min(t0c + task.end, stall.start)
+                                if t_end > t_start:
+                                    tracer.add_task(
+                                        task.name,
+                                        task.resource,
+                                        t_start,
+                                        t_end,
+                                        tag=task.tag,
+                                    )
+                if degraded_now:
+                    report.degraded_intervals.append((self.now, stall.start))
+                    if tracing and stall.start > self.now:
+                        tracer.add_region("server", "degraded", self.now, stall.start)
+                self._abort_running(stall.end, at=stall.start)
+                self.now = stall.end
+                return True
+
+        report.busy_intervals.append((self.now, end))
+        report.n_iterations += 1
+        if degraded_now:
+            report.degraded_intervals.append((self.now, end))
+
+        if tracing:
+            iteration = report.n_iterations - 1
+            tracer.add_region(
+                "server",
+                "iteration",
+                self.now,
+                end,
+                args={
+                    "batch": float(len(self.running)),
+                    "prefill_tokens": float(plan.prefill_tokens),
+                    "decode": float(len(plan.decode)),
+                },
+            )
+            if degraded_now:
+                tracer.add_region("server", "degraded", self.now, end)
+            busy_by_lane: dict[str, float] = {}
+            for offset, ctx_c, n_tok, bsz in components:
+                sched = costs.schedule(ctx_c, n_tok, bsz, self.now)
+                tracer.add_schedule(sched, t0=self.now + offset, iteration=iteration)
+                for lane, busy in sched.busy_time.items():
+                    busy_by_lane[lane] = busy_by_lane.get(lane, 0.0) + busy
+            if cost > 0:
+                for lane in sorted(busy_by_lane):
+                    tracer.add_counter(
+                        f"busy_frac_{lane}", self.now, busy_by_lane[lane] / cost
+                    )
+            tracer.metrics.counter("iterations").inc()
+            tracer.metrics.gauge("kv_used_bytes").set(pool.used)
+
+        for state, chunk in plan.prefill:
+            state.prefilled += chunk
+            if not state.is_prefilling:
+                # Prompt done: the prefill step yields the first token.
+                state.emitted += 1
+                state.token_times.append(end)
+                if self.external:
+                    self.outbox.append(("token", state.request.request_id, end))
+                if tracing:
+                    tracer.add_request_event(
+                        state.request.request_id, "first_token", end
+                    )
+        for state in plan.decode:
+            state.emitted += 1
+            state.token_times.append(end)
+            if self.external:
+                self.outbox.append(("token", state.request.request_id, end))
+
+        still_running: list[RequestState] = []
+        for state in self.running:
+            if state.done:
+                pool.release(f"req-{state.request.request_id}")
+                self._ledger_add(
+                    state.token_times[-1],
+                    "free",
+                    f"req-{state.request.request_id}",
+                    state.kv_bytes,
+                )
+                metrics = RequestMetrics(
+                    request=state.request,
+                    admit_time=state.admit_time,
+                    token_times=tuple(state.token_times),
+                )
+                report.completed.append(metrics)
+                if self.external:
+                    self.outbox.append(
+                        ("complete", state.request.request_id, metrics)
+                    )
+                if tracing:
+                    self._trace_batch_phases(state, state.token_times[-1])
+                    tracer.add_request_event(
+                        state.request.request_id, "finish", state.token_times[-1]
+                    )
+                    tracer.metrics.counter("completed").inc()
+                    tracer.metrics.histogram("ttft_s").record(metrics.ttft)
+                    tracer.metrics.histogram("latency_s").record(metrics.latency)
+            else:
+                still_running.append(state)
+        self.running = still_running
+        self.now = end
+        return True
+
+    # ---- wrap-up -------------------------------------------------------------
+
+    def finish(self, validate: bool | None = None) -> ContinuousReport:
+        """Sort and (optionally) validate the report; returns it.
+
+        ``validate`` defaults to the server's ``validate`` flag.  The
+        session remains inspectable afterwards (ledger, pool, clock).
+        """
+        report = self.report
+        report.completed.sort(key=lambda m: m.request.request_id)
+        report.timed_out.sort(key=lambda r: r.request_id)
+        report.shed.sort(key=lambda r: r.request_id)
+        report.failed.sort(key=lambda r: r.request_id)
+        if self.tracing:
+            self.tracer.metrics.gauge("peak_kv_bytes").set(report.peak_kv_bytes)
+            self.tracer.metrics.gauge("time_in_degraded_mode_s").set(
+                report.time_in_degraded_mode
+            )
+        self.server.last_kv_ledger = self.kv_ledger
+        if validate if validate is not None else self.server.validate:
+            # Over-budget is checked against the *nominal* pool capacity:
+            # KV-shrink windows shrink the admission threshold, but
+            # reservations made before the squeeze legitimately persist.
+            require_valid(
+                validate_server_run(
+                    report,
+                    ledger=self.kv_ledger,
+                    budget=self.pool.usable_capacity,
+                    faults=self.server.faults,
+                    tracer=self.tracer if self.tracing else None,
+                )
+            )
+        return report
+
+
 class ContinuousServer:
     """Event-driven continuous-batching server with graceful degradation.
 
@@ -210,6 +966,14 @@ class ContinuousServer:
             before being recorded as failed.
         retry_backoff: Base of the exponential backoff between an abort
             and the retry's earliest re-admission (doubles per attempt).
+        retry_jitter: Jitter fraction added to each backoff delay — up to
+            ``retry_jitter`` of the deterministic delay, drawn from the
+            run's seeded generator (see :func:`retry_delay`).  ``0.0``
+            (default) consumes no randomness and reproduces the classic
+            schedule bit-identically.
+        seed: Seed for the run's jitter stream; required when
+            ``retry_jitter > 0`` (an unseeded stream would break run
+            determinism).
         max_queue: Bound on the admission queue; arrivals beyond it are
             shed (``None`` disables load shedding).
         degradation: Enables graceful degradation — the fault-adaptive
@@ -245,6 +1009,8 @@ class ContinuousServer:
         deadline: float | None = None,
         max_retries: int = 2,
         retry_backoff: float = 0.05,
+        retry_jitter: float = 0.0,
+        seed: int | None = None,
         max_queue: int | None = None,
         degradation: bool = True,
         degraded_max_batch: int | None = None,
@@ -259,6 +1025,10 @@ class ContinuousServer:
             raise ValueError("max_retries must be non-negative")
         if retry_backoff <= 0:
             raise ValueError("retry_backoff must be positive")
+        if retry_jitter < 0:
+            raise ValueError("retry_jitter must be non-negative")
+        if retry_jitter > 0 and seed is None:
+            raise ValueError("retry_jitter > 0 requires a seed (determinism)")
         if max_queue is not None and max_queue < 1:
             raise ValueError("max_queue must be >= 1 (or None)")
         if degraded_max_batch is not None and degraded_max_batch < 1:
@@ -277,6 +1047,8 @@ class ContinuousServer:
         self.deadline = deadline
         self.max_retries = max_retries
         self.retry_backoff = retry_backoff
+        self.retry_jitter = retry_jitter
+        self.seed = seed
         self.max_queue = max_queue
         self.degradation = degradation
         self.degraded_max_batch = (
@@ -287,10 +1059,8 @@ class ContinuousServer:
         self.costs = IterationCostCache(engine, ctx_bucket, faults=faults)
         # Lazily-built degraded runtime: (engine, cost cache, bytes freed).
         self._degraded: tuple[PerfEngine, IterationCostCache, float] | None = None
-        # Run-scoped tracing state (set by run(); False/empty when untraced).
-        self._tracing = False
-        self._enqueued_at: dict[int, float] = {}
-        # KV-pool ledger of the last run (only populated with validate=True).
+        # KV-pool ledger of the last run (only populated with validate=True
+        # or a session constructed with record_ledger=True).
         self.last_kv_ledger: list[KVEvent] = []
 
     # ---- degraded mode -------------------------------------------------------
@@ -324,471 +1094,25 @@ class ContinuousServer:
     def _deadline_of(self, request: Request) -> float | None:
         return request.deadline if request.deadline is not None else self.deadline
 
-    def _ledger_add(self, time: float, op: str, name: str, nbytes: float) -> None:
-        """Record one KV-pool operation for post-run validation.
-
-        The ledger mirrors every ``allocate``/``release`` on the pool with
-        its simulated timestamp; :func:`validate_kv_ledger` replays it to
-        prove conservation.  Only kept with ``validate=True``.
-        """
-        if self.validate:
-            self.last_kv_ledger.append(
-                KVEvent(time=time, op=op, name=name, nbytes=nbytes)
-            )
-
-    # ---- tracing helpers -----------------------------------------------------
-
-    def _trace_batch_phases(self, state: RequestState, end: float) -> None:
-        """Record the phase spans of a request leaving the batch at ``end``.
-
-        Phase boundaries are reconstructed from the token timeline: the
-        prefill span runs from admission to the first token (which the
-        final prefill step emits); everything after is decode.  A request
-        evicted before its first token gets only a (partial) prefill span.
-        """
-        rid = state.request.request_id
-        if state.token_times:
-            first = state.token_times[0]
-            self.tracer.add_request_span(rid, "prefill", state.admit_time, first)
-            if end > first:
-                self.tracer.add_request_span(rid, "decode", first, end)
-        else:
-            self.tracer.add_request_span(rid, "prefill", state.admit_time, end)
-
-    # ---- admission -----------------------------------------------------------
-
-    def _admit(
-        self,
-        waiting: deque[Request],
-        running: list[RequestState],
-        pool: MemoryPool,
-        now: float,
-        batch_cap: int,
-        effective_budget: float,
-    ) -> None:
-        """FCFS admission under batch slots and the (possibly shrunken) KV budget.
-
-        Head-of-line blocking: if the oldest waiting request does not fit,
-        nothing behind it is admitted (preserves arrival order, the
-        "queue-on-full" discipline).  A request that cannot fit even an
-        *empty* pristine pool can never be served and raises immediately.
-        """
-        while waiting and len(running) < batch_cap:
-            request = waiting[0]
-            kv_bytes = self.engine.request_kv_bytes(
-                request.input_len, request.output_len
-            )
-            if kv_bytes > pool.usable_capacity:
-                raise OutOfMemoryError(
-                    f"request {request.request_id} needs "
-                    f"{kv_bytes / 2**20:.1f} MiB of KV cache but the "
-                    f"budget is {pool.usable_capacity / 2**20:.1f} MiB"
-                )
-            if pool.used + kv_bytes > effective_budget:
-                return
-            pool.allocate(f"req-{request.request_id}", kv_bytes)
-            self._ledger_add(now, "alloc", f"req-{request.request_id}", kv_bytes)
-            waiting.popleft()
-            running.append(
-                RequestState(request=request, admit_time=now, kv_bytes=kv_bytes)
-            )
-            if self._tracing:
-                rid = request.request_id
-                queued_from = self._enqueued_at.get(rid, request.arrival_time)
-                self.tracer.add_request_span(rid, "queued", queued_from, now)
-                self.tracer.add_request_event(rid, "admit", now)
-
-    # ---- fault handling ------------------------------------------------------
-
-    def _abort_running(
-        self,
-        running: list[RequestState],
-        pool: MemoryPool,
-        report: ContinuousReport,
-        retry_heap: list[tuple[float, int, Request]],
-        attempts: dict[int, int],
-        resume_at: float,
-        at: float | None = None,
-    ) -> None:
-        """Abort all in-flight requests (device stall): release KV, retry.
-
-        A retried request restarts from scratch (its partial stream is
-        lost) and becomes eligible for re-admission after an exponential
-        backoff; a request out of retries is recorded as failed.  ``at``
-        is the abort instant on the traced timeline (defaults to
-        ``resume_at`` — the stall end — when not given).
-        """
-        abort_time = at if at is not None else resume_at
-        for state in running:
-            pool.release(f"req-{state.request.request_id}")
-            self._ledger_add(
-                abort_time, "free", f"req-{state.request.request_id}", state.kv_bytes
-            )
-            report.n_aborts += 1
-            rid = state.request.request_id
-            attempt = attempts.get(rid, 0) + 1
-            attempts[rid] = attempt
-            if self._tracing:
-                self._trace_batch_phases(state, abort_time)
-                self.tracer.add_request_event(rid, "abort", abort_time)
-                self.tracer.metrics.counter("aborts").inc()
-            if attempt > self.max_retries:
-                report.failed.append(state.request)
-                if self._tracing:
-                    self.tracer.add_request_event(rid, "fail", abort_time)
-                    self.tracer.metrics.counter("failed").inc()
-            else:
-                report.n_retries += 1
-                ready = resume_at + self.retry_backoff * 2 ** (attempt - 1)
-                heapq.heappush(retry_heap, (ready, rid, state.request))
-                if self._tracing:
-                    self.tracer.metrics.counter("retries").inc()
-        running.clear()
-
-    def _cancel_expired(
-        self,
-        waiting: deque[Request],
-        running: list[RequestState],
-        pool: MemoryPool,
-        report: ContinuousReport,
-        now: float,
-    ) -> list[RequestState]:
-        """Deadline enforcement at an iteration boundary.
-
-        Expired waiting requests are dropped; expired running requests
-        release their KV reservation.  Either way they are recorded as
-        timed out and never reach the completed set.
-        """
-        kept: deque[Request] = deque()
-        for request in waiting:
-            d = self._deadline_of(request)
-            if d is not None and now >= request.arrival_time + d:
-                report.timed_out.append(request)
-                if self._tracing:
-                    rid = request.request_id
-                    queued_from = self._enqueued_at.get(rid, request.arrival_time)
-                    self.tracer.add_request_span(rid, "queued", queued_from, now)
-                    self.tracer.add_request_event(rid, "timeout", now)
-                    self.tracer.metrics.counter("timeouts").inc()
-            else:
-                kept.append(request)
-        waiting.clear()
-        waiting.extend(kept)
-        still: list[RequestState] = []
-        for state in running:
-            d = self._deadline_of(state.request)
-            if d is not None and now >= state.request.arrival_time + d:
-                pool.release(f"req-{state.request.request_id}")
-                self._ledger_add(
-                    now, "free", f"req-{state.request.request_id}", state.kv_bytes
-                )
-                report.timed_out.append(state.request)
-                if self._tracing:
-                    self._trace_batch_phases(state, now)
-                    self.tracer.add_request_event(state.request.request_id, "timeout", now)
-                    self.tracer.metrics.counter("timeouts").inc()
-            else:
-                still.append(state)
-        return still
-
     # ---- main loop -----------------------------------------------------------
+
+    def session(
+        self,
+        requests: list[Request] | tuple[Request, ...] = (),
+        external: bool = False,
+        record_ledger: bool | None = None,
+    ) -> ServerSession:
+        """A fresh :class:`ServerSession` over this server's configuration."""
+        return ServerSession(
+            self, requests, external=external, record_ledger=record_ledger
+        )
 
     def run(self, requests: list[Request]) -> ContinuousReport:
         """Serve ``requests``; returns token-level metrics."""
-        pending = sorted(requests, key=lambda r: (r.arrival_time, r.request_id))
-        waiting: deque[Request] = deque()
-        running: list[RequestState] = []
-        pool = MemoryPool(name="kv-cache", capacity=self.kv_budget_bytes)
-        report = ContinuousReport(kv_budget_bytes=pool.usable_capacity)
-        self.last_kv_ledger = []
-        retry_heap: list[tuple[float, int, Request]] = []  # (ready, id, request)
-        attempts: dict[int, int] = {}
-
-        tracer = self.tracer
-        tracing = tracer is not None and tracer.enabled
-        self._tracing = tracing
-        self._enqueued_at = enqueued_at = {}
-        if tracing and self.faults is not None:
-            from repro.telemetry.tracer import record_fault_schedule
-
-            record_fault_schedule(tracer, self.faults)
-
-        def enqueue(request: Request) -> None:
-            if self.max_queue is not None and len(waiting) >= self.max_queue:
-                report.shed.append(request)
-                if tracing:
-                    tracer.add_request_event(request.request_id, "shed", now)
-                    tracer.metrics.counter("shed").inc()
-            else:
-                waiting.append(request)
-
-        now = 0.0
-        next_arrival = 0
-        while next_arrival < len(pending) or waiting or running or retry_heap:
-            while (
-                next_arrival < len(pending)
-                and pending[next_arrival].arrival_time <= now
-            ):
-                request = pending[next_arrival]
-                if tracing:
-                    tracer.add_request_event(
-                        request.request_id, "arrive", request.arrival_time
-                    )
-                    enqueued_at[request.request_id] = request.arrival_time
-                enqueue(request)
-                next_arrival += 1
-            while retry_heap and retry_heap[0][0] <= now:
-                _, _, request = heapq.heappop(retry_heap)
-                if tracing:
-                    tracer.add_request_event(request.request_id, "requeue", now)
-                    enqueued_at[request.request_id] = now
-                enqueue(request)
-
-            if not running and not waiting:
-                horizon = []
-                if next_arrival < len(pending):
-                    horizon.append(pending[next_arrival].arrival_time)
-                if retry_heap:
-                    horizon.append(retry_heap[0][0])
-                if not horizon:
-                    break  # everything remaining was shed or failed
-                now = max(now, min(horizon))
-                continue
-
-            running = self._cancel_expired(waiting, running, pool, report, now)
-            if not running and not waiting:
-                continue
-
-            if self.faults is not None:
-                stall_end = self.faults.stall_end_at(now)
-                if stall_end is not None and stall_end > now:
-                    # The device is stalled: nothing can run until the
-                    # window closes; in-flight work is lost.
-                    self._abort_running(
-                        running, pool, report, retry_heap, attempts, stall_end, at=now
-                    )
-                    now = stall_end
-                    continue
-
-            kv_factor = (
-                self.faults.kv_budget_factor(now) if self.faults is not None else 1.0
-            )
-            throughput_fault = (
-                self.faults is not None and self.faults.is_degraded(now)
-            )
-            costs = self.costs
-            effective_budget = pool.usable_capacity * kv_factor
-            batch_cap = self.max_batch
-            degraded_now = False
-            if self.degradation and kv_factor < 1.0:
-                # KV squeeze: swap in the re-planned engine whose demoted
-                # hot neurons buy the budget back.
-                engine_, costs, freed = self._degraded_runtime()
-                effective_budget = min(
-                    pool.usable_capacity, effective_budget + freed
-                )
-                degraded_now = True
-            if self.degradation and throughput_fault:
-                # Brownout: keep the batch small while the machine is slow
-                # so in-flight streams keep their token cadence.
-                batch_cap = min(batch_cap, self.degraded_max_batch)
-                degraded_now = True
-
-            self._admit(waiting, running, pool, now, batch_cap, effective_budget)
-            report.peak_kv_bytes = max(report.peak_kv_bytes, pool.used)
-
-            if not running:
-                # Admission blocked (shrunken budget or stalled retries):
-                # advance to whatever happens next.
-                horizon = []
-                if next_arrival < len(pending):
-                    horizon.append(pending[next_arrival].arrival_time)
-                if retry_heap:
-                    horizon.append(retry_heap[0][0])
-                if self.faults is not None:
-                    boundary = self.faults.next_boundary_after(now)
-                    if boundary is not None:
-                        horizon.append(boundary)
-                future = [t for t in horizon if t > now]
-                if not future:
-                    raise OutOfMemoryError(
-                        "admission deadlocked: waiting requests can never "
-                        "fit the remaining KV budget"
-                    )
-                now = min(future)
-                continue
-
-            plan = self.policy.plan_iteration(running)
-            if plan.is_empty:
-                raise RuntimeError(
-                    f"policy {self.policy.name!r} stalled a non-empty batch"
-                )
-
-            if tracing:
-                tracer.add_counter("queue_depth", now, float(len(waiting)))
-                tracer.add_counter("running_batch", now, float(len(running)))
-                tracer.add_counter("kv_used_bytes", now, pool.used)
-
-            # Components: (offset within the iteration, ctx, n_tokens, batch).
-            # The offsets accumulate with the same float additions as the
-            # cost, so replayed schedules land exactly on the booked window.
-            cost = 0.0
-            components: list[tuple[float, int, int, int]] = []
-            for state, chunk in plan.prefill:
-                components.append((cost, state.context, chunk, 1))
-                cost += costs.cost(state.context, chunk, 1, now)
-            if plan.decode:
-                ctx = max(state.context for state in plan.decode)
-                components.append((cost, ctx, 1, len(plan.decode)))
-                cost += costs.cost(ctx, 1, len(plan.decode), now)
-            end = now + cost
-
-            if self.faults is not None:
-                stall = self.faults.next_stall_start(now, end)
-                if stall is not None:
-                    # A device stall preempts the in-flight iteration: the
-                    # partial work is lost and the batch aborts.
-                    if stall.start > now:
-                        report.busy_intervals.append((now, stall.start))
-                        if tracing:
-                            tracer.add_region(
-                                "server",
-                                "iteration-aborted",
-                                now,
-                                stall.start,
-                                args={"batch": float(len(running))},
-                            )
-                            # The devices really did run until the stall —
-                            # replay the component schedules clipped at the
-                            # preemption point (lost work, no iteration id).
-                            for offset, ctx_c, n_tok, bsz in components:
-                                t0c = now + offset
-                                if t0c >= stall.start:
-                                    break
-                                sched = costs.schedule(ctx_c, n_tok, bsz, now)
-                                for task in sched.tasks.values():
-                                    t_start = t0c + task.start
-                                    t_end = min(t0c + task.end, stall.start)
-                                    if t_end > t_start:
-                                        tracer.add_task(
-                                            task.name,
-                                            task.resource,
-                                            t_start,
-                                            t_end,
-                                            tag=task.tag,
-                                        )
-                    if degraded_now:
-                        report.degraded_intervals.append((now, stall.start))
-                        if tracing and stall.start > now:
-                            tracer.add_region("server", "degraded", now, stall.start)
-                    self._abort_running(
-                        running, pool, report, retry_heap, attempts, stall.end,
-                        at=stall.start,
-                    )
-                    now = stall.end
-                    continue
-
-            report.busy_intervals.append((now, end))
-            report.n_iterations += 1
-            if degraded_now:
-                report.degraded_intervals.append((now, end))
-
-            if tracing:
-                iteration = report.n_iterations - 1
-                tracer.add_region(
-                    "server",
-                    "iteration",
-                    now,
-                    end,
-                    args={
-                        "batch": float(len(running)),
-                        "prefill_tokens": float(plan.prefill_tokens),
-                        "decode": float(len(plan.decode)),
-                    },
-                )
-                if degraded_now:
-                    tracer.add_region("server", "degraded", now, end)
-                busy_by_lane: dict[str, float] = {}
-                for offset, ctx_c, n_tok, bsz in components:
-                    sched = costs.schedule(ctx_c, n_tok, bsz, now)
-                    tracer.add_schedule(sched, t0=now + offset, iteration=iteration)
-                    for lane, busy in sched.busy_time.items():
-                        busy_by_lane[lane] = busy_by_lane.get(lane, 0.0) + busy
-                if cost > 0:
-                    for lane in sorted(busy_by_lane):
-                        tracer.add_counter(
-                            f"busy_frac_{lane}", now, busy_by_lane[lane] / cost
-                        )
-                tracer.metrics.counter("iterations").inc()
-                tracer.metrics.gauge("kv_used_bytes").set(pool.used)
-
-            for state, chunk in plan.prefill:
-                state.prefilled += chunk
-                if not state.is_prefilling:
-                    # Prompt done: the prefill step yields the first token.
-                    state.emitted += 1
-                    state.token_times.append(end)
-                    if tracing:
-                        tracer.add_request_event(
-                            state.request.request_id, "first_token", end
-                        )
-            for state in plan.decode:
-                state.emitted += 1
-                state.token_times.append(end)
-
-            still_running: list[RequestState] = []
-            for state in running:
-                if state.done:
-                    pool.release(f"req-{state.request.request_id}")
-                    self._ledger_add(
-                        state.token_times[-1],
-                        "free",
-                        f"req-{state.request.request_id}",
-                        state.kv_bytes,
-                    )
-                    metrics = RequestMetrics(
-                        request=state.request,
-                        admit_time=state.admit_time,
-                        token_times=tuple(state.token_times),
-                    )
-                    report.completed.append(metrics)
-                    if tracing:
-                        self._trace_batch_phases(state, state.token_times[-1])
-                        tracer.add_request_event(
-                            state.request.request_id, "finish", state.token_times[-1]
-                        )
-                        tracer.metrics.counter("completed").inc()
-                        tracer.metrics.histogram("ttft_s").record(metrics.ttft)
-                        tracer.metrics.histogram("latency_s").record(metrics.latency)
-                else:
-                    still_running.append(state)
-            running = still_running
-            now = end
-
-        report.completed.sort(key=lambda m: m.request.request_id)
-        report.timed_out.sort(key=lambda r: r.request_id)
-        report.shed.sort(key=lambda r: r.request_id)
-        report.failed.sort(key=lambda r: r.request_id)
-        if tracing:
-            tracer.metrics.gauge("peak_kv_bytes").set(report.peak_kv_bytes)
-            tracer.metrics.gauge("time_in_degraded_mode_s").set(
-                report.time_in_degraded_mode
-            )
-        self._tracing = False
-        if self.validate:
-            # Over-budget is checked against the *nominal* pool capacity:
-            # KV-shrink windows shrink the admission threshold, but
-            # reservations made before the squeeze legitimately persist.
-            require_valid(
-                validate_server_run(
-                    report,
-                    ledger=self.last_kv_ledger,
-                    budget=pool.usable_capacity,
-                    faults=self.faults,
-                    tracer=tracer if tracing else None,
-                )
-            )
-        return report
+        session = self.session(requests)
+        while session.step():
+            pass
+        return session.finish()
 
 
 def simulate_continuous_serving(
@@ -807,9 +1131,9 @@ def simulate_continuous_serving(
     preset name (``"fcfs"``, ``"prefill-first"``, ``"chunked"``) or a
     :class:`SchedulerPolicy` instance; ``max_prefill_tokens`` only applies
     to the chunked policy.  Extra keyword arguments (``faults``,
-    ``deadline``, ``max_retries``, ``retry_backoff``, ``max_queue``,
-    ``degradation``, ``degraded_max_batch``, ``tracer``, ``validate``)
-    pass through to the server.
+    ``deadline``, ``max_retries``, ``retry_backoff``, ``retry_jitter``,
+    ``seed``, ``max_queue``, ``degradation``, ``degraded_max_batch``,
+    ``tracer``, ``validate``) pass through to the server.
     """
     if isinstance(policy, str):
         kwargs = {"max_prefill_tokens": max_prefill_tokens} if policy == "chunked" else {}

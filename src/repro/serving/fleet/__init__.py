@@ -1,0 +1,37 @@
+"""Fault-tolerant multi-replica fleet serving.
+
+N independent :class:`~repro.serving.continuous.ContinuousServer`
+replicas over heterogeneous machines, fronted by a :class:`FleetRouter`
+with pluggable dispatch policies, heartbeat health checking, failover
+with honest KV-loss replay, hedged dispatch, brownout, and optional
+prefill→decode disaggregation over a modeled interconnect.  See
+``docs/fleet.md``.
+"""
+
+from repro.serving.fleet.policies import (
+    ROUTER_POLICIES,
+    LeastLoadedPolicy,
+    RouterPolicy,
+    RoundRobinPolicy,
+    SessionAffinityPolicy,
+    make_router_policy,
+)
+from repro.serving.fleet.replica import Replica, ReplicaRole
+from repro.serving.fleet.report import FleetResult, ReplicaSummary
+from repro.serving.fleet.router import FleetConfig, FleetRouter, detect_windows
+
+__all__ = [
+    "ROUTER_POLICIES",
+    "FleetConfig",
+    "FleetResult",
+    "FleetRouter",
+    "LeastLoadedPolicy",
+    "Replica",
+    "ReplicaRole",
+    "ReplicaSummary",
+    "RouterPolicy",
+    "RoundRobinPolicy",
+    "SessionAffinityPolicy",
+    "detect_windows",
+    "make_router_policy",
+]

@@ -1,0 +1,145 @@
+"""Router dispatch policies for the simulated fleet.
+
+A :class:`RouterPolicy` picks which live replica receives a request.  The
+contract mirrors the single-server scheduler policies
+(:mod:`repro.serving.policies`): a policy is pure routing logic, fully
+deterministic, and holds only its own bookkeeping — the router owns
+health state and hands a policy the currently-eligible candidates.
+
+Policies:
+
+* ``round-robin`` — cycle through candidates in replica order; blind to
+  load, maximally fair, the baseline every paper compares against.
+* ``least-loaded`` — pick the candidate with the fewest requests on its
+  plate (queued + running + backing off + in flight to it); ties go to
+  the lowest replica index so the choice is deterministic.
+* ``session-affinity`` — pin each conversation (``Request.session``) to
+  a home replica by stable modular hash over the *full* fleet, falling
+  back to least-loaded when the home replica is down or the request has
+  no session.  Affinity models KV/prefix-cache locality: a conversation
+  keeps hitting the replica that holds its warm state.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.serving.arrival import Request
+    from repro.serving.fleet.replica import Replica
+
+__all__ = [
+    "RouterPolicy",
+    "RoundRobinPolicy",
+    "LeastLoadedPolicy",
+    "SessionAffinityPolicy",
+    "ROUTER_POLICIES",
+    "make_router_policy",
+]
+
+
+class RouterPolicy(ABC):
+    """Chooses the replica that receives a dispatched request."""
+
+    name = "base"
+
+    @abstractmethod
+    def choose(
+        self,
+        candidates: Sequence[tuple[int, "Replica"]],
+        request: "Request",
+        now: float,
+        n_replicas: int,
+    ) -> int:
+        """Return the replica *index* (first tuple element) to dispatch to.
+
+        Args:
+            candidates: Eligible ``(index, replica)`` pairs, in fleet
+                order, never empty — the router filters health and role
+                before calling.
+            request: The request (segment) being dispatched.
+            now: Simulated dispatch time.
+            n_replicas: Total fleet size (for stable hashing — the
+                candidate list shrinks when replicas are down).
+        """
+
+
+class RoundRobinPolicy(RouterPolicy):
+    """Cycle through live candidates in fleet order."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def choose(self, candidates, request, now, n_replicas):
+        idx = candidates[self._next % len(candidates)][0]
+        self._next += 1
+        return idx
+
+
+class LeastLoadedPolicy(RouterPolicy):
+    """Send to the candidate with the fewest requests on its plate."""
+
+    name = "least-loaded"
+
+    @staticmethod
+    def load_of(replica: "Replica") -> int:
+        """Requests a replica is responsible for right now."""
+        session = replica.session
+        return (
+            len(session.waiting)
+            + len(session.running)
+            + len(session.retry_heap)
+            + len(session.dispatch_heap)
+        )
+
+    def choose(self, candidates, request, now, n_replicas):
+        # min() keeps the first (lowest-index) replica on ties.
+        return min(candidates, key=lambda pair: (self.load_of(pair[1]), pair[0]))[0]
+
+
+class SessionAffinityPolicy(RouterPolicy):
+    """Pin conversations to a stable home replica; fail over by load.
+
+    The home slot hashes ``request.session`` over the *full* fleet size,
+    so affinity survives other replicas' failures (a conversation does
+    not migrate just because an unrelated replica died).  Requests with
+    no session id — and conversations whose home replica is currently
+    ineligible — fall back to least-loaded.
+    """
+
+    name = "session-affinity"
+
+    def __init__(self) -> None:
+        self._fallback = LeastLoadedPolicy()
+
+    def choose(self, candidates, request, now, n_replicas):
+        if request.session is not None:
+            home = request.session % n_replicas
+            for idx, _ in candidates:
+                if idx == home:
+                    return idx
+        return self._fallback.choose(candidates, request, now, n_replicas)
+
+
+ROUTER_POLICIES: dict[str, type[RouterPolicy]] = {
+    RoundRobinPolicy.name: RoundRobinPolicy,
+    LeastLoadedPolicy.name: LeastLoadedPolicy,
+    SessionAffinityPolicy.name: SessionAffinityPolicy,
+}
+
+
+def make_router_policy(name: str) -> RouterPolicy:
+    """Instantiate a router policy by preset name.
+
+    Raises:
+        KeyError: Unknown policy name.
+    """
+    try:
+        return ROUTER_POLICIES[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown router policy {name!r}; choose from {sorted(ROUTER_POLICIES)}"
+        ) from None

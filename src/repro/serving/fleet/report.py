@@ -1,0 +1,123 @@
+"""Fleet-level run results: merged report, per-replica evidence, counters.
+
+The fleet's headline numbers reuse the single-server report type
+(:class:`~repro.serving.metrics.ContinuousReport`) so every downstream
+metric — goodput, TTFT/TBT percentiles, deadline-miss rate, SLO
+attainment — works unchanged at fleet scale, and a 1-replica fleet
+degenerates to a bit-identical single-server report.  On top of that the
+:class:`FleetResult` keeps the evidence the fleet validator replays:
+per-replica reports and KV ledgers, the realized KV-transfer schedule,
+and the router's decision counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.check.schedule import KVEvent
+from repro.serving.metrics import SLO, ContinuousReport
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.hardware.events import ScheduleResult
+    from repro.hardware.faults import FaultSchedule
+
+__all__ = ["ReplicaSummary", "FleetResult"]
+
+
+@dataclass
+class ReplicaSummary:
+    """One replica's run evidence, as the fleet validator needs it."""
+
+    name: str
+    machine: str
+    role: str
+    report: ContinuousReport
+    ledger: list[KVEvent]
+    kv_budget_bytes: float
+    machine_faults: "FaultSchedule | None"
+    crash_windows: tuple[tuple[float, float], ...]
+    detected_windows: tuple[tuple[float, float], ...]
+
+
+@dataclass
+class FleetResult:
+    """Everything a fleet run produced.
+
+    Attributes:
+        report: Fleet-merged :class:`ContinuousReport` — completions are
+            stitched across migrations (one entry per *original* request,
+            full token timeline), dispositions are router-level, busy and
+            degraded intervals are the concatenation over replicas, and
+            the count fields (iterations/aborts/retries, KV peak/budget)
+            are fleet sums.  ``peak_kv_bytes`` is the sum of per-replica
+            peaks (an upper bound on the true simultaneous fleet peak).
+        replicas: Per-replica evidence (:class:`ReplicaSummary`).
+        transfers: Realized KV-transfer schedule for disaggregated runs
+            (``None`` when nothing was transferred); validated with
+            :func:`repro.check.schedule.validate_schedule`.
+        counters: Router decision counts — ``dispatches``,
+            ``redispatches``, ``failovers``, ``detections``, ``hedges``,
+            ``hedge_wins``, ``hedge_cancels``, ``brownout_shed``.
+        hedged_ids: Request ids that were hedged (served concurrently on
+            two replicas on purpose — the migration-conservation check
+            exempts them).
+        horizon: End of the fleet timeline (max of replica clocks and
+            processed event times).
+    """
+
+    report: ContinuousReport
+    replicas: list[ReplicaSummary]
+    transfers: "ScheduleResult | None" = None
+    counters: dict[str, int] = field(default_factory=dict)
+    hedged_ids: frozenset[int] = frozenset()
+    horizon: float = 0.0
+
+    @property
+    def availability(self) -> float:
+        """Fraction of submitted requests that completed."""
+        n = self.report.n_submitted
+        if not n:
+            return 1.0
+        return len(self.report.completed) / n
+
+    @property
+    def capacity_availability(self) -> float:
+        """Replica-seconds up (as detected) over replica-seconds total."""
+        if not self.replicas or self.horizon <= 0:
+            return 1.0
+        down = 0.0
+        for rep in self.replicas:
+            for start, end in rep.detected_windows:
+                down += max(0.0, min(end, self.horizon) - min(start, self.horizon))
+        return 1.0 - down / (len(self.replicas) * self.horizon)
+
+    def to_dict(
+        self,
+        slo: SLO | None = None,
+        percentiles: tuple[float, ...] = (50.0, 90.0, 95.0, 99.0),
+    ) -> dict:
+        """JSON-ready fleet summary: the merged report plus fleet extras."""
+        out = self.report.to_dict(slo=slo, percentiles=percentiles)
+        out["fleet"] = {
+            "n_replicas": len(self.replicas),
+            "availability": self.availability,
+            "capacity_availability": self.capacity_availability,
+            "horizon_s": self.horizon,
+            "counters": dict(self.counters),
+            "n_transfers": len(self.transfers.tasks) if self.transfers else 0,
+            "replicas": [
+                {
+                    "name": rep.name,
+                    "machine": rep.machine,
+                    "role": rep.role,
+                    "n_iterations": rep.report.n_iterations,
+                    "n_completed_segments": len(rep.report.completed),
+                    "crash_windows": list(rep.crash_windows),
+                    "detected_windows": list(rep.detected_windows),
+                }
+                for rep in self.replicas
+            ],
+        }
+        return out

@@ -179,3 +179,117 @@ class TestConstruction:
         assert [e.start for e in sched.events] == [1.0, 5.0]
         with pytest.raises(AttributeError):
             sched.events[0].start = 0.0  # frozen dataclass
+
+
+class TestFleetFaultKinds:
+    def crash(self, start=2.0, duration=3.0):
+        return FaultEvent(FaultKind.REPLICA_CRASH, start=start, duration=duration)
+
+    def test_crash_windows_and_ground_truth(self):
+        sched = FaultSchedule([
+            self.crash(start=2.0, duration=3.0),
+            self.crash(start=10.0, duration=1.0),
+            FaultEvent(FaultKind.LINK_DEGRADE, start=0.0, duration=20.0,
+                       magnitude=8.0),
+        ])
+        assert sched.crash_windows() == ((2.0, 5.0), (10.0, 11.0))
+        assert not sched.is_crashed(1.999)
+        assert sched.is_crashed(2.0)
+        assert not sched.is_crashed(5.0)  # half-open window
+        assert sched.is_crashed(10.5)
+
+    def test_link_degrade_factor_composes(self):
+        sched = FaultSchedule([
+            FaultEvent(FaultKind.LINK_DEGRADE, start=1.0, duration=4.0,
+                       magnitude=8.0),
+            FaultEvent(FaultKind.LINK_DEGRADE, start=3.0, duration=4.0,
+                       magnitude=2.0),
+        ])
+        assert sched.link_degrade_factor(0.5) == 1.0
+        assert sched.link_degrade_factor(2.0) == 8.0
+        assert sched.link_degrade_factor(4.0) == 16.0  # overlap multiplies
+        assert sched.link_degrade_factor(6.0) == 2.0
+
+    def test_machine_view_translates_fleet_kinds(self):
+        sched = FaultSchedule([
+            self.crash(start=2.0, duration=3.0),
+            FaultEvent(FaultKind.REPLICA_RECOVER, start=5.0, duration=1.5,
+                       magnitude=2.0),
+            FaultEvent(FaultKind.LINK_DEGRADE, start=0.0, duration=9.0,
+                       magnitude=8.0),
+            pcie(start=7.0),
+        ])
+        view = sched.machine_view()
+        kinds = [e.kind for e in view.events]
+        # crash -> stall, recover -> gpu throttle, link-degrade dropped,
+        # machine kinds pass through.
+        assert kinds == [FaultKind.DEVICE_STALL, FaultKind.GPU_THROTTLE,
+                         FaultKind.PCIE_DEGRADE]
+        stall = view.events[0]
+        assert (stall.start, stall.end) == (2.0, 5.0)
+        throttle = view.events[1]
+        assert throttle.magnitude == 2.0
+        assert (throttle.start, throttle.end) == (5.0, 6.5)
+
+    def test_machine_view_is_identity_for_machine_schedules(self):
+        sched = FaultSchedule([pcie()])
+        assert sched.machine_view() is sched
+
+    def test_from_seed_replica_deterministic(self):
+        a = FaultSchedule.from_seed_replica(7, horizon=300.0, mtbf=60.0, mttr=10.0)
+        b = FaultSchedule.from_seed_replica(7, horizon=300.0, mtbf=60.0, mttr=10.0)
+        c = FaultSchedule.from_seed_replica(8, horizon=300.0, mtbf=60.0, mttr=10.0)
+        assert a.events == b.events
+        assert a.events != c.events
+
+    def test_from_seed_replica_round_trip(self):
+        sched = FaultSchedule.from_seed_replica(
+            11, horizon=300.0, mtbf=40.0, mttr=8.0, recover_slowdown=3.0
+        )
+        assert sched.events  # the parameters make at least one crash likely
+        again = FaultSchedule.from_dicts(sched.to_dicts())
+        assert again.events == sched.events
+
+    def test_from_seed_replica_lifecycle_shape(self):
+        sched = FaultSchedule.from_seed_replica(
+            3, horizon=500.0, mtbf=50.0, mttr=10.0, recover_fraction=0.5,
+            recover_slowdown=2.0, first_crash_after=5.0,
+        )
+        events = sched.events
+        assert events and events[0].start >= 5.0
+        assert all(e.start < 500.0 for e in events)
+        # Alternating crash/recover, each recover glued to its crash end
+        # at half the outage length; windows never overlap.
+        for prev, nxt in zip(events, events[1:]):
+            assert nxt.start >= prev.end
+            if prev.kind == FaultKind.REPLICA_CRASH:
+                assert nxt.kind == FaultKind.REPLICA_RECOVER
+                assert nxt.start == prev.end
+                assert nxt.duration == pytest.approx(0.5 * prev.duration)
+                assert nxt.magnitude == 2.0
+
+    def test_from_seed_replica_no_recover_windows(self):
+        sched = FaultSchedule.from_seed_replica(
+            3, horizon=500.0, mtbf=50.0, mttr=10.0, recover_fraction=0.0
+        )
+        assert all(e.kind == FaultKind.REPLICA_CRASH for e in sched.events)
+
+    def test_from_seed_replica_validation(self):
+        with pytest.raises(ValueError):
+            FaultSchedule.from_seed_replica(0, horizon=0.0, mtbf=1.0, mttr=1.0)
+        with pytest.raises(ValueError):
+            FaultSchedule.from_seed_replica(0, horizon=1.0, mtbf=0.0, mttr=1.0)
+        with pytest.raises(ValueError):
+            FaultSchedule.from_seed_replica(0, horizon=1.0, mtbf=1.0, mttr=-1.0)
+        with pytest.raises(ValueError):
+            FaultSchedule.from_seed_replica(
+                0, horizon=1.0, mtbf=1.0, mttr=1.0, recover_fraction=1.5
+            )
+        with pytest.raises(ValueError):
+            FaultSchedule.from_seed_replica(
+                0, horizon=1.0, mtbf=1.0, mttr=1.0, recover_slowdown=0.5
+            )
+        with pytest.raises(ValueError):
+            FaultSchedule.from_seed_replica(
+                0, horizon=1.0, mtbf=1.0, mttr=1.0, first_crash_after=-1.0
+            )
