@@ -48,6 +48,7 @@ __all__ = [
     "FLEET_MACHINES",
     "build_fleet",
     "default_crash_schedule",
+    "default_fleet_monitor",
     "fleet_requests",
     "run_fleet_chaos",
 ]
@@ -92,6 +93,28 @@ def default_crash_schedule() -> FaultSchedule:
                 duration=CRASH_DURATION_S,
             )
         ]
+    )
+
+
+def default_fleet_monitor():
+    """The canonical burn-rate monitor for the fleet chaos scenario.
+
+    The rule pair (4 s establishing window, 1 s confirming window, 2x
+    threshold) is tuned with the budgets so the 18 s crash reliably
+    fires alerts inside its window while the fault-free reference run
+    stays silent.  The TBT budget is wider than the others because
+    ~20% of requests graze the 20 ms target under normal load on this
+    heterogeneous fleet — only the crash pushes the miss rate past it.
+    """
+    from repro.telemetry import BurnRateRule, SLOMonitor, SLOObjective
+
+    return SLOMonitor(
+        objectives=[
+            SLOObjective("ttft", budget=0.1),
+            SLOObjective("tbt", budget=0.25),
+            SLOObjective("deadline", budget=0.1),
+        ],
+        rules=[BurnRateRule(long_window_s=4.0, short_window_s=1.0, threshold=2.0)],
     )
 
 

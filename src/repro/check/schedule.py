@@ -567,7 +567,9 @@ def validate_server_run(
 # ---- fleet runs -----------------------------------------------------------------
 
 
-def validate_fleet_run(result, rel_tol: float = 1e-6) -> list[Violation]:
+def validate_fleet_run(
+    result, rel_tol: float = 1e-6, tracer=None
+) -> list[Violation]:
     """Check a fleet run (:class:`~repro.serving.fleet.report.FleetResult`)
     against the router's invariants.
 
@@ -585,9 +587,21 @@ def validate_fleet_run(result, rel_tol: float = 1e-6) -> list[Violation]:
       every completed request's stitched timeline carries exactly
       ``output_len`` tokens;
     * the realized KV-transfer schedule (when present) passes
-      :func:`validate_schedule`.
+      :func:`validate_schedule`;
+    * with a :class:`~repro.telemetry.fleet.FleetTracer` passed as
+      ``tracer``, the **merged fleet trace reconciles with the result**:
+      each replica's trace passes the per-server trace-drift checks, the
+      union of all replica device spans matches the merged report's busy
+      union, the router's per-token events replay every completed
+      request's TTFT/TBT timeline, and fleet disposition event counts
+      equal the report's disposition list lengths — all to ``rel_tol``.
     """
     violations: list[Violation] = []
+    replica_tracers = (
+        {name: tracer.replica(name) for name in tracer.replica_names}
+        if tracer is not None
+        else {}
+    )
 
     for rep in result.replicas:
         for v in validate_server_run(
@@ -595,6 +609,7 @@ def validate_fleet_run(result, rel_tol: float = 1e-6) -> list[Violation]:
             ledger=rep.ledger,
             budget=rep.kv_budget_bytes,
             faults=rep.machine_faults,
+            tracer=replica_tracers.get(rep.name),
             rel_tol=rel_tol,
         ):
             violations.append(
@@ -704,5 +719,94 @@ def validate_fleet_run(result, rel_tol: float = 1e-6) -> list[Violation]:
                 )
             )
 
+    if tracer is not None:
+        violations.extend(_reconcile_fleet_trace(result, tracer, rel_tol))
+
     violations.sort(key=lambda v: (v.time if v.time is not None else -1.0, v.check))
+    return violations
+
+
+def _reconcile_fleet_trace(result, tracer, rel_tol: float) -> list[Violation]:  # repro-lint: disable=tracer-default -- only reached when a tracer was explicitly passed
+    """Fleet-trace vs :class:`FleetResult` reconciliation (see above)."""
+    from repro.serving.metrics import merge_busy_intervals
+
+    violations: list[Violation] = []
+    report = result.report
+
+    trace_busy = tracer.merged_busy_union()
+    report_busy = merge_busy_intervals(report.busy_intervals)
+    if abs(trace_busy - report_busy) > _tol(report_busy, rel_tol):
+        violations.append(
+            Violation(
+                check="fleet-trace-drift",
+                message=(
+                    f"merged replica trace busy union {trace_busy:.9g}s != "
+                    f"fleet report busy union {report_busy:.9g}s"
+                ),
+            )
+        )
+
+    # Per-request token timelines: the router's per-token events must
+    # replay each completed request's metrics (same count, same floats,
+    # hence same TTFT and every TBT gap).
+    tokens: dict[int, list[float]] = {}
+    disposition_counts = {
+        "fleet-finish": 0,
+        "fleet-timeout": 0,
+        "fleet-shed": 0,
+        "fleet-fail": 0,
+    }
+    for ev in tracer.router.request_events:
+        if ev.kind == "token":
+            tokens.setdefault(ev.request_id, []).append(ev.time)
+        elif ev.kind in disposition_counts:
+            disposition_counts[ev.kind] += 1
+    for metrics in report.completed:
+        rid = metrics.request.request_id
+        traced = tokens.get(rid, [])
+        if len(traced) != len(metrics.token_times):
+            violations.append(
+                Violation(
+                    check="fleet-trace-tokens",
+                    task=f"req-{rid}",
+                    time=metrics.token_times[-1],
+                    message=(
+                        f"request {rid}: trace recorded {len(traced)} token "
+                        f"events but the report carries "
+                        f"{len(metrics.token_times)}"
+                    ),
+                )
+            )
+            continue
+        for traced_t, report_t in zip(traced, metrics.token_times):
+            if abs(traced_t - report_t) > _tol(report_t, rel_tol):
+                violations.append(
+                    Violation(
+                        check="fleet-trace-tokens",
+                        task=f"req-{rid}",
+                        time=report_t,
+                        message=(
+                            f"request {rid}: traced token at "
+                            f"{traced_t:.9g}s vs reported {report_t:.9g}s"
+                        ),
+                    )
+                )
+                break
+
+    for kind, have in (
+        ("fleet-finish", len(report.completed)),
+        ("fleet-timeout", len(report.timed_out)),
+        ("fleet-shed", len(report.shed)),
+        ("fleet-fail", len(report.failed)),
+    ):
+        if disposition_counts[kind] != have:
+            violations.append(
+                Violation(
+                    check="fleet-trace-dispositions",
+                    message=(
+                        f"trace has {disposition_counts[kind]} {kind} events "
+                        f"but the report lists {have} such requests"
+                    ),
+                )
+            )
     return violations

@@ -18,6 +18,12 @@ Subcommands::
                                          run the canonical 3-replica fleet
                                          chaos scenario, validate it, and
                                          optionally export trace/summary
+                                         (--deep-trace/--alerts/--timeseries
+                                         turn on fleet-wide observability)
+    repro explain-request 9 [--json out.json]
+                                         replay the fleet scenario and
+                                         reconstruct one request's causal
+                                         timeline across replicas
     repro trace     --model opt-6.7b --machine pc-low --out run.trace.json
                                          serve one traced stream and export a
                                          Chrome trace / JSONL / timeline PNG
@@ -274,6 +280,50 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         dest="verify_out",
         help="write the fleet validator verdict as JSON",
+    )
+    fleet.add_argument(
+        "--deep-trace",
+        default=None,
+        dest="deep_trace",
+        help=(
+            "write the merged cross-replica Chrome trace (one process lane "
+            "per replica plus the router); turns on deep fleet tracing"
+        ),
+    )
+    fleet.add_argument(
+        "--alerts",
+        default=None,
+        help="write the SLO burn-rate alert log as JSON (deep tracing)",
+    )
+    fleet.add_argument(
+        "--timeseries",
+        default=None,
+        help="write the sampled fleet time-series as JSONL (deep tracing)",
+    )
+
+    explain = sub.add_parser(
+        "explain-request",
+        help=(
+            "replay the canonical fleet scenario with deep tracing and "
+            "reconstruct one request's cross-replica causal timeline"
+        ),
+    )
+    explain.add_argument("request_id", type=int)
+    explain.add_argument(
+        "--policy", default="round-robin", choices=sorted(ROUTER_POLICIES)
+    )
+    explain.add_argument("--requests", type=int, default=48)
+    explain.add_argument("--sessions", type=int, default=None)
+    explain.add_argument("--no-chaos", action="store_true", dest="no_chaos")
+    explain.add_argument("--no-failover", action="store_true", dest="no_failover")
+    explain.add_argument("--disaggregate", action="store_true")
+    explain.add_argument("--hedge", action="store_true")
+    explain.add_argument("--brownout", action="store_true")
+    explain.add_argument(
+        "--json",
+        default=None,
+        dest="json_out",
+        help="also write the timeline as JSON",
     )
 
     trace = sub.add_parser(
@@ -666,11 +716,26 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 def _cmd_fleet(args: argparse.Namespace) -> int:
     import json
 
-    from repro.bench.fleet_chaos import DEFAULT_SLO, build_fleet, fleet_requests
+    from repro.bench.fleet_chaos import (
+        DEFAULT_SLO,
+        build_fleet,
+        default_fleet_monitor,
+        fleet_requests,
+    )
     from repro.check.schedule import validate_fleet_run
     from repro.telemetry import Tracer, save_chrome_trace
 
-    tracer = Tracer() if args.trace is not None else None
+    deep = (
+        args.deep_trace is not None
+        or args.alerts is not None
+        or args.timeseries is not None
+    )
+    if deep:
+        from repro.telemetry import FleetTracer, save_fleet_chrome_trace
+
+        tracer = FleetTracer(monitor=default_fleet_monitor(), slo=DEFAULT_SLO)
+    else:
+        tracer = Tracer() if args.trace is not None else None
     router = build_fleet(
         router_policy=args.policy,
         chaos=not args.no_chaos,
@@ -681,7 +746,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         tracer=tracer,
     )
     result = router.run(fleet_requests(args.requests, sessions=args.sessions))
-    violations = validate_fleet_run(result)
+    violations = validate_fleet_run(result, tracer=tracer if deep else None)
 
     report = result.report
     rows = [
@@ -716,11 +781,28 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     print(f"fleet validation: {verdict}")
     for v in violations:
         print(f"  - {v.check}: {v.message}")
+    if deep:
+        alerts = tracer.alerts
+        print(f"burn-rate alerts: {len(alerts)}")
+        for alert in alerts:
+            print(f"  {alert.format()}")
 
     outputs = []
     if args.trace is not None:
-        save_chrome_trace(tracer, args.trace)
+        # In deep mode the router lane is still a plain Tracer.
+        save_chrome_trace(tracer.router if deep else tracer, args.trace)
         outputs.append(args.trace)
+    if args.deep_trace is not None:
+        save_fleet_chrome_trace(tracer, args.deep_trace)
+        outputs.append(args.deep_trace)
+    if args.alerts is not None:
+        with open(args.alerts, "w", encoding="utf-8") as fh:
+            json.dump(tracer.monitor.to_dicts(), fh, indent=2)
+            fh.write("\n")
+        outputs.append(args.alerts)
+    if args.timeseries is not None:
+        tracer.timeseries.save_jsonl(args.timeseries)
+        outputs.append(args.timeseries)
     if args.summary is not None:
         with open(args.summary, "w", encoding="utf-8") as fh:
             json.dump(result.to_dict(slo=DEFAULT_SLO), fh, indent=2)
@@ -739,6 +821,49 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     if outputs:
         print("wrote " + ", ".join(outputs))
     return 0 if not violations else 1
+
+
+def _cmd_explain_request(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bench.fleet_chaos import (
+        DEFAULT_SLO,
+        build_fleet,
+        default_fleet_monitor,
+        fleet_requests,
+    )
+    from repro.telemetry import (
+        FleetTracer,
+        explain_request,
+        format_explanation,
+    )
+
+    tracer = FleetTracer(monitor=default_fleet_monitor(), slo=DEFAULT_SLO)
+    router = build_fleet(
+        router_policy=args.policy,
+        chaos=not args.no_chaos,
+        failover=not args.no_failover,
+        disaggregate=args.disaggregate,
+        hedge=args.hedge,
+        brownout=args.brownout,
+        tracer=tracer,
+    )
+    result = router.run(fleet_requests(args.requests, sessions=args.sessions))
+    explanation = explain_request(tracer, result, args.request_id)
+    if not explanation["timeline"]:
+        print(
+            f"error: request {args.request_id} not found in this scenario "
+            f"(ids run 0..{args.requests - 1})",
+            file=sys.stderr,
+        )
+        return 1
+    print(format_explanation(explanation))
+    if args.json_out is not None:
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            json.dump(explanation, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json_out}")
+    return 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -975,6 +1100,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_chaos(args)
         if args.command == "fleet":
             return _cmd_fleet(args)
+        if args.command == "explain-request":
+            return _cmd_explain_request(args)
         if args.command == "trace":
             return _cmd_trace(args)
         if args.command == "bounds":

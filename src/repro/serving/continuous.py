@@ -71,6 +71,7 @@ from repro.serving.metrics import ContinuousReport, RequestMetrics
 from repro.serving.policies import SchedulerPolicy, make_policy
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.telemetry.fleet import TraceContext
     from repro.telemetry.tracer import Tracer
 
 __all__ = [
@@ -312,6 +313,11 @@ class ServerSession:
         self.tracer = tracer
         self.tracing = tracer is not None and tracer.enabled
         self.enqueued_at: dict[int, float] = {}
+        # Fleet dispatch-attempt counters, keyed by request id: stamped
+        # onto every traced lifecycle event so re-dispatches of one
+        # request to this replica stay distinguishable.  Empty (hop =
+        # None on every event) outside a fleet run.
+        self._hops: dict[int, int] = {}
         if self.tracing and server.faults is not None:
             from repro.telemetry.tracer import record_fault_schedule
 
@@ -320,7 +326,12 @@ class ServerSession:
     # ---- external-driver API -------------------------------------------------
 
     def submit(
-        self, request: Request, at: float, prefilled: int = 0, emitted: int = 0
+        self,
+        request: Request,
+        at: float,
+        prefilled: int = 0,
+        emitted: int = 0,
+        ctx: "TraceContext | None" = None,
     ) -> None:
         """Hand the session a request that becomes visible at time ``at``.
 
@@ -329,12 +340,17 @@ class ServerSession:
         already built elsewhere (e.g. KV streamed in from a prefill
         replica) and whose first ``emitted`` tokens already reached the
         user.  The session emits only the remaining
-        ``output_len - emitted`` tokens.
+        ``output_len - emitted`` tokens.  ``ctx`` is the router's trace
+        context for this dispatch attempt; its hop counter is stamped
+        onto every lifecycle event the session records for the request
+        (pure telemetry — it never affects scheduling).
         """
         if not self.external:
             raise RuntimeError("submit() requires an external-mode session")
         if prefilled < 0 or emitted < 0:
             raise ValueError("prefilled and emitted must be non-negative")
+        if ctx is not None:
+            self._hops[request.request_id] = ctx.hop
         heapq.heappush(
             self.dispatch_heap,
             (at, self._dispatch_seq, request, prefilled, emitted),
@@ -365,7 +381,9 @@ class ServerSession:
                 self._ledger_add(t, "free", f"req-{request_id}", state.kv_bytes)
                 if self.tracing:
                     self._trace_batch_phases(state, t)
-                    self.tracer.add_request_event(request_id, "cancel", t)
+                    self.tracer.add_request_event(
+                        request_id, "cancel", t, hop=self._hop_of(request_id)
+                    )
                 del self.running[i]
                 self.blocked = False
                 return True
@@ -447,6 +465,10 @@ class ServerSession:
 
     # ---- bookkeeping helpers -------------------------------------------------
 
+    def _hop_of(self, rid: int) -> int | None:
+        """The fleet dispatch-attempt counter of ``rid`` (None standalone)."""
+        return self._hops.get(rid)
+
     def _ledger_add(self, time: float, op: str, name: str, nbytes: float) -> None:
         """Record one KV-pool operation for post-run validation.
 
@@ -485,7 +507,12 @@ class ServerSession:
             if self.external:
                 self.outbox.append(("shed", request, self.now))
             if self.tracing:
-                self.tracer.add_request_event(request.request_id, "shed", self.now)
+                self.tracer.add_request_event(
+                    request.request_id,
+                    "shed",
+                    self.now,
+                    hop=self._hop_of(request.request_id),
+                )
                 self.tracer.metrics.counter("shed").inc()
         else:
             self.waiting.append(request)
@@ -530,7 +557,9 @@ class ServerSession:
                 rid = request.request_id
                 queued_from = self.enqueued_at.get(rid, request.arrival_time)
                 self.tracer.add_request_span(rid, "queued", queued_from, self.now)
-                self.tracer.add_request_event(rid, "admit", self.now)
+                self.tracer.add_request_event(
+                    rid, "admit", self.now, hop=self._hop_of(rid)
+                )
 
     def _abort_running(self, resume_at: float, at: float | None = None) -> None:
         """Abort all in-flight requests (device stall): release KV, retry.
@@ -555,14 +584,18 @@ class ServerSession:
             self.attempts[rid] = attempt
             if self.tracing:
                 self._trace_batch_phases(state, abort_time)
-                self.tracer.add_request_event(rid, "abort", abort_time)
+                self.tracer.add_request_event(
+                    rid, "abort", abort_time, hop=self._hop_of(rid)
+                )
                 self.tracer.metrics.counter("aborts").inc()
             if attempt > server.max_retries:
                 self.report.failed.append(state.request)
                 if self.external:
                     self.outbox.append(("failed", state.request, abort_time))
                 if self.tracing:
-                    self.tracer.add_request_event(rid, "fail", abort_time)
+                    self.tracer.add_request_event(
+                        rid, "fail", abort_time, hop=self._hop_of(rid)
+                    )
                     self.tracer.metrics.counter("failed").inc()
             else:
                 self.report.n_retries += 1
@@ -594,7 +627,9 @@ class ServerSession:
                     rid = request.request_id
                     queued_from = self.enqueued_at.get(rid, request.arrival_time)
                     self.tracer.add_request_span(rid, "queued", queued_from, now)
-                    self.tracer.add_request_event(rid, "timeout", now)
+                    self.tracer.add_request_event(
+                        rid, "timeout", now, hop=self._hop_of(rid)
+                    )
                     self.tracer.metrics.counter("timeouts").inc()
             else:
                 kept.append(request)
@@ -614,7 +649,10 @@ class ServerSession:
                 if self.tracing:
                     self._trace_batch_phases(state, now)
                     self.tracer.add_request_event(
-                        state.request.request_id, "timeout", now
+                        state.request.request_id,
+                        "timeout",
+                        now,
+                        hop=self._hop_of(state.request.request_id),
                     )
                     self.tracer.metrics.counter("timeouts").inc()
             else:
@@ -647,7 +685,10 @@ class ServerSession:
             request = pending[self.next_arrival]
             if tracing:
                 tracer.add_request_event(
-                    request.request_id, "arrive", request.arrival_time
+                    request.request_id,
+                    "arrive",
+                    request.arrival_time,
+                    hop=self._hop_of(request.request_id),
                 )
                 self.enqueued_at[request.request_id] = request.arrival_time
             self._enqueue(request)
@@ -657,13 +698,23 @@ class ServerSession:
             if prefilled or emitted:
                 self._progress[request.request_id] = (prefilled, emitted)
             if tracing:
-                tracer.add_request_event(request.request_id, "arrive", at)
+                tracer.add_request_event(
+                    request.request_id,
+                    "arrive",
+                    at,
+                    hop=self._hop_of(request.request_id),
+                )
                 self.enqueued_at[request.request_id] = at
             self._enqueue(request)
         while self.retry_heap and self.retry_heap[0][0] <= self.now:
             _, _, request = heapq.heappop(self.retry_heap)
             if tracing:
-                tracer.add_request_event(request.request_id, "requeue", self.now)
+                tracer.add_request_event(
+                    request.request_id,
+                    "requeue",
+                    self.now,
+                    hop=self._hop_of(request.request_id),
+                )
                 self.enqueued_at[request.request_id] = self.now
             self._enqueue(request)
 
@@ -869,7 +920,10 @@ class ServerSession:
                     self.outbox.append(("token", state.request.request_id, end))
                 if tracing:
                     tracer.add_request_event(
-                        state.request.request_id, "first_token", end
+                        state.request.request_id,
+                        "first_token",
+                        end,
+                        hop=self._hop_of(state.request.request_id),
                     )
         for state in plan.decode:
             state.emitted += 1
@@ -900,7 +954,10 @@ class ServerSession:
                 if tracing:
                     self._trace_batch_phases(state, state.token_times[-1])
                     tracer.add_request_event(
-                        state.request.request_id, "finish", state.token_times[-1]
+                        state.request.request_id,
+                        "finish",
+                        state.token_times[-1],
+                        hop=self._hop_of(state.request.request_id),
                     )
                     tracer.metrics.counter("completed").inc()
                     tracer.metrics.histogram("ttft_s").record(metrics.ttft)

@@ -34,6 +34,7 @@ from repro.serving.continuous import ContinuousServer, ServerSession
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from repro.engine.base import PerfEngine
+    from repro.telemetry.tracer import Tracer
 
 __all__ = ["Replica", "ReplicaRole"]
 
@@ -87,6 +88,29 @@ class Replica:
         self.server = ContinuousServer(engine, faults=self.machine_faults, **server_kwargs)
         self.session: ServerSession = self.server.session(external=True, record_ledger=True)
         self.detected_down = False
+
+    def attach_tracer(self, tracer: "Tracer") -> None:  # repro-lint: disable=tracer-default -- attaching is itself the opt-in; a None tracer is meaningless here
+        """Point this replica's server at ``tracer`` and rebuild the session.
+
+        Used by the fleet router when given a
+        :class:`~repro.telemetry.fleet.FleetTracer` — each replica gets
+        its own per-replica tracer lane.  Must be called before the run
+        starts: the session is rebuilt from scratch (so its tracer wiring
+        and fault annotations are recorded), which discards any state an
+        already-driven session accumulated.
+
+        Raises:
+            RuntimeError: If the session has already advanced or holds
+                submitted work.
+        """
+        session = self.session
+        if session.now > 0.0 or session.has_work() or session.outbox:
+            raise RuntimeError(
+                f"replica {self.name!r}: cannot attach a tracer to a "
+                "session that already ran"
+            )
+        self.server.tracer = tracer
+        self.session = self.server.session(external=True, record_ledger=True)
 
     @property
     def kv_budget_bytes(self) -> float:

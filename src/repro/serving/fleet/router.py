@@ -63,6 +63,7 @@ from repro.serving.metrics import ContinuousReport, RequestMetrics
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.telemetry.fleet import TraceContext
     from repro.telemetry.tracer import Tracer
 
 __all__ = ["FleetConfig", "FleetRouter", "detect_windows"]
@@ -244,8 +245,32 @@ class FleetRouter:
                 )
         self.replicas = replicas
         self.policy: RouterPolicy = make_router_policy(self.config.policy)
-        self.tracer = tracer
-        self._tracing = tracer is not None and tracer.enabled
+        # A FleetTracer turns on *deep* tracing: router events land on its
+        # router lane, and every replica without its own tracer gets a
+        # per-replica lane, so the whole fleet merges into one trace on
+        # one clock.  A plain Tracer keeps the PR-7 router-only behaviour.
+        # (Imported lazily: repro.serving <-> repro.telemetry would cycle
+        # at module import time.)
+        from repro.telemetry.fleet import FleetTracer, record_fleet_fault_schedule
+
+        self._ft = tracer if isinstance(tracer, FleetTracer) else None
+        if self._ft is not None:
+            self.tracer = self._ft.router
+            for rep in replicas:
+                if rep.server.tracer is None:
+                    rep.attach_tracer(self._ft.replica(rep.name))
+        else:
+            self.tracer = tracer
+        self._tracing = self.tracer is not None and self.tracer.enabled
+        if self._tracing:
+            # Fleet-kind fault windows (crash / recover / link-degrade)
+            # never reach the sessions — machine_view() translates or
+            # drops them — so record them on the router's trace.
+            for rep in replicas:
+                if rep.faults is not None:
+                    record_fleet_fault_schedule(
+                        self.tracer, rep.faults, replica=rep.name
+                    )
         self._rng = (
             np.random.default_rng(self.config.seed)
             if self.config.retry_jitter > 0
@@ -296,6 +321,9 @@ class FleetRouter:
             for td, tu in windows:
                 self._push(td, "down", i)
                 self._push(tu, "up", i)
+        self._slo_clock = float("-inf")
+        if self._ft is not None:
+            self._push(0.0, "tick", None)
 
         while True:
             t_next = self._heap[0][0] if self._heap else None
@@ -307,7 +335,10 @@ class FleetRouter:
             if t_next is not None and (best_t is None or t_next <= best_t):
                 entry = heapq.heappop(self._heap)
                 time, _, _, kind, payload = entry
-                self._t_hi = max(self._t_hi, time)
+                if kind != "tick":
+                    # Ticks are pure observation: they must not stretch
+                    # the run horizon past the last real event.
+                    self._t_hi = max(self._t_hi, time)
                 self._handle(kind, payload, time)
             elif best_t is not None:
                 session = self.replicas[best_i].session
@@ -379,6 +410,8 @@ class FleetRouter:
             self._on_terminal(payload, time, "timed_out")
         elif kind == "shed":
             self._on_terminal(payload, time, "shed")
+        elif kind == "tick":
+            self._on_tick(time)
         else:  # pragma: no cover - defensive
             raise RuntimeError(f"unknown fleet event kind {kind!r}")
 
@@ -398,9 +431,30 @@ class FleetRouter:
             if not r.detected_down and pred(r)
         ]
 
-    def _trace_event(self, rid: int, kind: str, t: float) -> None:
+    def _trace_event(
+        self, rid: int, kind: str, t: float, hop: int | None = None
+    ) -> None:
         if self._tracing:
-            self.tracer.add_request_event(rid, kind, t)
+            self.tracer.add_request_event(rid, kind, t, hop=hop)
+
+    def _ctx(self, track: _Track) -> "TraceContext | None":
+        """The trace context of the dispatch attempt about to start.
+
+        The hop counter is the track's segment count (each dispatch —
+        initial, re-dispatch, hedge twin, post-transfer decode — starts
+        one segment), so events stamped with a hop tie back to the exact
+        attempt that produced them.  ``None`` when tracing is off, which
+        keeps the untraced submit path byte-for-byte identical.
+        """
+        if not self._tracing:
+            return None
+        from repro.telemetry.fleet import TraceContext
+
+        return TraceContext(
+            track.orig.request_id,
+            hop=track.segments,
+            parent=track.segments - 1 if track.segments else None,
+        )
 
     def _finalize(
         self,
@@ -423,6 +477,93 @@ class FleetRouter:
         else:
             self._failed.append(track.orig)
             self._trace_event(track.orig.request_id, "fleet-fail", t)
+        self._observe_slo(t, metrics if disposition == "completed" else None)
+
+    # ---- SLO monitoring ------------------------------------------------------
+
+    def _observe_slo(self, t: float, metrics: RequestMetrics | None) -> None:
+        """Feed one request disposition to the attached SLO monitor.
+
+        Completed requests are judged against the fleet tracer's SLO
+        targets; every non-completed disposition (timeout, shed, failure)
+        burns all three budgets.  Observation times are clamped monotone:
+        the post-run drain finalizes stragglers at per-replica clocks
+        that can sit before the last heap event.
+        """
+        ft = self._ft
+        if ft is None or ft.monitor is None:
+            return
+        monitor = ft.monitor
+        t = max(t, self._slo_clock)
+        self._slo_clock = t
+        slo = ft.slo
+        if metrics is not None:
+            verdicts = {
+                "ttft": slo is not None and metrics.ttft > slo.ttft_target,
+                "tbt": slo is not None and metrics.max_tbt > slo.tbt_target,
+                "deadline": False,
+            }
+        else:
+            verdicts = {"ttft": True, "tbt": True, "deadline": True}
+        for name, bad in verdicts.items():
+            if name in monitor.objectives:
+                monitor.observe(name, t, bad)
+
+    def _slo_context(self, t: float) -> tuple[str, ...]:
+        """Fault/health annotations overlapping instant ``t`` for alerts."""
+        context: list[str] = []
+        for rep in self.replicas:
+            if rep.is_crashed(t):
+                context.append(f"crash:{rep.name}")
+            elif rep.detected_down:
+                context.append(f"detected-down:{rep.name}")
+            if rep.link_degrade_factor(t) > 1.0:
+                context.append(f"link-degrade:{rep.name}")
+            if rep.machine_faults is not None and rep.machine_faults.is_degraded(t):
+                context.append(f"degraded:{rep.name}")
+        if self.config.brownout and self._any_down():
+            context.append("brownout")
+        return tuple(context)
+
+    def _on_tick(self, t: float) -> None:
+        """One fleet observation tick: sample time-series, evaluate SLOs.
+
+        Ticks ride the global event heap on the fleet tracer's sample
+        grid and stop once the heap drains and every session is idle.
+        They never mutate serving state — only the tracer's time-series
+        bank and SLO monitor.
+        """
+        ft = self._ft
+        for rep in self.replicas:
+            session = rep.session
+            ft.timeseries.sample(
+                f"{rep.name}/queue_depth", t, float(len(session.waiting))
+            )
+            ft.timeseries.sample(f"{rep.name}/kv_used_bytes", t, session.pool.used)
+            busy = sum(e - b for b, e in session.report.busy_intervals)
+            ft.timeseries.sample(f"{rep.name}/busy_s", t, busy)
+        ft.timeseries.sample(
+            "fleet/up_replicas",
+            t,
+            float(sum(not r.detected_down for r in self.replicas)),
+        )
+        ft.timeseries.sample("fleet/completed", t, float(len(self._completed)))
+        ft.timeseries.sample("fleet/timed_out", t, float(len(self._timed_out)))
+        ft.timeseries.sample("fleet/failed", t, float(len(self._failed)))
+        ft.timeseries.sample("fleet/shed", t, float(len(self._shed)))
+        if ft.monitor is not None:
+            for alert in ft.monitor.check(t, context=self._slo_context(t)):
+                self.tracer.add_instant(
+                    "alerts",
+                    f"burn:{alert.objective}",
+                    t,
+                    args={
+                        "burn_long": alert.burn_rate_long,
+                        "burn_short": alert.burn_rate_short,
+                    },
+                )
+        if self._heap or any(r.session.has_work() for r in self.replicas):
+            self._push(t + ft.sample_interval_s, "tick", None)
 
     def _segment(self, track: _Track, at: float, output_len: int | None = None):
         """The replay segment of ``track`` dispatched at ``at``, or None.
@@ -464,7 +605,11 @@ class FleetRouter:
         self._push(min(ups), "redispatch", track.orig.request_id)
 
     def _dispatch_unified(
-        self, track: _Track, at: float, exclude: frozenset[int] = frozenset()
+        self,
+        track: _Track,
+        at: float,
+        exclude: frozenset[int] = frozenset(),
+        hop_kind: str | None = None,
     ) -> int | None:
         cands = [
             (i, r) for i, r in self._candidates(Replica.serves_decode) if i not in exclude
@@ -477,12 +622,18 @@ class FleetRouter:
         if seg is None:
             return None
         idx = self.policy.choose(cands, track.orig, at, len(self.replicas))
-        self.replicas[idx].session.submit(seg, at)
+        ctx = self._ctx(track)
+        kind = hop_kind or ("dispatch" if track.segments == 0 else "redispatch")
+        self.replicas[idx].session.submit(seg, at, ctx=ctx)
         track.segments += 1
         track.active.add(idx)
         track.stage = "unified"
         self.counters["dispatches"] += 1
-        self._trace_event(track.orig.request_id, "dispatch", at)
+        self._trace_event(
+            track.orig.request_id, "dispatch", at, hop=ctx.hop if ctx else None
+        )
+        if self._ft is not None and ctx is not None:
+            self._ft.begin_hop(ctx, self.replicas[idx].name, kind, at)
         return idx
 
     def _dispatch_prefill(self, track: _Track, at: float) -> None:
@@ -494,25 +645,38 @@ class FleetRouter:
         if seg is None:
             return
         idx = self.policy.choose(cands, track.orig, at, len(self.replicas))
-        self.replicas[idx].session.submit(seg, at)
+        ctx = self._ctx(track)
+        kind = "dispatch" if track.segments == 0 else "redispatch"
+        self.replicas[idx].session.submit(seg, at, ctx=ctx)
         track.segments += 1
         track.active.add(idx)
         track.stage = "prefill"
         self.counters["dispatches"] += 1
-        self._trace_event(track.orig.request_id, "dispatch", at)
+        self._trace_event(
+            track.orig.request_id, "dispatch", at, hop=ctx.hop if ctx else None
+        )
+        if self._ft is not None and ctx is not None:
+            self._ft.begin_hop(ctx, self.replicas[idx].name, kind, at)
 
     def _dispatch_decode(self, track: _Track, idx: int, at: float) -> None:
         seg = self._segment(track, at)
         if seg is None:
             return
+        ctx = self._ctx(track)
         # Context (prompt + delivered tokens) was built elsewhere and
         # streamed in: the decode replica starts fully prefilled.
-        self.replicas[idx].session.submit(seg, at, prefilled=seg.input_len, emitted=0)
+        self.replicas[idx].session.submit(
+            seg, at, prefilled=seg.input_len, emitted=0, ctx=ctx
+        )
         track.segments += 1
         track.active.add(idx)
         track.stage = "decode"
         self.counters["dispatches"] += 1
-        self._trace_event(track.orig.request_id, "dispatch", at)
+        self._trace_event(
+            track.orig.request_id, "dispatch", at, hop=ctx.hop if ctx else None
+        )
+        if self._ft is not None and ctx is not None:
+            self._ft.begin_hop(ctx, self.replicas[idx].name, "decode", at)
 
     def _dispatch_initial(self, track: _Track, at: float) -> None:
         if self.config.disaggregate:
@@ -558,7 +722,9 @@ class FleetRouter:
         ):
             first = self._dispatch_unified(track, t)
             if first is not None:
-                second = self._dispatch_unified(track, t, exclude=frozenset({first}))
+                second = self._dispatch_unified(
+                    track, t, exclude=frozenset({first}), hop_kind="hedge"
+                )
                 if second is not None:
                     track.hedged = True
                     self._hedged_ids.add(request.request_id)
@@ -623,6 +789,11 @@ class FleetRouter:
                     self.counters["hedge_cancels"] += 1
                     self._trace_event(rid, "hedge-cancel", t)
         track.delivered.append(t)
+        if self._ft is not None:
+            # The router's own per-token record: exactly the floats that
+            # end up in the stitched RequestMetrics, which is what lets
+            # the validator reconcile trace TTFT/TBT against the report.
+            self.tracer.add_request_event(rid, "token", t)
 
     def _on_complete(self, payload, t: float) -> None:
         i, rid, metrics = payload

@@ -8,16 +8,35 @@ summaries in a :class:`MetricsRegistry`, and exports Chrome ``trace_event``
 JSON (Perfetto / chrome://tracing), JSONL event logs, and a matplotlib
 timeline figure.  With no tracer attached the instrumented code paths cost
 one ``is None`` check and produce bit-identical results.
+
+Fleet-wide observability builds on the same primitives: a
+:class:`FleetTracer` holds one tracer per replica plus a router lane on
+one simulated clock, a :class:`TimeSeriesBank` of ring-buffered series
+sampled on fleet ticks, and an :class:`SLOMonitor` firing multi-window
+burn-rate :class:`Alert`\\ s — with :func:`explain_request` reconstructing
+any single request's cross-replica causal timeline.
 """
 
 from repro.telemetry.exporters import (
     save_chrome_trace,
+    save_fleet_chrome_trace,
     save_jsonl,
     to_chrome_trace,
+    to_chrome_trace_fleet,
     to_jsonl_records,
 )
+from repro.telemetry.fleet import (
+    FleetTracer,
+    TraceContext,
+    TraceHop,
+    explain_request,
+    format_explanation,
+    record_fleet_fault_schedule,
+)
 from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.telemetry.slo import Alert, BurnRateRule, SLOMonitor, SLOObjective
 from repro.telemetry.timeline import MissingDependencyError, plot_timeline
+from repro.telemetry.timeseries import Series, TimeSeriesBank
 from repro.telemetry.tracer import (
     CounterSample,
     Instant,
@@ -32,8 +51,11 @@ from repro.telemetry.tracer import (
 )
 
 __all__ = [
+    "Alert",
+    "BurnRateRule",
     "Counter",
     "CounterSample",
+    "FleetTracer",
     "Gauge",
     "Histogram",
     "Instant",
@@ -44,12 +66,23 @@ __all__ = [
     "RequestEvent",
     "RequestPhase",
     "RequestSpan",
+    "SLOMonitor",
+    "SLOObjective",
+    "Series",
     "TaskSpan",
+    "TimeSeriesBank",
+    "TraceContext",
+    "TraceHop",
     "Tracer",
+    "explain_request",
+    "format_explanation",
     "plot_timeline",
     "record_fault_schedule",
+    "record_fleet_fault_schedule",
     "save_chrome_trace",
+    "save_fleet_chrome_trace",
     "save_jsonl",
     "to_chrome_trace",
+    "to_chrome_trace_fleet",
     "to_jsonl_records",
 ]

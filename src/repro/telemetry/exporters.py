@@ -14,6 +14,13 @@ models a trace as processes and threads of timed events.  We map:
   ``queued`` / ``prefill`` / ``decode`` phase spans and instant lifecycle
   events — the per-request swim lanes of the timeline.
 
+A fleet run records one tracer per replica plus a router tracer
+(:class:`~repro.telemetry.fleet.FleetTracer`);
+:func:`to_chrome_trace_fleet` lays each source out as its own pid trio —
+the router at pids 0–2, replica *i* at pids ``3+3i`` .. ``5+3i`` — so
+Perfetto shows one process group per replica, all on the single fleet
+clock.
+
 Timestamps are microseconds (the unit the format expects); the recorded
 seconds are multiplied by 1e6 on the way out.  The JSONL exporter instead
 emits one self-describing JSON object per event, in seconds, for ad-hoc
@@ -26,11 +33,14 @@ import json
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.telemetry.fleet import FleetTracer
     from repro.telemetry.tracer import Tracer
 
 __all__ = [
     "to_chrome_trace",
     "save_chrome_trace",
+    "to_chrome_trace_fleet",
+    "save_fleet_chrome_trace",
     "to_jsonl_records",
     "save_jsonl",
 ]
@@ -53,24 +63,34 @@ def _meta(metadata: str, pid: int, tid: int = 0, *, label: str) -> dict:
     }
 
 
-def to_chrome_trace(tracer: "Tracer") -> list[dict]:
-    """The recorded events as a Chrome ``trace_event`` object list."""
+def _trace_events(
+    tracer: "Tracer",
+    device_pid: int,
+    server_pid: int,
+    request_pid: int,
+    prefix: str = "",
+) -> list[dict]:
+    """One tracer's events mapped onto a given pid trio.
+
+    ``prefix`` qualifies the process labels (``"r0-pc-high/"``) so fleet
+    exports keep each replica's lanes visually grouped.
+    """
     events: list[dict] = [
-        _meta("process_name", DEVICE_PID, label="devices"),
-        _meta("process_name", SERVER_PID, label="server"),
-        _meta("process_name", REQUEST_PID, label="requests"),
+        _meta("process_name", device_pid, label=f"{prefix}devices"),
+        _meta("process_name", server_pid, label=f"{prefix}server"),
+        _meta("process_name", request_pid, label=f"{prefix}requests"),
     ]
 
     # -- device lanes ----------------------------------------------------------
     device_tids = {lane: i for i, lane in enumerate(tracer.lanes)}
     for lane, tid in device_tids.items():
-        events.append(_meta("thread_name", DEVICE_PID, tid, label=lane))
+        events.append(_meta("thread_name", device_pid, tid, label=lane))
     for span in tracer.task_spans:
         event = {
             "name": span.name,
             "cat": span.tag or "op",
             "ph": "X",
-            "pid": DEVICE_PID,
+            "pid": device_pid,
             "tid": device_tids[span.lane],
             "ts": span.start * _US,
             "dur": span.duration * _US,
@@ -85,13 +105,13 @@ def to_chrome_trace(tracer: "Tracer") -> list[dict]:
     )
     annotation_tids = {lane: i for i, lane in enumerate(annotation_lanes)}
     for lane, tid in annotation_tids.items():
-        events.append(_meta("thread_name", SERVER_PID, tid, label=lane))
+        events.append(_meta("thread_name", server_pid, tid, label=lane))
     for region in tracer.regions:
         event = {
             "name": region.name,
             "cat": region.lane,
             "ph": "X",
-            "pid": SERVER_PID,
+            "pid": server_pid,
             "tid": annotation_tids[region.lane],
             "ts": region.start * _US,
             "dur": (region.end - region.start) * _US,
@@ -105,7 +125,7 @@ def to_chrome_trace(tracer: "Tracer") -> list[dict]:
             "cat": instant.lane,
             "ph": "i",
             "s": "t",  # thread-scoped marker
-            "pid": SERVER_PID,
+            "pid": server_pid,
             "tid": annotation_tids[instant.lane],
             "ts": instant.time * _US,
         }
@@ -120,31 +140,32 @@ def to_chrome_trace(tracer: "Tracer") -> list[dict]:
     )
     request_tids = {rid: i for i, rid in enumerate(request_ids)}
     for rid, tid in request_tids.items():
-        events.append(_meta("thread_name", REQUEST_PID, tid, label=f"req-{rid}"))
+        events.append(_meta("thread_name", request_pid, tid, label=f"req-{rid}"))
     for span in tracer.request_spans:
         events.append(
             {
                 "name": span.phase,
                 "cat": "request",
                 "ph": "X",
-                "pid": REQUEST_PID,
+                "pid": request_pid,
                 "tid": request_tids[span.request_id],
                 "ts": span.start * _US,
                 "dur": (span.end - span.start) * _US,
             }
         )
     for ev in tracer.request_events:
-        events.append(
-            {
-                "name": ev.kind,
-                "cat": "request",
-                "ph": "i",
-                "s": "t",
-                "pid": REQUEST_PID,
-                "tid": request_tids[ev.request_id],
-                "ts": ev.time * _US,
-            }
-        )
+        event = {
+            "name": ev.kind,
+            "cat": "request",
+            "ph": "i",
+            "s": "t",
+            "pid": request_pid,
+            "tid": request_tids[ev.request_id],
+            "ts": ev.time * _US,
+        }
+        if ev.hop is not None:
+            event["args"] = {"hop": ev.hop}
+        events.append(event)
 
     # -- counter tracks --------------------------------------------------------
     for sample in tracer.counters:
@@ -152,7 +173,7 @@ def to_chrome_trace(tracer: "Tracer") -> list[dict]:
             {
                 "name": sample.series,
                 "ph": "C",
-                "pid": DEVICE_PID,
+                "pid": device_pid,
                 "ts": sample.time * _US,
                 "args": {"value": sample.value},
             }
@@ -160,9 +181,46 @@ def to_chrome_trace(tracer: "Tracer") -> list[dict]:
     return events
 
 
+def to_chrome_trace(tracer: "Tracer") -> list[dict]:
+    """The recorded events as a Chrome ``trace_event`` object list."""
+    return _trace_events(tracer, DEVICE_PID, SERVER_PID, REQUEST_PID)
+
+
 def save_chrome_trace(tracer: "Tracer", path) -> None:
     """Write :func:`to_chrome_trace` output as a ``.trace.json`` file."""
     payload = {"traceEvents": to_chrome_trace(tracer), "displayTimeUnit": "ms"}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh)
+
+
+def to_chrome_trace_fleet(tracer: "FleetTracer") -> list[dict]:
+    """A fleet trace as one Chrome event list: a pid trio per source.
+
+    The router's lanes (dispatch decisions, KV transfers on
+    ``interconnect``, fleet-fault windows, alert markers, per-request
+    fleet swim lanes) occupy pids 0–2; each replica, in attach order,
+    occupies the next trio with its name prefixed onto the process
+    labels.
+    """
+    events = _trace_events(
+        tracer.router, DEVICE_PID, SERVER_PID, REQUEST_PID, prefix="router/"
+    )
+    for i, name in enumerate(tracer.replica_names):
+        base = 3 + 3 * i
+        events.extend(
+            _trace_events(
+                tracer.replica(name), base, base + 1, base + 2, prefix=f"{name}/"
+            )
+        )
+    return events
+
+
+def save_fleet_chrome_trace(tracer: "FleetTracer", path) -> None:
+    """Write :func:`to_chrome_trace_fleet` output as ``.trace.json``."""
+    payload = {
+        "traceEvents": to_chrome_trace_fleet(tracer),
+        "displayTimeUnit": "ms",
+    }
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(payload, fh)
 
@@ -194,14 +252,15 @@ def to_jsonl_records(tracer: "Tracer") -> list[dict]:
             }
         )
     for e in tracer.request_events:
-        records.append(
-            {
-                "type": "request_event",
-                "request_id": e.request_id,
-                "kind": e.kind,
-                "time": e.time,
-            }
-        )
+        record = {
+            "type": "request_event",
+            "request_id": e.request_id,
+            "kind": e.kind,
+            "time": e.time,
+        }
+        if e.hop is not None:
+            record["hop"] = e.hop
+        records.append(record)
     for r in tracer.regions:
         records.append(
             {

@@ -1,0 +1,234 @@
+"""Multi-window burn-rate SLO alerting on the simulated clock.
+
+Google-SRE-style alerting for the simulated fleet: an
+:class:`SLOObjective` grants an error budget (the fraction of requests
+allowed to violate a target — miss their TTFT, stretch a token gap,
+blow a deadline), and the **burn rate** over a trailing window is how
+fast that budget is being consumed::
+
+    burn_rate(W) = bad_fraction(now - W, now) / budget
+
+A :class:`BurnRateRule` pairs a long window (evidence the problem is
+real) with a short window (evidence it is *still* happening) and fires
+when both burn at or above its threshold — the multi-window pattern
+that keeps alerts fast during an incident and quiet once recovery
+starts.  The :class:`SLOMonitor` holds per-objective observation
+streams, evaluates every rule at each ``check()``, applies hysteresis
+(a firing rule stays silent until its short window recovers), and
+timestamps every :class:`Alert` on the simulated clock, annotated with
+whatever fault/crash/degraded windows the caller reports overlapping
+the alert instant.
+
+The fleet router feeds the monitor (observations at request
+dispositions, checks on its tick grid — see
+:class:`~repro.serving.fleet.router.FleetRouter`); nothing here reads
+the wall clock or keeps global state.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+__all__ = [
+    "SLOObjective",
+    "BurnRateRule",
+    "Alert",
+    "SLOMonitor",
+]
+
+
+@dataclass(frozen=True)
+class SLOObjective:
+    """One objective: a bounded fraction of requests may go bad.
+
+    Attributes:
+        name: Objective identifier (``"ttft"``, ``"tbt"``,
+            ``"deadline"``, ...).
+        budget: Allowed bad fraction over the compliance period
+            (``0.1`` = 10% of requests may violate the target).
+    """
+
+    name: str
+    budget: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.budget < 1.0:
+            raise ValueError("budget must be a fraction in (0, 1)")
+
+
+@dataclass(frozen=True)
+class BurnRateRule:
+    """Fire when both trailing windows burn budget at ``threshold`` x.
+
+    ``long_window_s`` establishes the incident; ``short_window_s``
+    proves it is ongoing (and resets the alert quickly once the bleed
+    stops).  ``threshold`` is in budget-per-compliance-period units: a
+    burn rate of 1.0 spends exactly the budget.
+    """
+
+    long_window_s: float
+    short_window_s: float
+    threshold: float
+
+    def __post_init__(self) -> None:
+        if self.long_window_s <= 0 or self.short_window_s <= 0:
+            raise ValueError("burn-rate windows must be positive")
+        if self.short_window_s > self.long_window_s:
+            raise ValueError("short window must not exceed the long window")
+        if self.threshold <= 0:
+            raise ValueError("threshold must be positive")
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One burn-rate alert, timestamped on the simulated clock.
+
+    ``context`` carries the fault/crash/degraded annotations overlapping
+    the alert instant (as reported by the caller at ``check()`` time) —
+    the "what else was going on" an on-call would want inline.
+    """
+
+    objective: str
+    time: float
+    burn_rate_long: float
+    burn_rate_short: float
+    long_window_s: float
+    short_window_s: float
+    threshold: float
+    context: tuple[str, ...] = ()
+
+    def to_dict(self) -> dict:
+        return {
+            "objective": self.objective,
+            "time": self.time,
+            "burn_rate_long": self.burn_rate_long,
+            "burn_rate_short": self.burn_rate_short,
+            "long_window_s": self.long_window_s,
+            "short_window_s": self.short_window_s,
+            "threshold": self.threshold,
+            "context": list(self.context),
+        }
+
+    def format(self) -> str:
+        ctx = f" [{', '.join(self.context)}]" if self.context else ""
+        return (
+            f"t={self.time:.3f}s {self.objective}: burn "
+            f"{self.burn_rate_long:.2f}x/{self.long_window_s:.3g}s and "
+            f"{self.burn_rate_short:.2f}x/{self.short_window_s:.3g}s "
+            f">= {self.threshold:.3g}x{ctx}"
+        )
+
+
+@dataclass
+class _RuleState:
+    firing: bool = False
+
+
+class SLOMonitor:
+    """Evaluates burn-rate rules over per-objective observation streams.
+
+    Observations arrive via :meth:`observe` (one ``good``/``bad`` verdict
+    per request per objective, timestamped on the simulated clock, in
+    non-decreasing order); :meth:`check` evaluates every (objective,
+    rule) pair at one instant and returns the alerts that *newly* fired
+    there.  All fired alerts accumulate on :attr:`alerts`.
+    """
+
+    def __init__(
+        self,
+        objectives: list[SLOObjective] | tuple[SLOObjective, ...],
+        rules: list[BurnRateRule] | tuple[BurnRateRule, ...],
+        max_observations: int = 65536,
+    ) -> None:
+        if not objectives:
+            raise ValueError("an SLO monitor needs at least one objective")
+        if not rules:
+            raise ValueError("an SLO monitor needs at least one burn-rate rule")
+        names = [o.name for o in objectives]
+        if len(set(names)) != len(names):
+            raise ValueError(f"objective names must be unique, got {names}")
+        self.objectives: dict[str, SLOObjective] = {o.name: o for o in objectives}
+        self.rules = tuple(rules)
+        self._observations: dict[str, deque[tuple[float, bool]]] = {
+            name: deque(maxlen=max_observations) for name in self.objectives
+        }
+        self._state: dict[tuple[str, int], _RuleState] = {
+            (name, i): _RuleState()
+            for name in self.objectives
+            for i in range(len(self.rules))
+        }
+        self.alerts: list[Alert] = []
+
+    def observe(self, objective: str, time: float, bad: bool) -> None:
+        """Record one request's verdict against one objective."""
+        stream = self._observations.get(objective)
+        if stream is None:
+            raise KeyError(f"unknown objective {objective!r}")
+        if stream and time < stream[-1][0]:
+            raise ValueError(
+                f"observation at {time:.6g}s precedes the previous one at "
+                f"{stream[-1][0]:.6g}s (the simulated clock never rolls back)"
+            )
+        stream.append((time, bad))
+
+    def bad_fraction(self, objective: str, t0: float, t1: float) -> float | None:
+        """Bad fraction of observations in ``[t0, t1]``; None when empty."""
+        stream = self._observations[objective]
+        total = bad = 0
+        for time, was_bad in stream:
+            if t0 <= time <= t1:
+                total += 1
+                bad += was_bad
+        if total == 0:
+            return None
+        return bad / total
+
+    def burn_rate(self, objective: str, window_s: float, now: float) -> float | None:
+        """Budget-consumption rate over the trailing ``window_s`` at ``now``."""
+        fraction = self.bad_fraction(objective, now - window_s, now)
+        if fraction is None:
+            return None
+        return fraction / self.objectives[objective].budget
+
+    def check(self, now: float, context: tuple[str, ...] = ()) -> list[Alert]:
+        """Evaluate every (objective, rule) pair at ``now``.
+
+        Returns the alerts that newly fired (hysteresis: a pair that is
+        already firing stays silent until its short-window burn drops
+        below the threshold, so one incident produces one alert per
+        pair, not one per check).
+        """
+        fired: list[Alert] = []
+        for name in self.objectives:
+            for i, rule in enumerate(self.rules):
+                state = self._state[(name, i)]
+                long_burn = self.burn_rate(name, rule.long_window_s, now)
+                short_burn = self.burn_rate(name, rule.short_window_s, now)
+                hot = (
+                    long_burn is not None
+                    and short_burn is not None
+                    and long_burn >= rule.threshold
+                    and short_burn >= rule.threshold
+                )
+                if hot and not state.firing:
+                    state.firing = True
+                    alert = Alert(
+                        objective=name,
+                        time=now,
+                        burn_rate_long=long_burn,
+                        burn_rate_short=short_burn,
+                        long_window_s=rule.long_window_s,
+                        short_window_s=rule.short_window_s,
+                        threshold=rule.threshold,
+                        context=tuple(context),
+                    )
+                    fired.append(alert)
+                    self.alerts.append(alert)
+                elif state.firing and (short_burn is None or short_burn < rule.threshold):
+                    state.firing = False
+        return fired
+
+    def to_dicts(self) -> list[dict]:
+        """Every fired alert as a JSON-ready dict, in firing order."""
+        return [a.to_dict() for a in self.alerts]

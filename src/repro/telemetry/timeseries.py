@@ -1,0 +1,139 @@
+"""Windowed time-series over the simulated clock: ring buffers + export.
+
+The tracer's :class:`~repro.telemetry.tracer.CounterSample` stream is an
+append-only event log — good for timelines, clumsy for "what was the
+queue depth over the last two seconds".  This module keeps *bounded*
+series instead: each :class:`Series` is a ring buffer of ``(time,
+value)`` samples on the simulated clock, with windowed queries (last
+value, window mean/max, deltas of cumulative counters) that the SLO
+monitor and the fleet dashboardery consume.
+
+A :class:`TimeSeriesBank` is a named registry of series sharing one
+ring capacity, sampled by the fleet router on its tick grid (see
+:class:`~repro.telemetry.fleet.FleetTracer`): per-replica queue depth,
+KV occupancy, busy fraction per window, fleet-cumulative completions
+and deadline misses.  ``to_jsonl_records`` / ``save_jsonl`` export every
+retained sample as self-describing JSON lines for ``jq``/pandas.
+
+All times are seconds of simulated time; nothing here reads the wall
+clock.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+
+__all__ = ["Series", "TimeSeriesBank", "DEFAULT_RING_CAPACITY"]
+
+DEFAULT_RING_CAPACITY = 4096
+
+
+class Series:
+    """One named ring-buffered time-series of ``(time, value)`` samples.
+
+    Samples must arrive in non-decreasing time order (the simulated
+    clock never rolls back); the ring keeps the most recent
+    ``capacity`` samples and silently forgets older ones — bounded
+    memory over arbitrarily long runs.
+    """
+
+    def __init__(self, name: str, capacity: int = DEFAULT_RING_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.name = name
+        self.capacity = capacity
+        self._ring: deque[tuple[float, float]] = deque(maxlen=capacity)
+        self._last_time = float("-inf")
+
+    def append(self, time: float, value: float) -> None:
+        if time < self._last_time:
+            raise ValueError(
+                f"series {self.name!r}: sample at {time:.6g}s precedes the "
+                f"previous sample at {self._last_time:.6g}s"
+            )
+        self._last_time = time
+        self._ring.append((time, float(value)))
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def samples(self) -> list[tuple[float, float]]:
+        """All retained ``(time, value)`` samples, oldest first."""
+        return list(self._ring)
+
+    def latest(self) -> tuple[float, float] | None:
+        """The most recent sample, or ``None`` when empty."""
+        return self._ring[-1] if self._ring else None
+
+    def window(self, t0: float, t1: float) -> list[tuple[float, float]]:
+        """Retained samples with ``t0 <= time <= t1``, oldest first."""
+        return [(t, v) for t, v in self._ring if t0 <= t <= t1]
+
+    def window_mean(self, t0: float, t1: float) -> float | None:
+        """Mean sample value over ``[t0, t1]`` (``None`` when no samples)."""
+        values = [v for _, v in self.window(t0, t1)]
+        if not values:
+            return None
+        return sum(values) / len(values)
+
+    def window_max(self, t0: float, t1: float) -> float | None:
+        """Max sample value over ``[t0, t1]`` (``None`` when no samples)."""
+        values = [v for _, v in self.window(t0, t1)]
+        return max(values) if values else None
+
+    def window_delta(self, t0: float, t1: float) -> float | None:
+        """Last minus first value over ``[t0, t1]`` — the windowed rate
+        numerator for cumulative-counter series (completions, misses)."""
+        values = [v for _, v in self.window(t0, t1)]
+        if not values:
+            return None
+        return values[-1] - values[0]
+
+
+class TimeSeriesBank:
+    """A named registry of :class:`Series` sharing one ring capacity."""
+
+    def __init__(self, capacity: int = DEFAULT_RING_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._series: dict[str, Series] = {}
+
+    def series(self, name: str) -> Series:
+        """Get-or-create the series called ``name``."""
+        found = self._series.get(name)
+        if found is None:
+            found = self._series[name] = Series(name, self.capacity)
+        return found
+
+    def sample(self, name: str, time: float, value: float) -> None:
+        """Append one sample to the series called ``name``."""
+        self.series(name).append(time, value)
+
+    def names(self) -> tuple[str, ...]:
+        """All series names, sorted."""
+        return tuple(sorted(self._series))
+
+    def __len__(self) -> int:
+        """Total retained samples across all series."""
+        return sum(len(s) for s in self._series.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._series
+
+    def to_jsonl_records(self) -> list[dict]:
+        """One self-describing dict per retained sample (times in seconds)."""
+        records: list[dict] = []
+        for name in self.names():
+            for time, value in self._series[name].samples():
+                records.append(
+                    {"type": "sample", "series": name, "time": time, "value": value}
+                )
+        return records
+
+    def save_jsonl(self, path) -> None:
+        """Write :meth:`to_jsonl_records` output, one JSON object per line."""
+        with open(path, "w", encoding="utf-8") as fh:
+            for record in self.to_jsonl_records():
+                fh.write(json.dumps(record) + "\n")

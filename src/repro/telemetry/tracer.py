@@ -115,11 +115,17 @@ class RequestSpan:
 
 @dataclass(frozen=True)
 class RequestEvent:
-    """An instant lifecycle event of one request."""
+    """An instant lifecycle event of one request.
+
+    ``hop`` is the fleet dispatch-attempt counter the event happened
+    under (see :class:`~repro.telemetry.fleet.TraceContext`); ``None``
+    for single-server runs, where there is no routing to disambiguate.
+    """
 
     request_id: int
     kind: str
     time: float
+    hop: int | None = None
 
 
 @dataclass(frozen=True)
@@ -220,8 +226,10 @@ class Tracer:
     ) -> None:
         self.request_spans.append(RequestSpan(request_id, phase, start, end))
 
-    def add_request_event(self, request_id: int, kind: str, time: float) -> None:
-        self.request_events.append(RequestEvent(request_id, kind, time))
+    def add_request_event(
+        self, request_id: int, kind: str, time: float, hop: int | None = None
+    ) -> None:
+        self.request_events.append(RequestEvent(request_id, kind, time, hop))
 
     def add_region(
         self,

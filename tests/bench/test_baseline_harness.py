@@ -30,8 +30,16 @@ class TestBaselineDocument:
         metrics = doc["metrics"]
         assert "serving/ttft_p95_s" in metrics
         assert any(k.startswith("e2e/powerinfer/") for k in metrics)
-        for record in metrics.values():
-            assert set(record) == {"value", "higher_is_better"}
+        for name, record in metrics.items():
+            if name.startswith("simperf/"):
+                # Wall-clock throughput metrics carry their own (wide)
+                # tolerance so CI machine speed never gates the check.
+                assert set(record) == {"value", "higher_is_better", "tolerance"}
+                assert record["tolerance"] >= 0.5
+                assert record["higher_is_better"] is True
+            else:
+                assert set(record) == {"value", "higher_is_better"}
+        assert "simperf/serving_iterations_per_s" in metrics
         assert doc["attribution"], "e2e configs must carry fingerprints"
         for fp in doc["attribution"].values():
             assert set(fp) == {"shares", "critical_resource", "makespan_s"}
@@ -143,5 +151,22 @@ def test_write_baseline_roundtrip(tmp_path):
     path = tmp_path / "b.json"
     doc = write_baseline(path, quick=True)
     assert load_baseline(path) == doc
-    # Deterministic simulation: a fresh run is byte-for-byte reproducible.
-    assert run_suite(quick=True) == doc
+    # Deterministic simulation: a fresh run is byte-for-byte reproducible —
+    # except the simperf/* metrics, which measure real wall-clock simulator
+    # throughput and are gated by their own wide tolerance instead.
+    rerun = run_suite(quick=True)
+
+    def deterministic(document):
+        return {
+            **document,
+            "metrics": {
+                k: v
+                for k, v in document["metrics"].items()
+                if not k.startswith("simperf/")
+            },
+        }
+
+    assert deterministic(rerun) == deterministic(doc)
+    assert {k for k in rerun["metrics"] if k.startswith("simperf/")} == {
+        k for k in doc["metrics"] if k.startswith("simperf/")
+    }

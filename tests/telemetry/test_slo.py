@@ -1,0 +1,98 @@
+"""Multi-window burn-rate SLO alerting: firing, hysteresis, annotations."""
+
+import pytest
+
+from repro.telemetry import Alert, BurnRateRule, SLOMonitor, SLOObjective
+
+
+def monitor(budget=0.1, long_s=4.0, short_s=1.0, threshold=2.0):
+    return SLOMonitor(
+        objectives=[SLOObjective("ttft", budget=budget)],
+        rules=[BurnRateRule(long_window_s=long_s, short_window_s=short_s,
+                            threshold=threshold)],
+    )
+
+
+class TestValidation:
+    def test_budget_must_be_fraction(self):
+        with pytest.raises(ValueError, match="budget"):
+            SLOObjective("x", budget=1.5)
+
+    def test_short_window_bounded_by_long(self):
+        with pytest.raises(ValueError, match="short window"):
+            BurnRateRule(long_window_s=1.0, short_window_s=2.0, threshold=1.0)
+
+    def test_unknown_objective_rejected(self):
+        with pytest.raises(KeyError, match="unknown objective"):
+            monitor().observe("nope", 0.0, bad=True)
+
+    def test_time_regression_rejected(self):
+        m = monitor()
+        m.observe("ttft", 1.0, bad=False)
+        with pytest.raises(ValueError, match="precedes"):
+            m.observe("ttft", 0.5, bad=True)
+
+    def test_duplicate_objectives_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            SLOMonitor(
+                objectives=[SLOObjective("a", 0.1), SLOObjective("a", 0.2)],
+                rules=[BurnRateRule(1.0, 1.0, 1.0)],
+            )
+
+
+class TestBurnRate:
+    def test_bad_fraction_and_burn(self):
+        m = monitor(budget=0.1)
+        for i in range(10):
+            m.observe("ttft", i * 0.1, bad=i < 4)
+        assert m.bad_fraction("ttft", 0.0, 0.9) == pytest.approx(0.4)
+        # 40% bad over a 10% budget = burning 4x.
+        assert m.burn_rate("ttft", 1.0, 0.9) == pytest.approx(4.0)
+
+    def test_no_observations_is_none_and_never_fires(self):
+        m = monitor()
+        assert m.burn_rate("ttft", 4.0, 10.0) is None
+        assert m.check(10.0) == []
+
+
+class TestAlerting:
+    def test_fires_only_when_both_windows_hot(self):
+        m = monitor(budget=0.1, long_s=4.0, short_s=1.0, threshold=2.0)
+        # Old badness only: hot long window, recovered short window.
+        for i in range(8):
+            m.observe("ttft", i * 0.25, bad=True)
+        for i in range(8):
+            m.observe("ttft", 3.0 + i * 0.125, bad=False)
+        assert m.check(4.0) == []
+
+    def test_incident_fires_once_then_rearms_after_recovery(self):
+        m = monitor(budget=0.1, long_s=4.0, short_s=1.0, threshold=2.0)
+        for i in range(8):
+            m.observe("ttft", i * 0.125, bad=True)
+        first = m.check(1.0, context=("crash:r0",))
+        assert len(first) == 1
+        assert first[0].context == ("crash:r0",)
+        assert first[0].burn_rate_short == pytest.approx(10.0)
+        # Still burning: hysteresis keeps the pair silent.
+        m.observe("ttft", 1.5, bad=True)
+        assert m.check(1.5) == []
+        # Short window recovers -> re-arm, then a fresh incident refires.
+        for i in range(10):
+            m.observe("ttft", 2.0 + i * 0.1, bad=False)
+        assert m.check(3.0) == []
+        for i in range(10):
+            m.observe("ttft", 3.1 + i * 0.05, bad=True)
+        assert len(m.check(3.6)) == 1
+        assert len(m.alerts) == 2
+
+    def test_alert_serialization(self):
+        m = monitor()
+        for i in range(6):
+            m.observe("ttft", i * 0.1, bad=True)
+        (alert,) = m.check(0.5, context=("degraded:r1",))
+        assert isinstance(alert, Alert)
+        doc = alert.to_dict()
+        assert doc["objective"] == "ttft"
+        assert doc["context"] == ["degraded:r1"]
+        assert m.to_dicts() == [doc]
+        assert "ttft" in alert.format() and "degraded:r1" in alert.format()

@@ -1,0 +1,70 @@
+"""Ring-buffer time-series engine: windows, aggregates, JSONL export."""
+
+import json
+
+import pytest
+
+from repro.telemetry import Series, TimeSeriesBank
+
+
+class TestSeries:
+    def test_append_and_window(self):
+        s = Series("queue_depth")
+        for i in range(10):
+            s.append(i * 0.25, float(i))
+        assert s.latest() == (2.25, 9.0)
+        window = s.window(0.5, 1.0)
+        assert [v for _, v in window] == [2.0, 3.0, 4.0]
+
+    def test_window_aggregates(self):
+        s = Series("x")
+        for i in range(5):
+            s.append(float(i), float(i * 2))
+        assert s.window_mean(1.0, 3.0) == pytest.approx(4.0)
+        assert s.window_max(0.0, 4.0) == 8.0
+        assert s.window_delta(1.0, 3.0) == pytest.approx(4.0)
+
+    def test_empty_window_is_none(self):
+        s = Series("x")
+        s.append(0.0, 1.0)
+        assert s.window_mean(5.0, 6.0) is None
+        assert s.window_max(5.0, 6.0) is None
+        assert s.window_delta(5.0, 6.0) is None
+
+    def test_time_must_be_monotone(self):
+        s = Series("x")
+        s.append(1.0, 0.0)
+        with pytest.raises(ValueError, match="precedes"):
+            s.append(0.5, 0.0)
+
+    def test_ring_capacity_drops_oldest(self):
+        s = Series("x", capacity=4)
+        for i in range(10):
+            s.append(float(i), float(i))
+        samples = s.samples()
+        assert len(samples) == 4
+        assert samples[0] == (6.0, 6.0)
+        assert samples[-1] == (9.0, 9.0)
+
+
+class TestTimeSeriesBank:
+    def test_sample_creates_series(self):
+        bank = TimeSeriesBank()
+        bank.sample("a/x", 0.0, 1.0)
+        bank.sample("b/y", 0.0, 2.0)
+        bank.sample("a/x", 1.0, 3.0)
+        assert list(bank.names()) == ["a/x", "b/y"]
+        assert "a/x" in bank
+        assert len(bank) == 3  # total retained samples across series
+        assert bank.series("a/x").latest() == (1.0, 3.0)
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        bank = TimeSeriesBank()
+        bank.sample("fleet/up", 0.0, 3.0)
+        bank.sample("fleet/up", 0.5, 2.0)
+        path = tmp_path / "ts.jsonl"
+        bank.save_jsonl(path)
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert all(r["type"] == "sample" for r in records)
+        assert [(r["time"], r["value"]) for r in records] == [(0.0, 3.0), (0.5, 2.0)]
+        assert records == bank.to_jsonl_records()
