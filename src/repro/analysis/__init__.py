@@ -13,10 +13,12 @@ from repro.analysis.attribution import (
 from repro.analysis.roofline import ThroughputBounds, throughput_bounds
 from repro.analysis.whatif import (
     STANDARD_KNOBS,
+    PowerWhatIfResult,
     WhatIfResult,
     cross_validate,
     reprice_schedule,
     reprice_tasks,
+    whatif_power_sensitivity,
     whatif_sensitivity,
 )
 
@@ -32,8 +34,10 @@ __all__ = [
     "critical_path",
     "analyze_iteration",
     "STANDARD_KNOBS",
+    "PowerWhatIfResult",
     "WhatIfResult",
     "whatif_sensitivity",
+    "whatif_power_sensitivity",
     "cross_validate",
     "reprice_schedule",
     "reprice_tasks",

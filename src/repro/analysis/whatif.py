@@ -17,6 +17,13 @@ costs), and CPU cores +/- (throughput of the CPU executor).
 :func:`cross_validate` checks the analytic predictions against an actual
 re-simulation of the engine on the perturbed machine — the two should
 agree to float noise on deterministic DAGs, and the acceptance bar is 5%.
+
+:func:`whatif_power_sensitivity` extends the same knobs to *perf per
+watt*: each re-priced schedule is also re-metered
+(:mod:`repro.telemetry.power`), and since the work is fixed, the
+perf-per-watt gain of a knob is exactly the energy ratio
+``E_base / E_pred`` — a knob can speed the schedule up yet cost
+efficiency if it drags the machine into a higher power state.
 """
 
 from __future__ import annotations
@@ -30,14 +37,17 @@ from repro.hardware.spec import MachineSpec
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from repro.engine.base import PerfEngine
+    from repro.telemetry.power import PowerModel
 
 __all__ = [
     "Knob",
     "STANDARD_KNOBS",
+    "PowerWhatIfResult",
     "WhatIfResult",
     "reprice_tasks",
     "reprice_schedule",
     "whatif_sensitivity",
+    "whatif_power_sensitivity",
     "cross_validate",
 ]
 
@@ -123,6 +133,59 @@ class WhatIfResult:
         }
 
 
+@dataclass(frozen=True)
+class PowerWhatIfResult:
+    """Predicted time *and* energy effect of one hardware knob.
+
+    The DAG's work is fixed, so comparing knobs at equal work makes the
+    perf-per-watt gain exactly the energy ratio ``E_base / E_pred``:
+    perf/W = work / (time * avg_watts) = work / energy.
+    """
+
+    knob: str
+    baseline_makespan: float
+    predicted_makespan: float
+    baseline_joules: float
+    predicted_joules: float
+
+    @property
+    def predicted_speedup(self) -> float:
+        if self.predicted_makespan <= 0.0:
+            return float("inf")
+        return self.baseline_makespan / self.predicted_makespan
+
+    @property
+    def perf_per_watt_gain(self) -> float:
+        if self.predicted_joules <= 0.0:
+            return float("inf")
+        return self.baseline_joules / self.predicted_joules
+
+    @property
+    def baseline_watts(self) -> float:
+        if self.baseline_makespan <= 0.0:
+            return 0.0
+        return self.baseline_joules / self.baseline_makespan
+
+    @property
+    def predicted_watts(self) -> float:
+        if self.predicted_makespan <= 0.0:
+            return 0.0
+        return self.predicted_joules / self.predicted_makespan
+
+    def as_row(self) -> dict:
+        return {
+            "knob": self.knob,
+            "baseline_s": self.baseline_makespan,
+            "predicted_s": self.predicted_makespan,
+            "speedup": self.predicted_speedup,
+            "baseline_j": self.baseline_joules,
+            "predicted_j": self.predicted_joules,
+            "baseline_w": self.baseline_watts,
+            "predicted_w": self.predicted_watts,
+            "perf_per_watt_gain": self.perf_per_watt_gain,
+        }
+
+
 def reprice_tasks(tasks: list[SimTask], machine: MachineSpec) -> list[SimTask]:
     """Same DAG, durations re-derived from each task's recorded work.
 
@@ -179,6 +242,46 @@ def whatif_sensitivity(
         for name, transform in knobs.items()
     ]
     results.sort(key=lambda r: r.predicted_makespan)
+    return results
+
+
+def whatif_power_sensitivity(
+    tasks: list[SimTask],
+    machine: MachineSpec,
+    knobs: Mapping[str, Knob] | None = None,
+    model: "PowerModel | None" = None,
+) -> list[PowerWhatIfResult]:
+    """Predicted speedup *and* perf-per-watt gain of each knob.
+
+    Each knob's perturbed schedule is metered with
+    :func:`repro.telemetry.power.schedule_energy` against the perturbed
+    machine (the :data:`STANDARD_KNOBS` perturbations use
+    ``dataclasses.replace``, so the power fields carry over unchanged —
+    the energy delta comes purely from the re-timed schedule).  Results
+    come back sorted by perf-per-watt gain, best first; compare with the
+    speedup ordering from :func:`whatif_sensitivity` to spot knobs that
+    buy time at the cost of efficiency.
+    """
+    from repro.telemetry.power import schedule_energy
+
+    knobs = dict(knobs) if knobs is not None else dict(STANDARD_KNOBS)
+    base_sched = reprice_schedule(tasks, machine)
+    base_energy = schedule_energy(base_sched, machine, model=model)
+    results: list[PowerWhatIfResult] = []
+    for name, transform in knobs.items():
+        perturbed = transform(machine)
+        sched = reprice_schedule(tasks, perturbed)
+        energy = schedule_energy(sched, perturbed, model=model)
+        results.append(
+            PowerWhatIfResult(
+                knob=name,
+                baseline_makespan=base_sched.makespan,
+                predicted_makespan=sched.makespan,
+                baseline_joules=base_energy.total_joules,
+                predicted_joules=energy.total_joules,
+            )
+        )
+    results.sort(key=lambda r: -r.perf_per_watt_gain)
     return results
 
 

@@ -26,6 +26,7 @@ import numpy as np
 from repro.analysis.attribution import critical_path, decompose
 from repro.bench.runner import make_engine
 from repro.hardware.events import EventSimulator
+from repro.telemetry.power import fleet_energy, fleet_generated_tokens, request_energy
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -46,6 +47,12 @@ SCHEMA_VERSION = 1
 # slowdown (an order-of-magnitude event-loop regression) should trip it,
 # never scheduler jitter or a slower CI runner.
 SIMPERF_TOLERANCE = 0.9
+
+# Relative tolerance for the J/token energy metrics.  Energy is a
+# derived quantity (schedule timing x power model), so it inherits drift
+# from both; 5% matches the suite default but is pinned explicitly so
+# the baseline records the intended band next to the metric.
+ENERGY_TOLERANCE = 0.05
 
 # Canonical end-to-end configurations: (engine, model, machine, dtype).
 # One big-model FP16 config per flagship machine comparison and one
@@ -132,6 +139,11 @@ def run_suite(quick: bool = False) -> dict:
         metrics[f"{key}/decode_tps"] = _metric(decode_tps, True)
         metrics[f"{key}/total_tps"] = _metric(result.tokens_per_second, True)
         metrics[f"{key}/prompt_s"] = _metric(result.prompt_time, False)
+        energy = request_energy(engine, E2E_INPUT_LEN, E2E_OUTPUT_LEN)
+        energy_key = f"energy/{engine_name}/{model}/{machine}/{dtype}"
+        metrics[f"{energy_key}/j_per_token"] = _metric(
+            energy.j_per_token, False, tolerance=ENERGY_TOLERANCE
+        )
         attribution[key] = _attribution_fingerprint(engine)
 
     # -- continuous-batching serving percentiles -------------------------------
@@ -209,6 +221,22 @@ def run_suite(quick: bool = False) -> dict:
             fleet_iterations / max(fleet_wall_s, 1e-9),
             True,
             tolerance=SIMPERF_TOLERANCE,
+        )
+
+        # Fleet-wide J/token on the canonical chaos scenario.  Needs a
+        # traced run (per-replica spans feed the energy ledger), so it is
+        # a separate run from the untraced simperf one above.
+        from repro.bench.fleet_chaos import DEFAULT_SLO, default_fleet_monitor
+        from repro.telemetry.fleet import FleetTracer
+
+        fleet_tracer = FleetTracer(monitor=default_fleet_monitor(), slo=DEFAULT_SLO)
+        traced_result = build_fleet(tracer=fleet_tracer).run(fleet_requests())
+        fleet_joules = fleet_energy(traced_result, fleet_tracer)
+        tokens = fleet_generated_tokens(traced_result)
+        metrics["fleet/j_per_token"] = _metric(
+            fleet_joules.total_joules / max(tokens, 1),
+            False,
+            tolerance=ENERGY_TOLERANCE,
         )
 
     return {

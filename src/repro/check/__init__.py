@@ -23,6 +23,8 @@ from repro.check.schedule import (
     ScheduleValidationError,
     Violation,
     require_valid,
+    validate_energy_report,
+    validate_fleet_energy,
     validate_fleet_run,
     validate_kv_ledger,
     validate_schedule,
@@ -39,6 +41,8 @@ __all__ = [
     "ScheduleValidationError",
     "Violation",
     "require_valid",
+    "validate_energy_report",
+    "validate_fleet_energy",
     "validate_fleet_run",
     "validate_kv_ledger",
     "validate_schedule",

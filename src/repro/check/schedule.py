@@ -47,6 +47,8 @@ __all__ = [
     "validate_kv_ledger",
     "validate_server_run",
     "validate_fleet_run",
+    "validate_energy_report",
+    "validate_fleet_energy",
     "require_valid",
 ]
 
@@ -806,6 +808,204 @@ def _reconcile_fleet_trace(result, tracer, rel_tol: float) -> list[Violation]:  
                     message=(
                         f"trace has {disposition_counts[kind]} {kind} events "
                         f"but the report lists {have} such requests"
+                    ),
+                )
+            )
+    return violations
+
+
+# ---- energy ledgers --------------------------------------------------------------
+
+
+def _sweep_metered_joules(entries, idle_watts_total: float, t0: float, horizon: float) -> float:
+    """Independently integrate the piecewise-constant power curve.
+
+    Deliberately NOT :class:`repro.telemetry.power.PowerMeter`: the
+    validator re-derives the meter integral with its own sweep so a bug
+    (or a doctored figure) in either accounting path can't hide.
+    """
+    events: list[tuple[float, float]] = []
+    for entry in entries:
+        if entry.end <= entry.start or entry.watts == 0.0:
+            continue
+        events.append((max(entry.start, t0), entry.watts))
+        events.append((min(entry.end, horizon), -entry.watts))
+    events.sort(key=lambda ev: ev[0])
+    total = idle_watts_total * max(0.0, horizon - t0)
+    level = 0.0
+    prev = t0
+    for t, delta in events:
+        total += level * max(0.0, t - prev)
+        level += delta
+        prev = max(prev, t)
+    total += level * max(0.0, horizon - prev)
+    return total
+
+
+def validate_energy_report(report, rel_tol: float = 1e-6) -> list[Violation]:
+    """Check one :class:`repro.telemetry.power.EnergyReport` ledger.
+
+    The contract, checked to ``rel_tol`` (1e-6 by default):
+
+    * every ledger entry is finite, non-negative-duration, non-negative
+      wattage, and its joules are exactly watts x duration
+      (``energy-task-product``);
+    * every entry lies inside the metered window (``energy-horizon``);
+    * ``dynamic_joules`` is the ledger sum (``energy-ledger-sum``) and
+      ``static_joules`` is the idle floor over the horizon
+      (``energy-static``);
+    * an independent sweep integration of the instantaneous power curve
+      reproduces both the report's claimed meter reading
+      (``energy-meter-drift``) and the ledger total
+      (``energy-ledger-drift``) — including fault-epoch DVFS windows,
+      whose scaled watts feed both paths identically.
+    """
+    violations: list[Violation] = []
+    for entry in report.tasks:
+        values = (entry.start, entry.end, entry.watts, entry.joules)
+        if not all(math.isfinite(v) for v in values):
+            violations.append(
+                Violation(
+                    check="energy-task-nonfinite",
+                    message=f"non-finite ledger entry {values}",
+                    task=entry.name,
+                    time=entry.start,
+                )
+            )
+            continue
+        if entry.end < entry.start:
+            violations.append(
+                Violation(
+                    check="energy-task-negative",
+                    message=f"negative duration {entry.end - entry.start:.6g}s",
+                    task=entry.name,
+                    time=entry.start,
+                )
+            )
+        if entry.watts < 0:
+            violations.append(
+                Violation(
+                    check="energy-task-negative",
+                    message=f"negative dynamic draw {entry.watts:.6g} W",
+                    task=entry.name,
+                    time=entry.start,
+                )
+            )
+        expected = entry.watts * (entry.end - entry.start)
+        if abs(entry.joules - expected) > _tol(expected, rel_tol):
+            violations.append(
+                Violation(
+                    check="energy-task-product",
+                    message=(
+                        f"ledger claims {entry.joules:.9g} J but "
+                        f"{entry.watts:.6g} W x "
+                        f"{entry.end - entry.start:.6g} s = {expected:.9g} J"
+                    ),
+                    task=entry.name,
+                    time=entry.start,
+                )
+            )
+        if entry.start < report.t0 - _tol(report.t0, rel_tol) or entry.end > (
+            report.horizon + _tol(report.horizon, rel_tol)
+        ):
+            violations.append(
+                Violation(
+                    check="energy-horizon",
+                    message=(
+                        f"entry [{entry.start:.6g}, {entry.end:.6g}] s lies "
+                        f"outside the metered window "
+                        f"[{report.t0:.6g}, {report.horizon:.6g}] s"
+                    ),
+                    task=entry.name,
+                    time=entry.start,
+                )
+            )
+
+    ledger_sum = sum(e.joules for e in report.tasks)
+    if abs(report.dynamic_joules - ledger_sum) > _tol(ledger_sum, rel_tol):
+        violations.append(
+            Violation(
+                check="energy-ledger-sum",
+                message=(
+                    f"report claims {report.dynamic_joules:.9g} J dynamic but "
+                    f"the per-task ledger sums to {ledger_sum:.9g} J"
+                ),
+            )
+        )
+    idle_total = sum(report.idle.values())
+    expected_static = idle_total * max(0.0, report.horizon - report.t0)
+    if abs(report.static_joules - expected_static) > _tol(expected_static, rel_tol):
+        violations.append(
+            Violation(
+                check="energy-static",
+                message=(
+                    f"report claims {report.static_joules:.9g} J static but "
+                    f"{idle_total:.6g} W idle over "
+                    f"{report.horizon - report.t0:.6g} s = "
+                    f"{expected_static:.9g} J"
+                ),
+            )
+        )
+    metered = _sweep_metered_joules(
+        report.tasks, idle_total, report.t0, report.horizon
+    )
+    if abs(report.metered_joules - metered) > _tol(metered, rel_tol):
+        violations.append(
+            Violation(
+                check="energy-meter-drift",
+                message=(
+                    f"report's meter reads {report.metered_joules:.9g} J but "
+                    f"an independent sweep integrates {metered:.9g} J"
+                ),
+            )
+        )
+    total = ledger_sum + expected_static
+    if abs(metered - total) > _tol(total, rel_tol):
+        violations.append(
+            Violation(
+                check="energy-ledger-drift",
+                message=(
+                    f"integrated power meter reads {metered:.9g} J but the "
+                    f"per-task ledger + idle floor sums to {total:.9g} J "
+                    f"(drift {metered - total:.3g} J)"
+                ),
+            )
+        )
+    return violations
+
+
+def validate_fleet_energy(fleet_report, rel_tol: float = 1e-6) -> list[Violation]:
+    """Check a :class:`repro.telemetry.power.FleetEnergyReport`.
+
+    Runs :func:`validate_energy_report` on every replica and the
+    interconnect (messages prefixed with the part's label), then checks
+    that the fleet totals are exactly the sums of their parts
+    (``fleet-energy-sum``).
+    """
+    violations: list[Violation] = []
+    parts = list(fleet_report.replicas)
+    if fleet_report.interconnect is not None:
+        parts.append(fleet_report.interconnect)
+    for part in parts:
+        for violation in validate_energy_report(part, rel_tol=rel_tol):
+            violations.append(
+                Violation(
+                    check=violation.check,
+                    message=f"[{part.label}] {violation.message}",
+                    task=violation.task,
+                    time=violation.time,
+                )
+            )
+    for field_name in ("dynamic_joules", "static_joules", "metered_joules"):
+        claimed = getattr(fleet_report, field_name)
+        summed = sum(getattr(part, field_name) for part in parts)
+        if abs(claimed - summed) > _tol(summed, rel_tol):
+            violations.append(
+                Violation(
+                    check="fleet-energy-sum",
+                    message=(
+                        f"fleet {field_name} {claimed:.9g} J != sum over "
+                        f"replicas+interconnect {summed:.9g} J"
                     ),
                 )
             )

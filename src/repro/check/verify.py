@@ -10,8 +10,11 @@ exercised against real schedules.  The fleet chaos scenarios
 (:mod:`repro.bench.fleet_chaos`) are replayed through
 :func:`~repro.check.schedule.validate_fleet_run` — crashed replicas
 served nothing, KV conservation across migration, router/replica
-accounting reconciliation.  Engines that legitimately cannot fit a
-configuration (OOM at plan time) are reported as skipped, not failed.
+accounting reconciliation.  Energy ledgers of the traced chaos scenarios
+are reconciled against the integrated power meter
+(:func:`~repro.check.schedule.validate_energy_report`).  Engines that
+legitimately cannot fit a configuration (OOM at plan time) are reported
+as skipped, not failed.
 """
 
 from __future__ import annotations
@@ -196,9 +199,109 @@ def _fleet_cases(quick: bool) -> list[dict]:
     return cases
 
 
+def _energy_cases(quick: bool) -> list[dict]:
+    """Reconcile energy ledgers against the integrated power meter.
+
+    Runs the two canonical traced scenarios — the single-server chaos
+    timeline and the fleet chaos crash — through the energy meter and
+    validates the ledger with
+    :func:`~repro.check.schedule.validate_energy_report` /
+    :func:`~repro.check.schedule.validate_fleet_energy` (sum of per-task
+    energies == integrated meter to 1e-6, DVFS windows included).
+    """
+    import numpy as np
+
+    from repro.bench.fault_tolerance import (
+        DEADLINE_S,
+        DTYPE,
+        KV_BUDGET_BYTES,
+        MACHINE,
+        MAX_BATCH,
+        MAX_QUEUE,
+        MAX_RETRIES,
+        MODEL,
+        RATE_RPS,
+        SEED,
+        default_fault_schedule,
+    )
+    from repro.bench.fleet_chaos import (
+        DEFAULT_SLO,
+        build_fleet,
+        default_fleet_monitor,
+        fleet_requests,
+    )
+    from repro.bench.runner import make_engine
+    from repro.check.schedule import validate_energy_report, validate_fleet_energy
+    from repro.serving.arrival import poisson_arrivals
+    from repro.serving.continuous import ContinuousServer
+    from repro.telemetry.fleet import FleetTracer
+    from repro.telemetry.power import fleet_energy, tracer_energy
+    from repro.telemetry.tracer import Tracer
+    from repro.workloads import CHATGPT_PROMPTS
+
+    suite = "quick" if quick else "full"
+    cases: list[dict] = []
+
+    engine = make_engine("powerinfer", MODEL, MACHINE, DTYPE)
+    faults = default_fault_schedule()
+    tracer = Tracer()
+    server = ContinuousServer(
+        engine,
+        policy="chunked",
+        max_batch=MAX_BATCH,
+        kv_budget_bytes=KV_BUDGET_BYTES,
+        faults=faults,
+        deadline=DEADLINE_S,
+        max_retries=MAX_RETRIES,
+        max_queue=MAX_QUEUE,
+        tracer=tracer,
+    )
+    report = server.run(
+        poisson_arrivals(
+            CHATGPT_PROMPTS,
+            rate=RATE_RPS,
+            n_requests=SERVING_N_REQUESTS[suite],
+            rng=np.random.default_rng(SEED),
+            deadline=DEADLINE_S,
+        )
+    )
+    energy = tracer_energy(tracer, engine.machine, faults=faults, horizon=report.makespan)
+    violations = validate_energy_report(energy)
+    cases.append(
+        {
+            "case": "energy/serving-chaos",
+            "status": "ok" if not violations else "fail",
+            "total_joules": energy.total_joules,
+            "metered_joules": energy.metered_joules,
+            "violations": [v.to_dict() for v in violations],
+        }
+    )
+
+    fleet_tracer = FleetTracer(monitor=default_fleet_monitor(), slo=DEFAULT_SLO)
+    router = build_fleet(tracer=fleet_tracer)
+    result = router.run(fleet_requests(SERVING_N_REQUESTS[suite]))
+    fenergy = fleet_energy(result, fleet_tracer)
+    violations = validate_fleet_energy(fenergy)
+    cases.append(
+        {
+            "case": "energy/fleet-chaos",
+            "status": "ok" if not violations else "fail",
+            "total_joules": fenergy.total_joules,
+            "metered_joules": fenergy.metered_joules,
+            "violations": [v.to_dict() for v in violations],
+        }
+    )
+    return cases
+
+
 def run_verification(quick: bool = False) -> dict:
     """Validate the bench suite; returns the verification document."""
-    cases = _iteration_cases(quick) + _serving_cases(quick) + _fleet_cases(quick)
+    cases = (
+        _iteration_cases(quick)
+        + _serving_cases(quick)
+        + _fleet_cases(quick)
+        + _energy_cases(quick)
+    )
     n_violations = sum(len(c["violations"]) for c in cases)
     n_skipped = sum(1 for c in cases if c["status"] == "skipped")
     return {

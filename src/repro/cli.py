@@ -20,10 +20,17 @@ Subcommands::
                                          optionally export trace/summary
                                          (--deep-trace/--alerts/--timeseries
                                          turn on fleet-wide observability)
-    repro explain-request 9 [--json out.json]
+    repro explain-request 9 [--format json] [--json out.json]
                                          replay the fleet scenario and
                                          reconstruct one request's causal
-                                         timeline across replicas
+                                         timeline across replicas, with
+                                         cumulative fleet joules per entry
+    repro energy    [--model opt-6.7b --machine pc-low] [--whatif]
+                                         J/token, watts, and gCO2 per
+                                         engine for one request shape;
+                                         --fleet meters the chaos fleet
+                                         scenario and reconciles the
+                                         ledger against the power meter
     repro trace     --model opt-6.7b --machine pc-low --out run.trace.json
                                          serve one traced stream and export a
                                          Chrome trace / JSONL / timeline PNG
@@ -230,45 +237,50 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--slo-ttft", type=float, default=6.0, dest="slo_ttft")
     chaos.add_argument("--slo-tbt", type=float, default=0.020, dest="slo_tbt")
 
+    def add_fleet_scenario_flags(p: argparse.ArgumentParser) -> None:
+        """Canonical fleet-chaos scenario knobs, shared by every subcommand
+        that replays it (``fleet``, ``explain-request``, ``energy --fleet``)."""
+        p.add_argument(
+            "--policy", default="round-robin", choices=sorted(ROUTER_POLICIES)
+        )
+        p.add_argument("--requests", type=int, default=48)
+        p.add_argument(
+            "--sessions",
+            type=int,
+            default=None,
+            help="tag conversation ids 0..N-1 onto the stream (session-affinity)",
+        )
+        p.add_argument(
+            "--no-chaos",
+            action="store_true",
+            dest="no_chaos",
+            help="skip the replica crash (fault-free reference fleet)",
+        )
+        p.add_argument(
+            "--no-failover",
+            action="store_true",
+            dest="no_failover",
+            help="blind-router ablation: keep dispatching to dead replicas",
+        )
+        p.add_argument(
+            "--disaggregate",
+            action="store_true",
+            help="prefill on the A100 replica, decode on the PCs, KV streamed over",
+        )
+        p.add_argument(
+            "--hedge", action="store_true", help="hedge deadline-critical dispatches"
+        )
+        p.add_argument(
+            "--brownout",
+            action="store_true",
+            help="shed low-priority arrivals while a replica is detected down",
+        )
+
     fleet = sub.add_parser(
         "fleet",
         help="run the canonical 3-replica fleet chaos scenario and validate it",
     )
-    fleet.add_argument(
-        "--policy", default="round-robin", choices=sorted(ROUTER_POLICIES)
-    )
-    fleet.add_argument("--requests", type=int, default=48)
-    fleet.add_argument(
-        "--sessions",
-        type=int,
-        default=None,
-        help="tag conversation ids 0..N-1 onto the stream (session-affinity)",
-    )
-    fleet.add_argument(
-        "--no-chaos",
-        action="store_true",
-        dest="no_chaos",
-        help="skip the replica crash (fault-free reference fleet)",
-    )
-    fleet.add_argument(
-        "--no-failover",
-        action="store_true",
-        dest="no_failover",
-        help="blind-router ablation: keep dispatching to dead replicas",
-    )
-    fleet.add_argument(
-        "--disaggregate",
-        action="store_true",
-        help="prefill on the A100 replica, decode on the PCs, KV streamed over",
-    )
-    fleet.add_argument(
-        "--hedge", action="store_true", help="hedge deadline-critical dispatches"
-    )
-    fleet.add_argument(
-        "--brownout",
-        action="store_true",
-        help="shed low-priority arrivals while a replica is detected down",
-    )
+    add_fleet_scenario_flags(fleet)
     fleet.add_argument(
         "--trace", default=None, help="write a Chrome trace of the fleet run"
     )
@@ -309,21 +321,60 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     explain.add_argument("request_id", type=int)
+    add_fleet_scenario_flags(explain)
     explain.add_argument(
-        "--policy", default="round-robin", choices=sorted(ROUTER_POLICIES)
+        "--format",
+        default="text",
+        choices=("text", "json"),
+        help="print the timeline as a log (text) or as the raw JSON document",
     )
-    explain.add_argument("--requests", type=int, default=48)
-    explain.add_argument("--sessions", type=int, default=None)
-    explain.add_argument("--no-chaos", action="store_true", dest="no_chaos")
-    explain.add_argument("--no-failover", action="store_true", dest="no_failover")
-    explain.add_argument("--disaggregate", action="store_true")
-    explain.add_argument("--hedge", action="store_true")
-    explain.add_argument("--brownout", action="store_true")
     explain.add_argument(
         "--json",
         default=None,
         dest="json_out",
         help="also write the timeline as JSON",
+    )
+
+    energy = sub.add_parser(
+        "energy",
+        help="J/token, average watts, and carbon accounting",
+    )
+    energy.add_argument("--model", default="opt-6.7b", choices=sorted(MODEL_PRESETS))
+    energy.add_argument("--machine", default="pc-low", choices=sorted(MACHINE_PRESETS))
+    energy.add_argument("--dtype", default="int4", choices=sorted(DTYPE_PRESETS))
+    energy.add_argument("--seed", type=int, default=0)
+    energy.add_argument("--input", type=int, default=64, dest="input_len")
+    energy.add_argument("--output", type=int, default=128, dest="output_len")
+    energy.add_argument("--batch", type=int, default=1)
+    energy.add_argument(
+        "--carbon-intensity",
+        type=float,
+        default=None,
+        dest="carbon_intensity",
+        help="grid carbon intensity in gCO2/kWh (default: 400, the global mean)",
+    )
+    energy.add_argument(
+        "--whatif",
+        action="store_true",
+        help="also print the perf-per-watt knob sensitivity of a decode iteration",
+    )
+    energy.add_argument(
+        "--fleet",
+        action="store_true",
+        dest="fleet_mode",
+        help="meter the canonical fleet chaos scenario instead of one request",
+    )
+    add_fleet_scenario_flags(energy)
+    energy.add_argument(
+        "--json",
+        default=None,
+        dest="json_out",
+        help="also write the energy report as JSON",
+    )
+    energy.add_argument(
+        "--timeseries",
+        default=None,
+        help="write the sampled watt lanes as JSONL (--fleet only)",
     )
 
     trace = sub.add_parser(
@@ -713,29 +764,23 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_fleet(args: argparse.Namespace) -> int:
-    import json
+def _deep_fleet_tracer():
+    """The deep-observability tracer every fleet-replay subcommand shares."""
+    from repro.bench.fleet_chaos import DEFAULT_SLO, default_fleet_monitor
+    from repro.telemetry import FleetTracer
 
-    from repro.bench.fleet_chaos import (
-        DEFAULT_SLO,
-        build_fleet,
-        default_fleet_monitor,
-        fleet_requests,
-    )
-    from repro.check.schedule import validate_fleet_run
-    from repro.telemetry import Tracer, save_chrome_trace
+    return FleetTracer(monitor=default_fleet_monitor(), slo=DEFAULT_SLO)
 
-    deep = (
-        args.deep_trace is not None
-        or args.alerts is not None
-        or args.timeseries is not None
-    )
-    if deep:
-        from repro.telemetry import FleetTracer, save_fleet_chrome_trace
 
-        tracer = FleetTracer(monitor=default_fleet_monitor(), slo=DEFAULT_SLO)
-    else:
-        tracer = Tracer() if args.trace is not None else None
+def _run_fleet_scenario(args: argparse.Namespace, tracer=None):  # repro-lint: disable=tracer-default -- CLI plumbing; callers pass their tracer explicitly
+    """One loader path for the canonical fleet scenario.
+
+    ``fleet``, ``explain-request``, and ``energy --fleet`` all replay the
+    same 3-replica chaos scenario; this is the single place its knobs
+    (``add_fleet_scenario_flags``) turn into a router run.
+    """
+    from repro.bench.fleet_chaos import build_fleet, fleet_requests
+
     router = build_fleet(
         router_policy=args.policy,
         chaos=not args.no_chaos,
@@ -745,8 +790,35 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         brownout=args.brownout,
         tracer=tracer,
     )
-    result = router.run(fleet_requests(args.requests, sessions=args.sessions))
+    return router.run(fleet_requests(args.requests, sessions=args.sessions))
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bench.fleet_chaos import DEFAULT_SLO
+    from repro.check.schedule import validate_fleet_run
+    from repro.telemetry import Tracer, save_chrome_trace
+
+    deep = (
+        args.deep_trace is not None
+        or args.alerts is not None
+        or args.timeseries is not None
+    )
+    if deep:
+        from repro.telemetry import save_fleet_chrome_trace
+
+        tracer = _deep_fleet_tracer()
+    else:
+        tracer = Tracer() if args.trace is not None else None
+    result = _run_fleet_scenario(args, tracer)
     violations = validate_fleet_run(result, tracer=tracer if deep else None)
+
+    fleet_joules = None
+    if deep:
+        from repro.telemetry.power import fleet_energy
+
+        fleet_joules = fleet_energy(result, tracer)
 
     report = result.report
     rows = [
@@ -760,6 +832,11 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         }
         for rep in result.replicas
     ]
+    if fleet_joules is not None:
+        for row in rows:
+            part = fleet_joules.replica(row["replica"])
+            row["joules"] = round(part.total_joules, 1)
+            row["avg_w"] = round(part.avg_watts, 1)
     print(
         format_table(
             rows,
@@ -786,6 +863,16 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         print(f"burn-rate alerts: {len(alerts)}")
         for alert in alerts:
             print(f"  {alert.format()}")
+    if fleet_joules is not None:
+        from repro.telemetry.power import fleet_generated_tokens
+
+        tokens = fleet_generated_tokens(result)
+        print(
+            f"energy: {fleet_joules.total_joules:.0f} J over "
+            f"{fleet_joules.horizon:.1f} s ({fleet_joules.avg_watts:.0f} W avg), "
+            f"{fleet_joules.j_per_token(tokens):.2f} J/token, "
+            f"{fleet_joules.grams_co2():.2f} gCO2"
+        )
 
     outputs = []
     if args.trace is not None:
@@ -826,30 +913,14 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
 def _cmd_explain_request(args: argparse.Namespace) -> int:
     import json
 
-    from repro.bench.fleet_chaos import (
-        DEFAULT_SLO,
-        build_fleet,
-        default_fleet_monitor,
-        fleet_requests,
-    )
-    from repro.telemetry import (
-        FleetTracer,
-        explain_request,
-        format_explanation,
-    )
+    from repro.telemetry import explain_request, format_explanation
+    from repro.telemetry.power import fleet_energy
 
-    tracer = FleetTracer(monitor=default_fleet_monitor(), slo=DEFAULT_SLO)
-    router = build_fleet(
-        router_policy=args.policy,
-        chaos=not args.no_chaos,
-        failover=not args.no_failover,
-        disaggregate=args.disaggregate,
-        hedge=args.hedge,
-        brownout=args.brownout,
-        tracer=tracer,
+    tracer = _deep_fleet_tracer()
+    result = _run_fleet_scenario(args, tracer)
+    explanation = explain_request(
+        tracer, result, args.request_id, energy=fleet_energy(result, tracer)
     )
-    result = router.run(fleet_requests(args.requests, sessions=args.sessions))
-    explanation = explain_request(tracer, result, args.request_id)
     if not explanation["timeline"]:
         print(
             f"error: request {args.request_id} not found in this scenario "
@@ -857,10 +928,153 @@ def _cmd_explain_request(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
-    print(format_explanation(explanation))
+    if args.format == "json":
+        print(json.dumps(explanation, indent=2))
+    else:
+        print(format_explanation(explanation))
     if args.json_out is not None:
         with open(args.json_out, "w", encoding="utf-8") as fh:
             json.dump(explanation, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json_out}")
+    return 0
+
+
+def _cmd_energy(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.telemetry.power import (
+        DEFAULT_CARBON_INTENSITY,
+        PowerModel,
+        fleet_energy,
+        fleet_generated_tokens,
+        request_energy,
+    )
+
+    model = (
+        PowerModel(carbon_intensity=args.carbon_intensity)
+        if args.carbon_intensity is not None
+        else None
+    )
+    intensity = (
+        args.carbon_intensity
+        if args.carbon_intensity is not None
+        else DEFAULT_CARBON_INTENSITY
+    )
+
+    if args.fleet_mode:
+        from repro.check.schedule import validate_fleet_energy
+
+        tracer = _deep_fleet_tracer()
+        result = _run_fleet_scenario(args, tracer)
+        fenergy = fleet_energy(result, tracer, model=model)
+        violations = validate_fleet_energy(fenergy)
+        parts = list(fenergy.replicas)
+        if fenergy.interconnect is not None:
+            parts.append(fenergy.interconnect)
+        rows = [
+            {
+                "part": part.label,
+                "dynamic_j": round(part.dynamic_joules, 1),
+                "static_j": round(part.static_joules, 1),
+                "total_j": round(part.total_joules, 1),
+                "avg_w": round(part.avg_watts, 1),
+                "gco2": round(part.grams_co2(), 3),
+            }
+            for part in parts
+        ]
+        print(
+            format_table(
+                rows,
+                f"fleet energy [{args.policy}] — {args.requests} requests, "
+                f"{'chaos' if not args.no_chaos else 'no faults'}, "
+                f"carbon intensity {intensity:.0f} gCO2/kWh",
+            )
+        )
+        tokens = fleet_generated_tokens(result)
+        drift = abs(
+            fenergy.metered_joules - (fenergy.dynamic_joules + fenergy.static_joules)
+        )
+        print(
+            f"fleet total: {fenergy.total_joules:.0f} J over "
+            f"{fenergy.horizon:.1f} s ({fenergy.avg_watts:.0f} W avg), "
+            f"{fenergy.j_per_token(tokens):.2f} J/token "
+            f"({tokens} tokens), {fenergy.grams_co2():.2f} gCO2"
+        )
+        verdict = "OK" if not violations else f"{len(violations)} violation(s)"
+        print(
+            f"ledger vs meter: drift {drift:.2e} J — reconciliation {verdict}"
+        )
+        for v in violations:
+            print(f"  - {v.check}: {v.message}")
+        outputs = []
+        if args.timeseries is not None:
+            tracer.timeseries.save_jsonl(args.timeseries)
+            outputs.append(args.timeseries)
+        if args.json_out is not None:
+            document = fenergy.to_dict()
+            document["j_per_token"] = fenergy.j_per_token(tokens)
+            document["generated_tokens"] = tokens
+            document["reconciliation_ok"] = not violations
+            with open(args.json_out, "w", encoding="utf-8") as fh:
+                json.dump(document, fh, indent=2)
+                fh.write("\n")
+            outputs.append(args.json_out)
+        if outputs:
+            print("wrote " + ", ".join(outputs))
+        return 0 if not violations else 1
+
+    rows = []
+    reports: dict[str, dict] = {}
+    for name in ENGINE_CLASSES:
+        try:
+            engine = make_engine(
+                name, args.model, args.machine, args.dtype, seed=args.seed
+            )
+        except OutOfMemoryError as exc:
+            rows.append({"engine": name, "note": str(exc)[:60]})
+            continue
+        e = request_energy(
+            engine, args.input_len, args.output_len, args.batch, model=model
+        )
+        rows.append(
+            {
+                "engine": name,
+                "j_per_token": e.j_per_token,
+                "total_j": e.total_joules,
+                "avg_w": e.avg_watts,
+                "gco2_per_req": e.grams_co2(),
+            }
+        )
+        reports[name] = e.to_dict()
+    rows.sort(key=lambda r: r.get("j_per_token", float("inf")))
+    print(
+        format_table(
+            rows,
+            f"{args.model} on {args.machine} ({args.dtype}) — "
+            f"{args.input_len}+{args.output_len} tokens, batch {args.batch}, "
+            f"carbon intensity {intensity:.0f} gCO2/kWh",
+        )
+    )
+    if args.whatif:
+        from repro.analysis import whatif_power_sensitivity
+
+        engine = make_engine(
+            "powerinfer", args.model, args.machine, args.dtype, seed=args.seed
+        )
+        ctx = args.input_len + args.output_len // 2
+        tasks = engine.iteration_tasks(ctx, 1, args.batch)
+        wrows = [r.as_row() for r in whatif_power_sensitivity(tasks, engine.machine)]
+        print()
+        print(
+            format_table(
+                wrows,
+                f"perf-per-watt what-if (powerinfer decode at ctx={ctx})",
+            )
+        )
+    if args.json_out is not None:
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            json.dump(reports, fh, indent=2)
             fh.write("\n")
         print(f"wrote {args.json_out}")
     return 0
@@ -1102,6 +1316,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_fleet(args)
         if args.command == "explain-request":
             return _cmd_explain_request(args)
+        if args.command == "energy":
+            return _cmd_energy(args)
         if args.command == "trace":
             return _cmd_trace(args)
         if args.command == "bounds":

@@ -56,6 +56,15 @@ class DeviceSpec:
             launch on GPU, thread-pool wakeup on CPU), seconds.
         memory_efficiency: Achievable fraction of peak bandwidth for
             streaming GEMV-style access (0 < x <= 1).
+        idle_watts: Board/package power when no task is running.
+        busy_watts: Sustained power under a memory-bound streaming
+            workload (bandwidth saturated, ALUs mostly waiting).
+        peak_watts: Power limit hit by compute-bound dense work (the
+            datasheet TDP/TGP).
+
+    The three watt figures feed :mod:`repro.telemetry.power` only; they
+    are never read by the cost model, so two specs differing solely in
+    power produce bit-identical schedules.
     """
 
     name: str
@@ -65,6 +74,9 @@ class DeviceSpec:
     compute_flops: float
     launch_overhead: float = 0.0
     memory_efficiency: float = 1.0
+    idle_watts: float = 15.0
+    busy_watts: float = 120.0
+    peak_watts: float = 150.0
 
     def __post_init__(self) -> None:
         if self.kind not in DeviceKind.ALL:
@@ -79,6 +91,12 @@ class DeviceSpec:
             raise ValueError("memory_efficiency must be in (0, 1]")
         if self.launch_overhead < 0:
             raise ValueError("launch_overhead must be non-negative")
+        if not 0.0 <= self.idle_watts <= self.busy_watts <= self.peak_watts:
+            raise ValueError(
+                "power envelope must satisfy 0 <= idle_watts <= busy_watts "
+                f"<= peak_watts (got {self.idle_watts}/{self.busy_watts}"
+                f"/{self.peak_watts})"
+            )
 
     @property
     def effective_bandwidth(self) -> float:
@@ -102,6 +120,10 @@ class LinkSpec:
         um_efficiency: Achievable fraction of peak under CUDA Unified
             Memory page-fault-driven access (far lower than DMA — the
             penalty behind the DejaVu-UM baseline of paper Figure 4).
+        idle_watts: PHY/switch power with no transfer in flight.
+        busy_watts: Power while a DMA stream saturates the link.  Like
+            the device watt fields, read only by the energy meter —
+            never by the cost model.
     """
 
     name: str
@@ -109,6 +131,8 @@ class LinkSpec:
     latency: float
     efficiency: float = 0.8
     um_efficiency: float = 0.15
+    idle_watts: float = 2.0
+    busy_watts: float = 8.0
 
     def __post_init__(self) -> None:
         if self.bandwidth <= 0:
@@ -119,6 +143,11 @@ class LinkSpec:
             raise ValueError("efficiency must be in (0, 1]")
         if not 0.0 < self.um_efficiency <= 1.0:
             raise ValueError("um_efficiency must be in (0, 1]")
+        if not 0.0 <= self.idle_watts <= self.busy_watts:
+            raise ValueError(
+                "power envelope must satisfy 0 <= idle_watts <= busy_watts "
+                f"(got {self.idle_watts}/{self.busy_watts})"
+            )
 
     @property
     def effective_bandwidth(self) -> float:
@@ -178,6 +207,8 @@ def _cpu_avx2_flops(cores: int, ghz: float) -> float:
 
 # PC-High (paper Section 8.1): i9-13900K (8 P-cores @ 5.4 GHz, 67.2 GB/s
 # DRAM, 192 GB) + RTX 4090 (24 GB, 1 TB/s, PCIe 4.0 x16 = 64 GB/s).
+# Watt figures are datasheet numbers: 4090 TGP 450 W (memory-bound GEMV
+# draws ~350 W), 13900K PL1/PL2 125/253 W.
 PC_HIGH = MachineSpec(
     name="pc-high",
     gpu=DeviceSpec(
@@ -188,6 +219,9 @@ PC_HIGH = MachineSpec(
         compute_flops=82.6e12,
         launch_overhead=8e-6,
         memory_efficiency=0.8,
+        idle_watts=22.0,
+        busy_watts=350.0,
+        peak_watts=450.0,
     ),
     cpu=DeviceSpec(
         name="i9-13900k",
@@ -197,13 +231,23 @@ PC_HIGH = MachineSpec(
         compute_flops=_cpu_avx2_flops(cores=8, ghz=5.4),
         launch_overhead=2e-6,
         memory_efficiency=0.85,
+        idle_watts=15.0,
+        busy_watts=160.0,
+        peak_watts=253.0,
     ),
-    link=LinkSpec(name="pcie4-x16", bandwidth=64 * GB, latency=10e-6),
+    link=LinkSpec(
+        name="pcie4-x16",
+        bandwidth=64 * GB,
+        latency=10e-6,
+        idle_watts=3.0,
+        busy_watts=12.0,
+    ),
     sync_overhead=25e-6,
 )
 
 # PC-Low (paper Section 8.1): i7-12700K (8 P-cores @ 4.9 GHz, 38.4 GB/s
 # DRAM, 64 GB) + RTX 2080Ti (11 GB, 616 GB/s, PCIe 3.0 x16 = 32 GB/s).
+# Watts: 2080Ti TGP 250 W, 12700K PL1/PL2 125/190 W.
 PC_LOW = MachineSpec(
     name="pc-low",
     gpu=DeviceSpec(
@@ -214,6 +258,9 @@ PC_LOW = MachineSpec(
         compute_flops=26.9e12,
         launch_overhead=8e-6,
         memory_efficiency=0.8,
+        idle_watts=16.0,
+        busy_watts=190.0,
+        peak_watts=250.0,
     ),
     cpu=DeviceSpec(
         name="i7-12700k",
@@ -223,13 +270,23 @@ PC_LOW = MachineSpec(
         compute_flops=_cpu_avx2_flops(cores=8, ghz=4.9),
         launch_overhead=2e-6,
         memory_efficiency=0.85,
+        idle_watts=12.0,
+        busy_watts=125.0,
+        peak_watts=190.0,
     ),
-    link=LinkSpec(name="pcie3-x16", bandwidth=32 * GB, latency=12e-6),
+    link=LinkSpec(
+        name="pcie3-x16",
+        bandwidth=32 * GB,
+        latency=12e-6,
+        idle_watts=2.0,
+        busy_watts=8.0,
+    ),
     sync_overhead=35e-6,
 )
 
 # Server with a single 80 GB A100 (Section 8.3.4).  The host CPU barely
 # matters for vLLM-style full-GPU inference but is modelled for completeness.
+# Watts: A100 SXM TDP 400 W, EPYC 7742 TDP 225 W.
 A100_SERVER = MachineSpec(
     name="a100-server",
     gpu=DeviceSpec(
@@ -240,6 +297,9 @@ A100_SERVER = MachineSpec(
         compute_flops=312e12,
         launch_overhead=8e-6,
         memory_efficiency=0.8,
+        idle_watts=50.0,
+        busy_watts=310.0,
+        peak_watts=400.0,
     ),
     cpu=DeviceSpec(
         name="epyc-7742",
@@ -249,8 +309,17 @@ A100_SERVER = MachineSpec(
         compute_flops=_cpu_avx2_flops(cores=32, ghz=2.25),
         launch_overhead=2e-6,
         memory_efficiency=0.85,
+        idle_watts=65.0,
+        busy_watts=180.0,
+        peak_watts=225.0,
     ),
-    link=LinkSpec(name="pcie4-x16", bandwidth=64 * GB, latency=10e-6),
+    link=LinkSpec(
+        name="pcie4-x16",
+        bandwidth=64 * GB,
+        latency=10e-6,
+        idle_watts=3.0,
+        busy_watts=12.0,
+    ),
     sync_overhead=25e-6,
 )
 

@@ -22,13 +22,19 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from repro.hardware.events import ScheduleResult
     from repro.hardware.faults import FaultSchedule
+    from repro.hardware.spec import LinkSpec, MachineSpec
 
 __all__ = ["ReplicaSummary", "FleetResult"]
 
 
 @dataclass
 class ReplicaSummary:
-    """One replica's run evidence, as the fleet validator needs it."""
+    """One replica's run evidence, as the fleet validator needs it.
+
+    ``machine_spec`` is the replica's full :class:`MachineSpec` (the
+    energy meter prices spans against its power envelope; ``machine``
+    keeps the name for JSON summaries).
+    """
 
     name: str
     machine: str
@@ -39,6 +45,7 @@ class ReplicaSummary:
     machine_faults: "FaultSchedule | None"
     crash_windows: tuple[tuple[float, float], ...]
     detected_windows: tuple[tuple[float, float], ...]
+    machine_spec: "MachineSpec | None" = None
 
 
 @dataclass
@@ -65,6 +72,9 @@ class FleetResult:
             exempts them).
         horizon: End of the fleet timeline (max of replica clocks and
             processed event times).
+        interconnect: The :class:`LinkSpec` KV transfers crossed — the
+            energy meter prices the transfer schedule against its power
+            envelope.
     """
 
     report: ContinuousReport
@@ -73,6 +83,7 @@ class FleetResult:
     counters: dict[str, int] = field(default_factory=dict)
     hedged_ids: frozenset[int] = frozenset()
     horizon: float = 0.0
+    interconnect: "LinkSpec | None" = None
 
     @property
     def availability(self) -> float:

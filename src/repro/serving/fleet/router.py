@@ -933,6 +933,7 @@ class FleetRouter:
                     machine_faults=rep.machine_faults,
                     crash_windows=rep.crash_windows(),
                     detected_windows=tuple(self._detected[i]),
+                    machine_spec=rep.engine.machine,
                 )
             )
         freport.completed = sorted(self._completed, key=lambda m: m.request.request_id)
@@ -954,11 +955,20 @@ class FleetRouter:
                     self.tracer.add_region(
                         f"replica:{rep.name}", "down", td, min(tu, horizon)
                     )
-        return FleetResult(
+        result = FleetResult(
             report=freport,
             replicas=summaries,
             transfers=transfers,
             counters=dict(self.counters),
             hedged_ids=frozenset(self._hedged_ids),
             horizon=horizon,
+            interconnect=self.config.interconnect,
         )
+        if self._ft is not None:
+            # Post-hoc watt lanes on the tick grid: metering reads the
+            # completed trace, so it can't race in-flight span recording
+            # and provably changes nothing about the result.
+            from repro.telemetry.power import sample_fleet_power
+
+            sample_fleet_power(self._ft, result)
+        return result

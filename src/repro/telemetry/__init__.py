@@ -15,6 +15,14 @@ one simulated clock, a :class:`TimeSeriesBank` of ring-buffered series
 sampled on fleet ticks, and an :class:`SLOMonitor` firing multi-window
 burn-rate :class:`Alert`\\ s — with :func:`explain_request` reconstructing
 any single request's cross-replica causal timeline.
+
+Energy metering (:mod:`repro.telemetry.power`, see docs/energy.md) turns
+the same realized schedules into watts, joules, and grams of CO2: linear
+idle/busy/peak device power models with throttle-aware DVFS scaling,
+per-task energy ledgers reconciled against an integrated
+:class:`PowerMeter`, request-level J/token, and fleet-wide watt lanes
+sampled into the time-series bank — all post-hoc, never touching the
+simulation.
 """
 
 from repro.telemetry.exporters import (
@@ -34,6 +42,21 @@ from repro.telemetry.fleet import (
     record_fleet_fault_schedule,
 )
 from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.telemetry.power import (
+    EnergyReport,
+    FleetEnergyReport,
+    PowerMeter,
+    PowerModel,
+    RequestEnergy,
+    TaskEnergy,
+    fleet_energy,
+    grams_co2,
+    record_power_counters,
+    request_energy,
+    sample_fleet_power,
+    schedule_energy,
+    tracer_energy,
+)
 from repro.telemetry.slo import Alert, BurnRateRule, SLOMonitor, SLOObjective
 from repro.telemetry.timeline import MissingDependencyError, plot_timeline
 from repro.telemetry.timeseries import Series, TimeSeriesBank
@@ -55,6 +78,8 @@ __all__ = [
     "BurnRateRule",
     "Counter",
     "CounterSample",
+    "EnergyReport",
+    "FleetEnergyReport",
     "FleetTracer",
     "Gauge",
     "Histogram",
@@ -62,24 +87,35 @@ __all__ = [
     "MetricsRegistry",
     "MissingDependencyError",
     "NullTracer",
+    "PowerMeter",
+    "PowerModel",
     "Region",
+    "RequestEnergy",
     "RequestEvent",
     "RequestPhase",
     "RequestSpan",
     "SLOMonitor",
     "SLOObjective",
     "Series",
+    "TaskEnergy",
     "TaskSpan",
     "TimeSeriesBank",
     "TraceContext",
     "TraceHop",
     "Tracer",
     "explain_request",
+    "fleet_energy",
     "format_explanation",
+    "grams_co2",
     "plot_timeline",
     "record_fault_schedule",
     "record_fleet_fault_schedule",
+    "record_power_counters",
+    "request_energy",
+    "sample_fleet_power",
     "save_chrome_trace",
+    "schedule_energy",
+    "tracer_energy",
     "save_fleet_chrome_trace",
     "save_jsonl",
     "to_chrome_trace",

@@ -205,13 +205,34 @@ def to_chrome_trace_fleet(tracer: "FleetTracer") -> list[dict]:
     events = _trace_events(
         tracer.router, DEVICE_PID, SERVER_PID, REQUEST_PID, prefix="router/"
     )
+    replica_pids: dict[str, int] = {}
     for i, name in enumerate(tracer.replica_names):
         base = 3 + 3 * i
+        replica_pids[name] = base
         events.extend(
             _trace_events(
                 tracer.replica(name), base, base + 1, base + 2, prefix=f"{name}/"
             )
         )
+    # Watt lanes sampled into the fleet time-series bank render as counter
+    # tracks: a replica's `{name}/..._watts` series lands on that replica's
+    # device pid, fleet-wide lanes (`fleet/watts`, interconnect) on the
+    # router's.
+    for series_name in tracer.timeseries.names():
+        if "watts" not in series_name.rsplit("/", 1)[-1]:
+            continue
+        replica = series_name.split("/", 1)[0]
+        pid = replica_pids.get(replica, DEVICE_PID)
+        for t, value in tracer.timeseries.series(series_name).samples():
+            events.append(
+                {
+                    "name": series_name,
+                    "ph": "C",
+                    "pid": pid,
+                    "ts": t * _US,
+                    "args": {"value": value},
+                }
+            )
     return events
 
 

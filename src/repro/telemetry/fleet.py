@@ -250,7 +250,9 @@ def _disposition_of(result, request_id: int) -> tuple[str, object | None]:
     return "unknown", None
 
 
-def explain_request(tracer: FleetTracer, result, request_id: int) -> dict:
+def explain_request(
+    tracer: FleetTracer, result, request_id: int, energy=None
+) -> dict:
     """Reconstruct one request's causal timeline across the fleet.
 
     Merges the router's and every replica's events for ``request_id``
@@ -259,6 +261,13 @@ def explain_request(tracer: FleetTracer, result, request_id: int) -> dict:
     time-ordered entry list plus a disposition summary.  ``result`` is
     the run's :class:`~repro.serving.fleet.report.FleetResult` (the
     ground truth the summary quotes).
+
+    ``energy`` optionally takes the run's
+    :class:`~repro.telemetry.power.FleetEnergyReport`; each timeline
+    entry then carries ``fleet_joules`` — cumulative fleet energy at
+    that instant from the merged power meter — and the summary gains an
+    ``energy`` block (fleet joules burned while the request was in
+    flight).  Omitted by default so existing transcripts are unchanged.
     """
     entries: list[dict] = []
     for hop in tracer.hops_of(request_id):
@@ -323,6 +332,21 @@ def explain_request(tracer: FleetTracer, result, request_id: int) -> dict:
             e["time"] <= a.time <= entries[-1]["time"] for e in entries[:1]
         )
     ] if entries else []
+    if energy is not None and entries:
+        meter = energy.meter()
+        for entry in entries:
+            entry["fleet_joules"] = meter.cumulative_joules(entry["time"])
+        t_first, t_last = entries[0]["time"], entries[-1]["time"]
+        summary["energy"] = {
+            "fleet_joules_in_flight": meter.energy_between(t_first, t_last),
+            "fleet_avg_watts_in_flight": (
+                meter.energy_between(t_first, t_last) / (t_last - t_first)
+                if t_last > t_first
+                else meter.power_at(t_first)
+            ),
+            "fleet_total_joules": energy.total_joules,
+            "grams_co2": energy.grams_co2(),
+        }
     return {"summary": summary, "timeline": entries, "alerts_during": alerts}
 
 
@@ -343,6 +367,20 @@ def format_explanation(explanation: dict) -> str:
             f"  ttft {summary['ttft_s']:.3f}s, latency {summary['latency_s']:.3f}s, "
             f"{summary['n_tokens']} tokens"
         )
+    if "energy" in summary:
+        energy = summary["energy"]
+        lines.append(
+            f"  fleet energy in flight {energy['fleet_joules_in_flight']:.1f} J "
+            f"({energy['fleet_avg_watts_in_flight']:.0f} W avg); "
+            f"run total {energy['fleet_total_joules']:.0f} J, "
+            f"{energy['grams_co2']:.2f} gCO2"
+        )
+
+    def joules_col(entry: dict) -> str:
+        if "fleet_joules" not in entry:
+            return ""
+        return f"  [{entry['fleet_joules']:8.1f} J]"
+
     run: list[dict] = []
 
     def flush() -> None:
@@ -353,11 +391,13 @@ def format_explanation(explanation: dict) -> str:
         if len(run) == 1:
             lines.append(
                 f"  {first['time']:9.4f}s  {first['source']:<16} token{hop}"
+                f"{joules_col(first)}"
             )
         else:
             lines.append(
                 f"  {first['time']:9.4f}s  {first['source']:<16} "
                 f"tokens x{len(run)}{hop} (through {last['time']:.4f}s)"
+                f"{joules_col(last)}"
             )
         run.clear()
 
@@ -372,7 +412,7 @@ def format_explanation(explanation: dict) -> str:
         detail = f" {entry['detail']}" if entry["detail"] else ""
         lines.append(
             f"  {entry['time']:9.4f}s  {entry['source']:<16} "
-            f"{entry['kind']}{hop}{detail}"
+            f"{entry['kind']}{hop}{detail}{joules_col(entry)}"
         )
     flush()
     for alert in explanation.get("alerts_during", ()):

@@ -6,6 +6,7 @@ from repro.analysis.whatif import (
     STANDARD_KNOBS,
     cross_validate,
     reprice_tasks,
+    whatif_power_sensitivity,
     whatif_sensitivity,
 )
 from repro.engine.base import RESOURCES
@@ -97,6 +98,36 @@ class TestSensitivity:
             assert by_knob[knob].predicted_speedup >= 1.0 - 1e-12
         # Halving CPU throughput can never speed it up.
         assert by_knob["cpu_cores_half"].predicted_speedup <= 1.0 + 1e-12
+
+
+class TestPowerSensitivity:
+    def test_sorted_by_perf_per_watt(self, engine):
+        tasks = engine.iteration_tasks(64, 1, 1)
+        results = whatif_power_sensitivity(tasks, engine.machine)
+        assert set(r.knob for r in results) == set(STANDARD_KNOBS)
+        gains = [r.perf_per_watt_gain for r in results]
+        assert gains == sorted(gains, reverse=True)
+
+    def test_fixed_work_gain_is_energy_ratio(self, engine):
+        # Work is fixed across knobs, so perf/W gain must equal E_base/E_pred
+        # and a knob that changes nothing must land exactly at 1.0 on both.
+        tasks = engine.iteration_tasks(64, 1, 1)
+        results = whatif_power_sensitivity(
+            tasks, engine.machine, knobs={"identity": lambda m: m}
+        )
+        (row,) = results
+        assert row.predicted_speedup == pytest.approx(1.0, rel=1e-12)
+        assert row.perf_per_watt_gain == pytest.approx(1.0, rel=1e-12)
+        assert row.baseline_joules == pytest.approx(row.predicted_joules)
+
+    def test_rows_carry_watts(self, engine):
+        tasks = engine.iteration_tasks(64, 1, 1)
+        for r in whatif_power_sensitivity(tasks, engine.machine):
+            row = r.as_row()
+            assert row["baseline_w"] > 0.0 and row["predicted_w"] > 0.0
+            assert row["perf_per_watt_gain"] == pytest.approx(
+                row["baseline_j"] / row["predicted_j"]
+            )
 
 
 def test_cross_validation_within_acceptance(engine):

@@ -37,9 +37,17 @@ class TestBaselineDocument:
                 assert set(record) == {"value", "higher_is_better", "tolerance"}
                 assert record["tolerance"] >= 0.5
                 assert record["higher_is_better"] is True
+            elif name.endswith("/j_per_token") or name == "fleet/j_per_token":
+                # Energy metrics pin their intended band explicitly.
+                assert set(record) == {"value", "higher_is_better", "tolerance"}
+                assert record["higher_is_better"] is False
+                assert record["value"] > 0.0
             else:
                 assert set(record) == {"value", "higher_is_better"}
         assert "simperf/serving_iterations_per_s" in metrics
+        assert any(
+            k.startswith("energy/") and k.endswith("/j_per_token") for k in metrics
+        )
         assert doc["attribution"], "e2e configs must carry fingerprints"
         for fp in doc["attribution"].values():
             assert set(fp) == {"shares", "critical_resource", "makespan_s"}

@@ -1,0 +1,176 @@
+"""Energy-ledger validation: clean runs pass, doctored figures are named."""
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.check.schedule import validate_energy_report, validate_fleet_energy
+from repro.hardware.events import EventSimulator, SimTask
+from repro.hardware.faults import FaultEvent, FaultKind, FaultSchedule
+from repro.hardware.spec import MACHINE_PRESETS
+from repro.telemetry.power import schedule_energy
+
+MACHINE = MACHINE_PRESETS["pc-low"]
+
+
+def clean_report(faults=None):
+    tasks = [
+        SimTask(name="load", resource="pcie", duration=0.4),
+        SimTask(name="gpu-a", resource="gpu", duration=1.0, deps=("load",)),
+        SimTask(name="cpu-a", resource="cpu", duration=0.8, deps=("load",)),
+        SimTask(name="gpu-b", resource="gpu", duration=0.5, deps=("gpu-a",)),
+    ]
+    result = EventSimulator(["gpu", "cpu", "pcie"]).run(tasks)
+    return schedule_energy(result, MACHINE, faults=faults)
+
+
+def doctor_entry(report, name, **changes):
+    """Replace one ledger entry and rebuild the (frozen) report around it."""
+    tasks = tuple(
+        dataclasses.replace(e, **changes) if e.name == name else e
+        for e in report.tasks
+    )
+    return dataclasses.replace(report, tasks=tasks)
+
+
+def checks_of(violations):
+    return {v.check for v in violations}
+
+
+class TestCleanLedgers:
+    def test_clean_report_passes(self):
+        assert validate_energy_report(clean_report()) == []
+
+    def test_clean_dvfs_window_passes(self):
+        # A throttle window covering part of the schedule: the ledger
+        # prices the slowed tasks at scaled watts and the meter integrates
+        # the same curve, so the 1e-6 reconciliation must still hold.
+        faults = FaultSchedule(
+            [FaultEvent(FaultKind.GPU_THROTTLE, start=0.5, duration=2.0, magnitude=2.0)]
+        )
+        report = clean_report(faults=faults)
+        assert validate_energy_report(report) == []
+        # The window genuinely changed the pricing (guards a vacuous pass).
+        assert report.dynamic_joules < clean_report().dynamic_joules
+
+
+class TestDoctoredLedgers:
+    def test_doctored_task_joules_names_task_and_values(self):
+        report = clean_report()
+        entry = next(e for e in report.tasks if e.name == "gpu-a")
+        doctored = doctor_entry(report, "gpu-a", joules=entry.joules * 2.0)
+        violations = validate_energy_report(doctored)
+        product = [v for v in violations if v.check == "energy-task-product"]
+        assert len(product) == 1
+        assert product[0].task == "gpu-a"
+        assert f"{entry.joules * 2.0:.9g}" in product[0].message
+        assert f"{entry.watts * (entry.end - entry.start):.9g}" in product[0].message
+
+    def test_undone_dvfs_scaling_is_caught(self):
+        # Doctor a throttled entry back to its unthrottled draw (watts and
+        # joules kept self-consistent, so the per-task product check stays
+        # silent) — the ledger/meter cross-checks must still flag it.
+        faults = FaultSchedule(
+            [FaultEvent(FaultKind.GPU_THROTTLE, start=0.0, duration=9.0, magnitude=2.0)]
+        )
+        report = clean_report(faults=faults)
+        entry = next(e for e in report.tasks if e.name == "gpu-a")
+        unthrottled = entry.watts * 2.0**3
+        doctored = doctor_entry(
+            report,
+            "gpu-a",
+            watts=unthrottled,
+            joules=unthrottled * (entry.end - entry.start),
+        )
+        checks = checks_of(validate_energy_report(doctored))
+        assert "energy-task-product" not in checks
+        assert "energy-ledger-sum" in checks
+        assert "energy-meter-drift" in checks
+
+    def test_doctored_dynamic_total(self):
+        report = clean_report()
+        doctored = dataclasses.replace(
+            report, dynamic_joules=report.dynamic_joules + 1.0
+        )
+        violations = validate_energy_report(doctored)
+        assert checks_of(violations) == {"energy-ledger-sum"}
+        msg = violations[0].message
+        assert f"{doctored.dynamic_joules:.9g}" in msg
+        assert f"{report.dynamic_joules:.9g}" in msg
+
+    def test_doctored_static_total(self):
+        report = clean_report()
+        doctored = dataclasses.replace(report, static_joules=report.static_joules * 0.5)
+        assert checks_of(validate_energy_report(doctored)) == {"energy-static"}
+
+    def test_doctored_meter_reading(self):
+        report = clean_report()
+        doctored = dataclasses.replace(
+            report, metered_joules=report.metered_joules + 0.1
+        )
+        violations = validate_energy_report(doctored)
+        assert checks_of(violations) == {"energy-meter-drift"}
+        assert "independent sweep" in violations[0].message
+
+    def test_negative_and_nonfinite_entries(self):
+        report = clean_report()
+        entry = next(e for e in report.tasks if e.name == "gpu-a")
+        negative = doctor_entry(report, "gpu-a", watts=-5.0, joules=-5.0 * (entry.end - entry.start))
+        assert "energy-task-negative" in checks_of(validate_energy_report(negative))
+        nonfinite = doctor_entry(report, "gpu-a", joules=math.nan)
+        violations = validate_energy_report(nonfinite)
+        assert "energy-task-nonfinite" in checks_of(violations)
+        assert any(v.task == "gpu-a" for v in violations)
+
+    def test_entry_outside_horizon(self):
+        report = clean_report()
+        entry = next(e for e in report.tasks if e.name == "gpu-b")
+        doctored = doctor_entry(
+            report,
+            "gpu-b",
+            start=report.horizon + 1.0,
+            end=report.horizon + 1.0 + (entry.end - entry.start),
+        )
+        assert "energy-horizon" in checks_of(validate_energy_report(doctored))
+
+    def test_tolerance_is_tight(self):
+        # Drift just above 1e-6 relative must trip; float noise must not.
+        report = clean_report()
+        noisy = dataclasses.replace(
+            report, metered_joules=report.metered_joules * (1.0 + 1e-9)
+        )
+        assert validate_energy_report(noisy) == []
+        drifted = dataclasses.replace(
+            report, metered_joules=report.metered_joules * (1.0 + 1e-5)
+        )
+        assert "energy-meter-drift" in checks_of(validate_energy_report(drifted))
+
+
+class TestDoctoredFleetLedgers:
+    def test_part_violations_carry_label_prefix(self):
+        from repro.bench.fleet_chaos import (
+            DEFAULT_SLO,
+            build_fleet,
+            default_fleet_monitor,
+            fleet_requests,
+        )
+        from repro.telemetry.fleet import FleetTracer
+        from repro.telemetry.power import fleet_energy
+
+        tracer = FleetTracer(monitor=default_fleet_monitor(), slo=DEFAULT_SLO)
+        result = build_fleet(tracer=tracer).run(fleet_requests(8))
+        energy = fleet_energy(result, tracer)
+        assert validate_fleet_energy(energy) == []
+
+        victim = energy.replicas[0]
+        doctored_part = dataclasses.replace(
+            victim, dynamic_joules=victim.dynamic_joules + 1.0
+        )
+        doctored = dataclasses.replace(
+            energy, replicas=(doctored_part,) + energy.replicas[1:]
+        )
+        violations = validate_fleet_energy(doctored)
+        assert violations, "doctored replica ledger must be flagged"
+        assert all(v.message.startswith(f"[{victim.label}]") for v in violations)
+        assert "energy-ledger-sum" in checks_of(violations)
