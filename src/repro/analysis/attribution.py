@@ -33,6 +33,7 @@ from typing import TYPE_CHECKING, Iterable, Mapping
 
 from repro.hardware.costmodel import COST_COMPONENTS
 from repro.hardware.events import EventSimulator, ScheduleResult, SimTask, TaskResult
+from repro.units import Ratio, Seconds
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from repro.engine.base import PerfEngine
@@ -64,7 +65,7 @@ def layer_of(task_name: str) -> str:
     return "other"
 
 
-def _zero_components() -> dict[str, float]:
+def _zero_components() -> dict[str, Seconds]:
     return {c: 0.0 for c in COST_COMPONENTS}
 
 
@@ -79,13 +80,13 @@ class TimeDecomposition:
     built by the in-tree engines.
     """
 
-    by_device: dict[str, dict[str, float]] = field(default_factory=dict)
-    by_tag: dict[str, dict[str, float]] = field(default_factory=dict)
-    by_layer: dict[str, dict[str, float]] = field(default_factory=dict)
-    uncosted: float = 0.0
+    by_device: dict[str, dict[str, Seconds]] = field(default_factory=dict)
+    by_tag: dict[str, dict[str, Seconds]] = field(default_factory=dict)
+    by_layer: dict[str, dict[str, Seconds]] = field(default_factory=dict)
+    uncosted: Seconds = 0.0
 
     def _accumulate(
-        self, device: str, tag: str, layer: str, components: Mapping[str, float]
+        self, device: str, tag: str, layer: str, components: Mapping[str, Seconds]
     ) -> None:
         for group, key in (
             (self.by_device, device),
@@ -97,7 +98,7 @@ class TimeDecomposition:
                 bucket[name] += seconds
 
     @property
-    def totals(self) -> dict[str, float]:
+    def totals(self) -> dict[str, Seconds]:
         """Seconds per component summed over all devices."""
         out = _zero_components()
         for bucket in self.by_device.values():
@@ -106,15 +107,15 @@ class TimeDecomposition:
         return out
 
     @property
-    def total_seconds(self) -> float:
+    def total_seconds(self) -> Seconds:
         """All decomposed busy seconds (plus any uncosted span time)."""
         return sum(self.totals.values()) + self.uncosted
 
-    def device_total(self, device: str) -> float:
+    def device_total(self, device: str) -> Seconds:
         """Decomposed seconds attributed to one device."""
         return sum(self.by_device.get(device, {}).values())
 
-    def shares(self) -> dict[str, float]:
+    def shares(self) -> dict[str, Ratio]:
         """Fraction of total decomposed time per component."""
         totals = self.totals
         denom = sum(totals.values())
@@ -122,7 +123,7 @@ class TimeDecomposition:
             return {name: 0.0 for name in totals}
         return {name: seconds / denom for name, seconds in totals.items()}
 
-    def reconciliation_error(self, busy_time: Mapping[str, float]) -> float:
+    def reconciliation_error(self, busy_time: Mapping[str, Seconds]) -> Seconds:
         """Largest per-device gap between decomposed and reported busy time.
 
         ``busy_time`` is the simulator's (or tracer's) busy-seconds map.
@@ -188,12 +189,12 @@ class CriticalSegment:
     name: str
     resource: str
     tag: str
-    start: float
-    end: float
+    start: Seconds
+    end: Seconds
     gate: str
 
     @property
-    def duration(self) -> float:
+    def duration(self) -> Seconds:
         return self.end - self.start
 
 
@@ -202,17 +203,17 @@ class CriticalPath:
     """The zero-slack task chain that sets a schedule's makespan."""
 
     segments: list[CriticalSegment]
-    makespan: float
-    slack: dict[str, float]
+    makespan: Seconds
+    slack: dict[str, Seconds]
 
     @property
-    def length(self) -> float:
+    def length(self) -> Seconds:
         """Summed duration of critical segments (gaps excluded)."""
         return sum(s.duration for s in self.segments)
 
-    def time_by_resource(self) -> dict[str, float]:
+    def time_by_resource(self) -> dict[str, Seconds]:
         """Critical seconds attributed to each device."""
-        out: dict[str, float] = {}
+        out: dict[str, Seconds] = {}
         for seg in self.segments:
             out[seg.resource] = out.get(seg.resource, 0.0) + seg.duration
         return dict(sorted(out.items()))

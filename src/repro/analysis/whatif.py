@@ -34,6 +34,7 @@ from typing import TYPE_CHECKING, Callable, Mapping
 
 from repro.hardware.events import EventSimulator, ScheduleResult, SimTask
 from repro.hardware.spec import MachineSpec
+from repro.units import Joules, Ratio, Seconds, Watts
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from repro.engine.base import PerfEngine
@@ -54,7 +55,7 @@ __all__ = [
 Knob = Callable[[MachineSpec], MachineSpec]
 
 
-def _scale_gpu_bandwidth(factor: float) -> Knob:
+def _scale_gpu_bandwidth(factor: Ratio) -> Knob:
     def knob(machine: MachineSpec) -> MachineSpec:
         gpu = dataclasses.replace(
             machine.gpu, memory_bandwidth=machine.gpu.memory_bandwidth * factor
@@ -64,7 +65,7 @@ def _scale_gpu_bandwidth(factor: float) -> Knob:
     return knob
 
 
-def _scale_cpu(factor: float, *, bandwidth: bool = False, flops: bool = False) -> Knob:
+def _scale_cpu(factor: Ratio, *, bandwidth: bool = False, flops: bool = False) -> Knob:
     def knob(machine: MachineSpec) -> MachineSpec:
         changes: dict = {}
         if bandwidth:
@@ -77,7 +78,7 @@ def _scale_cpu(factor: float, *, bandwidth: bool = False, flops: bool = False) -
     return knob
 
 
-def _scale_link_bandwidth(factor: float) -> Knob:
+def _scale_link_bandwidth(factor: Ratio) -> Knob:
     def knob(machine: MachineSpec) -> MachineSpec:
         link = dataclasses.replace(
             machine.link, bandwidth=machine.link.bandwidth * factor
@@ -115,11 +116,11 @@ class WhatIfResult:
     """Predicted effect of one hardware knob on one recorded schedule."""
 
     knob: str
-    baseline_makespan: float
-    predicted_makespan: float
+    baseline_makespan: Seconds
+    predicted_makespan: Seconds
 
     @property
-    def predicted_speedup(self) -> float:
+    def predicted_speedup(self) -> Ratio:
         if self.predicted_makespan <= 0.0:
             return float("inf")
         return self.baseline_makespan / self.predicted_makespan
@@ -143,31 +144,31 @@ class PowerWhatIfResult:
     """
 
     knob: str
-    baseline_makespan: float
-    predicted_makespan: float
-    baseline_joules: float
-    predicted_joules: float
+    baseline_makespan: Seconds
+    predicted_makespan: Seconds
+    baseline_joules: Joules
+    predicted_joules: Joules
 
     @property
-    def predicted_speedup(self) -> float:
+    def predicted_speedup(self) -> Ratio:
         if self.predicted_makespan <= 0.0:
             return float("inf")
         return self.baseline_makespan / self.predicted_makespan
 
     @property
-    def perf_per_watt_gain(self) -> float:
+    def perf_per_watt_gain(self) -> Ratio:
         if self.predicted_joules <= 0.0:
             return float("inf")
         return self.baseline_joules / self.predicted_joules
 
     @property
-    def baseline_watts(self) -> float:
+    def baseline_watts(self) -> Watts:
         if self.baseline_makespan <= 0.0:
             return 0.0
         return self.baseline_joules / self.baseline_makespan
 
     @property
-    def predicted_watts(self) -> float:
+    def predicted_watts(self) -> Watts:
         if self.predicted_makespan <= 0.0:
             return 0.0
         return self.predicted_joules / self.predicted_makespan

@@ -34,6 +34,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Sequence
 
+from repro.check.registry import FLOW_RULES
+
 __all__ = [
     "RULES",
     "LintViolation",
@@ -476,9 +478,14 @@ def lint_source(
         for v in visitor.violations
         if v.rule not in suppressions.get(v.line, [])
     ]
+    # Suppressions are validated against every rule any check tool can
+    # emit (lint + the check-flow passes share the comment syntax), so a
+    # flow-rule suppression does not trip the linter — but a typo still
+    # does.
+    suppressible = (set(RULES) | set(FLOW_RULES)) - set(_META_RULES)
     for line in sorted(suppressions):
         for name in suppressions[line]:
-            if name not in RULES or name in _META_RULES:
+            if name not in suppressible:
                 kept.append(
                     LintViolation(
                         rule="bad-suppression",
@@ -486,7 +493,7 @@ def lint_source(
                         line=line,
                         col=0,
                         message=f"suppression names unknown rule {name!r}; "
-                        f"known rules: {', '.join(sorted(set(RULES) - set(_META_RULES)))}",
+                        f"known rules: {', '.join(sorted(suppressible))}",
                     )
                 )
     kept.sort(key=lambda v: (v.path, v.line, v.col, v.rule))

@@ -47,9 +47,15 @@ Subcommands::
     repro lint [paths ...] [--format json] [--out report.json]
                                          static simulation-discipline lint
                                          (custom AST rules over src/repro)
+    repro check-flow [paths ...] [--rules ...] [--format json] [--out report.json]
+                                         interprocedural units/dimension and
+                                         seed-provenance analysis
     repro verify-schedule [--quick] [--format json] [--out report.json]
                                          replay bench-suite schedules against
                                          the simulator invariants
+    repro check [paths ...] [--json-out report.json] [--skip-verify] [--full]
+                                         umbrella: lint + check-flow +
+                                         verify-schedule, one merged report
 
 Also runnable as ``python -m repro.cli ...``.
 """
@@ -505,6 +511,49 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     verify.add_argument("--format", default="text", choices=("text", "json"))
     verify.add_argument("--out", default=None, help="also write the JSON report here")
+
+    flow = sub.add_parser(
+        "check-flow",
+        help="interprocedural units/dimension + seed-provenance analysis",
+    )
+    flow.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to analyze as one project (default: src/repro)",
+    )
+    flow.add_argument("--format", default="text", choices=("text", "json"))
+    flow.add_argument("--out", default=None, help="also write the JSON report here")
+    flow.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated subset of flow rules to run (default: all)",
+    )
+
+    check = sub.add_parser(
+        "check",
+        help="umbrella: lint + check-flow + verify-schedule, one merged report",
+    )
+    check.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories for the static passes (default: src/repro)",
+    )
+    check.add_argument("--format", default="text", choices=("text", "json"))
+    check.add_argument(
+        "--json-out", default=None, help="write the merged JSON report here"
+    )
+    check.add_argument(
+        "--skip-verify",
+        action="store_true",
+        help="static passes only (skip the bench-grid schedule replay)",
+    )
+    check.add_argument(
+        "--full",
+        action="store_true",
+        help="full verification grid (default: quick)",
+    )
     return parser
 
 
@@ -1292,6 +1341,50 @@ def _cmd_verify_schedule(args: argparse.Namespace) -> int:
     return 0 if document["ok"] else 1
 
 
+def _cmd_check_flow(args: argparse.Namespace) -> int:
+    from repro.check.flow import flow_to_json, format_flow_text, run_flow
+
+    rules = None
+    if args.rules is not None:
+        rules = [name.strip() for name in args.rules.split(",") if name.strip()]
+    try:
+        report = run_flow(args.paths, rules=rules)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(flow_to_json(report), end="")
+    else:
+        print(format_flow_text(report))
+    if args.out is not None:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(flow_to_json(report))
+    return 0 if report.ok else 1
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.check.report import check_to_json, format_check_text, run_check
+
+    try:
+        report = run_check(
+            args.paths,
+            with_schedule=not args.skip_verify,
+            quick=not args.full,
+        )
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(check_to_json(report), end="")
+    else:
+        print(format_check_text(report))
+    if args.json_out is not None:
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            fh.write(check_to_json(report))
+        print(f"wrote {args.json_out}")
+    return 0 if report.ok else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -1332,6 +1425,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_lint(args)
         if args.command == "verify-schedule":
             return _cmd_verify_schedule(args)
+        if args.command == "check-flow":
+            return _cmd_check_flow(args)
+        if args.command == "check":
+            return _cmd_check(args)
     except OutOfMemoryError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

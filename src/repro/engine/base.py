@@ -24,6 +24,7 @@ from repro.engine.plan import DeploymentPlan
 from repro.engine.results import RequestResult
 from repro.hardware.costmodel import CostModel, OpWork
 from repro.hardware.events import EventSimulator, ScheduleResult, SimTask
+from repro.units import Bytes, Flops, Ratio, Seconds
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from repro.hardware.faults import FaultSchedule
@@ -42,7 +43,7 @@ def op_task(
     work: OpWork,
     deps: tuple[str, ...] = (),
     tag: str = "",
-    sync: float = 0.0,
+    sync: Seconds = 0.0,
     include_launch: bool = True,
     priority: int = 0,
 ) -> SimTask:
@@ -62,7 +63,7 @@ def op_task(
 def transfer_task(
     name: str,
     link: "LinkSpec",
-    nbytes: float,
+    nbytes: Bytes,
     deps: tuple[str, ...] = (),
     tag: str = "transfer",
     unified_memory: bool = False,
@@ -107,7 +108,7 @@ class PerfEngine(ABC):
                 expected values are used (deterministic).
         """
 
-    def gpu_load_share(self, batch: int = 1) -> float:
+    def gpu_load_share(self, batch: int = 1) -> Ratio:
         """Fraction of neuron computation served by the GPU (Figure 12)."""
         return self.plan.gpu_neuron_load_share(batch)
 
@@ -121,7 +122,7 @@ class PerfEngine(ABC):
         rng: np.random.Generator | None = None,
         machine: "MachineSpec | None" = None,
         tracer: "Tracer | None" = None,
-        trace_t0: float = 0.0,
+        trace_t0: Seconds = 0.0,
         trace_iteration: int | None = None,
         validate: bool = False,
     ) -> ScheduleResult:
@@ -170,7 +171,7 @@ class PerfEngine(ABC):
 
     def simulate_iteration_at(
         self,
-        now: float,
+        now: Seconds,
         faults: "FaultSchedule | None",
         ctx_len: int,
         n_tokens: int,
@@ -211,7 +212,7 @@ class PerfEngine(ABC):
         decode_samples: int = 4,
         rng: np.random.Generator | None = None,
         tracer: "Tracer | None" = None,
-        trace_t0: float = 0.0,
+        trace_t0: Seconds = 0.0,
     ) -> RequestResult:
         """Simulate a full request: prompt phase + ``output_len`` decode steps.
 
@@ -270,11 +271,11 @@ class PerfEngine(ABC):
 
     # ---- KV-cache footprint (serving admission control) -------------------------
 
-    def kv_bytes_per_token(self) -> float:
+    def kv_bytes_per_token(self) -> Bytes:
         """KV-cache bytes appended per token across all layers."""
         return self.model.kv_cache_bytes_per_token(self.dtype)
 
-    def request_kv_bytes(self, input_len: int, output_len: int) -> float:
+    def request_kv_bytes(self, input_len: int, output_len: int) -> Bytes:
         """Worst-case KV footprint of one request (prompt + full response).
 
         This is what a continuous-batching server must reserve at admission
@@ -284,7 +285,7 @@ class PerfEngine(ABC):
             raise ValueError("input_len and output_len must be positive")
         return (input_len + output_len) * self.kv_bytes_per_token()
 
-    def kv_budget_bytes(self) -> float:
+    def kv_budget_bytes(self) -> Bytes:
         """GPU memory left for KV cache after plan-resident allocations.
 
         Usable GPU capacity (after the activation/scratch reserve) minus
@@ -302,11 +303,11 @@ class PerfEngine(ABC):
 
     # ---- shared cost helpers ---------------------------------------------------
 
-    def _activation_bytes(self, rows: int) -> float:
+    def _activation_bytes(self, rows: int) -> Bytes:
         """Bytes of one hidden-state tensor (FP32 activations)."""
         return rows * self.model.d_model * 4.0
 
-    def _kv_read_bytes(self, ctx_len: int, n_tokens: int, batch: int) -> float:
+    def _kv_read_bytes(self, ctx_len: int, n_tokens: int, batch: int) -> Bytes:
         """KV-cache bytes read by one layer's attention in this iteration.
 
         Each of the ``n_tokens`` new positions reads all prior K and V; for
@@ -316,6 +317,6 @@ class PerfEngine(ABC):
         kv_bytes_per_pos = 2.0 * self.model.kv_dim * self.dtype.bytes_per_param
         return batch * n_tokens * avg_context * kv_bytes_per_pos
 
-    def _kv_flops(self, ctx_len: int, n_tokens: int, batch: int) -> float:
+    def _kv_flops(self, ctx_len: int, n_tokens: int, batch: int) -> Flops:
         avg_context = ctx_len + n_tokens / 2.0
         return batch * n_tokens * avg_context * 4.0 * self.model.kv_dim

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.hardware.spec import DeviceSpec, LinkSpec
+from repro.units import Bytes, Flops, Ratio, Seconds
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from repro.hardware.spec import MachineSpec
@@ -40,16 +41,16 @@ class OpWork:
         bytes_written: Bytes written to device memory (outputs).
     """
 
-    flops: float = 0.0
-    bytes_read: float = 0.0
-    bytes_written: float = 0.0
+    flops: Flops = 0.0
+    bytes_read: Bytes = 0.0
+    bytes_written: Bytes = 0.0
 
     def __post_init__(self) -> None:
         if self.flops < 0 or self.bytes_read < 0 or self.bytes_written < 0:
             raise ValueError("OpWork fields must be non-negative")
 
     @property
-    def bytes_total(self) -> float:
+    def bytes_total(self) -> Bytes:
         return self.bytes_read + self.bytes_written
 
     def __add__(self, other: "OpWork") -> "OpWork":
@@ -59,7 +60,7 @@ class OpWork:
             bytes_written=self.bytes_written + other.bytes_written,
         )
 
-    def scaled(self, factor: float) -> "OpWork":
+    def scaled(self, factor: Ratio) -> "OpWork":
         """Scale all dimensions (e.g. by an activation fraction)."""
         if factor < 0:
             raise ValueError("factor must be non-negative")
@@ -95,19 +96,19 @@ class TaskCost:
             efficiency rather than bulk-DMA efficiency.
     """
 
-    flops: float = 0.0
-    bytes: float = 0.0
-    mem_time: float = 0.0
-    compute_time: float = 0.0
-    launch: float = 0.0
-    sync: float = 0.0
-    transfer: float = 0.0
+    flops: Flops = 0.0
+    bytes: Bytes = 0.0
+    mem_time: Seconds = 0.0
+    compute_time: Seconds = 0.0
+    launch: Seconds = 0.0
+    sync: Seconds = 0.0
+    transfer: Seconds = 0.0
     launches: int = 0
     syncs: int = 0
     unified_memory: bool = False
 
     @property
-    def duration(self) -> float:
+    def duration(self) -> Seconds:
         """Task duration: the roofline max plus every fixed overhead.
 
         Matches :meth:`CostModel.op_time` / :meth:`CostModel.transfer_time`
@@ -121,7 +122,7 @@ class TaskCost:
         """Which roofline side binds: ``"memory"`` or ``"compute"``."""
         return "memory" if self.mem_time >= self.compute_time else "compute"
 
-    def components(self) -> dict[str, float]:
+    def components(self) -> dict[str, Seconds]:
         """Duration split over :data:`COST_COMPONENTS`; sums to ``duration``.
 
         The roofline ``max`` term is attributed entirely to the binding
@@ -171,7 +172,9 @@ class CostModel:
     """Latency estimates for operators and transfers on a given machine."""
 
     @staticmethod
-    def op_time(work: OpWork, device: DeviceSpec, include_launch: bool = True) -> float:
+    def op_time(
+        work: OpWork, device: DeviceSpec, include_launch: bool = True
+    ) -> Seconds:
         """Execution time of ``work`` on ``device`` in seconds."""
         if work.flops == 0 and work.bytes_total == 0:
             return device.launch_overhead if include_launch else 0.0
@@ -181,7 +184,7 @@ class CostModel:
         return base + (device.launch_overhead if include_launch else 0.0)
 
     @staticmethod
-    def transfer_time(nbytes: float, link: LinkSpec) -> float:
+    def transfer_time(nbytes: Bytes, link: LinkSpec) -> Seconds:
         """Time to move ``nbytes`` across ``link`` in seconds."""
         return link.transfer_time(nbytes)
 
@@ -190,7 +193,7 @@ class CostModel:
         work: OpWork,
         device: DeviceSpec,
         include_launch: bool = True,
-        sync: float = 0.0,
+        sync: Seconds = 0.0,
     ) -> TaskCost:
         """The structured cost behind :meth:`op_time` (plus optional sync).
 
@@ -213,7 +216,7 @@ class CostModel:
 
     @staticmethod
     def transfer_cost(
-        nbytes: float, link: LinkSpec, unified_memory: bool = False
+        nbytes: Bytes, link: LinkSpec, unified_memory: bool = False
     ) -> TaskCost:
         """The structured cost behind :meth:`transfer_time`."""
         return TaskCost(
@@ -230,7 +233,7 @@ class CostModel:
         return mem_time >= compute_time
 
     @staticmethod
-    def neuron_time(neuron_bytes: float, device: DeviceSpec) -> float:
+    def neuron_time(neuron_bytes: Bytes, device: DeviceSpec) -> Seconds:
         """Paper Equation 5: per-neuron compute time ~= weight-read time."""
         if neuron_bytes < 0:
             raise ValueError("neuron_bytes must be non-negative")

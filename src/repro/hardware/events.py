@@ -20,6 +20,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from repro.units import Ratio, Seconds
+
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from repro.hardware.costmodel import TaskCost
 
@@ -31,10 +33,10 @@ class Resource:
     """A serially occupied execution resource with a busy-time counter."""
 
     name: str
-    available_at: float = 0.0
-    busy_time: float = 0.0
+    available_at: Seconds = 0.0
+    busy_time: Seconds = 0.0
 
-    def reserve(self, earliest: float, duration: float) -> tuple[float, float]:
+    def reserve(self, earliest: Seconds, duration: Seconds) -> tuple[Seconds, Seconds]:
         """Occupy the resource for ``duration`` starting no earlier than
         ``earliest``; returns the (start, end) interval chosen."""
         if duration < 0:
@@ -70,7 +72,7 @@ class SimTask:
 
     name: str
     resource: str
-    duration: float
+    duration: Seconds
     deps: tuple[str, ...] = ()
     priority: int = 0
     tag: str = ""
@@ -89,14 +91,14 @@ class TaskResult:
 
     name: str
     resource: str
-    start: float
-    end: float
+    start: Seconds
+    end: Seconds
     tag: str = ""
     cost: "TaskCost | None" = None
     deps: tuple[str, ...] = ()
 
     @property
-    def duration(self) -> float:
+    def duration(self) -> Seconds:
         return self.end - self.start
 
 
@@ -105,17 +107,17 @@ class ScheduleResult:
     """Outcome of simulating a DAG: per-task intervals plus summaries."""
 
     tasks: dict[str, TaskResult]
-    makespan: float
-    busy_time: dict[str, float]
-    tag_time: dict[str, float] = field(default_factory=dict)
+    makespan: Seconds
+    busy_time: dict[str, Seconds]
+    tag_time: dict[str, Seconds] = field(default_factory=dict)
 
-    def resource_utilization(self, resource: str) -> float:
+    def resource_utilization(self, resource: str) -> Ratio:
         """Fraction of the makespan the resource was busy."""
         if self.makespan == 0:
             return 0.0
         return self.busy_time.get(resource, 0.0) / self.makespan
 
-    def time_by_tag(self) -> dict[str, float]:
+    def time_by_tag(self) -> dict[str, Seconds]:
         """Total busy seconds per task tag (for breakdown figures)."""
         return dict(self.tag_time)
 

@@ -31,6 +31,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.hardware.spec import MachineSpec
+from repro.units import Ratio, Seconds
 
 __all__ = ["FaultKind", "FaultEvent", "FaultSchedule"]
 
@@ -81,9 +82,9 @@ class FaultEvent:
     """
 
     kind: str
-    start: float
-    duration: float
-    magnitude: float = 1.0
+    start: Seconds
+    duration: Seconds
+    magnitude: Ratio = 1.0
 
     def __post_init__(self) -> None:
         if self.kind not in FaultKind.ALL:
@@ -108,10 +109,10 @@ class FaultEvent:
             )
 
     @property
-    def end(self) -> float:
+    def end(self) -> Seconds:
         return self.start + self.duration
 
-    def active_at(self, t: float) -> bool:
+    def active_at(self, t: Seconds) -> bool:
         return self.start <= t < self.end
 
     def to_dict(self) -> dict:
@@ -146,12 +147,12 @@ class FaultSchedule:
         return len(self.events)
 
     @property
-    def horizon(self) -> float:
+    def horizon(self) -> Seconds:
         """End of the last event (0 for an empty schedule)."""
         return max((e.end for e in self.events), default=0.0)
 
     @property
-    def boundaries(self) -> tuple[float, ...]:
+    def boundaries(self) -> tuple[Seconds, ...]:
         """Sorted epoch boundaries (every event start and end, deduplicated).
 
         These are the instants at which the perturbed machine changes;
@@ -159,20 +160,20 @@ class FaultSchedule:
         """
         return tuple(self._boundaries)
 
-    def epoch(self, t: float) -> int:
+    def epoch(self, t: Seconds) -> int:
         """Index of the constant-perturbation interval containing ``t``."""
         return bisect_right(self._boundaries, t)
 
-    def next_boundary_after(self, t: float) -> float | None:
+    def next_boundary_after(self, t: Seconds) -> Seconds | None:
         """First event start/end strictly after ``t`` (None when past all)."""
         idx = bisect_right(self._boundaries, t)
         return self._boundaries[idx] if idx < len(self._boundaries) else None
 
-    def active(self, t: float) -> tuple[FaultEvent, ...]:
+    def active(self, t: Seconds) -> tuple[FaultEvent, ...]:
         """Events whose window contains ``t``."""
         return tuple(e for e in self.events if e.active_at(t))
 
-    def is_degraded(self, t: float) -> bool:
+    def is_degraded(self, t: Seconds) -> bool:
         """Whether any throughput-affecting fault is active at ``t``."""
         return any(
             e.kind in FaultKind.THROUGHPUT for e in self.events if e.active_at(t)
@@ -180,7 +181,7 @@ class FaultSchedule:
 
     # ---- perturbation application --------------------------------------------
 
-    def perturbed_machine(self, machine: MachineSpec, t: float) -> MachineSpec:
+    def perturbed_machine(self, machine: MachineSpec, t: Seconds) -> MachineSpec:
         """The machine as the active faults at ``t`` leave it.
 
         Concurrent events of the same kind compose multiplicatively.  The
@@ -232,7 +233,7 @@ class FaultSchedule:
         self._machine_cache[key] = perturbed
         return perturbed
 
-    def kv_budget_factor(self, t: float) -> float:
+    def kv_budget_factor(self, t: Seconds) -> Ratio:
         """Fraction of the KV budget remaining at ``t`` (1.0 = nominal)."""
         factor = 1.0
         for event in self.active(t):
@@ -240,13 +241,13 @@ class FaultSchedule:
                 factor *= event.magnitude
         return factor
 
-    def stall_end_at(self, t: float) -> float | None:
+    def stall_end_at(self, t: Seconds) -> Seconds | None:
         """End of the stall covering ``t``, or None when no stall is active.
 
         Overlapping stalls merge: the returned time is past *every* stall
         reachable from ``t`` without a gap.
         """
-        end: float | None = None
+        end: Seconds | None = None
         cursor = t
         for event in self.events:  # sorted by start
             if event.kind != FaultKind.DEVICE_STALL:
@@ -256,7 +257,7 @@ class FaultSchedule:
                 cursor = event.end
         return end
 
-    def next_stall_start(self, start: float, end: float) -> FaultEvent | None:
+    def next_stall_start(self, start: Seconds, end: Seconds) -> FaultEvent | None:
         """Earliest stall beginning strictly inside ``(start, end)``.
 
         This is what preempts an in-flight iteration: work scheduled at
@@ -270,7 +271,7 @@ class FaultSchedule:
 
     # ---- fleet-level queries ---------------------------------------------------
 
-    def crash_windows(self) -> tuple[tuple[float, float], ...]:
+    def crash_windows(self) -> tuple[tuple[Seconds, Seconds], ...]:
         """``(start, end)`` of every ``replica-crash`` window, sorted."""
         return tuple(
             (e.start, e.end)
@@ -278,13 +279,13 @@ class FaultSchedule:
             if e.kind == FaultKind.REPLICA_CRASH
         )
 
-    def is_crashed(self, t: float) -> bool:
+    def is_crashed(self, t: Seconds) -> bool:
         """Whether a ``replica-crash`` window covers ``t``."""
         return any(
             e.kind == FaultKind.REPLICA_CRASH for e in self.events if e.active_at(t)
         )
 
-    def link_degrade_factor(self, t: float) -> float:
+    def link_degrade_factor(self, t: Seconds) -> Ratio:
         """Interconnect slowdown divisor at ``t`` (1.0 = nominal).
 
         Concurrent ``link-degrade`` windows compose multiplicatively, the
@@ -359,10 +360,10 @@ class FaultSchedule:
     def from_seed(
         cls,
         seed: int,
-        horizon: float,
+        horizon: Seconds,
         n_events: int = 4,
         kinds: Sequence[str] = FaultKind.MACHINE,
-        max_magnitude: float = 4.0,
+        max_magnitude: Ratio = 4.0,
     ) -> "FaultSchedule":
         """Generate a deterministic random schedule.
 
@@ -414,12 +415,12 @@ class FaultSchedule:
     def from_seed_replica(
         cls,
         seed: int,
-        horizon: float,
-        mtbf: float,
-        mttr: float,
-        recover_fraction: float = 0.5,
-        recover_slowdown: float = 2.0,
-        first_crash_after: float = 0.0,
+        horizon: Seconds,
+        mtbf: Seconds,
+        mttr: Seconds,
+        recover_fraction: Ratio = 0.5,
+        recover_slowdown: Ratio = 2.0,
+        first_crash_after: Seconds = 0.0,
     ) -> "FaultSchedule":
         """Generate a deterministic replica crash/recover lifecycle.
 

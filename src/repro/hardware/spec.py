@@ -8,8 +8,10 @@ dispatch overheads.  The roofline cost model (:mod:`repro.hardware.costmodel`)
 turns these numbers into operator latencies.
 
 All bandwidths are bytes/second, capacities bytes, times seconds, compute
-throughput FLOP/s.  Presets use the figures published in the paper (Section
-8.1) supplemented with public datasheet numbers where the paper is silent
+throughput FLOP/s — declared with the :mod:`repro.units` dimension
+aliases so ``repro check-flow`` can verify the arithmetic end to end.
+Presets use the figures published in the paper (Section 8.1)
+supplemented with public datasheet numbers where the paper is silent
 (e.g. GPU FLOP rates).
 """
 
@@ -17,6 +19,15 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
+
+from repro.units import (
+    Bytes,
+    BytesPerSecond,
+    FlopsPerSecond,
+    Ratio,
+    Seconds,
+    Watts,
+)
 
 GIB = 1024**3
 GB = 10**9
@@ -69,14 +80,14 @@ class DeviceSpec:
 
     name: str
     kind: str
-    memory_capacity: float
-    memory_bandwidth: float
-    compute_flops: float
-    launch_overhead: float = 0.0
-    memory_efficiency: float = 1.0
-    idle_watts: float = 15.0
-    busy_watts: float = 120.0
-    peak_watts: float = 150.0
+    memory_capacity: Bytes
+    memory_bandwidth: BytesPerSecond
+    compute_flops: FlopsPerSecond
+    launch_overhead: Seconds = 0.0
+    memory_efficiency: Ratio = 1.0
+    idle_watts: Watts = 15.0
+    busy_watts: Watts = 120.0
+    peak_watts: Watts = 150.0
 
     def __post_init__(self) -> None:
         if self.kind not in DeviceKind.ALL:
@@ -99,11 +110,11 @@ class DeviceSpec:
             )
 
     @property
-    def effective_bandwidth(self) -> float:
+    def effective_bandwidth(self) -> BytesPerSecond:
         """Sustained streaming bandwidth in bytes/s."""
         return self.memory_bandwidth * self.memory_efficiency
 
-    def with_memory_capacity(self, capacity: float) -> "DeviceSpec":
+    def with_memory_capacity(self, capacity: Bytes) -> "DeviceSpec":
         """Return a copy with a different memory capacity."""
         return dataclasses.replace(self, memory_capacity=capacity)
 
@@ -127,12 +138,12 @@ class LinkSpec:
     """
 
     name: str
-    bandwidth: float
-    latency: float
-    efficiency: float = 0.8
-    um_efficiency: float = 0.15
-    idle_watts: float = 2.0
-    busy_watts: float = 8.0
+    bandwidth: BytesPerSecond
+    latency: Seconds
+    efficiency: Ratio = 0.8
+    um_efficiency: Ratio = 0.15
+    idle_watts: Watts = 2.0
+    busy_watts: Watts = 8.0
 
     def __post_init__(self) -> None:
         if self.bandwidth <= 0:
@@ -150,11 +161,11 @@ class LinkSpec:
             )
 
     @property
-    def effective_bandwidth(self) -> float:
+    def effective_bandwidth(self) -> BytesPerSecond:
         """Sustained DMA bandwidth in bytes/s."""
         return self.bandwidth * self.efficiency
 
-    def transfer_time(self, nbytes: float, unified_memory: bool = False) -> float:
+    def transfer_time(self, nbytes: Bytes, unified_memory: bool = False) -> Seconds:
         """Time to move ``nbytes`` across the link, seconds."""
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
@@ -176,7 +187,7 @@ class MachineSpec:
     gpu: DeviceSpec
     cpu: DeviceSpec
     link: LinkSpec
-    sync_overhead: float = 20e-6
+    sync_overhead: Seconds = 20e-6
 
     def __post_init__(self) -> None:
         if self.gpu.kind != DeviceKind.GPU:
@@ -195,12 +206,12 @@ class MachineSpec:
         raise KeyError(f"unknown device kind: {kind!r}")
 
     @property
-    def total_memory(self) -> float:
+    def total_memory(self) -> Bytes:
         """Combined GPU + CPU memory capacity in bytes."""
         return self.gpu.memory_capacity + self.cpu.memory_capacity
 
 
-def _cpu_avx2_flops(cores: int, ghz: float) -> float:
+def _cpu_avx2_flops(cores: int, ghz: float) -> FlopsPerSecond:
     """Peak FP32 AVX2 throughput: 2 FMA ports x 8 lanes x 2 flops/FMA."""
     return cores * ghz * 1e9 * 2 * 8 * 2
 

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.units import Hertz, Seconds
 from repro.workloads.prompts import PromptWorkload
 
 __all__ = ["Request", "poisson_arrivals"]
@@ -37,10 +38,10 @@ class Request:
     """
 
     request_id: int
-    arrival_time: float
+    arrival_time: Seconds
     input_len: int
     output_len: int
-    deadline: float | None = None
+    deadline: Seconds | None = None
     priority: int = 0
     session: int | None = None
 
@@ -53,12 +54,12 @@ class Request:
 
 def poisson_arrivals(
     workload: PromptWorkload,
-    rate: float,
+    rate: Hertz,
     n_requests: int,
     rng: np.random.Generator,
     output_lengths: tuple[int, ...] = (8, 128, 512),
     output_weights: tuple[float, ...] = (0.2, 0.6, 0.2),
-    deadline: float | None = None,
+    deadline: Seconds | None = None,
 ) -> list[Request]:
     """Sample a Poisson request stream.
 

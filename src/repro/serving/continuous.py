@@ -69,6 +69,7 @@ from repro.hardware.memory import MemoryPool, OutOfMemoryError
 from repro.serving.arrival import Request
 from repro.serving.metrics import ContinuousReport, RequestMetrics
 from repro.serving.policies import SchedulerPolicy, make_policy
+from repro.units import Bytes, Ratio, Seconds
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from repro.telemetry.fleet import TraceContext
@@ -85,12 +86,12 @@ __all__ = [
 
 
 def retry_delay(
-    base: float,
+    base: Seconds,
     attempt: int,
-    jitter: float = 0.0,
+    jitter: Ratio = 0.0,
     rng: np.random.Generator | None = None,
-    cap: float | None = None,
-) -> float:
+    cap: Seconds | None = None,
+) -> Seconds:
     """Bounded exponential backoff with optional seeded jitter.
 
     The one retry-delay code path shared by the single-replica server and
@@ -127,11 +128,11 @@ class RequestState:
     """Progress of one admitted request through prefill and decode."""
 
     request: Request
-    admit_time: float
-    kv_bytes: float
+    admit_time: Seconds
+    kv_bytes: Bytes
     prefilled: int = 0
     emitted: int = 0
-    token_times: list[float] = field(default_factory=list)
+    token_times: list[Seconds] = field(default_factory=list)
 
     @property
     def remaining_prompt(self) -> int:
@@ -188,7 +189,7 @@ class IterationCostCache:
         return self.ctx_bucket * round(ctx_len / self.ctx_bucket)
 
     def _key(
-        self, ctx_len: int, n_tokens: int, batch: int, now: float
+        self, ctx_len: int, n_tokens: int, batch: int, now: Seconds
     ) -> tuple[int, int, int, int]:
         """Validated, bucketed, epoch-stamped memoization key.
 
@@ -206,7 +207,9 @@ class IterationCostCache:
         epoch = self.faults.epoch(now) if self.faults is not None else 0
         return (self._bucket(ctx_len), n_tokens, batch, epoch)
 
-    def cost(self, ctx_len: int, n_tokens: int, batch: int, now: float = 0.0) -> float:
+    def cost(
+        self, ctx_len: int, n_tokens: int, batch: int, now: Seconds = 0.0
+    ) -> Seconds:
         """Latency of one iteration at ``(ctx_len, n_tokens, batch)``.
 
         ``now`` selects the fault epoch when a schedule is attached (and
@@ -220,7 +223,7 @@ class IterationCostCache:
         return self._cache[key]
 
     def schedule(
-        self, ctx_len: int, n_tokens: int, batch: int, now: float = 0.0
+        self, ctx_len: int, n_tokens: int, batch: int, now: Seconds = 0.0
     ) -> ScheduleResult:
         """The full per-task schedule behind :meth:`cost` (memoized).
 
@@ -303,7 +306,7 @@ class ServerSession:
         # a session never skips past an arrival it has not been handed
         # yet.  Iterations and stalls are atomic and ignore the cap, same
         # as the monolithic loop.  None = unbounded.
-        self.time_cap: float | None = None
+        self.time_cap: Seconds | None = None
         # Seeded jitter stream (None when retry_jitter == 0: the classic
         # schedule consumes no randomness and stays bit-identical).
         self.rng = (
@@ -328,7 +331,7 @@ class ServerSession:
     def submit(
         self,
         request: Request,
-        at: float,
+        at: Seconds,
         prefilled: int = 0,
         emitted: int = 0,
         ctx: "TraceContext | None" = None,
@@ -358,7 +361,7 @@ class ServerSession:
         self._dispatch_seq += 1
         self.blocked = False
 
-    def cancel(self, request_id: int, at: float) -> bool:
+    def cancel(self, request_id: int, at: Seconds) -> bool:
         """Withdraw a request wherever it lives (hedge loser, stale copy).
 
         Releases its KV reservation and drops any queued or backoff copy;
@@ -396,7 +399,7 @@ class ServerSession:
                     return True
         return False
 
-    def drain(self, at: float) -> list[Request]:
+    def drain(self, at: Seconds) -> list[Request]:
         """Pull every undelivered request out of the session (crash drain).
 
         Queued, backoff, and not-yet-pumped submissions are returned for
@@ -439,7 +442,7 @@ class ServerSession:
             or self.retry_heap
         )
 
-    def next_action_time(self) -> float | None:
+    def next_action_time(self) -> Seconds | None:
         """Earliest simulated time the session can act, or None when idle.
 
         A session with admitted or queued work acts *now*; an empty one
@@ -469,7 +472,7 @@ class ServerSession:
         """The fleet dispatch-attempt counter of ``rid`` (None standalone)."""
         return self._hops.get(rid)
 
-    def _ledger_add(self, time: float, op: str, name: str, nbytes: float) -> None:
+    def _ledger_add(self, time: Seconds, op: str, name: str, nbytes: Bytes) -> None:
         """Record one KV-pool operation for post-run validation.
 
         The ledger mirrors every ``allocate``/``release`` on the pool with
@@ -481,7 +484,7 @@ class ServerSession:
         if self.record_ledger:
             self.kv_ledger.append(KVEvent(time=time, op=op, name=name, nbytes=nbytes))
 
-    def _trace_batch_phases(self, state: RequestState, end: float) -> None:
+    def _trace_batch_phases(self, state: RequestState, end: Seconds) -> None:
         """Record the phase spans of a request leaving the batch at ``end``.
 
         Phase boundaries are reconstructed from the token timeline: the
@@ -517,7 +520,7 @@ class ServerSession:
         else:
             self.waiting.append(request)
 
-    def _admit(self, batch_cap: int, effective_budget: float) -> None:
+    def _admit(self, batch_cap: int, effective_budget: Bytes) -> None:
         """FCFS admission under batch slots and the (possibly shrunken) KV budget.
 
         Head-of-line blocking: if the oldest waiting request does not fit,
@@ -561,7 +564,7 @@ class ServerSession:
                     rid, "admit", self.now, hop=self._hop_of(rid)
                 )
 
-    def _abort_running(self, resume_at: float, at: float | None = None) -> None:
+    def _abort_running(self, resume_at: Seconds, at: Seconds | None = None) -> None:
         """Abort all in-flight requests (device stall): release KV, retry.
 
         A retried request restarts from scratch (its partial stream is
@@ -1060,13 +1063,13 @@ class ContinuousServer:
         engine: PerfEngine,
         policy: SchedulerPolicy | str = "fcfs",
         max_batch: int = 8,
-        kv_budget_bytes: float | None = None,
+        kv_budget_bytes: Bytes | None = None,
         ctx_bucket: int = 32,
         faults: FaultSchedule | None = None,
-        deadline: float | None = None,
+        deadline: Seconds | None = None,
         max_retries: int = 2,
-        retry_backoff: float = 0.05,
-        retry_jitter: float = 0.0,
+        retry_backoff: Seconds = 0.05,
+        retry_jitter: Ratio = 0.0,
         seed: int | None = None,
         max_queue: int | None = None,
         degradation: bool = True,
@@ -1148,7 +1151,7 @@ class ContinuousServer:
             self._degraded = (engine, cache, float(freed))
         return self._degraded
 
-    def _deadline_of(self, request: Request) -> float | None:
+    def _deadline_of(self, request: Request) -> Seconds | None:
         return request.deadline if request.deadline is not None else self.deadline
 
     # ---- main loop -----------------------------------------------------------
@@ -1177,7 +1180,7 @@ def simulate_continuous_serving(
     requests: list[Request],
     policy: SchedulerPolicy | str = "fcfs",
     max_batch: int = 8,
-    kv_budget_bytes: float | None = None,
+    kv_budget_bytes: Bytes | None = None,
     max_prefill_tokens: int = 64,
     ctx_bucket: int = 32,
     **robustness,

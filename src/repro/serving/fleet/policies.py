@@ -25,6 +25,8 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import TYPE_CHECKING, Sequence
 
+from repro.units import Seconds
+
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from repro.serving.arrival import Request
     from repro.serving.fleet.replica import Replica
@@ -49,7 +51,7 @@ class RouterPolicy(ABC):
         self,
         candidates: Sequence[tuple[int, "Replica"]],
         request: "Request",
-        now: float,
+        now: Seconds,
         n_replicas: int,
     ) -> int:
         """Return the replica *index* (first tuple element) to dispatch to.

@@ -31,6 +31,7 @@ from typing import TYPE_CHECKING
 
 from repro.hardware.faults import FaultSchedule
 from repro.serving.continuous import ContinuousServer, ServerSession
+from repro.units import Bytes, Ratio, Seconds
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from repro.engine.base import PerfEngine
@@ -113,20 +114,20 @@ class Replica:
         self.session = self.server.session(external=True, record_ledger=True)
 
     @property
-    def kv_budget_bytes(self) -> float:
+    def kv_budget_bytes(self) -> Bytes:
         return self.session.pool.usable_capacity
 
-    def crash_windows(self) -> tuple[tuple[float, float], ...]:
+    def crash_windows(self) -> tuple[tuple[Seconds, Seconds], ...]:
         """Ground-truth crash windows of this replica's schedule."""
         if self.faults is None:
             return ()
         return self.faults.crash_windows()
 
-    def is_crashed(self, t: float) -> bool:
+    def is_crashed(self, t: Seconds) -> bool:
         """Ground truth: is the replica process dead at time ``t``?"""
         return self.faults is not None and self.faults.is_crashed(t)
 
-    def link_degrade_factor(self, t: float) -> float:
+    def link_degrade_factor(self, t: Seconds) -> Ratio:
         """Interconnect slowdown divisor at this endpoint at time ``t``."""
         if self.faults is None:
             return 1.0

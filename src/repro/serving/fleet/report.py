@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 
 from repro.check.schedule import KVEvent
 from repro.serving.metrics import SLO, ContinuousReport
+from repro.units import Bytes, Ratio, Seconds
 
 from typing import TYPE_CHECKING
 
@@ -41,10 +42,10 @@ class ReplicaSummary:
     role: str
     report: ContinuousReport
     ledger: list[KVEvent]
-    kv_budget_bytes: float
+    kv_budget_bytes: Bytes
     machine_faults: "FaultSchedule | None"
-    crash_windows: tuple[tuple[float, float], ...]
-    detected_windows: tuple[tuple[float, float], ...]
+    crash_windows: tuple[tuple[Seconds, Seconds], ...]
+    detected_windows: tuple[tuple[Seconds, Seconds], ...]
     machine_spec: "MachineSpec | None" = None
 
 
@@ -82,11 +83,11 @@ class FleetResult:
     transfers: "ScheduleResult | None" = None
     counters: dict[str, int] = field(default_factory=dict)
     hedged_ids: frozenset[int] = frozenset()
-    horizon: float = 0.0
+    horizon: Seconds = 0.0
     interconnect: "LinkSpec | None" = None
 
     @property
-    def availability(self) -> float:
+    def availability(self) -> Ratio:
         """Fraction of submitted requests that completed."""
         n = self.report.n_submitted
         if not n:
@@ -94,7 +95,7 @@ class FleetResult:
         return len(self.report.completed) / n
 
     @property
-    def capacity_availability(self) -> float:
+    def capacity_availability(self) -> Ratio:
         """Replica-seconds up (as detected) over replica-seconds total."""
         if not self.replicas or self.horizon <= 0:
             return 1.0

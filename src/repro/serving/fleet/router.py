@@ -59,6 +59,7 @@ from repro.serving.fleet.policies import RouterPolicy, make_router_policy
 from repro.serving.fleet.replica import Replica
 from repro.serving.fleet.report import FleetResult, ReplicaSummary
 from repro.serving.metrics import ContinuousReport, RequestMetrics
+from repro.units import Ratio, Seconds
 
 from typing import TYPE_CHECKING
 
@@ -113,16 +114,16 @@ class FleetConfig:
     """
 
     policy: str = "round-robin"
-    heartbeat_s: float = 0.25
-    detection_window_s: float = 0.75
+    heartbeat_s: Seconds = 0.25
+    detection_window_s: Seconds = 0.75
     failover: bool = True
     max_redispatch: int = 2
-    retry_backoff_s: float = 0.05
-    backoff_cap_s: float | None = 2.0
-    retry_jitter: float = 0.0
+    retry_backoff_s: Seconds = 0.05
+    backoff_cap_s: Seconds | None = 2.0
+    retry_jitter: Ratio = 0.0
     seed: int | None = None
     hedge: bool = False
-    hedge_deadline_s: float | None = None
+    hedge_deadline_s: Seconds | None = None
     brownout: bool = False
     brownout_min_priority: int = 1
     disaggregate: bool = False
@@ -152,10 +153,10 @@ class FleetConfig:
 
 
 def detect_windows(
-    crash_windows: tuple[tuple[float, float], ...],
-    heartbeat_s: float,
-    detection_window_s: float,
-) -> list[tuple[float, float]]:
+    crash_windows: tuple[tuple[Seconds, Seconds], ...],
+    heartbeat_s: Seconds,
+    detection_window_s: Seconds,
+) -> list[tuple[Seconds, Seconds]]:
     """Heartbeat-detected ``(down_at, up_at)`` windows for crash windows.
 
     Beats live on the ``k * heartbeat_s`` grid; a beat inside a crash
@@ -204,7 +205,7 @@ class _Track:
         self.stage = "unified"  # unified | prefill | transfer | decode
         self.active: set[int] = set()
         self.delivered: list[float] = []
-        self.admit_time: float | None = None
+        self.admit_time: Seconds | None = None
         self.segments = 0
         self.redispatches = 0
         self.hedged = False
@@ -367,7 +368,7 @@ class FleetRouter:
 
     # ---- event plumbing -----------------------------------------------------
 
-    def _push(self, time: float, kind: str, payload) -> None:
+    def _push(self, time: Seconds, kind: str, payload) -> None:
         heapq.heappush(self._heap, (time, _PRIO.get(kind, 2), self._seq, kind, payload))
         self._seq += 1
 
@@ -383,7 +384,7 @@ class FleetRouter:
                 self._push(t, kind, (i, subject))
         session.outbox.clear()
 
-    def _handle(self, kind: str, payload, time: float) -> None:
+    def _handle(self, kind: str, payload, time: Seconds) -> None:
         if kind == "arrive":
             self._on_arrive(payload, time)
         elif kind == "down":
@@ -432,7 +433,7 @@ class FleetRouter:
         ]
 
     def _trace_event(
-        self, rid: int, kind: str, t: float, hop: int | None = None
+        self, rid: int, kind: str, t: Seconds, hop: int | None = None
     ) -> None:
         if self._tracing:
             self.tracer.add_request_event(rid, kind, t, hop=hop)
@@ -460,7 +461,7 @@ class FleetRouter:
         self,
         track: _Track,
         disposition: str,
-        t: float,
+        t: Seconds,
         metrics: RequestMetrics | None = None,
     ) -> None:
         track.done = True
@@ -481,7 +482,7 @@ class FleetRouter:
 
     # ---- SLO monitoring ------------------------------------------------------
 
-    def _observe_slo(self, t: float, metrics: RequestMetrics | None) -> None:
+    def _observe_slo(self, t: Seconds, metrics: RequestMetrics | None) -> None:
         """Feed one request disposition to the attached SLO monitor.
 
         Completed requests are judged against the fleet tracer's SLO
@@ -509,7 +510,7 @@ class FleetRouter:
             if name in monitor.objectives:
                 monitor.observe(name, t, bad)
 
-    def _slo_context(self, t: float) -> tuple[str, ...]:
+    def _slo_context(self, t: Seconds) -> tuple[str, ...]:
         """Fault/health annotations overlapping instant ``t`` for alerts."""
         context: list[str] = []
         for rep in self.replicas:
@@ -525,7 +526,7 @@ class FleetRouter:
             context.append("brownout")
         return tuple(context)
 
-    def _on_tick(self, t: float) -> None:
+    def _on_tick(self, t: Seconds) -> None:
         """One fleet observation tick: sample time-series, evaluate SLOs.
 
         Ticks ride the global event heap on the fleet tracer's sample
@@ -565,7 +566,7 @@ class FleetRouter:
         if self._heap or any(r.session.has_work() for r in self.replicas):
             self._push(t + ft.sample_interval_s, "tick", None)
 
-    def _segment(self, track: _Track, at: float, output_len: int | None = None):
+    def _segment(self, track: _Track, at: Seconds, output_len: int | None = None):
         """The replay segment of ``track`` dispatched at ``at``, or None.
 
         Returns ``None`` (after finalizing the track as timed out) when
@@ -591,7 +592,7 @@ class FleetRouter:
             deadline=rel,
         )
 
-    def _no_capacity(self, track: _Track, at: float) -> None:
+    def _no_capacity(self, track: _Track, at: Seconds) -> None:
         """Nothing is up: wait for the next detected recovery or fail."""
         ups = [
             tu
@@ -607,7 +608,7 @@ class FleetRouter:
     def _dispatch_unified(
         self,
         track: _Track,
-        at: float,
+        at: Seconds,
         exclude: frozenset[int] = frozenset(),
         hop_kind: str | None = None,
     ) -> int | None:
@@ -636,7 +637,7 @@ class FleetRouter:
             self._ft.begin_hop(ctx, self.replicas[idx].name, kind, at)
         return idx
 
-    def _dispatch_prefill(self, track: _Track, at: float) -> None:
+    def _dispatch_prefill(self, track: _Track, at: Seconds) -> None:
         cands = self._candidates(Replica.serves_prefill)
         if not cands:
             self._no_capacity(track, at)
@@ -658,7 +659,7 @@ class FleetRouter:
         if self._ft is not None and ctx is not None:
             self._ft.begin_hop(ctx, self.replicas[idx].name, kind, at)
 
-    def _dispatch_decode(self, track: _Track, idx: int, at: float) -> None:
+    def _dispatch_decode(self, track: _Track, idx: int, at: Seconds) -> None:
         seg = self._segment(track, at)
         if seg is None:
             return
@@ -678,13 +679,13 @@ class FleetRouter:
         if self._ft is not None and ctx is not None:
             self._ft.begin_hop(ctx, self.replicas[idx].name, "decode", at)
 
-    def _dispatch_initial(self, track: _Track, at: float) -> None:
+    def _dispatch_initial(self, track: _Track, at: Seconds) -> None:
         if self.config.disaggregate:
             self._dispatch_prefill(track, at)
         else:
             self._dispatch_unified(track, at)
 
-    def _rescue(self, track: _Track, at: float) -> None:
+    def _rescue(self, track: _Track, at: Seconds) -> None:
         """Schedule a backed-off router-level re-dispatch (failover path)."""
         track.redispatches += 1
         if track.redispatches > self.config.max_redispatch:
@@ -703,7 +704,7 @@ class FleetRouter:
 
     # ---- event handlers -----------------------------------------------------
 
-    def _on_arrive(self, request: Request, t: float) -> None:
+    def _on_arrive(self, request: Request, t: Seconds) -> None:
         track = self._tracks[request.request_id]
         cfg = self.config
         if (
@@ -733,7 +734,7 @@ class FleetRouter:
             return
         self._dispatch_initial(track, t)
 
-    def _on_down(self, i: int, t: float) -> None:
+    def _on_down(self, i: int, t: Seconds) -> None:
         rep = self.replicas[i]
         rep.detected_down = True
         self.counters["detections"] += 1
@@ -756,14 +757,14 @@ class FleetRouter:
             self._trace_event(track.orig.request_id, "failover", t)
             self._rescue(track, t)
 
-    def _on_up(self, i: int, t: float) -> None:
+    def _on_up(self, i: int, t: Seconds) -> None:
         self.replicas[i].detected_down = False
         if self._tracing:
             self.tracer.add_counter(
                 "up_replicas", t, float(sum(not r.detected_down for r in self.replicas))
             )
 
-    def _on_redispatch(self, rid: int, t: float) -> None:
+    def _on_redispatch(self, rid: int, t: Seconds) -> None:
         track = self._tracks.get(rid)
         if track is None or track.done:
             return
@@ -773,7 +774,7 @@ class FleetRouter:
             return
         self._dispatch_initial(track, t)
 
-    def _on_token(self, payload: tuple[int, int], t: float) -> None:
+    def _on_token(self, payload: tuple[int, int], t: Seconds) -> None:
         i, rid = payload
         track = self._tracks.get(rid)
         if track is None or track.done or i not in track.active:
@@ -795,7 +796,7 @@ class FleetRouter:
             # the validator reconcile trace TTFT/TBT against the report.
             self.tracer.add_request_event(rid, "token", t)
 
-    def _on_complete(self, payload, t: float) -> None:
+    def _on_complete(self, payload, t: Seconds) -> None:
         i, rid, metrics = payload
         track = self._tracks.get(rid)
         if track is None or track.done or i not in track.active:
@@ -816,7 +817,7 @@ class FleetRouter:
         )
         self._finalize(track, "completed", t, metrics=stitched)
 
-    def _on_failed(self, payload: tuple[int, Request], t: float) -> None:
+    def _on_failed(self, payload: tuple[int, Request], t: Seconds) -> None:
         i, seg = payload
         track = self._tracks.get(seg.request_id)
         if track is None or track.done or i not in track.active:
@@ -846,7 +847,7 @@ class FleetRouter:
                     break
         return pairs
 
-    def _on_terminal(self, payload: tuple[int, Request], t: float, disposition: str) -> None:
+    def _on_terminal(self, payload: tuple[int, Request], t: Seconds, disposition: str) -> None:
         i, seg = payload
         track = self._tracks.get(seg.request_id)
         if track is None or track.done or i not in track.active:
@@ -858,7 +859,7 @@ class FleetRouter:
 
     # ---- KV transfer (disaggregation) ---------------------------------------
 
-    def _start_transfer(self, track: _Track, src: int, t: float) -> None:
+    def _start_transfer(self, track: _Track, src: int, t: Seconds) -> None:
         """Stream the built KV from ``src`` toward a decode replica."""
         cands = self._candidates(Replica.serves_decode)
         if not cands:
@@ -893,7 +894,7 @@ class FleetRouter:
             )
         self._push(end, "kv-arrive", (track.orig.request_id, dst))
 
-    def _on_kv_arrive(self, payload: tuple[int, int], t: float) -> None:
+    def _on_kv_arrive(self, payload: tuple[int, int], t: Seconds) -> None:
         rid, dst = payload
         track = self._tracks.get(rid)
         if track is None or track.done:

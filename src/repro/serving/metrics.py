@@ -24,6 +24,7 @@ from typing import Iterable
 import numpy as np
 
 from repro.serving.arrival import Request
+from repro.units import Bytes, Hertz, Ratio, Seconds, TokensPerSecond
 
 __all__ = [
     "SLO",
@@ -52,7 +53,7 @@ def percentile(values: Iterable[float], q: float) -> float:
     return float(np.percentile(vals, q))
 
 
-def merge_busy_intervals(intervals: Iterable[tuple[float, float]]) -> float:
+def merge_busy_intervals(intervals: Iterable[tuple[Seconds, Seconds]]) -> Seconds:
     """Total length of the union of ``(start, end)`` intervals.
 
     Overlapping and nested spans are merged before summing, so the result
@@ -86,8 +87,8 @@ class SLO:
             long stall breaks the streaming illusion).
     """
 
-    ttft_target: float
-    tbt_target: float
+    ttft_target: Seconds
+    tbt_target: Seconds
 
     def __post_init__(self) -> None:
         if self.ttft_target <= 0 or self.tbt_target <= 0:
@@ -99,8 +100,8 @@ class RequestMetrics:
     """Token-level timing of one served request."""
 
     request: Request
-    admit_time: float
-    token_times: tuple[float, ...]
+    admit_time: Seconds
+    token_times: tuple[Seconds, ...]
 
     def __post_init__(self) -> None:
         if not self.token_times:
@@ -113,42 +114,42 @@ class RequestMetrics:
         return len(self.token_times)
 
     @property
-    def first_token_time(self) -> float:
+    def first_token_time(self) -> Seconds:
         return self.token_times[0]
 
     @property
-    def finish_time(self) -> float:
+    def finish_time(self) -> Seconds:
         return self.token_times[-1]
 
     @property
-    def queue_delay(self) -> float:
+    def queue_delay(self) -> Seconds:
         """Arrival until admission into the running batch."""
         return self.admit_time - self.request.arrival_time
 
     @property
-    def ttft(self) -> float:
+    def ttft(self) -> Seconds:
         """Time to first token (arrival until first emission)."""
         return self.first_token_time - self.request.arrival_time
 
     @property
-    def latency(self) -> float:
+    def latency(self) -> Seconds:
         """Arrival-to-completion time (what the user experiences)."""
         return self.finish_time - self.request.arrival_time
 
     @property
-    def tbts(self) -> tuple[float, ...]:
+    def tbts(self) -> tuple[Seconds, ...]:
         """Gaps between consecutive emitted tokens (empty for 1 token)."""
         return tuple(
             b - a for a, b in zip(self.token_times, self.token_times[1:])
         )
 
     @property
-    def mean_tbt(self) -> float:
+    def mean_tbt(self) -> Seconds:
         gaps = self.tbts
         return float(np.mean(gaps)) if gaps else 0.0
 
     @property
-    def max_tbt(self) -> float:
+    def max_tbt(self) -> Seconds:
         gaps = self.tbts
         return max(gaps) if gaps else 0.0
 
@@ -184,16 +185,16 @@ class ContinuousReport:
     """
 
     completed: list[RequestMetrics] = field(default_factory=list)
-    busy_intervals: list[tuple[float, float]] = field(default_factory=list)
-    kv_budget_bytes: float = 0.0
-    peak_kv_bytes: float = 0.0
+    busy_intervals: list[tuple[Seconds, Seconds]] = field(default_factory=list)
+    kv_budget_bytes: Bytes = 0.0
+    peak_kv_bytes: Bytes = 0.0
     n_iterations: int = 0
     timed_out: list[Request] = field(default_factory=list)
     shed: list[Request] = field(default_factory=list)
     failed: list[Request] = field(default_factory=list)
     n_aborts: int = 0
     n_retries: int = 0
-    degraded_intervals: list[tuple[float, float]] = field(default_factory=list)
+    degraded_intervals: list[tuple[Seconds, Seconds]] = field(default_factory=list)
 
     @property
     def n_requests(self) -> int:
@@ -216,83 +217,83 @@ class ContinuousReport:
         )
 
     @property
-    def deadline_miss_rate(self) -> float:
+    def deadline_miss_rate(self) -> Ratio:
         """Fraction of submitted requests cancelled past their deadline."""
         n = self.n_submitted
         return len(self.timed_out) / n if n else 0.0
 
     @property
-    def shed_rate(self) -> float:
+    def shed_rate(self) -> Ratio:
         """Fraction of submitted requests rejected by load shedding."""
         n = self.n_submitted
         return len(self.shed) / n if n else 0.0
 
     @property
-    def time_in_degraded_mode(self) -> float:
+    def time_in_degraded_mode(self) -> Seconds:
         """Seconds the server operated with degradation measures active."""
         return merge_busy_intervals(self.degraded_intervals)
 
     @property
-    def makespan(self) -> float:
+    def makespan(self) -> Seconds:
         if not self.completed:
             return 0.0
         return max(m.finish_time for m in self.completed)
 
     @property
-    def throughput_rps(self) -> float:
+    def throughput_rps(self) -> Hertz:
         """Requests completed per second of simulated time."""
         span = self.makespan
         return self.n_requests / span if span else 0.0
 
     @property
-    def tokens_per_second(self) -> float:
+    def tokens_per_second(self) -> TokensPerSecond:
         span = self.makespan
         total = sum(m.n_tokens for m in self.completed)
         return total / span if span else 0.0
 
     @property
-    def utilization(self) -> float:
+    def utilization(self) -> Ratio:
         """Fraction of simulated time at least one iteration was running."""
         span = self.makespan
         return merge_busy_intervals(self.busy_intervals) / span if span else 0.0
 
     @property
-    def mean_latency(self) -> float:
+    def mean_latency(self) -> Seconds:
         if not self.completed:
             return 0.0
         return float(np.mean([m.latency for m in self.completed]))
 
     @property
-    def mean_ttft(self) -> float:
+    def mean_ttft(self) -> Seconds:
         if not self.completed:
             return 0.0
         return float(np.mean([m.ttft for m in self.completed]))
 
     @property
-    def mean_queue_delay(self) -> float:
+    def mean_queue_delay(self) -> Seconds:
         if not self.completed:
             return 0.0
         return float(np.mean([m.queue_delay for m in self.completed]))
 
-    def latency_percentile(self, q: float) -> float:
+    def latency_percentile(self, q: float) -> Seconds:
         """User-visible latency percentile, ``q`` in [0, 100]."""
         return percentile((m.latency for m in self.completed), q)
 
-    def ttft_percentile(self, q: float) -> float:
+    def ttft_percentile(self, q: float) -> Seconds:
         return percentile((m.ttft for m in self.completed), q)
 
-    def tbt_percentile(self, q: float) -> float:
+    def tbt_percentile(self, q: float) -> Seconds:
         """Percentile over all inter-token gaps, pooled across requests."""
         return percentile((g for m in self.completed for g in m.tbts), q)
 
-    def slo_attainment(self, slo: SLO) -> float:
+    def slo_attainment(self, slo: SLO) -> Ratio:
         """Fraction of *completed* requests that met the SLO."""
         if not self.completed:
             return 0.0
         met = sum(1 for m in self.completed if m.meets_slo(slo))
         return met / self.n_requests
 
-    def slo_attainment_overall(self, slo: SLO) -> float:
+    def slo_attainment_overall(self, slo: SLO) -> Ratio:
         """Fraction of *submitted* requests that completed within the SLO.
 
         Unlike :meth:`slo_attainment`, the denominator includes requests
@@ -305,7 +306,7 @@ class ContinuousReport:
             return 0.0
         return sum(1 for m in self.completed if m.meets_slo(slo)) / n
 
-    def goodput(self, slo: SLO) -> float:
+    def goodput(self, slo: SLO) -> Hertz:
         """SLO-meeting requests completed per second of simulated time."""
         span = self.makespan
         if not span:

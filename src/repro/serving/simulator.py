@@ -17,6 +17,7 @@ import numpy as np
 from repro.engine.base import PerfEngine
 from repro.serving.arrival import Request
 from repro.serving.metrics import merge_busy_intervals, percentile
+from repro.units import Hertz, Ratio, Seconds, TokensPerSecond
 
 __all__ = ["CompletedRequest", "ServingReport", "simulate_serving"]
 
@@ -26,20 +27,20 @@ class CompletedRequest:
     """Timing of one served request."""
 
     request: Request
-    start_time: float
-    finish_time: float
+    start_time: Seconds
+    finish_time: Seconds
 
     @property
-    def queue_delay(self) -> float:
+    def queue_delay(self) -> Seconds:
         return self.start_time - self.request.arrival_time
 
     @property
-    def latency(self) -> float:
+    def latency(self) -> Seconds:
         """Arrival-to-completion time (what the user experiences)."""
         return self.finish_time - self.request.arrival_time
 
     @property
-    def service_time(self) -> float:
+    def service_time(self) -> Seconds:
         return self.finish_time - self.start_time
 
 
@@ -54,25 +55,25 @@ class ServingReport:
         return len(self.completed)
 
     @property
-    def makespan(self) -> float:
+    def makespan(self) -> Seconds:
         if not self.completed:
             return 0.0
         return max(c.finish_time for c in self.completed)
 
     @property
-    def throughput_rps(self) -> float:
+    def throughput_rps(self) -> Hertz:
         """Requests completed per second of simulated time."""
         span = self.makespan
         return self.n_requests / span if span else 0.0
 
     @property
-    def tokens_per_second(self) -> float:
+    def tokens_per_second(self) -> TokensPerSecond:
         span = self.makespan
         total = sum(c.request.output_len for c in self.completed)
         return total / span if span else 0.0
 
     @property
-    def utilization(self) -> float:
+    def utilization(self) -> Ratio:
         """Fraction of simulated time the server was busy.
 
         Busy time is the union of per-request service intervals: a batch
@@ -85,12 +86,12 @@ class ServingReport:
         )
         return busy / span if span else 0.0
 
-    def latency_percentile(self, q: float) -> float:
+    def latency_percentile(self, q: float) -> Seconds:
         """User-visible latency percentile, ``q`` in [0, 100]."""
         return percentile((c.latency for c in self.completed), q)
 
     @property
-    def mean_queue_delay(self) -> float:
+    def mean_queue_delay(self) -> Seconds:
         if not self.completed:
             return 0.0
         return float(np.mean([c.queue_delay for c in self.completed]))

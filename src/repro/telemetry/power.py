@@ -45,6 +45,16 @@ import numpy as np
 
 from repro.hardware.faults import FaultKind, FaultSchedule
 from repro.hardware.spec import DeviceKind, LinkSpec, MachineSpec
+from repro.units import (
+    GramsCO2,
+    GramsCO2PerKilowattHour,
+    Joules,
+    JoulesPerToken,
+    Ratio,
+    Seconds,
+    Tokens,
+    Watts,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from repro.engine.base import PerfEngine
@@ -75,10 +85,13 @@ __all__ = [
 
 # Global-average grid carbon intensity, gCO2 per kWh (Ember 2023 figure;
 # override per deployment region via PowerModel.carbon_intensity).
-DEFAULT_CARBON_INTENSITY = 400.0
+DEFAULT_CARBON_INTENSITY: GramsCO2PerKilowattHour = 400.0
 # DVFS cube law: dynamic power ~ f * V^2 with V roughly linear in f.
-DVFS_ALPHA = 3.0
-_J_PER_KWH = 3.6e6
+DVFS_ALPHA: Ratio = 3.0
+# Exact by definition: 1 kWh = 1000 W x 3600 s = 3.6e6 J.  A pure unit
+# conversion (J per kWh), hence dimensionless in the J-based unit system;
+# tests/telemetry/test_power_units.py pins the factor.
+_J_PER_KWH: Ratio = 3.6e6
 
 # Device lanes the energy model prices.  Anything else on a tracer
 # (request lanes, fault annotation lanes) carries no task spans.
@@ -89,8 +102,8 @@ _TRANSFER_LANES = ("pcie", "interconnect")
 class PowerModel:
     """Tunable knobs of the power/carbon model (never affects timing)."""
 
-    carbon_intensity: float = DEFAULT_CARBON_INTENSITY
-    dvfs_alpha: float = DVFS_ALPHA
+    carbon_intensity: GramsCO2PerKilowattHour = DEFAULT_CARBON_INTENSITY
+    dvfs_alpha: Ratio = DVFS_ALPHA
 
     def __post_init__(self) -> None:
         if self.carbon_intensity < 0:
@@ -102,12 +115,14 @@ class PowerModel:
 DEFAULT_POWER_MODEL = PowerModel()
 
 
-def grams_co2(joules: float, intensity: float = DEFAULT_CARBON_INTENSITY) -> float:
+def grams_co2(
+    joules: Joules, intensity: GramsCO2PerKilowattHour = DEFAULT_CARBON_INTENSITY
+) -> GramsCO2:
     """Operational carbon for ``joules`` at ``intensity`` gCO2/kWh."""
     return joules / _J_PER_KWH * intensity
 
 
-def idle_watts(machine: MachineSpec) -> dict[str, float]:
+def idle_watts(machine: MachineSpec) -> dict[str, Watts]:
     """Static draw per device lane of one machine, watts."""
     return {
         DeviceKind.GPU: machine.gpu.idle_watts,
@@ -119,9 +134,9 @@ def idle_watts(machine: MachineSpec) -> dict[str, float]:
 def _dvfs_scale(
     resource: str,
     faults: FaultSchedule | None,
-    at: float,
+    at: Seconds,
     model: PowerModel,
-) -> float:
+) -> Ratio:
     """Dynamic-power scale from throttle faults active at time ``at``.
 
     A throttle of magnitude ``m`` divides the device clock by ``m``
@@ -147,10 +162,10 @@ def active_watts(
     cost,
     machine: MachineSpec | None,
     faults: FaultSchedule | None = None,
-    at: float = 0.0,
+    at: Seconds = 0.0,
     model: PowerModel | None = None,
     link: LinkSpec | None = None,
-) -> float:
+) -> Watts:
     """Dynamic watts *above idle* drawn by one task on ``resource``.
 
     ``cost`` is the task's :class:`TaskCost` (or ``None`` for an
@@ -184,10 +199,10 @@ class TaskEnergy:
 
     name: str
     resource: str
-    start: float
-    end: float
-    watts: float
-    joules: float
+    start: Seconds
+    end: Seconds
+    watts: Watts
+    joules: Joules
 
     def to_dict(self) -> dict:
         return {
@@ -214,10 +229,10 @@ class PowerMeter:
 
     def __init__(
         self,
-        entries: Iterable[tuple[float, float, float]],
-        idle_watts_total: float,
-        t0: float = 0.0,
-        horizon: float | None = None,
+        entries: Iterable[tuple[Seconds, Seconds, Watts]],
+        idle_watts_total: Watts,
+        t0: Seconds = 0.0,
+        horizon: Seconds | None = None,
     ) -> None:
         events: list[tuple[float, float]] = []
         max_end = t0
@@ -259,14 +274,14 @@ class PowerMeter:
         self._powers = powers
         self._cum = cum
 
-    def power_at(self, t: float) -> float:
+    def power_at(self, t: Seconds) -> Watts:
         """Instantaneous watts at simulated time ``t``."""
         if t < self.t0 or t >= self._times[-1]:
             return self.idle_watts_total
         k = bisect_right(self._times, t) - 1
         return self._powers[min(k, len(self._powers) - 1)]
 
-    def cumulative_joules(self, t: float) -> float:
+    def cumulative_joules(self, t: Seconds) -> Joules:
         """Energy metered over ``[t0, t]`` (clamped to the horizon)."""
         if t <= self.t0:
             return 0.0
@@ -279,12 +294,12 @@ class PowerMeter:
             t - self._times[k]
         )
 
-    def energy_between(self, a: float, b: float) -> float:
+    def energy_between(self, a: Seconds, b: Seconds) -> Joules:
         """Energy metered over ``[a, b]``, joules."""
         return self.cumulative_joules(b) - self.cumulative_joules(a)
 
     @property
-    def total_joules(self) -> float:
+    def total_joules(self) -> Joules:
         """Energy metered over the whole ``[t0, horizon]`` window."""
         return self.cumulative_joules(self.horizon)
 
@@ -301,38 +316,38 @@ class EnergyReport:
 
     label: str
     machine: str
-    t0: float
-    horizon: float
-    idle: Mapping[str, float]
+    t0: Seconds
+    horizon: Seconds
+    idle: Mapping[str, Watts]
     tasks: tuple[TaskEnergy, ...]
-    dynamic_joules: float
-    static_joules: float
-    metered_joules: float
+    dynamic_joules: Joules
+    static_joules: Joules
+    metered_joules: Joules
     model: PowerModel = field(default_factory=PowerModel)
 
     @property
-    def total_joules(self) -> float:
+    def total_joules(self) -> Joules:
         return self.static_joules + self.dynamic_joules
 
     @property
-    def duration(self) -> float:
+    def duration(self) -> Seconds:
         return max(0.0, self.horizon - self.t0)
 
     @property
-    def avg_watts(self) -> float:
+    def avg_watts(self) -> Watts:
         return self.total_joules / self.duration if self.duration > 0 else 0.0
 
-    def by_resource(self) -> dict[str, float]:
+    def by_resource(self) -> dict[str, Joules]:
         """Dynamic joules per device lane."""
-        out: dict[str, float] = {}
+        out: dict[str, Joules] = {}
         for entry in self.tasks:
             out[entry.resource] = out.get(entry.resource, 0.0) + entry.joules
         return out
 
-    def grams_co2(self) -> float:
+    def grams_co2(self) -> GramsCO2:
         return grams_co2(self.total_joules, self.model.carbon_intensity)
 
-    def j_per_token(self, n_tokens: int) -> float:
+    def j_per_token(self, n_tokens: Tokens) -> JoulesPerToken:
         if n_tokens <= 0:
             return math.inf
         return self.total_joules / n_tokens
@@ -377,8 +392,8 @@ class EnergyReport:
 def _ledger_entry(
     name: str,
     resource: str,
-    start: float,
-    end: float,
+    start: Seconds,
+    end: Seconds,
     cost,
     machine: MachineSpec | None,
     faults: FaultSchedule | None,
@@ -400,9 +415,9 @@ def _ledger_entry(
 
 def _build_report(
     entries: Sequence[TaskEnergy],
-    idle: Mapping[str, float],
-    t0: float,
-    horizon: float,
+    idle: Mapping[str, Watts],
+    t0: Seconds,
+    horizon: Seconds,
     model: PowerModel,
     label: str,
     machine_name: str,
@@ -433,8 +448,8 @@ def schedule_energy(
     result: "ScheduleResult",
     machine: MachineSpec,
     faults: FaultSchedule | None = None,
-    t0: float = 0.0,
-    horizon: float | None = None,
+    t0: Seconds = 0.0,
+    horizon: Seconds | None = None,
     model: PowerModel | None = None,
     label: str = "schedule",
 ) -> EnergyReport:
@@ -470,7 +485,7 @@ def tracer_energy(
     tracer,  # repro-lint: disable=tracer-default -- metering *reads* a recorded trace; a None tracer is meaningless here
     machine: MachineSpec,
     faults: FaultSchedule | None = None,
-    horizon: float | None = None,
+    horizon: Seconds | None = None,
     model: PowerModel | None = None,
     label: str = "trace",
 ) -> EnergyReport:
@@ -507,7 +522,7 @@ def tracer_energy(
 def transfers_energy(
     transfers: "ScheduleResult",
     link: LinkSpec,
-    horizon: float,
+    horizon: Seconds,
     model: PowerModel | None = None,
     label: str = "interconnect",
 ) -> EnergyReport:
@@ -556,24 +571,24 @@ class RequestEnergy:
     input_len: int
     output_len: int
     batch: int
-    duration_s: float
-    dynamic_joules: float
-    static_joules: float
-    carbon_intensity: float
+    duration_s: Seconds
+    dynamic_joules: Joules
+    static_joules: Joules
+    carbon_intensity: GramsCO2PerKilowattHour
 
     @property
-    def total_joules(self) -> float:
+    def total_joules(self) -> Joules:
         return self.static_joules + self.dynamic_joules
 
     @property
-    def j_per_token(self) -> float:
+    def j_per_token(self) -> JoulesPerToken:
         return self.total_joules / (self.output_len * self.batch)
 
     @property
-    def avg_watts(self) -> float:
+    def avg_watts(self) -> Watts:
         return self.total_joules / self.duration_s if self.duration_s > 0 else 0.0
 
-    def grams_co2(self) -> float:
+    def grams_co2(self) -> GramsCO2:
         return grams_co2(self.total_joules, self.carbon_intensity)
 
     def to_dict(self) -> dict:
@@ -651,7 +666,7 @@ def request_energy(
 class FleetEnergyReport:
     """Per-replica energy reports plus the interconnect, one fleet run."""
 
-    horizon: float
+    horizon: Seconds
     replicas: tuple[EnergyReport, ...]
     interconnect: EnergyReport | None
     model: PowerModel = field(default_factory=PowerModel)
@@ -662,29 +677,29 @@ class FleetEnergyReport:
         return self.replicas + (self.interconnect,)
 
     @property
-    def dynamic_joules(self) -> float:
+    def dynamic_joules(self) -> Joules:
         return sum(part.dynamic_joules for part in self._parts())
 
     @property
-    def static_joules(self) -> float:
+    def static_joules(self) -> Joules:
         return sum(part.static_joules for part in self._parts())
 
     @property
-    def metered_joules(self) -> float:
+    def metered_joules(self) -> Joules:
         return sum(part.metered_joules for part in self._parts())
 
     @property
-    def total_joules(self) -> float:
+    def total_joules(self) -> Joules:
         return self.static_joules + self.dynamic_joules
 
     @property
-    def avg_watts(self) -> float:
+    def avg_watts(self) -> Watts:
         return self.total_joules / self.horizon if self.horizon > 0 else 0.0
 
-    def grams_co2(self) -> float:
+    def grams_co2(self) -> GramsCO2:
         return grams_co2(self.total_joules, self.model.carbon_intensity)
 
-    def j_per_token(self, n_tokens: int) -> float:
+    def j_per_token(self, n_tokens: Tokens) -> JoulesPerToken:
         if n_tokens <= 0:
             return math.inf
         return self.total_joules / n_tokens
@@ -697,7 +712,7 @@ class FleetEnergyReport:
 
     def meter(self) -> PowerMeter:
         """One merged meter over every replica and the interconnect."""
-        entries: list[tuple[float, float, float]] = []
+        entries: list[tuple[Seconds, Seconds, Watts]] = []
         idle_total = 0.0
         for part in self._parts():
             entries.extend((e.start, e.end, e.watts) for e in part.tasks)
@@ -721,7 +736,7 @@ class FleetEnergyReport:
         }
 
 
-def fleet_generated_tokens(result: "FleetResult") -> int:
+def fleet_generated_tokens(result: "FleetResult") -> Tokens:
     """Tokens actually generated fleet-wide (completed + timed-out)."""
     report = result.report
     return sum(m.n_tokens for m in report.completed) + sum(
@@ -784,8 +799,8 @@ def record_power_counters(
     tracer,  # repro-lint: disable=tracer-default -- sampling *augments* a recorded trace; a None tracer is meaningless here
     machine: MachineSpec,
     faults: FaultSchedule | None = None,
-    interval: float = 0.25,
-    horizon: float | None = None,
+    interval: Seconds = 0.25,
+    horizon: Seconds | None = None,
     model: PowerModel | None = None,
 ) -> EnergyReport:
     """Sample watt counter lanes onto a single-server tracer.

@@ -1,0 +1,80 @@
+"""Seconds-vs-milliseconds regression tests for the serving SLO metrics.
+
+Every timing quantity in :mod:`repro.serving.metrics` is in **seconds**:
+SLO targets, TTFT/TBT/latency, and every ``*_s`` key of
+``ContinuousReport.to_dict``.  Milliseconds exist only at the CLI display
+layer (an explicit ``* 1e3`` at format time).  These tests pin that
+convention — an SLO target accidentally interpreted as milliseconds, or a
+report field exported in ms under an ``_s`` key, is off by 1000x while
+remaining dimensionally self-consistent, so the flow analyzer cannot
+catch it.
+"""
+
+import math
+
+from repro.serving.arrival import Request
+from repro.serving.metrics import SLO, ContinuousReport, RequestMetrics
+
+
+def _request(arrival=0.0, rid=0):
+    return Request(request_id=rid, arrival_time=arrival, input_len=16, output_len=3)
+
+
+def _metrics():
+    # Arrival at t=0; tokens at 0.10 s, 0.15 s, 0.25 s.
+    return RequestMetrics(
+        request=_request(),
+        admit_time=0.05,
+        token_times=(0.10, 0.15, 0.25),
+    )
+
+
+def test_token_metrics_are_in_seconds():
+    m = _metrics()
+    assert math.isclose(m.ttft, 0.10)
+    assert math.isclose(m.latency, 0.25)
+    assert math.isclose(m.queue_delay, 0.05)
+    assert m.tbts == (0.15 - 0.10, 0.25 - 0.15)
+    assert math.isclose(m.max_tbt, 0.10)
+
+
+def test_slo_targets_are_seconds_not_milliseconds():
+    m = _metrics()  # TTFT 0.10 s, worst TBT 0.10 s
+    # A 200 ms / 150 ms SLO written in seconds: met.
+    assert m.meets_slo(SLO(ttft_target=0.2, tbt_target=0.15))
+    # The same SLO mistakenly written in milliseconds (200/150) would
+    # pass everything; the seconds-scale tight SLO below must *fail*,
+    # proving targets are compared on the seconds scale.
+    assert not m.meets_slo(SLO(ttft_target=0.05, tbt_target=0.15))
+    assert not m.meets_slo(SLO(ttft_target=0.2, tbt_target=0.05))
+
+
+def test_report_dict_seconds_keys_hold_seconds():
+    report = ContinuousReport(completed=[_metrics()])
+    d = report.to_dict(slo=SLO(ttft_target=0.2, tbt_target=0.15))
+    assert math.isclose(d["mean_ttft_s"], 0.10)
+    assert math.isclose(d["mean_latency_s"], 0.25)
+    assert math.isclose(d["makespan_s"], 0.25)
+    assert math.isclose(d["slo"]["ttft_target_s"], 0.2)
+    assert math.isclose(d["slo"]["tbt_target_s"], 0.15)
+    # Percentile tables carry the _s suffix and seconds values too.
+    assert math.isclose(d["ttft_percentiles_s"]["p50"], 0.10)
+
+
+def test_every_time_valued_key_is_suffixed_s():
+    report = ContinuousReport(completed=[_metrics()])
+    d = report.to_dict()
+    # Keys that carry a duration must say so; this inventories them so a
+    # new unsuffixed (or ms-suffixed) time field fails review here.
+    time_keys = {k for k in d if k.endswith("_s")}
+    assert time_keys == {
+        "makespan_s",
+        "mean_latency_s",
+        "mean_ttft_s",
+        "mean_queue_delay_s",
+        "time_in_degraded_mode_s",
+        "latency_percentiles_s",
+        "ttft_percentiles_s",
+        "tbt_percentiles_s",
+    }
+    assert not any(k.endswith("_ms") for k in d)

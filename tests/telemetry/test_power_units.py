@@ -1,0 +1,50 @@
+"""Unit-conversion regression tests for the energy/carbon arithmetic.
+
+These pin the two conversions the dimensional analyzer cannot prove on
+its own (they are *numeric* facts, not dimensional ones):
+
+* the J-per-kWh factor is exactly ``3.6e6`` (1000 W x 3600 s, exact by
+  definition) — a wrong factor here would silently mis-scale every
+  carbon figure while staying dimensionally consistent;
+* :func:`repro.telemetry.power.grams_co2` is the linear map
+  ``g = J / 3.6e6 * intensity`` with intensity in gCO2 per kWh.
+
+The ``_J_PER_KWH`` comment in :mod:`repro.telemetry.power` points here.
+"""
+
+import math
+
+from repro.telemetry.power import DEFAULT_CARBON_INTENSITY, _J_PER_KWH, grams_co2
+
+
+def test_j_per_kwh_factor_is_exact():
+    # 1 kWh = 1000 W x 3600 s.  Exact in binary floating point, so the
+    # comparison is ==, not approx.
+    assert _J_PER_KWH == 1000.0 * 3600.0
+    assert _J_PER_KWH == 3.6e6
+
+
+def test_one_kwh_at_intensity_400_is_exactly_400_grams():
+    # 3.6e6 J is one kWh; at 400 gCO2/kWh that is 400 g, exactly:
+    # the division J / (J/kWh) is x/x = 1 in floats.
+    assert grams_co2(3.6e6, intensity=400.0) == 400.0
+
+
+def test_default_intensity_round_trip():
+    assert grams_co2(3.6e6) == DEFAULT_CARBON_INTENSITY
+
+
+def test_grams_co2_is_linear_in_energy_and_intensity():
+    base = grams_co2(1.0e6, intensity=100.0)
+    assert grams_co2(2.0e6, intensity=100.0) == 2.0 * base
+    assert grams_co2(1.0e6, intensity=300.0) == 3.0 * base
+
+
+def test_zero_energy_is_zero_carbon():
+    assert grams_co2(0.0) == 0.0
+
+
+def test_known_value_against_hand_computation():
+    # A 250 W machine running 2 hours: 0.5 kWh; at 400 g/kWh -> 200 g.
+    joules = 250.0 * 2 * 3600.0
+    assert math.isclose(grams_co2(joules, intensity=400.0), 200.0, rel_tol=1e-12)
